@@ -1,0 +1,38 @@
+// Command affinebench reproduces the paper's §4.2 HDD experiments: Table 2
+// (affine parameters s, t, α derived by linear regression over an IO-size
+// sweep of random reads) and the E8 prediction-error comparison between the
+// affine model and the DAM.
+//
+// Usage:
+//
+//	affinebench [-rounds N] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"iomodels/internal/experiments"
+)
+
+func main() {
+	rounds := flag.Int("rounds", 64, "reads per IO size (paper: 64)")
+	csv := flag.Bool("csv", false, "also emit the per-size series as CSV")
+	predict := flag.Bool("predict", true, "report E8 model prediction errors")
+	flag.Parse()
+
+	cfg := experiments.DefaultAffineConfig()
+	cfg.Rounds = *rounds
+
+	rows, err := experiments.Table2(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(experiments.RenderTable2(rows))
+	if *predict {
+		fmt.Println(experiments.RenderAffinePrediction(experiments.AffinePrediction(rows)))
+	}
+	if *csv {
+		fmt.Println(experiments.RenderTable2CSV(rows))
+	}
+}

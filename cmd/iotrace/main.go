@@ -1,0 +1,141 @@
+// Command iotrace runs a small dictionary workload with IO tracing enabled
+// and prints what the device actually saw: IO counts and bytes by
+// direction, sequentiality, IO-size distribution and latency summaries.
+// It makes the models tangible — the affine model's s and t are visible as
+// the latency gap between the random and sequential rows.
+//
+// Usage:
+//
+//	iotrace [-tree b|be|lsm] [-items N] [-node BYTES] [-ops N]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"iomodels"
+	"iomodels/internal/stats"
+	"iomodels/internal/storage"
+	"iomodels/internal/workload"
+)
+
+func main() {
+	tree := flag.String("tree", "be", "structure: b, be, or lsm")
+	items := flag.Int64("items", 100_000, "pairs to load")
+	node := flag.Int("node", 256<<10, "node size (trees)")
+	ops := flag.Int("ops", 200, "measured queries after the load")
+	flag.Parse()
+
+	clk := iomodels.NewClock()
+	prof := iomodels.HDDProfiles()[2]
+	disk := iomodels.NewHDD(prof, 77, clk)
+	spec := workload.DefaultSpec()
+
+	var d workload.Dictionary
+	var flush func()
+	switch *tree {
+	case "b":
+		t, err := iomodels.NewBTree(iomodels.BTreeConfig{
+			NodeBytes: *node, MaxKeyBytes: spec.KeyBytes, MaxValueBytes: spec.ValueBytes,
+			CacheBytes: 4 << 20,
+		}, disk)
+		must(err)
+		d, flush = t, t.Flush
+	case "be":
+		t, err := iomodels.NewBeTree(iomodels.BeTreeConfig{
+			NodeBytes: *node, MaxFanout: 16, MaxKeyBytes: spec.KeyBytes,
+			MaxValueBytes: spec.ValueBytes, CacheBytes: 4 << 20,
+		}.Optimized(), disk)
+		must(err)
+		d, flush = t, t.Flush
+	case "lsm":
+		t, err := iomodels.NewLSMTree(iomodels.LSMConfig{
+			MemtableBytes: 1 << 20, SSTableBytes: 2 << 20, GrowthFactor: 10,
+			Level0Runs: 4, BlockBytes: 4 << 10,
+		}, disk)
+		must(err)
+		d, flush = t, t.Flush
+	default:
+		panic("unknown -tree")
+	}
+
+	tr := &storage.Trace{}
+	disk.SetTrace(tr)
+	workload.Load(d, spec, *items)
+	flush()
+	fmt.Printf("=== load phase: %d pairs on %s ===\n", *items, prof.Name)
+	report(tr)
+
+	tr.Reset()
+	for i := 0; i < *ops; i++ {
+		id := uint64(i*2654435761) % uint64(*items)
+		d.Get(spec.Key(id))
+	}
+	fmt.Printf("=== query phase: %d random gets ===\n", *ops)
+	report(tr)
+	disk.SetTrace(nil)
+}
+
+func report(tr *storage.Trace) {
+	if len(tr.Records) == 0 {
+		fmt.Println("  (no IO)")
+		return
+	}
+	type agg struct {
+		n          int
+		bytes      int64
+		latencies  []float64
+		sequential int
+	}
+	var byOp [2]agg
+	var lastEnd int64 = -1
+	for _, r := range tr.Records {
+		a := &byOp[int(r.Op)]
+		a.n++
+		a.bytes += r.Size
+		a.latencies = append(a.latencies, r.Latency.Milliseconds())
+		if r.Off == lastEnd {
+			a.sequential++
+		}
+		lastEnd = r.Off + r.Size
+	}
+	for op := storage.Read; op <= storage.Write; op++ {
+		a := byOp[int(op)]
+		if a.n == 0 {
+			continue
+		}
+		s := stats.Summarize(a.latencies)
+		fmt.Printf("  %-6s %6d IOs  %9.1f MiB  %4.0f%% sequential\n",
+			op, a.n, float64(a.bytes)/(1<<20), 100*float64(a.sequential)/float64(a.n))
+		fmt.Printf("         latency ms: mean %.2f  median %.2f  p95 %.2f  max %.2f\n",
+			s.Mean, s.Median, s.P95, s.Max)
+		sizes := map[int64]int{}
+		for _, r := range tr.Records {
+			if r.Op == op {
+				sizes[r.Size]++
+			}
+		}
+		fmt.Printf("         IO sizes:")
+		for sz, n := range sizes {
+			fmt.Printf("  %dx%s", n, human(sz))
+		}
+		fmt.Println()
+	}
+}
+
+func human(n int64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

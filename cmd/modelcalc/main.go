@@ -1,0 +1,70 @@
+// Command modelcalc is the paper's math as a calculator: given a device's
+// affine parameters (or one of the built-in Table 1/Table 2 profiles), it
+// prints the derived design guidance — half-bandwidth point (Corollary 6),
+// the B-tree node-size optimum (Corollary 7), the optimized Bε-tree
+// geometry (Corollaries 11/12), per-operation cost estimates at a chosen
+// configuration, and write-amplification bounds.
+//
+// Usage:
+//
+//	modelcalc                        # guidance for every built-in profile
+//	modelcalc -s 0.013 -t 0.000041   # custom drive (t per 4 KiB)
+//	modelcalc -node 1048576 -fanout 16 -items 1e8 -cachemb 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"iomodels/internal/core"
+	"iomodels/internal/hdd"
+)
+
+func main() {
+	s := flag.Float64("s", 0, "setup cost in seconds (0 = use built-in profiles)")
+	t4k := flag.Float64("t", 0, "transfer cost in seconds per 4KiB")
+	entry := flag.Int("entry", 124, "key-value pair size in bytes")
+	pivot := flag.Int("pivot", 28, "pivot size in bytes")
+	node := flag.Int("node", 1<<20, "node size for the cost table")
+	fanout := flag.Int("fanout", 16, "Bε-tree fanout for the cost table")
+	items := flag.Float64("items", 1e8, "N: keys in the dictionary")
+	cachemb := flag.Float64("cachemb", 4096, "M: cache size in MiB")
+	flag.Parse()
+
+	if *s > 0 && *t4k > 0 {
+		report(core.Affine{Setup: *s, PerByte: *t4k / 4096}, "custom drive",
+			*entry, *pivot, *node, *fanout, *items, *cachemb)
+		return
+	}
+	for _, prof := range hdd.Profiles() {
+		a := core.Affine{Setup: prof.ExpectedSetup().Seconds(), PerByte: 1 / prof.Bandwidth}
+		report(a, fmt.Sprintf("%s (%d)", prof.Name, prof.Year),
+			*entry, *pivot, *node, *fanout, *items, *cachemb)
+	}
+}
+
+func report(a core.Affine, name string, entry, pivot, node, fanout int, items, cachemb float64) {
+	fmt.Printf("=== %s: s=%.4fs, t=%.6fs/4KiB, α=%.4f ===\n",
+		name, a.Setup, a.PerByte*4096, a.Alpha(4096))
+
+	hb := a.HalfBandwidthBytes()
+	optB := core.OptimalBTreeNodeBytes(a, float64(entry))
+	f12, b12 := core.OptimalBeTreeParams(a, float64(entry), float64(pivot))
+	fmt.Printf("  Corollary 6  half-bandwidth point:        %8.0f KiB\n", hb/1024)
+	fmt.Printf("  Corollary 7  optimal B-tree node:         %8.0f KiB (%.1fx below)\n", optB/1024, hb/optB)
+	fmt.Printf("  Corollary 12 optimal Bε-tree:             F=%.0f, B=%.0f KiB\n", f12, b12/1024)
+
+	cache := cachemb * (1 << 20)
+	bp := core.BTreeParams{NodeBytes: float64(node), EntryBytes: float64(entry), Items: items, CacheBytes: cache}
+	ep := core.BeTreeParams{
+		NodeBytes: float64(node), EntryBytes: float64(entry), PivotBytes: float64(pivot),
+		Fanout: float64(fanout), Items: items, CacheBytes: cache, Optimized: true,
+	}
+	fmt.Printf("  at node=%dKiB, F=%d, N=%.0g, M=%.0fMiB:\n", node>>10, fanout, items, cachemb)
+	fmt.Printf("    B-tree  point op  %8.2f ms    write amp %6.0fx\n",
+		core.BTreePointCost(a, bp)*1000, core.BTreeWriteAmp(bp))
+	fmt.Printf("    Bε-tree query     %8.2f ms    insert %9.3f ms    write amp %6.0fx\n",
+		core.BeTreePointCost(a, ep)*1000, core.BeTreeInsertCost(a, ep)*1000, core.BeTreeWriteAmp(ep))
+	fmt.Printf("    advantage: inserts %.0fx faster than the B-tree's point ops\n\n",
+		core.BTreePointCost(a, bp)/core.BeTreeInsertCost(a, ep))
+}

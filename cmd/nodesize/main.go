@@ -1,0 +1,122 @@
+// Command nodesize reproduces the paper's §7 node-size experiments:
+// Figure 2 (B-tree / BerkeleyDB stand-in) and Figure 3 (Bε-tree / TokuDB
+// stand-in) — average virtual time per random query and insert across node
+// sizes on a simulated hard drive, with the affine model's predictions
+// alongside — plus the E10 optimum check (Corollary 7), the E11 Theorem 9
+// ablation, and the E12 write-amplification comparison.
+//
+// Usage:
+//
+//	nodesize [-tree b|be|both] [-items N] [-cache BYTES] [-csv]
+//	         [-optima] [-ablate] [-writeamp]
+//
+// Sizes are scaled from the paper's 16 GB dataset / 4 GiB RAM; the
+// data:cache ratio is what matters for the shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"iomodels/internal/experiments"
+	"iomodels/internal/ssd"
+)
+
+func main() {
+	tree := flag.String("tree", "both", "which sweep: b (Figure 2), be (Figure 3), both, none")
+	items := flag.Int64("items", 0, "key-value pairs to load (0 = per-figure default)")
+	cache := flag.Int64("cache", 0, "cache budget in bytes (0 = per-figure default)")
+	csv := flag.Bool("csv", false, "also emit sweeps as CSV")
+	optima := flag.Bool("optima", true, "report E10 (Corollary 7 optimum check, B-tree only)")
+	ablate := flag.Bool("ablate", false, "run E11 (Theorem 9 ablation)")
+	writeamp := flag.Bool("writeamp", false, "run E12 (write amplification comparison)")
+	flushpolicy := flag.Bool("flushpolicy", false, "run E14 (flush-victim policy ablation)")
+	device := flag.String("device", "hdd", "device family for the sweeps: hdd or ssd (E15)")
+	aging := flag.Bool("aging", false, "run E16 (sequential-load vs aged scan cost)")
+	epsilon := flag.Bool("epsilon", false, "run E18 (the ε spectrum: fanout sweep)")
+	flag.Parse()
+
+	applyDevice := func(cfg experiments.NodeSizeConfig) experiments.NodeSizeConfig {
+		if *device == "ssd" {
+			prof := ssd.DefaultProfile()
+			cfg.SSD = &prof
+		}
+		return cfg
+	}
+
+	if *tree == "b" || *tree == "both" {
+		cfg := applyDevice(experiments.DefaultFigure2Config())
+		if *items > 0 {
+			cfg.Items = *items
+		}
+		if *cache > 0 {
+			cfg.CacheBytes = *cache
+		}
+		fmt.Printf("Figure 2: B-tree on %s, %d pairs, %d B cache\n\n", cfg.DeviceName(), cfg.Items, cfg.CacheBytes)
+		res := experiments.Figure2(cfg)
+		fmt.Println(experiments.RenderNodeSize(res, "Figure 2: B-tree ms/op vs node size (cf. paper: optimum ~64KiB, then near-linear growth)"))
+		if *optima {
+			fmt.Println(experiments.RenderOptima(experiments.Corollary7Check(res, cfg)))
+		}
+		if *csv {
+			fmt.Println(experiments.RenderNodeSizeCSV(res))
+		}
+	}
+	if *tree == "be" || *tree == "both" {
+		cfg := applyDevice(experiments.DefaultFigure3Config())
+		if *items > 0 {
+			cfg.Items = *items
+		}
+		if *cache > 0 {
+			cfg.CacheBytes = *cache
+		}
+		fmt.Printf("Figure 3: Bε-tree (F=%d) on %s, %d pairs, %d B cache\n\n", cfg.Fanout, cfg.DeviceName(), cfg.Items, cfg.CacheBytes)
+		res := experiments.Figure3(cfg)
+		fmt.Println(experiments.RenderNodeSize(res, "Figure 3: Bε-tree ms/op vs node size (cf. paper: queries best ~512KiB, inserts ~4MiB, both flat)"))
+		if *csv {
+			fmt.Println(experiments.RenderNodeSizeCSV(res))
+		}
+		if *ablate {
+			nb := 512 << 10
+			fmt.Println(experiments.RenderAblation(experiments.Theorem9Ablation(cfg, nb), nb))
+		}
+	}
+	if *writeamp {
+		cfg := experiments.DefaultWriteAmpConfig()
+		if *items > 0 {
+			cfg.Items = *items
+		}
+		if *cache > 0 {
+			cfg.CacheBytes = *cache
+		}
+		fmt.Println(experiments.RenderWriteAmp(experiments.WriteAmp(cfg)))
+	}
+	if *aging {
+		cfg := experiments.DefaultAgingConfig()
+		if *items > 0 {
+			cfg.Items = *items
+		}
+		if *cache > 0 {
+			cfg.CacheBytes = *cache
+		}
+		fmt.Println(experiments.RenderAging(experiments.Aging(cfg)))
+	}
+	if *epsilon {
+		cfg := experiments.DefaultEpsilonConfig()
+		if *items > 0 {
+			cfg.Items = *items
+		}
+		if *cache > 0 {
+			cfg.CacheBytes = *cache
+		}
+		fmt.Println(experiments.RenderEpsilon(experiments.EpsilonSweep(cfg)))
+	}
+	if *flushpolicy {
+		cfg := experiments.DefaultFlushPolicyConfig()
+		if *items > 0 {
+			cfg.Items = *items
+			cfg.KeySpace = *items
+		}
+		fmt.Println(experiments.RenderFlushPolicy(experiments.FlushPolicyAblation(cfg)))
+	}
+}

@@ -1,0 +1,63 @@
+// Command pdambench reproduces the paper's §4.1 SSD experiments: Figure 1
+// (completion time of p-threaded 64 KiB random reads versus p), Table 1
+// (PDAM parameters P and ∝PB derived by segmented regression), and the E7
+// prediction-error comparison between the PDAM and the DAM.
+//
+// Usage:
+//
+//	pdambench [-ios N] [-csv] [-predict]
+//
+// -ios sets the per-thread read count (the paper reads 163840 = 10 GiB per
+// thread; the default here is scaled down, which only changes host run time
+// since virtual time is exact).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"iomodels/internal/experiments"
+)
+
+func main() {
+	ios := flag.Int("ios", 8192, "64KiB reads per thread (paper: 163840)")
+	csv := flag.Bool("csv", false, "also emit the Figure 1 series as CSV")
+	predict := flag.Bool("predict", true, "report E7 model prediction errors")
+	writes := flag.Bool("writes", false, "also run E17 (read/write asymmetry)")
+	flag.Parse()
+
+	cfg := experiments.DefaultPDAMConfig()
+	cfg.PerThreadIOs = *ios
+
+	fmt.Printf("Figure 1: %d threads max, %d x 64KiB random reads per thread (virtual time)\n\n",
+		cfg.Threads[len(cfg.Threads)-1], cfg.PerThreadIOs)
+	series := experiments.Figure1(cfg)
+	for _, s := range series {
+		fmt.Printf("%-20s", s.Device)
+		for _, pt := range s.Points {
+			fmt.Printf("  p=%-2d %7.2fs", pt.Threads, pt.Seconds)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	rows, err := experiments.Table1(series, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(experiments.RenderTable1(rows))
+
+	if *predict {
+		fmt.Println(experiments.RenderPrediction(experiments.PDAMPrediction(series, rows, cfg)))
+	}
+	if *writes {
+		arows, err := experiments.Asymmetry(cfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(experiments.RenderAsymmetry(arows))
+	}
+	if *csv {
+		fmt.Println(experiments.RenderFigure1CSV(series))
+	}
+}

@@ -1,0 +1,35 @@
+// Command pdamtree reproduces the paper's §8 experiment (Lemma 13): the
+// query throughput of three static search-tree designs on the abstract PDAM
+// device as the number of concurrent clients k varies from 1 to P. One-block
+// nodes waste parallelism at small k; whole PB-node fetches waste bandwidth
+// at large k; PB-nodes in a van Emde Boas layout track the best design at
+// every k.
+//
+// Usage:
+//
+//	pdamtree [-items N] [-p P] [-queries Q]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"iomodels/internal/experiments"
+)
+
+func main() {
+	items := flag.Int("items", 1<<20, "keys in the tree")
+	p := flag.Int("p", 16, "PDAM device parallelism")
+	queries := flag.Int("queries", 200, "queries per client")
+	flag.Parse()
+
+	cfg := experiments.DefaultLemma13Config()
+	cfg.Items = *items
+	cfg.P = *p
+	cfg.QueriesPerClient = *queries
+	cfg.Clients = nil
+	for k := 1; k <= cfg.P; k *= 2 {
+		cfg.Clients = append(cfg.Clients, k)
+	}
+	fmt.Println(experiments.RenderLemma13(experiments.Lemma13(cfg)))
+}

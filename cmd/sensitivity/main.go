@@ -1,0 +1,29 @@
+// Command sensitivity reproduces the paper's Table 3: the normalized
+// insert/query costs of B-trees and Bε-trees as functions of the node size
+// B in the affine model, showing that the B-tree's cost grows nearly
+// linearly in B while the Bε-tree's grows like √B.
+//
+// Usage:
+//
+//	sensitivity [-alpha A] [-lognm L] [-fanout F]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"iomodels/internal/experiments"
+)
+
+func main() {
+	alpha := flag.Float64("alpha", 0.0031, "normalized bandwidth cost per 4KiB block (Table 2's Hitachi)")
+	lognm := flag.Float64("lognm", 10, "ln(N/M)")
+	fanout := flag.Float64("fanout", 16, "general-F row fanout")
+	flag.Parse()
+
+	cfg := experiments.DefaultSensitivityConfig()
+	cfg.Alpha = *alpha
+	cfg.LogNM = *lognm
+	cfg.Fanout = *fanout
+	fmt.Println(experiments.RenderTable3(experiments.Table3Sweep(cfg)))
+}

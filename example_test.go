@@ -1,0 +1,77 @@
+package iomodels_test
+
+import (
+	"fmt"
+
+	"iomodels"
+)
+
+// ExampleNewBeTree builds a Bε-tree on a simulated hard drive and shows the
+// basic dictionary operations. Output is deterministic because all device
+// time is virtual.
+func ExampleNewBeTree() {
+	clk := iomodels.NewClock()
+	disk := iomodels.NewHDD(iomodels.HDDProfiles()[2], 1, clk) // 1 TB Hitachi
+
+	tree, err := iomodels.NewBeTree(iomodels.BeTreeConfig{
+		NodeBytes:     256 << 10,
+		MaxFanout:     16,
+		MaxKeyBytes:   32,
+		MaxValueBytes: 64,
+		CacheBytes:    1 << 20,
+	}.Optimized(), disk)
+	if err != nil {
+		panic(err)
+	}
+
+	tree.Put([]byte("hello"), []byte("world"))
+	tree.Upsert([]byte("visits"), 2)
+	tree.Upsert([]byte("visits"), 3)
+
+	v, _ := tree.Get([]byte("hello"))
+	fmt.Printf("hello = %s\n", v)
+	c, _ := tree.Get([]byte("visits"))
+	fmt.Printf("visits = %d\n", c[7])
+	// Output:
+	// hello = world
+	// visits = 5
+}
+
+// ExampleAffineOf derives the affine model of a drive and the node-size
+// guidance the paper's corollaries give for it.
+func ExampleAffineOf() {
+	prof := iomodels.HDDProfiles()[2] // 1 TB Hitachi: s=0.013, t=0.000041/4K
+	a := iomodels.AffineOf(prof)
+	fmt.Printf("alpha per 4KiB = %.4f\n", a.Alpha(4096))
+	fmt.Printf("half-bandwidth point = %d KiB\n", int(a.HalfBandwidthBytes())>>10)
+	fmt.Printf("Corollary 7 B-tree node = %d KiB\n", iomodels.OptimalBTreeNodeBytes(prof, 124)>>10)
+	// Output:
+	// alpha per 4KiB = 0.0032
+	// half-bandwidth point = 1268 KiB
+	// Corollary 7 B-tree node = 198 KiB
+}
+
+// ExampleNewBTree shows virtual-time accounting: the clock advances only
+// with simulated IO.
+func ExampleNewBTree() {
+	clk := iomodels.NewClock()
+	disk := iomodels.NewHDD(iomodels.HDDProfiles()[0], 7, clk)
+	tree, err := iomodels.NewBTree(iomodels.BTreeConfig{
+		NodeBytes:     16 << 10,
+		MaxKeyBytes:   16,
+		MaxValueBytes: 32,
+		CacheBytes:    1 << 20,
+	}, disk)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 100; i++ {
+		tree.Put([]byte(fmt.Sprintf("key-%03d", i)), []byte("value"))
+	}
+	fmt.Printf("cached inserts cost %v of device time\n", clk.Now())
+	tree.Flush()
+	fmt.Printf("flush wrote %d nodes\n", disk.Counters().Writes)
+	// Output:
+	// cached inserts cost 0ns of device time
+	// flush wrote 1 nodes
+}

@@ -1,0 +1,3 @@
+module iomodels
+
+go 1.22

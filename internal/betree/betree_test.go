@@ -1,0 +1,551 @@
+package betree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"testing"
+
+	"iomodels/internal/hdd"
+	"iomodels/internal/sim"
+	"iomodels/internal/stats"
+	"iomodels/internal/storage"
+)
+
+// configs is the test matrix of node organizations.
+func configs(nodeBytes int, cacheBytes int64) map[string]Config {
+	base := Config{
+		NodeBytes:     nodeBytes,
+		MaxFanout:     8,
+		MaxKeyBytes:   32,
+		MaxValueBytes: 128,
+		CacheBytes:    cacheBytes,
+	}
+	packed := base
+	packed.Layout = Packed
+	packed.QueryMode = WholeNode
+	slottedWhole := base
+	slottedWhole.Layout = Slotted
+	slottedWhole.QueryMode = WholeNode
+	metaSlot := base
+	metaSlot.Layout = Slotted
+	metaSlot.QueryMode = MetaPlusSlot
+	slotOnly := base.Optimized()
+	return map[string]Config{
+		"packed":        packed,
+		"slotted-whole": slottedWhole,
+		"meta+slot":     metaSlot,
+		"slot-only":     slotOnly,
+	}
+}
+
+func newTestTree(t *testing.T, cfg Config) *Tree {
+	t.Helper()
+	clk := sim.New()
+	disk := storage.NewDisk(hdd.NewDeterministic(hdd.DefaultProfile()), clk)
+	tree, err := New(cfg, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func key(i int) []byte   { return []byte(fmt.Sprintf("key-%08d", i)) }
+func value(i int) []byte { return []byte(fmt.Sprintf("value-%d", i)) }
+
+func TestEmptyTree(t *testing.T) {
+	for name, cfg := range configs(64<<10, 1<<20) {
+		t.Run(name, func(t *testing.T) {
+			tree := newTestTree(t, cfg)
+			if _, ok := tree.Get(key(1)); ok {
+				t.Fatal("found key in empty tree")
+			}
+			if tree.Items() != 0 || tree.Height() != 1 {
+				t.Fatalf("items=%d height=%d", tree.Items(), tree.Height())
+			}
+		})
+	}
+}
+
+func TestPutGetThroughRootLeaf(t *testing.T) {
+	for name, cfg := range configs(64<<10, 1<<20) {
+		t.Run(name, func(t *testing.T) {
+			tree := newTestTree(t, cfg)
+			for i := 0; i < 50; i++ {
+				tree.Put(key(i), value(i))
+			}
+			for i := 0; i < 50; i++ {
+				v, ok := tree.Get(key(i))
+				if !ok || !bytes.Equal(v, value(i)) {
+					t.Fatalf("Get(%d) = %q, %v", i, v, ok)
+				}
+			}
+		})
+	}
+}
+
+func TestGrowthThroughFlushes(t *testing.T) {
+	for name, cfg := range configs(16<<10, 1<<20) {
+		t.Run(name, func(t *testing.T) {
+			if cfg.Layout == Slotted {
+				cfg.MaxFanout = 4 // small slots force deep flushing
+			}
+			tree := newTestTree(t, cfg)
+			const n = 4000
+			for i := 0; i < n; i++ {
+				tree.Put(key(i), value(i))
+			}
+			if tree.Height() < 2 {
+				t.Fatalf("height = %d, tree never grew", tree.Height())
+			}
+			if tree.Flushes == 0 {
+				t.Fatal("no flushes happened")
+			}
+			if err := tree.Check(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				v, ok := tree.Get(key(i))
+				if !ok || !bytes.Equal(v, value(i)) {
+					t.Fatalf("Get(%d) lost after flushes: %v", i, ok)
+				}
+			}
+			// Buffered inserts are not counted until settled.
+			if tree.Items() > n {
+				t.Fatalf("items = %d > inserted %d", tree.Items(), n)
+			}
+			tree.Settle()
+			if tree.Items() != n {
+				t.Fatalf("items = %d after Settle, inserted %d", tree.Items(), n)
+			}
+			if err := tree.Check(); err != nil {
+				t.Fatalf("after Settle: %v", err)
+			}
+		})
+	}
+}
+
+func TestDeleteViaTombstones(t *testing.T) {
+	for name, cfg := range configs(16<<10, 1<<20) {
+		t.Run(name, func(t *testing.T) {
+			tree := newTestTree(t, cfg)
+			const n = 2000
+			for i := 0; i < n; i++ {
+				tree.Put(key(i), value(i))
+			}
+			for i := 0; i < n; i += 2 {
+				tree.Delete(key(i))
+			}
+			for i := 0; i < n; i++ {
+				_, ok := tree.Get(key(i))
+				if want := i%2 == 1; ok != want {
+					t.Fatalf("Get(%d) = %v, want %v", i, ok, want)
+				}
+			}
+			if err := tree.Check(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestUpserts(t *testing.T) {
+	for name, cfg := range configs(16<<10, 1<<20) {
+		t.Run(name, func(t *testing.T) {
+			tree := newTestTree(t, cfg)
+			// Interleave upserts to the same counters with enough other
+			// traffic to push messages down the tree.
+			for round := 0; round < 50; round++ {
+				for c := 0; c < 10; c++ {
+					tree.Upsert(key(c), int64(c+1))
+				}
+				for i := 0; i < 100; i++ {
+					tree.Put(key(1000+round*100+i), value(i))
+				}
+			}
+			for c := 0; c < 10; c++ {
+				v, ok := tree.Get(key(c))
+				if !ok {
+					t.Fatalf("counter %d missing", c)
+				}
+				got := int64(binary.BigEndian.Uint64(v))
+				want := int64(50 * (c + 1))
+				if got != want {
+					t.Fatalf("counter %d = %d, want %d", c, got, want)
+				}
+			}
+			if err := tree.Check(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestUpsertThenDeleteThenUpsert(t *testing.T) {
+	cfg := configs(16<<10, 1<<20)["slot-only"]
+	tree := newTestTree(t, cfg)
+	tree.Upsert(key(1), 10)
+	tree.Delete(key(1))
+	tree.Upsert(key(1), 7)
+	v, ok := tree.Get(key(1))
+	if !ok || int64(binary.BigEndian.Uint64(v)) != 7 {
+		t.Fatalf("counter = %v %v, want 7", v, ok)
+	}
+}
+
+func TestPutOverwriteNewestWins(t *testing.T) {
+	for name, cfg := range configs(16<<10, 1<<20) {
+		t.Run(name, func(t *testing.T) {
+			tree := newTestTree(t, cfg)
+			// Push an old version deep, then overwrite near the root.
+			tree.Put(key(42), []byte("old"))
+			for i := 0; i < 3000; i++ {
+				tree.Put(key(10000+i), value(i))
+			}
+			tree.Put(key(42), []byte("new"))
+			v, ok := tree.Get(key(42))
+			if !ok || string(v) != "new" {
+				t.Fatalf("got %q, %v", v, ok)
+			}
+		})
+	}
+}
+
+func TestScanMergesBuffersAndLeaves(t *testing.T) {
+	for name, cfg := range configs(16<<10, 1<<20) {
+		t.Run(name, func(t *testing.T) {
+			tree := newTestTree(t, cfg)
+			const n = 3000
+			for i := 0; i < n; i++ {
+				tree.Put(key(i), value(i))
+			}
+			// Recent updates still sitting in buffers must appear in scans.
+			tree.Put(key(100), []byte("fresh"))
+			tree.Delete(key(101))
+			var got []string
+			tree.Scan(key(95), key(105), func(k, v []byte) bool {
+				got = append(got, fmt.Sprintf("%s=%s", k, v))
+				return true
+			})
+			want := []string{}
+			for i := 95; i < 105; i++ {
+				switch i {
+				case 100:
+					want = append(want, string(key(i))+"=fresh")
+				case 101: // deleted
+				default:
+					want = append(want, fmt.Sprintf("%s=%s", key(i), value(i)))
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("scan = %v, want %v", got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("scan[%d] = %s, want %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	cfg := configs(16<<10, 1<<20)["slot-only"]
+	tree := newTestTree(t, cfg)
+	for i := 0; i < 1000; i++ {
+		tree.Put(key(i), value(i))
+	}
+	ents := tree.ScanN(key(500), 5)
+	if len(ents) != 5 || string(ents[0].Key) != string(key(500)) {
+		t.Fatalf("ScanN = %d entries, first %q", len(ents), ents[0].Key)
+	}
+}
+
+// TestRandomOpsAgainstModel drives every configuration with a random mix of
+// puts, deletes, upserts and gets, mirrored into a model map.
+func TestRandomOpsAgainstModel(t *testing.T) {
+	for name, cfg := range configs(16<<10, 128<<10) {
+		t.Run(name, func(t *testing.T) {
+			tree := newTestTree(t, cfg)
+			model := map[string][]byte{}
+			rng := stats.NewRNG(9999)
+			const ops = 20000
+			for i := 0; i < ops; i++ {
+				id := int(rng.Intn(1500))
+				k := key(id)
+				ks := string(k)
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3:
+					v := []byte(fmt.Sprintf("v%d-%d", id, i))
+					tree.Put(k, v)
+					model[ks] = v
+				case 4, 5:
+					tree.Delete(k)
+					delete(model, ks)
+				case 6:
+					tree.Upsert(k, int64(id))
+					// Mirror kv.Message upsert semantics: any existing
+					// 8-byte value is treated as a counter.
+					var cur int64
+					if v, ok := model[ks]; ok && len(v) == 8 {
+						cur = int64(binary.BigEndian.Uint64(v))
+					}
+					var b [8]byte
+					binary.BigEndian.PutUint64(b[:], uint64(cur+int64(id)))
+					model[ks] = b[:]
+				default:
+					v, ok := tree.Get(k)
+					mv, mok := model[ks]
+					if ok != mok || (ok && !bytes.Equal(v, mv)) {
+						t.Fatalf("op %d: Get(%d) = %q,%v; model %q,%v", i, id, v, ok, mv, mok)
+					}
+				}
+				if i%5000 == 4999 {
+					if err := tree.Check(); err != nil {
+						t.Fatalf("op %d: %v", i, err)
+					}
+				}
+			}
+			// Final full-scan agreement.
+			var wantKeys []string
+			for k := range model {
+				wantKeys = append(wantKeys, k)
+			}
+			sort.Strings(wantKeys)
+			var gotKeys []string
+			tree.Scan(nil, nil, func(k, v []byte) bool {
+				gotKeys = append(gotKeys, string(k))
+				if !bytes.Equal(model[string(k)], v) {
+					t.Fatalf("scan value mismatch at %s", k)
+				}
+				return true
+			})
+			if len(gotKeys) != len(wantKeys) {
+				t.Fatalf("scan length %d != model %d", len(gotKeys), len(wantKeys))
+			}
+			for i := range gotKeys {
+				if gotKeys[i] != wantKeys[i] {
+					t.Fatalf("scan[%d] = %s, want %s", i, gotKeys[i], wantKeys[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSmallCacheEviction forces constant eviction so every path round-trips
+// through serialization, in every layout.
+func TestSmallCacheEviction(t *testing.T) {
+	for name, cfg := range configs(16<<10, 64<<10) {
+		t.Run(name, func(t *testing.T) {
+			tree := newTestTree(t, cfg)
+			const n = 3000
+			for i := 0; i < n; i++ {
+				tree.Put(key(i), value(i))
+			}
+			for i := 0; i < n; i++ {
+				v, ok := tree.Get(key(i))
+				if !ok || !bytes.Equal(v, value(i)) {
+					t.Fatalf("Get(%d) failed after eviction", i)
+				}
+			}
+			st := tree.Cache().Stats()
+			if st.Evictions == 0 || st.Writebacks == 0 {
+				t.Fatalf("cache never spilled: %+v", st)
+			}
+			if err := tree.Check(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSlotOnlyQueryIOShape verifies the Theorem 9 claim operationally: a
+// cold point query in SlotOnly mode issues exactly one IO per level below
+// the root, each of one slot stride (~B/F), not whole nodes.
+func TestSlotOnlyQueryIOShape(t *testing.T) {
+	cfg := configs(32<<10, 1<<20)["slot-only"]
+	tree := newTestTree(t, cfg)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		tree.Put(key(i), value(i))
+	}
+	tree.Flush()
+	levels := tree.Height()
+	if levels < 3 {
+		t.Fatalf("tree too shallow (%d) for the IO-shape test", levels)
+	}
+	tree.Cache().EvictAll()
+	tr := &storage.Trace{}
+	tree.disk.SetTrace(tr)
+	tree.Get(key(n / 2))
+	tree.disk.SetTrace(nil)
+	// Root is pinned, so expect height-1 IOs.
+	if got, want := len(tr.Records), levels-1; got != want {
+		t.Fatalf("cold query issued %d IOs, want %d (one per level below root): %+v", got, want, tr.Records)
+	}
+	stride := int64(cfg.slotStride())
+	for _, r := range tr.Records {
+		if r.Op != storage.Read || r.Size != stride {
+			t.Fatalf("query IO %+v is not a single slot read of %d", r, stride)
+		}
+	}
+}
+
+// TestWholeNodeQueryIOShape is the contrast: the naive organization reads
+// whole nodes.
+func TestWholeNodeQueryIOShape(t *testing.T) {
+	cfg := configs(32<<10, 1<<20)["packed"]
+	tree := newTestTree(t, cfg)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		tree.Put(key(i), value(i))
+	}
+	tree.Flush()
+	levels := tree.Height()
+	tree.Cache().EvictAll()
+	tr := &storage.Trace{}
+	tree.disk.SetTrace(tr)
+	tree.Get(key(n / 2))
+	tree.disk.SetTrace(nil)
+	if got, want := len(tr.Records), levels-1; got != want {
+		t.Fatalf("cold query issued %d IOs, want %d", got, want)
+	}
+	for _, r := range tr.Records {
+		if r.Size != int64(cfg.NodeBytes) {
+			t.Fatalf("query IO %+v is not a whole-node read of %d", r, cfg.NodeBytes)
+		}
+	}
+}
+
+func TestFlushPersistsEverything(t *testing.T) {
+	for name, cfg := range configs(16<<10, 1<<20) {
+		t.Run(name, func(t *testing.T) {
+			tree := newTestTree(t, cfg)
+			for i := 0; i < 2000; i++ {
+				tree.Put(key(i), value(i))
+			}
+			tree.Flush()
+			tree.Cache().EvictAll()
+			for i := 0; i < 2000; i++ {
+				v, ok := tree.Get(key(i))
+				if !ok || !bytes.Equal(v, value(i)) {
+					t.Fatalf("lost key %d across flush+evict", i)
+				}
+			}
+		})
+	}
+}
+
+func TestWriteAmpMuchLowerThanBTreeStyle(t *testing.T) {
+	// Sanity: under random inserts with a small cache, bytes written per
+	// logical byte must be far below the node size in entries.
+	cfg := configs(16<<10, 64<<10)["slot-only"]
+	tree := newTestTree(t, cfg)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tree.Put(key(i), value(i))
+	}
+	tree.Flush()
+	c := tree.disk.Counters()
+	wa := float64(c.BytesWritten) / float64(tree.LogicalBytesInserted)
+	if wa <= 0 {
+		t.Fatal("no write amplification measured")
+	}
+	// A B-tree rewriting a 16KiB node per ~20-byte update would have
+	// WA in the hundreds; buffering must keep the Bε-tree far below that.
+	if wa > 100 {
+		t.Fatalf("write amplification %.1f implausibly high", wa)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	clk := sim.New()
+	disk := storage.NewDisk(hdd.NewDeterministic(hdd.DefaultProfile()), clk)
+	bad := Config{NodeBytes: 1024, MaxFanout: 16, MaxKeyBytes: 32, MaxValueBytes: 128, CacheBytes: 1 << 20, Layout: Slotted}
+	if _, err := New(bad, disk); err == nil {
+		t.Fatal("tiny slotted node accepted")
+	}
+	packedPartial := Config{NodeBytes: 64 << 10, MaxFanout: 8, MaxKeyBytes: 32, MaxValueBytes: 128, CacheBytes: 1 << 20, Layout: Packed, QueryMode: SlotOnly}
+	if _, err := New(packedPartial, disk); err == nil {
+		t.Fatal("packed+slot-only accepted")
+	}
+}
+
+func TestEpsilonAndQueryModeString(t *testing.T) {
+	cfg := configs(64<<10, 1<<20)["slot-only"]
+	eps := cfg.Epsilon(120)
+	if eps <= 0 || eps >= 1 {
+		t.Fatalf("epsilon = %v", eps)
+	}
+	if WholeNode.String() == "" || MetaPlusSlot.String() == "" || SlotOnly.String() == "" {
+		t.Fatal("query mode names empty")
+	}
+}
+
+// TestMetaPlusSlotQueryIOShape: the intermediate ablation configuration
+// reads the meta region plus one slot per level — two IOs per level below
+// the root, the "segmented buffers without pivots-in-parent" cost.
+func TestMetaPlusSlotQueryIOShape(t *testing.T) {
+	cfg := configs(32<<10, 1<<20)["meta+slot"]
+	tree := newTestTree(t, cfg)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		tree.Put(key(i), value(i))
+	}
+	tree.Flush()
+	levels := tree.Height()
+	if levels < 3 {
+		t.Fatalf("tree too shallow (%d)", levels)
+	}
+	tree.Cache().EvictAll()
+	tr := &storage.Trace{}
+	tree.disk.SetTrace(tr)
+	tree.Get(key(n / 2))
+	tree.disk.SetTrace(nil)
+	if got, want := len(tr.Records), 2*(levels-1); got != want {
+		t.Fatalf("cold query issued %d IOs, want %d (meta+slot per level): %+v", got, want, tr.Records)
+	}
+	meta, slot := 0, 0
+	for _, r := range tr.Records {
+		switch r.Size {
+		case int64(cfg.metaCap()):
+			meta++
+		case int64(cfg.slotStride()):
+			slot++
+		default:
+			t.Fatalf("unexpected IO size %d", r.Size)
+		}
+	}
+	if meta != levels-1 || slot != levels-1 {
+		t.Fatalf("meta=%d slot=%d, want %d each", meta, slot, levels-1)
+	}
+}
+
+// TestScanIOShape: range queries read whole extents (the paper's range
+// bound is O(1+ℓ/B)(1+αB) regardless of node organization).
+func TestScanIOShape(t *testing.T) {
+	cfg := configs(32<<10, 1<<20)["slot-only"]
+	tree := newTestTree(t, cfg)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		tree.Put(key(i), value(i))
+	}
+	tree.Flush()
+	tree.Cache().EvictAll()
+	tr := &storage.Trace{}
+	tree.disk.SetTrace(tr)
+	got := tree.ScanN(key(n/2), 200)
+	tree.disk.SetTrace(nil)
+	if len(got) != 200 {
+		t.Fatalf("scan returned %d", len(got))
+	}
+	if len(tr.Records) == 0 {
+		t.Fatal("scan issued no IOs")
+	}
+	for _, r := range tr.Records {
+		if r.Size != int64(cfg.NodeBytes) {
+			t.Fatalf("scan IO %+v is not a whole extent", r)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Structural invariant checking for the Bε-tree, used by tests and the
+// property-based suites. Check walks the whole tree (loading every node
+// fully) and verifies the invariants the analyses rely on.
+
+package betree
+
+import (
+	"fmt"
+
+	"iomodels/internal/kv"
+)
+
+// Check verifies tree-wide invariants and returns the first violation:
+//
+//   - pivots and entries are strictly sorted and within their key ranges;
+//   - buffered messages sit in the buffer of the child that covers them,
+//     in (key, seq) order;
+//   - per-slot capacities hold (Slotted) or node capacity holds (Packed);
+//   - parents' route copies match each child's own routing info (Slotted);
+//   - all leaves are at height 0 and node heights decrease by one per level;
+//   - fanout never exceeds MaxFanout between operations;
+//   - byte accounting (leafBytes, buffer bytes) matches content.
+func (t *Tree) Check() error {
+	n := t.rootN
+	return t.checkNode(t.root, n, nil, nil, n.height)
+}
+
+func (t *Tree) checkNode(off int64, n *node, lo, hi []byte, height int) error {
+	if n == nil {
+		n = t.ensureFull(off)
+		defer t.unpin(off)
+	}
+	if !n.full {
+		return fmt.Errorf("node %d: not full after ensureFull", off)
+	}
+	if n.height != height {
+		return fmt.Errorf("node %d: height %d, expected %d", off, n.height, height)
+	}
+	if n.leaf != (height == 0) {
+		return fmt.Errorf("node %d: leaf flag %v at height %d", off, n.leaf, height)
+	}
+	inRange := func(k []byte) bool {
+		return (lo == nil || kv.Compare(k, lo) >= 0) && (hi == nil || kv.Compare(k, hi) < 0)
+	}
+	if n.leaf {
+		bytes := 0
+		for i, e := range n.entries {
+			if i > 0 && kv.Compare(n.entries[i-1].Key, e.Key) >= 0 {
+				return fmt.Errorf("leaf %d: entries out of order at %d", off, i)
+			}
+			if !inRange(e.Key) {
+				return fmt.Errorf("leaf %d: key out of range", off)
+			}
+			bytes += e.Size()
+		}
+		if bytes != n.leafBytes {
+			return fmt.Errorf("leaf %d: leafBytes %d, actual %d", off, n.leafBytes, bytes)
+		}
+		if n.leafBytes > t.cfg.leafCapBytes() {
+			return fmt.Errorf("leaf %d: over capacity: %d > %d", off, n.leafBytes, t.cfg.leafCapBytes())
+		}
+		if len(n.cuts) < 2 || n.cuts[0] != 0 || n.cuts[len(n.cuts)-1] != len(n.entries) {
+			return fmt.Errorf("leaf %d: malformed cuts %v", off, n.cuts)
+		}
+		for i := 1; i < len(n.cuts); i++ {
+			if n.cuts[i] < n.cuts[i-1] {
+				return fmt.Errorf("leaf %d: decreasing cuts %v", off, n.cuts)
+			}
+		}
+		return nil
+	}
+
+	if len(n.children) < 1 || len(n.children) != len(n.pivots)+1 || len(n.children) != len(n.bufs) {
+		return fmt.Errorf("node %d: inconsistent children/pivots/bufs: %d/%d/%d",
+			off, len(n.children), len(n.pivots), len(n.bufs))
+	}
+	if len(n.children) > t.cfg.MaxFanout {
+		return fmt.Errorf("node %d: fanout %d exceeds %d", off, len(n.children), t.cfg.MaxFanout)
+	}
+	if t.cfg.Layout == Slotted && len(n.routes) != len(n.children) {
+		return fmt.Errorf("node %d: %d routes for %d children", off, len(n.routes), len(n.children))
+	}
+	for i, p := range n.pivots {
+		if i > 0 && kv.Compare(n.pivots[i-1], p) >= 0 {
+			return fmt.Errorf("node %d: pivots out of order at %d", off, i)
+		}
+		if !inRange(p) {
+			return fmt.Errorf("node %d: pivot out of range", off)
+		}
+	}
+	if t.overfullNode(n) {
+		return fmt.Errorf("node %d: overfull between operations", off)
+	}
+	for i := range n.bufs {
+		clo, chi := lo, hi
+		if i > 0 {
+			clo = n.pivots[i-1]
+		}
+		if i < len(n.pivots) {
+			chi = n.pivots[i]
+		}
+		bytes := 0
+		for j, m := range n.bufs[i].msgs {
+			if j > 0 {
+				c := kv.Compare(n.bufs[i].msgs[j-1].Key, m.Key)
+				if c > 0 || (c == 0 && n.bufs[i].msgs[j-1].Seq >= m.Seq) {
+					return fmt.Errorf("node %d buf %d: messages out of (key,seq) order at %d", off, i, j)
+				}
+			}
+			if (clo != nil && kv.Compare(m.Key, clo) < 0) || (chi != nil && kv.Compare(m.Key, chi) >= 0) {
+				return fmt.Errorf("node %d buf %d: message outside child range", off, i)
+			}
+			bytes += m.Size()
+		}
+		if bytes != n.bufs[i].bytes {
+			return fmt.Errorf("node %d buf %d: bytes %d, actual %d", off, i, n.bufs[i].bytes, bytes)
+		}
+	}
+	for i, c := range n.children {
+		clo, chi := lo, hi
+		if i > 0 {
+			clo = n.pivots[i-1]
+		}
+		if i < len(n.pivots) {
+			chi = n.pivots[i]
+		}
+		child := t.ensureFull(c)
+		if t.cfg.Layout == Slotted {
+			if err := routesEqual(n.routes[i], child.ownRoute()); err != nil {
+				t.unpin(c)
+				return fmt.Errorf("node %d child %d: stale route copy: %v", off, i, err)
+			}
+		}
+		err := t.checkNode(c, child, clo, chi, height-1)
+		t.unpin(c)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func routesEqual(a, b route) error {
+	if len(a.keys) != len(b.keys) || len(a.ptrs) != len(b.ptrs) {
+		return fmt.Errorf("shape %d/%d vs %d/%d", len(a.keys), len(a.ptrs), len(b.keys), len(b.ptrs))
+	}
+	for i := range a.keys {
+		if kv.Compare(a.keys[i], b.keys[i]) != 0 {
+			return fmt.Errorf("key %d differs", i)
+		}
+	}
+	for i := range a.ptrs {
+		if a.ptrs[i] != b.ptrs[i] {
+			return fmt.Errorf("ptr %d differs", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+// Package cache implements the buffer cache that stands between the tree
+// data structures and a simulated disk: the DAM/affine/PDAM models' memory
+// of size M.
+//
+// It is an object cache: values are decoded nodes (or sub-node segments,
+// for the Theorem 9 Bε-tree and TokuDB-style basement nodes), each charged
+// at its serialized size against a byte budget. On a miss the cache asks its
+// Loader to read and decode the object — which charges virtual IO time — and
+// on eviction of a dirty object it asks the Loader to write it back. LRU
+// replacement, with pinning so a tree can hold references across nested
+// loads.
+//
+// The cache is single-client, matching the paper's sequential dictionary
+// analyses; the concurrent PDAM experiment (§8) bypasses caching by design
+// (every block access is an IO there).
+package cache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// PageID identifies a cached object. Trees use the object's disk offset,
+// which is unique per live node.
+type PageID int64
+
+// Loader moves objects between cache and disk. Implementations charge
+// virtual device time on each call.
+type Loader interface {
+	// Load reads and decodes the object; size is its charged byte footprint.
+	Load(id PageID) (obj interface{}, size int64)
+	// Store serializes and writes back a dirty object.
+	Store(id PageID, obj interface{})
+}
+
+// Stats counts cache traffic.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64
+	// PeakOver is the maximum number of bytes the cache exceeded its budget
+	// by, which can happen transiently when the pinned working set is larger
+	// than the budget.
+	PeakOver int64
+}
+
+type item struct {
+	id    PageID
+	obj   interface{}
+	size  int64
+	dirty bool
+	pins  int
+	elem  *list.Element // position in LRU list; nil while pinned
+}
+
+// Cache is an LRU object cache with a byte budget. Not safe for concurrent
+// use.
+type Cache struct {
+	budget int64
+	used   int64
+	loader Loader
+	items  map[PageID]*item
+	lru    *list.List // front = most recently used; holds only unpinned items
+	stats  Stats
+}
+
+// New creates a cache with the given byte budget.
+func New(budget int64, loader Loader) *Cache {
+	if budget <= 0 {
+		panic("cache: non-positive budget")
+	}
+	return &Cache{
+		budget: budget,
+		loader: loader,
+		items:  make(map[PageID]*item),
+		lru:    list.New(),
+	}
+}
+
+// Budget returns the configured byte budget (the model's M).
+func (c *Cache) Budget() int64 { return c.budget }
+
+// Used returns the bytes currently charged.
+func (c *Cache) Used() int64 { return c.used }
+
+// Stats returns a snapshot of traffic counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the traffic counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Contains reports whether id is resident (without touching LRU order).
+func (c *Cache) Contains(id PageID) bool {
+	_, ok := c.items[id]
+	return ok
+}
+
+// Get returns the object for id, loading it on a miss, and pins it. The
+// caller must Unpin when done with the reference; mutating callers must also
+// MarkDirty.
+func (c *Cache) Get(id PageID) interface{} {
+	it, ok := c.items[id]
+	if ok {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+		obj, size := c.loader.Load(id)
+		it = &item{id: id, obj: obj, size: size}
+		c.items[id] = it
+		c.used += size
+	}
+	c.pin(it)
+	c.evictToBudget()
+	return it.obj
+}
+
+// Put inserts a freshly created object (not yet on disk) as dirty and pins
+// it. It panics if id is already cached.
+func (c *Cache) Put(id PageID, obj interface{}, size int64) {
+	c.put(id, obj, size, true)
+}
+
+// PutClean inserts an object whose on-disk image is current (e.g. a node
+// shell decoded from a partial read) and pins it. Evicting it never writes.
+// It panics if id is already cached.
+func (c *Cache) PutClean(id PageID, obj interface{}, size int64) {
+	c.put(id, obj, size, false)
+}
+
+func (c *Cache) put(id PageID, obj interface{}, size int64, dirty bool) {
+	if _, ok := c.items[id]; ok {
+		panic(fmt.Sprintf("cache: Put of resident object %d", id))
+	}
+	it := &item{id: id, obj: obj, size: size, dirty: dirty}
+	c.items[id] = it
+	c.used += size
+	c.pin(it)
+	c.evictToBudget()
+}
+
+// TryGet returns and pins the object for id if it is resident, without
+// consulting the Loader on a miss. Callers that load partial objects
+// explicitly (the Bε-tree's segment reads) use this instead of Get.
+func (c *Cache) TryGet(id PageID) (interface{}, bool) {
+	it, ok := c.items[id]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.pin(it)
+	return it.obj, true
+}
+
+// Resize updates id's charged size without marking it dirty (used when a
+// clean object grows by absorbing more of its on-disk image).
+func (c *Cache) Resize(id PageID, newSize int64) {
+	it := c.mustGet(id, "Resize")
+	c.used += newSize - it.size
+	it.size = newSize
+	c.evictToBudget()
+}
+
+// Pin increments id's pin count; the object must be resident.
+func (c *Cache) Pin(id PageID) {
+	c.pin(c.mustGet(id, "Pin"))
+}
+
+// Unpin decrements id's pin count, returning it to the LRU when it reaches
+// zero.
+func (c *Cache) Unpin(id PageID) {
+	it := c.mustGet(id, "Unpin")
+	if it.pins <= 0 {
+		panic(fmt.Sprintf("cache: Unpin of unpinned object %d", id))
+	}
+	it.pins--
+	if it.pins == 0 {
+		it.elem = c.lru.PushFront(it)
+		c.evictToBudget()
+	}
+}
+
+// MarkDirty flags id as modified and updates its charged size (serialized
+// sizes change as nodes gain and lose entries). The object must be resident.
+func (c *Cache) MarkDirty(id PageID, newSize int64) {
+	it := c.mustGet(id, "MarkDirty")
+	it.dirty = true
+	c.used += newSize - it.size
+	it.size = newSize
+	c.evictToBudget()
+}
+
+// Drop discards id without write-back (the node was freed). It panics if the
+// object is pinned.
+func (c *Cache) Drop(id PageID) {
+	it, ok := c.items[id]
+	if !ok {
+		return
+	}
+	if it.pins > 0 {
+		panic(fmt.Sprintf("cache: Drop of pinned object %d", id))
+	}
+	c.remove(it)
+}
+
+// Flush writes back every dirty object (pinned or not) without evicting.
+func (c *Cache) Flush() {
+	for _, it := range c.items {
+		if it.dirty {
+			c.loader.Store(it.id, it.obj)
+			it.dirty = false
+			c.stats.Writebacks++
+		}
+	}
+}
+
+// EvictAll writes back and drops every unpinned object (used by experiments
+// to cold-start a phase).
+func (c *Cache) EvictAll() {
+	for c.lru.Len() > 0 {
+		c.evictOne()
+	}
+}
+
+func (c *Cache) mustGet(id PageID, op string) *item {
+	it, ok := c.items[id]
+	if !ok {
+		panic(fmt.Sprintf("cache: %s of non-resident object %d", op, id))
+	}
+	return it
+}
+
+func (c *Cache) pin(it *item) {
+	if it.elem != nil {
+		c.lru.Remove(it.elem)
+		it.elem = nil
+	}
+	it.pins++
+}
+
+func (c *Cache) evictToBudget() {
+	for c.used > c.budget && c.lru.Len() > 0 {
+		c.evictOne()
+	}
+	if over := c.used - c.budget; over > c.stats.PeakOver {
+		c.stats.PeakOver = over
+	}
+}
+
+func (c *Cache) evictOne() {
+	elem := c.lru.Back()
+	it := elem.Value.(*item)
+	if it.dirty {
+		c.loader.Store(it.id, it.obj)
+		c.stats.Writebacks++
+	}
+	c.stats.Evictions++
+	c.remove(it)
+}
+
+func (c *Cache) remove(it *item) {
+	if it.elem != nil {
+		c.lru.Remove(it.elem)
+		it.elem = nil
+	}
+	delete(c.items, it.id)
+	c.used -= it.size
+}

@@ -1,0 +1,284 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fakeLoader backs the cache with a map and counts traffic.
+type fakeLoader struct {
+	data   map[PageID]string
+	loads  int
+	stores int
+}
+
+func newFakeLoader() *fakeLoader { return &fakeLoader{data: map[PageID]string{}} }
+
+func (l *fakeLoader) Load(id PageID) (interface{}, int64) {
+	l.loads++
+	v, ok := l.data[id]
+	if !ok {
+		panic(fmt.Sprintf("load of unknown page %d", id))
+	}
+	return v, int64(len(v))
+}
+
+func (l *fakeLoader) Store(id PageID, obj interface{}) {
+	l.stores++
+	l.data[id] = obj.(string)
+}
+
+func TestGetLoadsOnceWhileResident(t *testing.T) {
+	l := newFakeLoader()
+	l.data[1] = "aaaa"
+	c := New(100, l)
+	if got := c.Get(1).(string); got != "aaaa" {
+		t.Fatalf("got %q", got)
+	}
+	c.Unpin(1)
+	c.Get(1)
+	c.Unpin(1)
+	if l.loads != 1 {
+		t.Fatalf("loads = %d, want 1", l.loads)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	l := newFakeLoader()
+	for i := PageID(1); i <= 3; i++ {
+		l.data[i] = "xxxxxxxxxx" // 10 bytes each
+	}
+	c := New(25, l)
+	for i := PageID(1); i <= 2; i++ {
+		c.Get(i)
+		c.Unpin(i)
+	}
+	// Touch 1 so 2 becomes LRU.
+	c.Get(1)
+	c.Unpin(1)
+	c.Get(3) // must evict 2
+	c.Unpin(3)
+	if !c.Contains(1) || c.Contains(2) || !c.Contains(3) {
+		t.Fatalf("wrong eviction victim: 1=%v 2=%v 3=%v", c.Contains(1), c.Contains(2), c.Contains(3))
+	}
+}
+
+func TestDirtyWritebackOnEviction(t *testing.T) {
+	l := newFakeLoader()
+	l.data[1] = "aaaaaaaaaa"
+	l.data[2] = "bbbbbbbbbb"
+	c := New(15, l)
+	c.Get(1)
+	c.MarkDirty(1, 10)
+	c.Unpin(1)
+	c.Get(2) // evicts 1, which must be written back
+	c.Unpin(2)
+	if l.stores != 1 {
+		t.Fatalf("stores = %d, want 1", l.stores)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestCleanEvictionDoesNotWrite(t *testing.T) {
+	l := newFakeLoader()
+	l.data[1] = "aaaaaaaaaa"
+	l.data[2] = "bbbbbbbbbb"
+	c := New(15, l)
+	c.Get(1)
+	c.Unpin(1)
+	c.Get(2)
+	c.Unpin(2)
+	if l.stores != 0 {
+		t.Fatalf("stores = %d, want 0", l.stores)
+	}
+}
+
+func TestPinnedNotEvicted(t *testing.T) {
+	l := newFakeLoader()
+	l.data[1] = "aaaaaaaaaa"
+	l.data[2] = "bbbbbbbbbb"
+	c := New(15, l)
+	c.Get(1) // stays pinned
+	c.Get(2) // over budget, but 1 is pinned
+	if !c.Contains(1) {
+		t.Fatal("pinned object was evicted")
+	}
+	if c.Stats().PeakOver <= 0 {
+		t.Fatal("overcommit not recorded")
+	}
+	c.Unpin(1)
+	c.Unpin(2)
+}
+
+func TestPutAndDrop(t *testing.T) {
+	l := newFakeLoader()
+	c := New(100, l)
+	c.Put(5, "new", 3)
+	c.Unpin(5)
+	c.Drop(5)
+	if c.Contains(5) {
+		t.Fatal("dropped object still resident")
+	}
+	if l.stores != 0 {
+		t.Fatal("drop wrote back")
+	}
+	c.Drop(5) // idempotent
+}
+
+func TestDropPinnedPanics(t *testing.T) {
+	c := New(100, newFakeLoader())
+	c.Put(1, "x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Drop(1)
+}
+
+func TestPutDuplicatePanics(t *testing.T) {
+	c := New(100, newFakeLoader())
+	c.Put(1, "x", 1)
+	c.Unpin(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Put(1, "y", 1)
+}
+
+func TestFlushWritesAllDirty(t *testing.T) {
+	l := newFakeLoader()
+	c := New(100, l)
+	c.Put(1, "a", 1)
+	c.Put(2, "b", 1)
+	c.Unpin(1)
+	c.Flush()
+	if l.stores != 2 {
+		t.Fatalf("stores = %d, want 2", l.stores)
+	}
+	// Second flush writes nothing: all clean now.
+	c.Flush()
+	if l.stores != 2 {
+		t.Fatalf("stores after clean flush = %d", l.stores)
+	}
+	c.Unpin(2)
+}
+
+func TestMarkDirtyResizes(t *testing.T) {
+	l := newFakeLoader()
+	c := New(100, l)
+	c.Put(1, "x", 10)
+	c.MarkDirty(1, 30)
+	if c.Used() != 30 {
+		t.Fatalf("used = %d, want 30", c.Used())
+	}
+	c.Unpin(1)
+}
+
+func TestTryGet(t *testing.T) {
+	l := newFakeLoader()
+	l.data[1] = "aaaa"
+	c := New(100, l)
+	if _, ok := c.TryGet(1); ok {
+		t.Fatal("TryGet hit on empty cache")
+	}
+	c.Get(1)
+	c.Unpin(1)
+	obj, ok := c.TryGet(1)
+	if !ok || obj.(string) != "aaaa" {
+		t.Fatal("TryGet missed resident object")
+	}
+	c.Unpin(1)
+	if l.loads != 1 {
+		t.Fatalf("TryGet triggered a load: %d", l.loads)
+	}
+}
+
+func TestPutCleanEvictsWithoutWrite(t *testing.T) {
+	l := newFakeLoader()
+	l.data[2] = "bbbbbbbbbb"
+	c := New(15, l)
+	c.PutClean(1, "partial", 10)
+	c.Unpin(1)
+	c.Get(2) // evicts 1
+	c.Unpin(2)
+	if l.stores != 0 {
+		t.Fatal("clean object was written back")
+	}
+}
+
+func TestResizeClean(t *testing.T) {
+	l := newFakeLoader()
+	c := New(100, l)
+	c.PutClean(1, "x", 5)
+	c.Resize(1, 50)
+	if c.Used() != 50 {
+		t.Fatalf("used = %d", c.Used())
+	}
+	c.Unpin(1)
+	c.EvictAll()
+	if l.stores != 0 {
+		t.Fatal("resized clean object was written back")
+	}
+}
+
+func TestUnpinUnderflowPanics(t *testing.T) {
+	c := New(100, newFakeLoader())
+	c.Put(1, "x", 1)
+	c.Unpin(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Unpin(1)
+}
+
+func TestEvictAll(t *testing.T) {
+	l := newFakeLoader()
+	c := New(100, l)
+	c.Put(1, "a", 1)
+	c.Put(2, "b", 1)
+	c.Unpin(1)
+	c.Unpin(2)
+	c.EvictAll()
+	if c.Used() != 0 {
+		t.Fatalf("used = %d after EvictAll", c.Used())
+	}
+	if l.stores != 2 {
+		t.Fatalf("stores = %d", l.stores)
+	}
+}
+
+func TestPinKeepsEntryOffLRU(t *testing.T) {
+	l := newFakeLoader()
+	l.data[1] = "aaaaaaaaaa"
+	l.data[2] = "bbbbbbbbbb"
+	c := New(15, l)
+	c.Get(1)
+	c.Unpin(1)
+	c.Pin(1) // re-pin via explicit Pin
+	c.Get(2)
+	if !c.Contains(1) {
+		t.Fatal("explicitly pinned object evicted")
+	}
+	c.Unpin(1)
+	c.Unpin(2)
+}
+
+func TestNewPanicsOnBadBudget(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, newFakeLoader())
+}

@@ -1,0 +1,290 @@
+package cobtree
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"iomodels/internal/hdd"
+	"iomodels/internal/sim"
+	"iomodels/internal/stats"
+)
+
+func newTestTree(t testing.TB, blockBytes int, cacheBytes int64) (*Tree, *sim.Engine) {
+	t.Helper()
+	clk := sim.New()
+	dev := hdd.NewDeterministic(hdd.DefaultProfile())
+	tree, err := New(Config{
+		MaxKeyBytes:   32,
+		MaxValueBytes: 64,
+		BlockBytes:    blockBytes,
+		CacheBytes:    cacheBytes,
+	}, dev, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, clk
+}
+
+func key(i int) []byte   { return []byte(fmt.Sprintf("key-%08d", i)) }
+func value(i int) []byte { return []byte(fmt.Sprintf("value-%d", i)) }
+
+func TestEmptyTree(t *testing.T) {
+	tree, _ := newTestTree(t, 4096, 1<<20)
+	if _, ok := tree.Get(key(1)); ok {
+		t.Fatal("found key in empty tree")
+	}
+	if tree.Delete(key(1)) {
+		t.Fatal("deleted from empty tree")
+	}
+	if tree.Items() != 0 {
+		t.Fatal("items != 0")
+	}
+}
+
+func TestPutGetGrow(t *testing.T) {
+	tree, _ := newTestTree(t, 4096, 1<<20)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		tree.Put(key(i), value(i))
+	}
+	if tree.Items() != n {
+		t.Fatalf("items = %d", tree.Items())
+	}
+	if tree.Capacity() < n {
+		t.Fatalf("capacity %d below live %d", tree.Capacity(), n)
+	}
+	if err := tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tree.Get(key(i))
+		if !ok || !bytes.Equal(v, value(i)) {
+			t.Fatalf("Get(%d) = %q, %v", i, v, ok)
+		}
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	tree, _ := newTestTree(t, 4096, 1<<20)
+	tree.Put(key(1), []byte("a"))
+	tree.Put(key(1), []byte("bb"))
+	v, ok := tree.Get(key(1))
+	if !ok || string(v) != "bb" {
+		t.Fatalf("got %q", v)
+	}
+	if tree.Items() != 1 {
+		t.Fatalf("items = %d", tree.Items())
+	}
+}
+
+func TestDeleteAndShrink(t *testing.T) {
+	tree, _ := newTestTree(t, 4096, 1<<20)
+	const n = 8000
+	for i := 0; i < n; i++ {
+		tree.Put(key(i), value(i))
+	}
+	capBefore := tree.Capacity()
+	for i := 0; i < n; i++ {
+		if !tree.Delete(key(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tree.Items() != 0 {
+		t.Fatalf("items = %d", tree.Items())
+	}
+	if tree.Capacity() >= capBefore {
+		t.Fatalf("no shrink: %d -> %d", capBefore, tree.Capacity())
+	}
+	if err := tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Reusable after emptying.
+	tree.Put(key(5), value(5))
+	if _, ok := tree.Get(key(5)); !ok {
+		t.Fatal("reuse failed")
+	}
+}
+
+func TestScanOrdered(t *testing.T) {
+	tree, _ := newTestTree(t, 4096, 1<<20)
+	rng := stats.NewRNG(4)
+	want := map[string]bool{}
+	for i := 0; i < 3000; i++ {
+		id := int(rng.Intn(5000))
+		tree.Put(key(id), value(id))
+		want[string(key(id))] = true
+	}
+	var got []string
+	tree.Scan(nil, nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("scan %d, want %d", len(got), len(want))
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatal("scan out of order")
+	}
+	// Bounded scan.
+	var sub []string
+	tree.Scan(key(1000), key(1050), func(k, v []byte) bool {
+		sub = append(sub, string(k))
+		return true
+	})
+	for _, k := range sub {
+		if k < string(key(1000)) || k >= string(key(1050)) {
+			t.Fatalf("out of range: %s", k)
+		}
+	}
+}
+
+func TestRandomOpsAgainstModel(t *testing.T) {
+	tree, _ := newTestTree(t, 4096, 256<<10)
+	model := map[string]string{}
+	rng := stats.NewRNG(77)
+	const ops = 20000
+	for i := 0; i < ops; i++ {
+		id := int(rng.Intn(1500))
+		k := key(id)
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4:
+			v := fmt.Sprintf("v%d-%d", id, i)
+			tree.Put(k, []byte(v))
+			model[string(k)] = v
+		case 5, 6:
+			got := tree.Delete(k)
+			_, want := model[string(k)]
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, id, got, want)
+			}
+			delete(model, string(k))
+		default:
+			v, ok := tree.Get(k)
+			mv, mok := model[string(k)]
+			if ok != mok || (ok && string(v) != mv) {
+				t.Fatalf("op %d: Get(%d) = %q,%v; model %q,%v", i, id, v, ok, mv, mok)
+			}
+		}
+		if i%5000 == 4999 {
+			if err := tree.Check(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			if tree.Items() != len(model) {
+				t.Fatalf("op %d: items %d != model %d", i, tree.Items(), len(model))
+			}
+		}
+	}
+}
+
+func TestQuickScripts(t *testing.T) {
+	type op struct {
+		Kind uint8
+		ID   uint16
+	}
+	f := func(s []op) bool {
+		tree, _ := newTestTree(t, 1024, 64<<10)
+		model := map[string]bool{}
+		for _, o := range s {
+			k := key(int(o.ID % 500))
+			switch o.Kind % 3 {
+			case 0:
+				tree.Put(k, []byte("v"))
+				model[string(k)] = true
+			case 1:
+				tree.Delete(k)
+				delete(model, string(k))
+			case 2:
+				_, ok := tree.Get(k)
+				if ok != model[string(k)] {
+					return false
+				}
+			}
+		}
+		return tree.Check() == nil && tree.Items() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheObliviousness is the headline property: the SAME structure, with
+// no layout parameter changed, stays IO-efficient across different metering
+// block sizes — queries touch O(log_B N) blocks for every B.
+func TestCacheObliviousness(t *testing.T) {
+	const n = 60000
+	for _, blockBytes := range []int{512, 4096, 32768} {
+		tree, _ := newTestTree(t, blockBytes, 2<<20)
+		for i := 0; i < n; i++ {
+			tree.Put(key(i), value(i))
+		}
+		before := tree.Counters()
+		rng := stats.NewRNG(9)
+		const queries = 300
+		for q := 0; q < queries; q++ {
+			tree.Get(key(int(rng.Intn(n))))
+		}
+		delta := tree.Counters().Sub(before)
+		perQuery := float64(delta.Reads) / queries
+		// log_B N with B in cells: cells per block ~ blockBytes/105.
+		cellsPerBlock := math.Max(2, float64(blockBytes)/105)
+		bound := math.Log(n)/math.Log(cellsPerBlock) + 3 // +O(1) slack
+		if perQuery > 3*bound {
+			t.Errorf("B=%d: %.1f block misses/query, O(log_B N) bound ~%.1f", blockBytes, perQuery, bound)
+		}
+	}
+}
+
+// TestAmortizedInsertIO: inserts must average far less than a whole-window
+// rewrite: O(1 + log²N/B) blocks amortized.
+func TestAmortizedInsertIO(t *testing.T) {
+	tree, _ := newTestTree(t, 4096, 2<<20)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		tree.Put(key(i), value(i))
+	}
+	c := tree.Counters()
+	writesPerInsert := float64(c.Writes) / n
+	if writesPerInsert > 8 {
+		t.Fatalf("%.2f block writes per insert; amortization broken", writesPerInsert)
+	}
+	if tree.Rebalances == 0 {
+		t.Fatal("no rebalances happened")
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	tree, _ := newTestTree(t, 4096, 1<<20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tree.Put(nil, []byte("v"))
+}
+
+func TestConfigValidation(t *testing.T) {
+	clk := sim.New()
+	dev := hdd.NewDeterministic(hdd.DefaultProfile())
+	if _, err := New(Config{}, dev, clk); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestVirtualTimeCharged(t *testing.T) {
+	tree, clk := newTestTree(t, 4096, 64<<10)
+	for i := 0; i < 20000; i++ {
+		tree.Put(key(i), value(i))
+	}
+	if clk.Now() == 0 {
+		t.Fatal("no virtual time charged")
+	}
+	tree.Flush()
+	c := tree.Counters()
+	if c.Reads == 0 || c.Writes == 0 {
+		t.Fatalf("counters: %+v", c)
+	}
+}

@@ -1,0 +1,417 @@
+// Package core implements the paper's analytic contribution: the DAM,
+// affine, and PDAM cost models, the B-tree and Bε-tree cost analyses carried
+// out in them, and the optimal-parameter results.
+//
+// Map from paper to code:
+//
+//	§2.1  DAM model                      DAM, DAMFromAffine (Lemma 1)
+//	§2.2  PDAM model (Definition 1)      PDAM, PDAMReadSeconds, DAMReadSeconds
+//	§2.3  affine model (Definition 2)    Affine
+//	§5    B-tree in the affine model     BTreeParams, BTreePointCost, ...
+//	      Corollary 6                    Affine.HalfBandwidthBytes
+//	      Corollary 7                    OptimalBTreeNodeBytes, Corollary7Approx
+//	§6    Bε-tree in the affine model    BeTreeParams, BeTreeInsertCost, ...
+//	      Lemma 8 (naive) / Theorem 9    BeTreeParams.Optimized toggles the
+//	                                     per-level query term 1+αB vs
+//	                                     1+αB/F+αF
+//	      Corollary 11/12                OptimalBeTreeFanout, OptimalBeTreeParams
+//	      Table 3                        Table3
+//	§3    write amplification            BTreeWriteAmp (Lemma 3),
+//	                                     BeTreeWriteAmp (Theorem 4.4)
+//	§8    PDAM tree design (Lemma 13)    Lemma13QuerySteps, Lemma13Throughput
+//
+// Costs are in seconds; sizes in bytes. The paper's normalized form (an IO
+// of k words costs 1+αk) corresponds to dividing by Affine.Setup; helpers
+// expose α for any block granularity so numbers can be compared with the
+// paper's per-4KiB α values directly.
+package core
+
+import (
+	"math"
+)
+
+// BlockUnit is the granularity used by the paper's Table 2 when quoting t
+// and α (seconds per 4 KiB).
+const BlockUnit = 4096.0
+
+// Affine is the affine model of Definition 2: an IO of x bytes costs
+// Setup + PerByte*x seconds. For a hard disk Setup is the expected
+// seek+rotation cost and PerByte the inverse bandwidth.
+type Affine struct {
+	Setup   float64 // s: seconds per IO
+	PerByte float64 // t: seconds per byte
+}
+
+// AffineFromAlpha builds a normalized affine model (Setup = 1 second) with
+// the given α at the given block granularity: an IO of k blocks costs 1+αk.
+func AffineFromAlpha(alpha, blockBytes float64) Affine {
+	return Affine{Setup: 1, PerByte: alpha / blockBytes}
+}
+
+// Cost returns the cost in seconds of a single IO of the given size.
+func (a Affine) Cost(bytes float64) float64 { return a.Setup + a.PerByte*bytes }
+
+// NormalizedCost returns Cost/Setup, i.e. 1+αx in the paper's units.
+func (a Affine) NormalizedCost(bytes float64) float64 { return a.Cost(bytes) / a.Setup }
+
+// Alpha returns the normalized bandwidth cost α for the given block
+// granularity: the cost of transferring one block in units of the setup
+// cost. Table 2 quotes Alpha(4096).
+func (a Affine) Alpha(blockBytes float64) float64 { return a.PerByte * blockBytes / a.Setup }
+
+// HalfBandwidthBytes returns the IO size where setup and transfer costs are
+// equal (the half-bandwidth point): s/t bytes, i.e. 1/α blocks.
+func (a Affine) HalfBandwidthBytes() float64 { return a.Setup / a.PerByte }
+
+// DAM is the disk-access machine model: all IOs move BlockBytes and cost
+// UnitCost seconds.
+type DAM struct {
+	BlockBytes float64
+	UnitCost   float64
+}
+
+// Cost returns the cost of n block IOs.
+func (d DAM) Cost(nIOs float64) float64 { return d.UnitCost * nIOs }
+
+// DAMFromAffine applies Lemma 1: setting the DAM block size to the affine
+// model's half-bandwidth point makes every DAM IO cost exactly 2s, and any
+// affine algorithm is approximated within a factor of 2.
+func DAMFromAffine(a Affine) DAM {
+	return DAM{BlockBytes: a.HalfBandwidthBytes(), UnitCost: 2 * a.Setup}
+}
+
+// ---------------------------------------------------------------------------
+// B-trees in the affine model (§5)
+
+// BTreeParams describes a B-tree instance for analysis.
+type BTreeParams struct {
+	NodeBytes  float64 // B
+	EntryBytes float64 // size of one key-value pair (or pivot+pointer)
+	Items      float64 // N
+	CacheBytes float64 // M
+}
+
+// Fanout returns the node fanout B/entry.
+func (p BTreeParams) Fanout() float64 { return p.NodeBytes / p.EntryBytes }
+
+// Height returns the number of uncached levels a root-to-leaf walk visits:
+// log_fanout(N/M) with N and M in items, floored at zero (Lemma 5 caches the
+// top Θ(log_B M) levels). When the data set exceeds the cache, a random
+// point operation misses at least the leaf level regardless of fanout, so
+// the height is floored at one in that regime.
+func (p BTreeParams) Height() float64 {
+	f := p.Fanout()
+	if f <= 1 {
+		return math.Inf(1)
+	}
+	mItems := p.CacheBytes / p.EntryBytes
+	if mItems < 1 {
+		mItems = 1
+	}
+	h := math.Log(p.Items/mItems) / math.Log(f)
+	if p.Items*p.EntryBytes <= p.CacheBytes {
+		if h < 0 {
+			return 0
+		}
+		return h
+	}
+	if h < 1 {
+		return 1
+	}
+	return h
+}
+
+// BTreePointCost returns the affine cost of a point query, insert, or delete
+// (Lemma 5): (1+αB)·log_{B+1}(N/M), in seconds.
+func BTreePointCost(a Affine, p BTreeParams) float64 {
+	return a.Cost(p.NodeBytes) * p.Height()
+}
+
+// BTreeRangeCost returns the affine cost of a range query returning ell
+// items, excluding the initial point query (Lemma 5): ceil(ell/B) leaf reads
+// of a full node each.
+func BTreeRangeCost(a Affine, p BTreeParams, ell float64) float64 {
+	leaves := math.Ceil(ell * p.EntryBytes / p.NodeBytes)
+	if leaves < 1 {
+		leaves = 1
+	}
+	return leaves * a.Cost(p.NodeBytes)
+}
+
+// BTreeWriteAmp returns the worst-case write amplification of Lemma 3: a
+// whole node of B bytes is rewritten per O(1) modified entries, so the
+// amplification is Θ(B) — here B/entry, the node size in entries.
+func BTreeWriteAmp(p BTreeParams) float64 { return p.Fanout() }
+
+// OptimalBTreeNodeBytes numerically minimizes the point-operation cost
+// (1+αx)/ln(x/e+1) over node sizes x (Corollary 7). The returned optimum is
+// below the half-bandwidth point by a Θ(ln(1/α)) factor.
+func OptimalBTreeNodeBytes(a Affine, entryBytes float64) float64 {
+	cost := func(nodeBytes float64) float64 {
+		fanout := nodeBytes/entryBytes + 1
+		if fanout <= 1.0000001 {
+			return math.Inf(1)
+		}
+		return a.Cost(nodeBytes) / math.Log(fanout)
+	}
+	return minimizeLogSpace(cost, 2*entryBytes, 1e6*a.HalfBandwidthBytes())
+}
+
+// Corollary7Approx returns the closed-form optimum Θ(1/(α·ln(1/α))) of
+// Corollary 7 in bytes, with entries as the word unit.
+func Corollary7Approx(a Affine, entryBytes float64) float64 {
+	alpha := a.Alpha(entryBytes) // per-entry α, matching the proof's units
+	if alpha <= 0 || alpha >= 1 {
+		return math.NaN()
+	}
+	blocks := 1 / (alpha * math.Log(1/alpha))
+	return blocks * entryBytes
+}
+
+// ---------------------------------------------------------------------------
+// Bε-trees in the affine model (§6)
+
+// BeTreeParams describes a Bε-tree instance for analysis.
+type BeTreeParams struct {
+	NodeBytes  float64 // B
+	EntryBytes float64 // size of one message / key-value pair
+	PivotBytes float64 // size of one pivot key + child pointer
+	Fanout     float64 // F (the paper's Bε + 1)
+	Items      float64 // N
+	CacheBytes float64 // M
+	// Optimized selects the Theorem 9 node organization: per-child buffer
+	// segments bounded by B/F, pivots stored in the parent, weight-balanced
+	// fanout. False gives the naive Lemma 8 analysis (queries read whole
+	// nodes).
+	Optimized bool
+}
+
+// Height returns log_F(N/M), floored at zero, and at one when the data set
+// exceeds the cache (a point operation misses at least the leaf level).
+func (p BeTreeParams) Height() float64 {
+	if p.Fanout <= 1 {
+		return math.Inf(1)
+	}
+	mItems := p.CacheBytes / p.EntryBytes
+	if mItems < 1 {
+		mItems = 1
+	}
+	h := math.Log(p.Items/mItems) / math.Log(p.Fanout)
+	if p.Items*p.EntryBytes <= p.CacheBytes {
+		if h < 0 {
+			return 0
+		}
+		return h
+	}
+	if h < 1 {
+		return 1
+	}
+	return h
+}
+
+// BeTreeInsertCost returns the amortized affine cost of an insert or delete
+// (Lemma 8 / Theorem 9, identical): flushing one level moves Θ(B) bytes of
+// messages with F+1 IOs of B bytes, i.e. (F/B)(1+αB) per element per level
+// in normalized units — here e·F·(s+tB)/B per level, times the height.
+func BeTreeInsertCost(a Affine, p BeTreeParams) float64 {
+	perLevel := p.EntryBytes * p.Fanout * a.Cost(p.NodeBytes) / p.NodeBytes
+	return perLevel * p.Height()
+}
+
+// BeTreePointCost returns the affine cost of a point query. Naive (Lemma 8):
+// (1+αB) per level. Optimized (Theorem 9): 1+αB/F+αF per level — one IO
+// reading the child's pivot set (F pivots) plus the one buffer segment
+// (≤ B/F bytes) relevant to the query, times a (1+1/log F) height penalty
+// from weight-balancing.
+func BeTreePointCost(a Affine, p BeTreeParams) float64 {
+	if !p.Optimized {
+		return a.Cost(p.NodeBytes) * p.Height()
+	}
+	perLevel := a.Setup + a.PerByte*(p.NodeBytes/p.Fanout) + a.PerByte*(p.Fanout*p.PivotBytes)
+	slack := 1 + 1/math.Log(math.Max(p.Fanout, math.E))
+	return perLevel * p.Height() * slack
+}
+
+// BeTreeRangeCost returns the affine cost of a range query returning ell
+// items, excluding the initial point query: O(1+ℓ/B) IOs of (1+αB) each.
+func BeTreeRangeCost(a Affine, p BeTreeParams, ell float64) float64 {
+	leaves := math.Ceil(ell * p.EntryBytes / p.NodeBytes)
+	if leaves < 1 {
+		leaves = 1
+	}
+	return leaves * a.Cost(p.NodeBytes)
+}
+
+// BeTreeWriteAmp returns the write amplification of Theorem 4(4):
+// O(F·log_F(N/M)) — each byte is rewritten O(F) times per level it descends.
+func BeTreeWriteAmp(p BeTreeParams) float64 { return p.Fanout * p.Height() }
+
+// OptimalBeTreeFanout numerically minimizes the optimized total query cost
+// (per-level cost (1 + αB/F + αF·pivot) times the height log_F(N/M)) over F
+// for fixed B. Larger F shortens the tree and shrinks the αB/F term, so the
+// optimum sits above the per-level balance point sqrt(B/pivot), capped by
+// the pivot-transfer term αF.
+func OptimalBeTreeFanout(a Affine, p BeTreeParams) float64 {
+	cost := func(f float64) float64 {
+		q := p
+		q.Fanout = f
+		q.Optimized = true
+		return BeTreePointCost(a, q)
+	}
+	return minimizeLogSpace(cost, 2, p.NodeBytes/p.PivotBytes)
+}
+
+// OptimalBeTreeParams returns the Corollary 12 choice: fanout
+// F = Θ(1/(α·ln(1/α))) (the B-tree's optimal fanout, making queries optimal
+// to lower-order terms) and node size B = F² (in pivot units), at which
+// point the per-level transfer terms αB/F and αF are both o(1) while
+// inserts run Θ(log(1/α)) faster than a B-tree's.
+func OptimalBeTreeParams(a Affine, entryBytes, pivotBytes float64) (fanout, nodeBytes float64) {
+	optB := OptimalBTreeNodeBytes(a, entryBytes)
+	fanout = optB / entryBytes // B-tree's optimal fanout
+	nodeBytes = fanout * fanout * pivotBytes
+	return fanout, nodeBytes
+}
+
+// minimizeLogSpace finds the argmin of f over [lo, hi] by golden-section
+// search on log(x); f must be unimodal on the interval (all our cost curves
+// are).
+func minimizeLogSpace(f func(float64) float64, lo, hi float64) float64 {
+	a, b := math.Log(lo), math.Log(hi)
+	const phi = 0.6180339887498949
+	g := func(x float64) float64 { return f(math.Exp(x)) }
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := g(c), g(d)
+	for i := 0; i < 200 && b-a > 1e-10; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = g(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = g(d)
+		}
+	}
+	return math.Exp((a + b) / 2)
+}
+
+// ---------------------------------------------------------------------------
+// Table 3
+
+// Table3Row is one row of the paper's Table 3: the node-size sensitivity of
+// update and query costs, in the paper's normalized units (α per block, B in
+// blocks, log base e; constants dropped as in the Θ-bounds).
+type Table3Row struct {
+	Design string
+	Insert float64
+	Query  float64
+}
+
+// Table3 evaluates the three designs of Table 3 at node size B (in blocks),
+// normalized bandwidth cost alpha (per block), and size ratio logNM =
+// ln(N/M).
+//
+//	B-tree:            insert = query = (1+αB)/ln B · ln(N/M)
+//	Bε-tree (F=√B):    insert = (1+αB)/(√B·ln B)·ln(N/M),
+//	                   query  = (1+α√B)/ln B · ln(N/M)
+//	Bε-tree (general F): insert = F(1+αB)/(B·ln F)·ln(N/M),
+//	                   query  = (F+αF²+αB)/(F·ln F)·ln(N/M)
+func Table3(alpha, B, logNM float64, fanout float64) []Table3Row {
+	lnB := math.Log(B)
+	sqB := math.Sqrt(B)
+	rows := []Table3Row{
+		{
+			Design: "B-tree",
+			Insert: (1 + alpha*B) / lnB * logNM,
+			Query:  (1 + alpha*B) / lnB * logNM,
+		},
+		{
+			Design: "Bε-tree (F=√B)",
+			Insert: (1 + alpha*B) / (sqB * lnB) * logNM,
+			Query:  (1 + alpha*sqB) / lnB * logNM,
+		},
+	}
+	if fanout > 1 {
+		lnF := math.Log(fanout)
+		rows = append(rows, Table3Row{
+			Design: "Bε-tree (general F)",
+			Insert: fanout * (1 + alpha*B) / (B * lnF) * logNM,
+			Query:  (fanout + alpha*fanout*fanout + alpha*B) / (fanout * lnF) * logNM,
+		})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// PDAM (§2.2, §8)
+
+// PDAM is the parallel disk-access machine of Definition 1.
+type PDAM struct {
+	P           int     // IOs served per time step
+	BlockBytes  float64 // B
+	StepSeconds float64 // duration of one time step
+}
+
+// PDAMReadSeconds predicts the Figure 1 experiment: p threads each
+// performing perThreadIOs dependent block reads. With p ≤ P every thread's
+// IO is served each step (latency-bound, time constant in p); beyond P the
+// device is saturated and time grows linearly: perThreadIOs·max(1, p/P)
+// steps.
+func (m PDAM) PDAMReadSeconds(p int, perThreadIOs float64) float64 {
+	factor := 1.0
+	if f := float64(p) / float64(m.P); f > 1 {
+		factor = f
+	}
+	return perThreadIOs * factor * m.StepSeconds
+}
+
+// DAMReadSeconds is the DAM's prediction of the same experiment: the device
+// serves one block per step regardless of offered parallelism, so time grows
+// linearly from p = 1. For large p it overestimates by a factor of P (§4.1).
+func (m PDAM) DAMReadSeconds(p int, perThreadIOs float64) float64 {
+	return perThreadIOs * float64(p) * m.StepSeconds
+}
+
+// Lemma13QuerySteps returns the PDAM time steps per query for a search tree
+// with nodes of PB entries laid out in a van Emde Boas order, traversed by
+// one of k ≤ P concurrent clients, each granted P/k block-IOs per step:
+// Θ(log_{PB/k}(N)) (Lemma 13). nodeEntries is the entry capacity of one
+// PB-sized node, blockEntries of one B-sized block.
+func Lemma13QuerySteps(items, nodeEntries, blockEntries float64, k, P int) float64 {
+	perStepBlocks := float64(P) / float64(k)
+	base := blockEntries * perStepBlocks // entries fetchable per step: (P/k)·B
+	if base < 2 {
+		base = 2
+	}
+	return math.Log(items) / math.Log(base)
+}
+
+// Lemma13Throughput returns queries per time step for k clients:
+// k / Lemma13QuerySteps.
+func Lemma13Throughput(items, nodeEntries, blockEntries float64, k, P int) float64 {
+	return float64(k) / Lemma13QuerySteps(items, nodeEntries, blockEntries, k, P)
+}
+
+// ---------------------------------------------------------------------------
+// Prediction-error helpers (§4 claims E7/E8)
+
+// MaxRelError returns max_i |measured_i - predicted_i| / measured_i. It
+// panics on length mismatch and ignores zero measurements.
+func MaxRelError(measured, predicted []float64) float64 {
+	if len(measured) != len(predicted) {
+		panic("core: mismatched series")
+	}
+	worst := 0.0
+	for i := range measured {
+		if measured[i] == 0 {
+			continue
+		}
+		e := math.Abs(measured[i]-predicted[i]) / measured[i]
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// hitachi is the affine model of the paper's 1 TB Hitachi row in Table 2:
+// s = 0.013 s, t = 0.000041 s per 4 KiB.
+func hitachi() Affine {
+	return Affine{Setup: 0.013, PerByte: 0.000041 / 4096}
+}
+
+func TestAffineBasics(t *testing.T) {
+	a := hitachi()
+	if got := a.Cost(0); got != a.Setup {
+		t.Fatalf("Cost(0) = %v", got)
+	}
+	if got := a.Alpha(4096); math.Abs(got-0.00315) > 0.0001 {
+		t.Fatalf("alpha per 4K = %v, Table 2 says 0.0031", got)
+	}
+	hb := a.HalfBandwidthBytes()
+	if math.Abs(a.Cost(hb)-2*a.Setup) > 1e-12 {
+		t.Fatal("half-bandwidth point does not double the setup cost")
+	}
+	if math.Abs(a.NormalizedCost(hb)-2) > 1e-9 {
+		t.Fatal("normalized cost at half-bandwidth != 2")
+	}
+}
+
+func TestAffineFromAlpha(t *testing.T) {
+	a := AffineFromAlpha(0.003, 4096)
+	if a.Setup != 1 {
+		t.Fatal("not normalized")
+	}
+	if math.Abs(a.Alpha(4096)-0.003) > 1e-12 {
+		t.Fatalf("alpha roundtrip = %v", a.Alpha(4096))
+	}
+}
+
+// TestLemma1 verifies the 2x transform: with B at the half-bandwidth point,
+// each DAM IO costs exactly twice the setup, so any affine IO of size <= B
+// is within a factor of 2 of its DAM cost.
+func TestLemma1(t *testing.T) {
+	a := hitachi()
+	d := DAMFromAffine(a)
+	if math.Abs(d.UnitCost-2*a.Setup) > 1e-12 {
+		t.Fatalf("unit cost = %v", d.UnitCost)
+	}
+	f := func(rawSize float64) bool {
+		size := math.Mod(math.Abs(rawSize), d.BlockBytes) + 1
+		affineCost := a.Cost(size)
+		damCost := d.Cost(1) // one block covers any IO up to B
+		return damCost <= 2*affineCost && affineCost <= damCost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeHeightShrinksWithNodeSize(t *testing.T) {
+	a := hitachi()
+	p := BTreeParams{NodeBytes: 4096, EntryBytes: 128, Items: 1e8, CacheBytes: 1 << 20}
+	small := p.Height()
+	p.NodeBytes = 1 << 18
+	big := p.Height()
+	if big >= small {
+		t.Fatalf("height did not shrink: %v -> %v", small, big)
+	}
+	_ = a
+}
+
+func TestBTreeCostUnimodal(t *testing.T) {
+	// The point cost (1+αB)·h(B) must fall then rise: tiny nodes pay height,
+	// huge nodes pay transfer.
+	a := hitachi()
+	cost := func(nb float64) float64 {
+		return BTreePointCost(a, BTreeParams{NodeBytes: nb, EntryBytes: 128, Items: 1e8, CacheBytes: 1 << 28})
+	}
+	c4k := cost(4096)
+	c64k := cost(64 << 10)
+	c64m := cost(64 << 20)
+	if !(c64k < c4k) {
+		t.Fatalf("64KiB (%v) not cheaper than 4KiB (%v)", c64k, c4k)
+	}
+	if !(c64k < c64m) {
+		t.Fatalf("64KiB (%v) not cheaper than 64MiB (%v)", c64k, c64m)
+	}
+}
+
+// TestCorollary7 checks both the numeric optimizer and the closed form: the
+// optimal B-tree node is below the half-bandwidth point by roughly ln(1/α).
+func TestCorollary7(t *testing.T) {
+	a := hitachi()
+	opt := OptimalBTreeNodeBytes(a, 128)
+	hb := a.HalfBandwidthBytes()
+	if opt >= hb {
+		t.Fatalf("optimal node %v not below half-bandwidth %v", opt, hb)
+	}
+	if opt < hb/100 {
+		t.Fatalf("optimal node %v implausibly small vs %v", opt, hb)
+	}
+	approx := Corollary7Approx(a, 128)
+	if opt/approx > 8 || approx/opt > 8 {
+		t.Fatalf("numeric %v and closed form %v disagree beyond Θ slack", opt, approx)
+	}
+	// It must actually be a minimum of the cost function.
+	cost := func(nb float64) float64 {
+		return BTreePointCost(a, BTreeParams{NodeBytes: nb, EntryBytes: 128, Items: 1e9, CacheBytes: 1})
+	}
+	if cost(opt) > cost(opt*2) || cost(opt) > cost(opt/2) {
+		t.Fatalf("returned point is not a local minimum: %v vs %v / %v", cost(opt), cost(opt/2), cost(opt*2))
+	}
+}
+
+func TestBTreeRangeAndWriteAmp(t *testing.T) {
+	a := hitachi()
+	p := BTreeParams{NodeBytes: 64 << 10, EntryBytes: 128, Items: 1e8, CacheBytes: 1 << 28}
+	short := BTreeRangeCost(a, p, 10)
+	long := BTreeRangeCost(a, p, 1e6)
+	if long <= short {
+		t.Fatal("long range not more expensive")
+	}
+	if wa := BTreeWriteAmp(p); wa != 64*1024/128.0 {
+		t.Fatalf("write amp = %v", wa)
+	}
+}
+
+// TestLemma8VsTheorem9 verifies the query-cost separation: the optimized
+// organization is much cheaper per query at large B, and insertion costs are
+// identical.
+func TestLemma8VsTheorem9(t *testing.T) {
+	a := hitachi()
+	naive := BeTreeParams{NodeBytes: 4 << 20, EntryBytes: 128, PivotBytes: 24, Fanout: 16, Items: 1e8, CacheBytes: 1 << 28}
+	opt := naive
+	opt.Optimized = true
+	if BeTreeInsertCost(a, naive) != BeTreeInsertCost(a, opt) {
+		t.Fatal("insert costs must not depend on the query organization")
+	}
+	qn := BeTreePointCost(a, naive)
+	qo := BeTreePointCost(a, opt)
+	if qo >= qn {
+		t.Fatalf("optimized query %v not cheaper than naive %v", qo, qn)
+	}
+	// At B = 4 MiB, F = 16 on the Hitachi profile: naive per level pays
+	// s+αB = 0.055s, optimized (s+αB/F)·(1+1/ln F) ≈ 0.021s — a ~2.6x win.
+	if qn/qo < 2 {
+		t.Fatalf("separation only %.2fx; expected >2x", qn/qo)
+	}
+}
+
+// TestCorollary10 — query-cost growth in B: nearly linear for the B-tree,
+// nearly sqrt for the optimized Bε-tree with F=√B.
+func TestCorollary10(t *testing.T) {
+	a := hitachi()
+	const entry = 128
+	bq := func(nb float64) float64 {
+		return BTreePointCost(a, BTreeParams{NodeBytes: nb, EntryBytes: entry, Items: 1e9, CacheBytes: 1})
+	}
+	eq := func(nb float64) float64 {
+		f := math.Sqrt(nb / entry)
+		return BeTreePointCost(a, BeTreeParams{
+			NodeBytes: nb, EntryBytes: entry, PivotBytes: 24, Fanout: f,
+			Items: 1e9, CacheBytes: 1, Optimized: true,
+		})
+	}
+	// Grow B by 16x well beyond the half-bandwidth point.
+	b0 := 4 * a.HalfBandwidthBytes()
+	btreeGrowth := bq(16*b0) / bq(b0)
+	betreeGrowth := eq(16*b0) / eq(b0)
+	if btreeGrowth < 8 {
+		t.Fatalf("B-tree query growth %v, expected near-linear (~16x)", btreeGrowth)
+	}
+	if betreeGrowth > 6 {
+		t.Fatalf("Bε-tree query growth %v, expected near-sqrt (~4x)", betreeGrowth)
+	}
+}
+
+func TestCorollary11SmallPerLevelCost(t *testing.T) {
+	a := hitachi()
+	// B = F² in pivot units with F well below 1/α: per-level cost ~ 1+o(1).
+	f := 64.0
+	p := BeTreeParams{
+		NodeBytes: f * f * 24, EntryBytes: 128, PivotBytes: 24, Fanout: f,
+		Items: 1e9, CacheBytes: 1, Optimized: true,
+	}
+	perLevel := BeTreePointCost(a, p) / p.Height() / a.Setup
+	if perLevel > 1.6 {
+		t.Fatalf("per-level normalized cost %v, want 1+o(1)", perLevel)
+	}
+}
+
+func TestOptimalBeTreeFanout(t *testing.T) {
+	a := hitachi()
+	p := BeTreeParams{NodeBytes: 4 << 20, EntryBytes: 128, PivotBytes: 24, Items: 1e8, CacheBytes: 1 << 28}
+	f := OptimalBeTreeFanout(a, p)
+	// The optimum must be a genuine minimum of the total query cost and sit
+	// at or above the per-level balance point sqrt(B/pivot) (taller trees
+	// only ever hurt once per-level costs are balanced).
+	cost := func(f float64) float64 {
+		q := p
+		q.Fanout = f
+		q.Optimized = true
+		return BeTreePointCost(a, q)
+	}
+	if cost(f) > cost(f/2) || cost(f) > cost(f*2) {
+		t.Fatalf("fanout %v is not a local minimum", f)
+	}
+	if balance := math.Sqrt(p.NodeBytes / p.PivotBytes); f < balance/2 {
+		t.Fatalf("fanout %v below per-level balance point %v", f, balance)
+	}
+}
+
+func TestOptimalBeTreeParams(t *testing.T) {
+	a := hitachi()
+	fanout, nodeBytes := OptimalBeTreeParams(a, 128, 24)
+	if fanout <= 1 {
+		t.Fatalf("fanout = %v", fanout)
+	}
+	if math.Abs(nodeBytes-fanout*fanout*24) > 1 {
+		t.Fatalf("node bytes %v != F²·pivot", nodeBytes)
+	}
+	// Corollary 12: the optimized Bε-tree's query cost matches the optimal
+	// B-tree's up to low-order terms, while inserting faster.
+	bp := BTreeParams{NodeBytes: OptimalBTreeNodeBytes(a, 128), EntryBytes: 128, Items: 1e9, CacheBytes: 1}
+	ep := BeTreeParams{NodeBytes: nodeBytes, EntryBytes: 128, PivotBytes: 24, Fanout: fanout,
+		Items: 1e9, CacheBytes: 1, Optimized: true}
+	bq, eq := BTreePointCost(a, bp), BeTreePointCost(a, ep)
+	if eq > 1.5*bq {
+		t.Fatalf("Bε query %v not within low-order of B-tree %v", eq, bq)
+	}
+	bi, ei := BTreePointCost(a, bp), BeTreeInsertCost(a, ep)
+	if ei >= bi {
+		t.Fatalf("Bε insert %v not faster than B-tree %v", ei, bi)
+	}
+}
+
+func TestBeTreeWriteAmpBelowBTree(t *testing.T) {
+	bt := BTreeParams{NodeBytes: 1 << 20, EntryBytes: 128, Items: 1e8, CacheBytes: 1 << 28}
+	be := BeTreeParams{NodeBytes: 1 << 20, EntryBytes: 128, PivotBytes: 24, Fanout: 16, Items: 1e8, CacheBytes: 1 << 28}
+	if BeTreeWriteAmp(be) >= BTreeWriteAmp(bt) {
+		t.Fatalf("Bε write amp %v not below B-tree %v", BeTreeWriteAmp(be), BTreeWriteAmp(bt))
+	}
+}
+
+// TestTable3 regenerates the sensitivity table and checks its qualitative
+// content: B-tree insert ≈ query; Bε insert far cheaper; growth with B is
+// linear for the B-tree and much flatter for the Bε-tree.
+func TestTable3(t *testing.T) {
+	const alpha, logNM = 0.003, 10.0
+	atB := func(B float64) []Table3Row { return Table3(alpha, B, logNM, 16) }
+	small := atB(64)
+	big := atB(64 * 64)
+	if len(small) != 3 {
+		t.Fatalf("rows = %d", len(small))
+	}
+	if small[0].Insert != small[0].Query {
+		t.Fatal("B-tree insert != query in the model")
+	}
+	if small[1].Insert >= small[0].Insert {
+		t.Fatal("Bε insert not cheaper than B-tree")
+	}
+	bGrow := big[0].Query / small[0].Query
+	eGrow := big[1].Query / small[1].Query
+	if bGrow/eGrow < 3 {
+		t.Fatalf("B-tree growth %v vs Bε %v: sensitivity gap missing", bGrow, eGrow)
+	}
+}
+
+func TestPDAMPredictions(t *testing.T) {
+	m := PDAM{P: 4, BlockBytes: 64 << 10, StepSeconds: 0.001}
+	flat := m.PDAMReadSeconds(1, 1000)
+	if m.PDAMReadSeconds(4, 1000) != flat {
+		t.Fatal("time should be constant up to P threads")
+	}
+	if got := m.PDAMReadSeconds(8, 1000); math.Abs(got-2*flat) > 1e-12 {
+		t.Fatalf("p=2P time = %v, want 2x flat", got)
+	}
+	// DAM overestimates by P at saturation.
+	ratio := m.DAMReadSeconds(64, 1000) / m.PDAMReadSeconds(64, 1000)
+	if math.Abs(ratio-4) > 1e-9 {
+		t.Fatalf("DAM/PDAM ratio = %v, want P=4", ratio)
+	}
+}
+
+func TestLemma13(t *testing.T) {
+	const items, nodeEntries, blockEntries = 1e9, 1 << 16, 1 << 8
+	// k=1 gets all P blocks per step: fewer steps than k=P clients each
+	// getting one block per step.
+	s1 := Lemma13QuerySteps(items, nodeEntries, blockEntries, 1, 16)
+	sP := Lemma13QuerySteps(items, nodeEntries, blockEntries, 16, 16)
+	if s1 >= sP {
+		t.Fatalf("single client steps %v not below saturated %v", s1, sP)
+	}
+	// Throughput grows with k even though per-query latency does too.
+	t1 := Lemma13Throughput(items, nodeEntries, blockEntries, 1, 16)
+	tP := Lemma13Throughput(items, nodeEntries, blockEntries, 16, 16)
+	if tP <= t1 {
+		t.Fatalf("throughput at k=P (%v) not above k=1 (%v)", tP, t1)
+	}
+}
+
+func TestMaxRelError(t *testing.T) {
+	if MaxRelError([]float64{10, 20}, []float64{11, 18}) != 0.1 {
+		t.Fatal("wrong max error")
+	}
+	if MaxRelError([]float64{0, 10}, []float64{5, 10}) != 0 {
+		t.Fatal("zero measurement not skipped")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MaxRelError([]float64{1}, []float64{1, 2})
+}
+
+func TestHeightEdgeCases(t *testing.T) {
+	p := BTreeParams{NodeBytes: 128, EntryBytes: 128, Items: 100, CacheBytes: 1 << 20}
+	if h := p.Height(); !math.IsInf(h, 1) {
+		t.Fatalf("fanout 1 height = %v, want +Inf", h)
+	}
+	p2 := BTreeParams{NodeBytes: 4096, EntryBytes: 128, Items: 10, CacheBytes: 1 << 30}
+	if h := p2.Height(); h != 0 {
+		t.Fatalf("fully cached height = %v, want 0", h)
+	}
+	be := BeTreeParams{Fanout: 1, EntryBytes: 128, Items: 100, CacheBytes: 1}
+	if h := be.Height(); !math.IsInf(h, 1) {
+		t.Fatalf("Bε fanout 1 height = %v", h)
+	}
+}

@@ -1,0 +1,91 @@
+// E17 (§3 read/write asymmetry): "with some storage technologies (e.g.,
+// NVMe) writes are more expensive than reads, and this has algorithmic
+// consequences" — the motivation the paper gives for tracking write
+// amplification separately. This experiment repeats the Figure 1
+// methodology with writes and derives the write-side PDAM parameters: flash
+// programs are slower than reads, so the write saturation bandwidth ∝PB_w
+// sits well below the read side's while the parallelism structure stays.
+
+package experiments
+
+import (
+	"iomodels/internal/sim"
+	"iomodels/internal/ssd"
+	"iomodels/internal/stats"
+	"iomodels/internal/storage"
+)
+
+// AsymmetryRow contrasts one device's read and write PDAM parameters.
+type AsymmetryRow struct {
+	Device       string
+	ReadSatMBps  float64
+	WriteSatMBps float64
+	Ratio        float64 // read/write saturation
+	ReadP        float64
+	WriteP       float64
+}
+
+// Asymmetry runs the thread-scaling experiment in both directions.
+func Asymmetry(cfg PDAMConfig) ([]AsymmetryRow, error) {
+	readSeries := Figure1(cfg)
+	readRows, err := Table1(readSeries, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []AsymmetryRow
+	for i, prof := range ssd.Profiles() {
+		ws := writeSeries(prof, cfg)
+		wrow, err := Table1([]Figure1Series{ws}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AsymmetryRow{
+			Device:       prof.Name,
+			ReadSatMBps:  readRows[i].SatMBps,
+			WriteSatMBps: wrow[0].SatMBps,
+			Ratio:        readRows[i].SatMBps / wrow[0].SatMBps,
+			ReadP:        readRows[i].P,
+			WriteP:       wrow[0].P,
+		})
+	}
+	return out, nil
+}
+
+// writeSeries mirrors runThreadRound with write IOs.
+func writeSeries(prof ssd.Profile, cfg PDAMConfig) Figure1Series {
+	s := Figure1Series{Device: prof.Name}
+	for _, p := range cfg.Threads {
+		eng := sim.New()
+		dev := ssd.New(prof)
+		root := stats.NewRNG(cfg.Seed + uint64(p)*7777777)
+		var last sim.Time
+		for i := 0; i < p; i++ {
+			rng := root.Split(uint64(i))
+			eng.Go(func(pr *sim.Proc) {
+				for j := 0; j < cfg.PerThreadIOs; j++ {
+					off := rng.Int63n((prof.Capacity()-cfg.IOBytes)/cfg.IOBytes) * cfg.IOBytes
+					done := dev.Access(pr.Now(), storage.Write, off, cfg.IOBytes)
+					pr.SleepUntil(done)
+				}
+				if pr.Now() > last {
+					last = pr.Now()
+				}
+			})
+		}
+		eng.Run()
+		s.Points = append(s.Points, Figure1Point{Threads: p, Seconds: last.Seconds()})
+	}
+	return s
+}
+
+// RenderAsymmetry formats E17.
+func RenderAsymmetry(rows []AsymmetryRow) string {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Device, fmt0(r.ReadSatMBps), fmt0(r.WriteSatMBps), f2(r.Ratio), f2(r.ReadP), f2(r.WriteP),
+		})
+	}
+	return RenderTable("E17 (§3 asymmetry): flash programs are slower than reads; PB_write ≪ PB_read",
+		[]string{"Device", "read ∝PB (MB/s)", "write ∝PB (MB/s)", "ratio", "read P", "write P"}, cells)
+}

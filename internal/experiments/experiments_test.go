@@ -1,0 +1,625 @@
+// Integration tests: run every experiment harness at reduced scale and
+// assert the paper's qualitative claims — who wins, where knees fall, which
+// error bounds hold. These are the "shape" checks EXPERIMENTS.md reports at
+// full scale.
+
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"iomodels/internal/betree"
+	"iomodels/internal/hdd"
+	"iomodels/internal/ssd"
+	"iomodels/internal/veb"
+	"iomodels/internal/workload"
+)
+
+// smallPDAM scales E1 down for test time.
+func smallPDAM() PDAMConfig {
+	cfg := DefaultPDAMConfig()
+	cfg.PerThreadIOs = 300
+	return cfg
+}
+
+func TestE1E2PDAMValidation(t *testing.T) {
+	series := Figure1(smallPDAM())
+	if len(series) != 4 {
+		t.Fatalf("%d devices", len(series))
+	}
+	for _, s := range series {
+		// Figure 1 shape: flat-ish early, growing late.
+		first := s.Points[0].Seconds
+		second := s.Points[1].Seconds
+		last := s.Points[len(s.Points)-1].Seconds
+		if second > 1.6*first {
+			t.Errorf("%s: time at p=2 is %.2fx p=1; expected near-flat", s.Device, second/first)
+		}
+		if last < 4*first {
+			t.Errorf("%s: no saturation growth (%.2fx)", s.Device, last/first)
+		}
+	}
+	rows, err := Table1(series, smallPDAM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"Samsung 860 pro":   3.3,
+		"Samsung 970 pro":   5.5,
+		"Silicon Power S55": 2.9,
+		"Sandisk Ultra II":  4.6,
+	}
+	wantSat := map[string]float64{
+		"Samsung 860 pro":   530,
+		"Samsung 970 pro":   2500,
+		"Silicon Power S55": 260,
+		"Sandisk Ultra II":  520,
+	}
+	for _, r := range rows {
+		if r.R2 < 0.97 {
+			t.Errorf("%s: R² = %.4f (paper ≥ 0.986)", r.Device, r.R2)
+		}
+		if w := want[r.Device]; r.P < 0.5*w || r.P > 2*w {
+			t.Errorf("%s: derived P %.2f vs paper %.1f", r.Device, r.P, w)
+		}
+		if w := wantSat[r.Device]; r.SatMBps < 0.6*w || r.SatMBps > 1.5*w {
+			t.Errorf("%s: saturation %.0f MB/s vs paper %.0f", r.Device, r.SatMBps, w)
+		}
+	}
+	if !strings.Contains(RenderTable1(rows), "Samsung") {
+		t.Fatal("render broken")
+	}
+	if !strings.Contains(RenderFigure1CSV(series), "threads") {
+		t.Fatal("csv broken")
+	}
+}
+
+func TestE7PDAMPredictionErrors(t *testing.T) {
+	cfg := smallPDAM()
+	series := Figure1(cfg)
+	rows, err := Table1(series, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := PDAMPrediction(series, rows, cfg)
+	for _, p := range preds {
+		// Paper: PDAM within 14%; allow a bit of slack at reduced volume.
+		if p.PDAMMaxRelErr > 0.25 {
+			t.Errorf("%s: PDAM error %.1f%% (paper ≤14%%)", p.Device, p.PDAMMaxRelErr*100)
+		}
+		// Paper: DAM overestimates by roughly P (2.5..12).
+		if p.DAMMaxOverEst < 0.6*p.DerivedP {
+			t.Errorf("%s: DAM overestimate %.1fx, expected ≈P=%.1f", p.Device, p.DAMMaxOverEst, p.DerivedP)
+		}
+	}
+	if !strings.Contains(RenderPrediction(preds), "PDAM") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestE3AffineValidation(t *testing.T) {
+	cfg := DefaultAffineConfig()
+	cfg.Rounds = 32
+	rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d drives", len(rows))
+	}
+	for _, r := range rows {
+		if r.R2 < 0.995 {
+			t.Errorf("%s: R² = %.4f (paper ≥ 0.9972)", r.Device, r.R2)
+		}
+		if rel := abs(r.S-r.TrueS) / r.TrueS; rel > 0.15 {
+			t.Errorf("%s: fitted s %.4f vs true %.4f", r.Device, r.S, r.TrueS)
+		}
+		if rel := abs(r.TPer4K-r.TrueT4K) / r.TrueT4K; rel > 0.15 {
+			t.Errorf("%s: fitted t %.6f vs true %.6f", r.Device, r.TPer4K, r.TrueT4K)
+		}
+	}
+	if !strings.Contains(RenderTable2(rows), "Hitachi") {
+		t.Fatal("render broken")
+	}
+	if !strings.Contains(RenderTable2CSV(rows), "blocks_4k") {
+		t.Fatal("csv broken")
+	}
+}
+
+func TestE8AffinePredictionErrors(t *testing.T) {
+	cfg := DefaultAffineConfig()
+	cfg.Rounds = 32
+	rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range AffinePrediction(rows) {
+		if p.AffineMaxErr > 0.25 {
+			t.Errorf("%s: affine error %.1f%% (paper ≤25%%)", p.Device, p.AffineMaxErr*100)
+		}
+		if p.DAMMaxRatio > 2.3 || p.DAMMaxRatio < 1.2 {
+			t.Errorf("%s: DAM ratio %.2fx (paper: up to ~2x)", p.Device, p.DAMMaxRatio)
+		}
+	}
+}
+
+func TestE4SensitivitySweep(t *testing.T) {
+	pts := Table3Sweep(DefaultSensitivityConfig())
+	first, last := pts[0], pts[len(pts)-1]
+	// B-tree (row 0) cost grows steeply with B; Bε-tree (row 1) much less.
+	bGrow := last.Rows[0].Query / first.Rows[0].Query
+	eGrow := last.Rows[1].Query / first.Rows[1].Query
+	if bGrow < 3*eGrow {
+		t.Fatalf("sensitivity gap missing: B-tree %.1fx vs Bε %.1fx", bGrow, eGrow)
+	}
+	if !strings.Contains(RenderTable3(pts), "B-tree") {
+		t.Fatal("render broken")
+	}
+}
+
+// smallFig2 scales Figure 2 for test time.
+func smallFig2() NodeSizeConfig {
+	cfg := DefaultFigure2Config()
+	cfg.Items = 25_000
+	cfg.CacheBytes = 1 << 20
+	cfg.QueryOps = 100
+	cfg.InsertOps = 300
+	cfg.NodeSizes = []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	return cfg
+}
+
+func TestE5Figure2BTreeNodeSize(t *testing.T) {
+	cfg := smallFig2()
+	res := Figure2(cfg)
+	if len(res.Points) != len(cfg.NodeSizes) {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	// Paper: costs grow once nodes pass the optimum; the largest node must
+	// be clearly worse than the best.
+	bestQ, lastQ := res.Points[0].QueryMs, res.Points[len(res.Points)-1].QueryMs
+	for _, p := range res.Points {
+		if p.QueryMs < bestQ {
+			bestQ = p.QueryMs
+		}
+	}
+	if lastQ < 1.5*bestQ {
+		t.Errorf("1MiB query cost %.2f not clearly above best %.2f", lastQ, bestQ)
+	}
+	// The affine model curve must track the measurement within 2x everywhere.
+	for _, p := range res.Points {
+		if p.ModelQueryMs > 3*p.QueryMs || p.QueryMs > 3*p.ModelQueryMs {
+			t.Errorf("model query %.2f vs measured %.2f at %d", p.ModelQueryMs, p.QueryMs, p.NodeBytes)
+		}
+	}
+	if !strings.Contains(RenderNodeSize(res, "fig2"), "Node size") {
+		t.Fatal("render broken")
+	}
+	if !strings.Contains(RenderNodeSizeCSV(res), "node_bytes") {
+		t.Fatal("csv broken")
+	}
+
+	// E10: the measured optimum must sit below the half-bandwidth point,
+	// like the model optimum.
+	opt := Corollary7Check(res, cfg)
+	if float64(opt.MeasuredBestInsert) >= opt.HalfBandwidth {
+		t.Errorf("measured insert optimum %d not below half-bandwidth %.0f",
+			opt.MeasuredBestInsert, opt.HalfBandwidth)
+	}
+	if opt.ModelOptimal >= opt.HalfBandwidth {
+		t.Errorf("model optimum %.0f not below half-bandwidth %.0f", opt.ModelOptimal, opt.HalfBandwidth)
+	}
+	if !strings.Contains(RenderOptima(opt), "half-bandwidth") {
+		t.Fatal("render broken")
+	}
+}
+
+// smallFig3 scales Figure 3 for test time.
+func smallFig3() NodeSizeConfig {
+	cfg := DefaultFigure3Config()
+	cfg.Items = 60_000
+	cfg.CacheBytes = 3 << 21 >> 1 // 1.5 MiB
+	cfg.QueryOps = 80
+	cfg.InsertOps = 4000
+	cfg.NodeSizes = []int{64 << 10, 256 << 10, 1 << 20, 2 << 20}
+	return cfg
+}
+
+func TestE6Figure3BeTreeNodeSize(t *testing.T) {
+	fig3 := Figure3(smallFig3())
+	fig2 := Figure2(smallFig2())
+
+	// Core claim: the Bε-tree is much less sensitive to node size than the
+	// B-tree. Compare cost growth from 64 KiB to the top of each sweep.
+	growth := func(res NodeSizeResult, metric func(NodeSizePoint) float64, from int) float64 {
+		var base float64
+		for _, p := range res.Points {
+			if p.NodeBytes == from {
+				base = metric(p)
+			}
+		}
+		return metric(res.Points[len(res.Points)-1]) / base
+	}
+	q := func(p NodeSizePoint) float64 { return p.QueryMs }
+	bGrow := growth(fig2, q, 64<<10)  // 64K -> 1M (16x)
+	eGrow := growth(fig3, q, 256<<10) // 256K -> 2M (8x)
+	if eGrow > bGrow {
+		t.Errorf("Bε query growth %.2fx not below B-tree %.2fx over a 16x size range", eGrow, bGrow)
+	}
+	// Bε-tree inserts must beat B-tree inserts by a wide margin at any size.
+	bIns := fig2.Points[2].InsertMs // 64 KiB
+	eIns := fig3.Points[0].InsertMs // 64 KiB
+	if eIns > bIns/5 {
+		t.Errorf("Bε insert %.3f ms not ≫ faster than B-tree %.3f ms", eIns, bIns)
+	}
+}
+
+func TestE11Theorem9Ablation(t *testing.T) {
+	cfg := smallFig3()
+	rows := Theorem9Ablation(cfg, 512<<10)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Query cost must improve at each step of the ablation.
+	if !(rows[2].QueryMs < rows[0].QueryMs) {
+		t.Errorf("Theorem 9 (%.3f) not cheaper than whole-node (%.3f)", rows[2].QueryMs, rows[0].QueryMs)
+	}
+	if !(rows[1].QueryMs < rows[0].QueryMs) {
+		t.Errorf("segmented buffers (%.3f) not cheaper than whole-node (%.3f)", rows[1].QueryMs, rows[0].QueryMs)
+	}
+	if !(rows[2].QueryMs < rows[1].QueryMs) {
+		t.Errorf("pivots-in-parent (%.3f) not cheaper than meta+slot (%.3f)", rows[2].QueryMs, rows[1].QueryMs)
+	}
+	if !strings.Contains(RenderAblation(rows, 512<<10), "Theorem 9") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestE12WriteAmp(t *testing.T) {
+	cfg := DefaultWriteAmpConfig()
+	cfg.Items = 25_000
+	cfg.CacheBytes = 1 << 20
+	cfg.NodeSizes = []int{64 << 10, 512 << 10}
+	rows := WriteAmp(cfg)
+	byKey := map[string]WriteAmpRow{}
+	for _, r := range rows {
+		byKey[r.Structure+humanBytes(r.NodeBytes)] = r
+	}
+	bSmall := byKey["B-tree64KiB"]
+	bBig := byKey["B-tree512KiB"]
+	eSmall := byKey["Bε-tree64KiB"]
+	eBig := byKey["Bε-tree512KiB"]
+	// Lemma 3: B-tree WA grows ~linearly with node size.
+	if bBig.WriteAmp < 3*bSmall.WriteAmp {
+		t.Errorf("B-tree WA growth %.1f -> %.1f not near-linear in node size", bSmall.WriteAmp, bBig.WriteAmp)
+	}
+	// Theorem 4(4): Bε-tree WA much smaller and much less size-sensitive.
+	if eBig.WriteAmp >= bBig.WriteAmp/3 {
+		t.Errorf("Bε WA %.1f not ≪ B-tree WA %.1f at 512KiB", eBig.WriteAmp, bBig.WriteAmp)
+	}
+	if eBig.WriteAmp > 6*eSmall.WriteAmp {
+		t.Errorf("Bε WA too size-sensitive: %.1f -> %.1f", eSmall.WriteAmp, eBig.WriteAmp)
+	}
+	if !strings.Contains(RenderWriteAmp(rows), "LSM") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestE9Lemma13(t *testing.T) {
+	cfg := DefaultLemma13Config()
+	cfg.Items = 1 << 17
+	cfg.QueriesPerClient = 60
+	rows := Lemma13(cfg)
+	get := func(d veb.Design, k int) Lemma13Row {
+		for _, r := range rows {
+			if r.Design == d && r.Clients == k {
+				return r
+			}
+		}
+		t.Fatalf("missing row %v/%d", d, k)
+		return Lemma13Row{}
+	}
+	// k=1: vEB must be far better than one-block nodes (which waste the
+	// device's parallelism) and at least match whole-node fetch.
+	v1 := get(veb.VEBNodes, 1)
+	b1 := get(veb.BlockNodes, 1)
+	w1 := get(veb.WholeNodeFetch, 1)
+	if v1.Throughput < 1.5*b1.Throughput {
+		t.Errorf("k=1: vEB %.3f not ≫ block nodes %.3f", v1.Throughput, b1.Throughput)
+	}
+	if v1.Throughput < 0.9*w1.Throughput {
+		t.Errorf("k=1: vEB %.3f below whole-node %.3f", v1.Throughput, w1.Throughput)
+	}
+	// k=P: vEB must be far better than whole-node fetch and near one-block.
+	vP := get(veb.VEBNodes, cfg.P)
+	bP := get(veb.BlockNodes, cfg.P)
+	wP := get(veb.WholeNodeFetch, cfg.P)
+	if vP.Throughput < 2*wP.Throughput {
+		t.Errorf("k=P: vEB %.3f not ≫ whole-node %.3f", vP.Throughput, wP.Throughput)
+	}
+	if vP.Throughput < 0.6*bP.Throughput {
+		t.Errorf("k=P: vEB %.3f far below block nodes %.3f", vP.Throughput, bP.Throughput)
+	}
+	// Throughput grows with k for the vEB design.
+	if vP.Throughput <= v1.Throughput {
+		t.Errorf("vEB throughput did not grow with k: %.3f -> %.3f", v1.Throughput, vP.Throughput)
+	}
+	if !strings.Contains(RenderLemma13(rows), "vEB") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	tbl := RenderTable("t", []string{"a", "bb"}, [][]string{{"1", "2"}})
+	if !strings.Contains(tbl, "t\n") || !strings.Contains(tbl, "bb") {
+		t.Fatalf("table: %q", tbl)
+	}
+	csv := RenderCSV([]string{"a"}, [][]string{{"1"}})
+	if csv != "a\n1\n" {
+		t.Fatalf("csv: %q", csv)
+	}
+	if humanBytes(4096) != "4KiB" || humanBytes(2<<20) != "2MiB" || humanBytes(100) != "100B" {
+		t.Fatal("humanBytes wrong")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Silence unused-import lint in case of build-tag pruning.
+var _ = betree.DefaultFanout
+var _ = hdd.DefaultProfile
+var _ = workload.DefaultSpec
+
+// TestE13ScanDichotomy asserts the OLTP/OLAP observation of §5: range-query
+// cost per item falls as B-tree nodes grow, opposite to point operations —
+// the paper's explanation for why OLAP B-trees use large leaves and OLTP
+// small ones.
+func TestE13ScanDichotomy(t *testing.T) {
+	cfg := smallFig2()
+	cfg.NodeSizes = []int{4 << 10, 64 << 10, 1 << 20}
+	cfg.ScanOps = 10
+	cfg.ScanLen = 600
+	res := Figure2(cfg)
+	first := res.Points[0]                // 4 KiB
+	last := res.Points[len(res.Points)-1] // 1 MiB
+	if last.ScanUsItem >= first.ScanUsItem {
+		t.Errorf("scan µs/item did not fall with node size: %.1f -> %.1f", first.ScanUsItem, last.ScanUsItem)
+	}
+	if last.QueryMs <= first.QueryMs {
+		t.Errorf("point query cost fell with node size: %.2f -> %.2f (dichotomy missing)", first.QueryMs, last.QueryMs)
+	}
+	// The affine range model must track the measurement loosely.
+	for _, p := range res.Points {
+		if p.ModelScanUsIt > 5*p.ScanUsItem || p.ScanUsItem > 5*p.ModelScanUsIt {
+			t.Errorf("scan model %.1f vs measured %.1f at %d", p.ModelScanUsIt, p.ScanUsItem, p.NodeBytes)
+		}
+	}
+}
+
+// TestE14FlushPolicy asserts the paper's flush-the-fullest-child rule beats
+// round-robin, especially under skew.
+func TestE14FlushPolicy(t *testing.T) {
+	cfg := DefaultFlushPolicyConfig()
+	cfg.Items = 40_000
+	cfg.Ops = 15_000
+	cfg.KeySpace = 40_000
+	rows := FlushPolicyAblation(cfg)
+	get := func(p betree.FlushPolicy, skew bool) FlushPolicyRow {
+		for _, r := range rows {
+			if r.Policy == p && r.Skewed == skew {
+				return r
+			}
+		}
+		t.Fatal("missing row")
+		return FlushPolicyRow{}
+	}
+	for _, skew := range []bool{false, true} {
+		full := get(betree.FlushFullest, skew)
+		rr := get(betree.FlushRoundRobin, skew)
+		if full.InsertMs > rr.InsertMs*1.05 {
+			t.Errorf("skew=%v: fullest-child (%.3f ms) worse than round-robin (%.3f ms)", skew, full.InsertMs, rr.InsertMs)
+		}
+	}
+	fullSkew := get(betree.FlushFullest, true)
+	rrSkew := get(betree.FlushRoundRobin, true)
+	if fullSkew.InsertMs >= rrSkew.InsertMs {
+		t.Errorf("under skew fullest-child (%.3f) did not beat round-robin (%.3f)", fullSkew.InsertMs, rrSkew.InsertMs)
+	}
+	if !strings.Contains(RenderFlushPolicy(rows), "fullest") {
+		t.Fatal("render broken")
+	}
+}
+
+// TestE15DeviceFamilies runs the B-tree node-size sweep on an SSD and
+// checks the cross-device claims: random point operations are far cheaper
+// than on the HDD, and the optimal node size is no larger (the SSD's setup
+// cost — hence its half-bandwidth point — is much smaller).
+func TestE15DeviceFamilies(t *testing.T) {
+	hddCfg := smallFig2()
+	hddCfg.NodeSizes = []int{4 << 10, 64 << 10, 512 << 10}
+	hddCfg.ScanOps = 0
+	ssdCfg := hddCfg
+	prof := ssd.Profiles()[0]
+	ssdCfg.SSD = &prof
+
+	hddRes := Figure2(hddCfg)
+	ssdRes := Figure2(ssdCfg)
+
+	best := func(res NodeSizeResult) (int, float64) {
+		bi := 0
+		for i, p := range res.Points {
+			if p.QueryMs < res.Points[bi].QueryMs {
+				bi = i
+			}
+		}
+		return res.Points[bi].NodeBytes, res.Points[bi].QueryMs
+	}
+	hddBest, hddMs := best(hddRes)
+	ssdBest, ssdMs := best(ssdRes)
+	if ssdMs > hddMs/4 {
+		t.Errorf("SSD best query %.3f ms not ≪ HDD %.3f ms", ssdMs, hddMs)
+	}
+	if ssdBest > hddBest {
+		t.Errorf("SSD optimum %d larger than HDD optimum %d", ssdBest, hddBest)
+	}
+	if ssdRes.Device != prof.Name {
+		t.Errorf("device name %q", ssdRes.Device)
+	}
+	// The SSD's half-bandwidth point must be far below the HDD's.
+	if ssdCfg.affine().HalfBandwidthBytes() > hddCfg.affine().HalfBandwidthBytes()/4 {
+		t.Error("SSD half-bandwidth point not far below HDD's")
+	}
+}
+
+// TestDeterminism is the repository's reproducibility contract: running a
+// harness twice produces bit-identical results.
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultAffineConfig()
+	cfg.Rounds = 16
+	a, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderTable2(a) != RenderTable2(b) {
+		t.Fatal("Table 2 not deterministic")
+	}
+
+	pc := smallPDAM()
+	pc.PerThreadIOs = 100
+	s1 := Figure1(pc)
+	s2 := Figure1(pc)
+	for i := range s1 {
+		for j := range s1[i].Points {
+			if s1[i].Points[j] != s2[i].Points[j] {
+				t.Fatalf("Figure 1 not deterministic at %d/%d", i, j)
+			}
+		}
+	}
+
+	lc := DefaultLemma13Config()
+	lc.Items = 1 << 14
+	lc.QueriesPerClient = 20
+	r1 := Lemma13(lc)
+	r2 := Lemma13(lc)
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("Lemma 13 not deterministic at %d", i)
+		}
+	}
+}
+
+// TestE16Aging asserts the §5 aging claim: random churn degrades the
+// B-tree's range scans sharply, while the Bε-tree's big nodes resist.
+func TestE16Aging(t *testing.T) {
+	cfg := DefaultAgingConfig()
+	cfg.Items = 60_000
+	cfg.ChurnOps = 40_000
+	cfg.ScanOps = 10
+	cfg.ScanLen = 1000
+	cfg.CacheBytes = 1 << 20
+	rows := Aging(cfg)
+	var bt, be AgingRow
+	for _, r := range rows {
+		if strings.HasPrefix(r.Structure, "B-tree") {
+			bt = r
+		} else {
+			be = r
+		}
+	}
+	if bt.AgingPenalty < 1.5 {
+		t.Errorf("B-tree aging penalty %.2fx; expected sharp degradation", bt.AgingPenalty)
+	}
+	if be.AgingPenalty > bt.AgingPenalty/1.5 {
+		t.Errorf("Bε-tree penalty %.2fx not well below B-tree's %.2fx", be.AgingPenalty, bt.AgingPenalty)
+	}
+	if !strings.Contains(RenderAging(rows), "aging") {
+		t.Fatal("render broken")
+	}
+}
+
+// TestE17Asymmetry asserts the §3 read/write asymmetry: write saturation
+// bandwidth sits well below read saturation on every flash profile.
+func TestE17Asymmetry(t *testing.T) {
+	cfg := smallPDAM()
+	cfg.PerThreadIOs = 150
+	rows, err := Asymmetry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		prof := ssd.Profiles()[i]
+		// Expected write ceiling: program time scales the die side by
+		// WriteFactor; the channel side is direction-agnostic. Devices whose
+		// channels bound both directions legitimately show ~1x (interface-
+		// bound, like real SATA drives); die-bound devices must show the
+		// asymmetry.
+		dieRead := prof.SaturationBandwidth(prof.StripeBytes)
+		perDieWrite := float64(prof.StripeBytes) /
+			(float64(prof.PieceTime(prof.StripeBytes)) * prof.WriteFactor / 1e9)
+		dieWrite := perDieWrite * float64(prof.Dies())
+		chanTotal := prof.ChanBandwidth * float64(prof.Channels)
+		expWrite := dieWrite
+		if chanTotal < expWrite {
+			expWrite = chanTotal
+		}
+		expRatio := dieRead / expWrite
+		if r.Ratio < 1 {
+			t.Errorf("%s: writes faster than reads (%.2f)", r.Device, r.Ratio)
+		}
+		if r.Ratio < expRatio*0.7 || r.Ratio > expRatio*1.4 {
+			t.Errorf("%s: ratio %.2f, analytic expectation %.2f", r.Device, r.Ratio, expRatio)
+		}
+		if r.WriteP <= 0 {
+			t.Errorf("%s: degenerate write parallelism", r.Device)
+		}
+	}
+	// At least the die-bound SATA devices show clear asymmetry.
+	if rows[0].Ratio < 1.3 && rows[2].Ratio < 1.3 {
+		t.Errorf("no device shows write asymmetry: %+v", rows)
+	}
+	if !strings.Contains(RenderAsymmetry(rows), "asymmetry") {
+		t.Fatal("render broken")
+	}
+}
+
+// TestE18EpsilonSpectrum asserts Theorem 4's tradeoff direction: growing
+// the fanout from the buffered-repository end toward the B-tree end makes
+// queries cheaper and inserts dearer.
+func TestE18EpsilonSpectrum(t *testing.T) {
+	cfg := DefaultEpsilonConfig()
+	cfg.Items = 60_000
+	cfg.QueryOps = 80
+	cfg.InsertOps = 5000
+	cfg.NodeBytes = 256 << 10
+	cfg.Fanouts = []int{2, 8, 32}
+	cfg.CacheBytes = 2 << 20
+	rows := EpsilonSweep(cfg)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	lo, hi := rows[0], rows[len(rows)-1]
+	if !(lo.Epsilon < hi.Epsilon) {
+		t.Fatalf("epsilon not increasing: %v -> %v", lo.Epsilon, hi.Epsilon)
+	}
+	if !(hi.InsertMs > lo.InsertMs) {
+		t.Errorf("insert cost did not rise with ε: F=2 %.3f vs F=32 %.3f", lo.InsertMs, hi.InsertMs)
+	}
+	if !(hi.QueryMs < lo.QueryMs) {
+		t.Errorf("query cost did not fall with ε: F=2 %.3f vs F=32 %.3f", lo.QueryMs, hi.QueryMs)
+	}
+	if !(hi.Height < lo.Height) {
+		t.Errorf("height did not shrink with fanout: %d vs %d", lo.Height, hi.Height)
+	}
+	if !strings.Contains(RenderEpsilon(rows), "spectrum") {
+		t.Fatal("render broken")
+	}
+}

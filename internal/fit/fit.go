@@ -1,0 +1,346 @@
+// Package fit implements the regression machinery the paper uses to derive
+// model parameters from measurements:
+//
+//   - ordinary least-squares linear regression with R² (Table 2: the affine
+//     model's setup cost s and bandwidth cost t are the intercept and slope
+//     of IO time versus IO size);
+//   - two-segment ("segmented") linear regression with a continuous knee
+//     (Table 1: the PDAM's parallelism P is the knee of completion time
+//     versus thread count — flat below P, linear above).
+//
+// All fits are deterministic and depend only on the input points.
+package fit
+
+import (
+	"errors"
+	"math"
+)
+
+// Line is a fitted line y = Intercept + Slope*x.
+type Line struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// Eval evaluates the line at x.
+func (l Line) Eval(x float64) float64 { return l.Intercept + l.Slope*x }
+
+// ErrTooFewPoints is returned when a fit is requested with fewer points than
+// free parameters.
+var ErrTooFewPoints = errors.New("fit: too few points")
+
+// Linear fits y = a + b*x by ordinary least squares and reports the
+// coefficient of determination R². It requires at least two points with at
+// least two distinct x values.
+func Linear(xs, ys []float64) (Line, error) {
+	if len(xs) != len(ys) {
+		return Line{}, errors.New("fit: mismatched sample lengths")
+	}
+	if len(xs) < 2 {
+		return Line{}, ErrTooFewPoints
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return Line{}, errors.New("fit: degenerate x values")
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	l := Line{Slope: b, Intercept: a}
+	l.R2 = r2(xs, ys, l.Eval)
+	return l, nil
+}
+
+// r2 computes the coefficient of determination of model f on (xs, ys).
+func r2(xs, ys []float64, f func(float64) float64) float64 {
+	var my float64
+	for _, y := range ys {
+		my += y
+	}
+	my /= float64(len(ys))
+	var ssRes, ssTot float64
+	for i := range xs {
+		r := ys[i] - f(xs[i])
+		ssRes += r * r
+		d := ys[i] - my
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Segmented is a continuous two-piece linear model:
+//
+//	y = Left.Intercept + Left.Slope*x     for x <= Knee
+//	y = value at knee + Right.Slope*(x-Knee) for x > Knee
+//
+// The two pieces meet at x = Knee (continuity is enforced by construction).
+type Segmented struct {
+	Knee  float64
+	Left  Line // R2 field unused on the pieces; see R2 on Segmented
+	Right Line
+	R2    float64
+}
+
+// Eval evaluates the segmented model at x.
+func (s Segmented) Eval(x float64) float64 {
+	if x <= s.Knee {
+		return s.Left.Eval(x)
+	}
+	return s.Left.Eval(s.Knee) + s.Right.Slope*(x-s.Knee)
+}
+
+// SegmentedLinear fits a continuous two-segment linear model by scanning
+// candidate knees over a grid between the second-smallest and second-largest
+// x and, for each candidate, solving the constrained least-squares problem
+// exactly in the three free parameters (left intercept, left slope, right
+// slope). The knee minimizing the residual sum of squares wins.
+//
+// It requires at least four points. Inputs need not be sorted.
+func SegmentedLinear(xs, ys []float64) (Segmented, error) {
+	if len(xs) != len(ys) {
+		return Segmented{}, errors.New("fit: mismatched sample lengths")
+	}
+	if len(xs) < 4 {
+		return Segmented{}, ErrTooFewPoints
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		minX = math.Min(minX, x)
+		maxX = math.Max(maxX, x)
+	}
+	if minX == maxX {
+		return Segmented{}, errors.New("fit: degenerate x values")
+	}
+	const grid = 512
+	best := Segmented{}
+	bestSSE := math.Inf(1)
+	found := false
+	for g := 1; g < grid; g++ {
+		knee := minX + (maxX-minX)*float64(g)/grid
+		seg, sse, ok := fitAtKnee(xs, ys, knee)
+		if ok && sse < bestSSE {
+			bestSSE = sse
+			best = seg
+			found = true
+		}
+	}
+	if !found {
+		return Segmented{}, errors.New("fit: no valid knee candidate")
+	}
+	best.R2 = r2(xs, ys, best.Eval)
+	return best, nil
+}
+
+// fitAtKnee solves, for a fixed knee position c, the least-squares problem
+//
+//	y_i ≈ a + b*x_i                  (x_i <= c)
+//	y_i ≈ a + b*c + d*(x_i - c)      (x_i >  c)
+//
+// which is linear in (a, b, d): y ≈ a + b*u_i + d*v_i with
+// u_i = min(x_i, c), v_i = max(x_i - c, 0). Requires at least two points on
+// each side of the knee to be well conditioned.
+func fitAtKnee(xs, ys []float64, c float64) (Segmented, float64, bool) {
+	var nl, nr int
+	n := len(xs)
+	u := make([]float64, n)
+	v := make([]float64, n)
+	for i, x := range xs {
+		if x <= c {
+			nl++
+			u[i] = x
+			v[i] = 0
+		} else {
+			nr++
+			u[i] = c
+			v[i] = x - c
+		}
+	}
+	if nl < 2 || nr < 2 {
+		return Segmented{}, 0, false
+	}
+	a, b, d, ok := solve3(u, v, ys)
+	if !ok {
+		return Segmented{}, 0, false
+	}
+	seg := Segmented{
+		Knee:  c,
+		Left:  Line{Intercept: a, Slope: b},
+		Right: Line{Slope: d},
+	}
+	var sse float64
+	for i := range xs {
+		r := ys[i] - seg.Eval(xs[i])
+		sse += r * r
+	}
+	return seg, sse, true
+}
+
+// solve3 solves min ||y - (a + b*u + d*v)||² via the 3x3 normal equations.
+func solve3(u, v, y []float64) (a, b, d float64, ok bool) {
+	n := float64(len(u))
+	var su, sv, sy, suu, svv, suv, suy, svy float64
+	for i := range u {
+		su += u[i]
+		sv += v[i]
+		sy += y[i]
+		suu += u[i] * u[i]
+		svv += v[i] * v[i]
+		suv += u[i] * v[i]
+		suy += u[i] * y[i]
+		svy += v[i] * y[i]
+	}
+	// Normal equations matrix (symmetric):
+	//  [ n   su  sv ] [a]   [ sy ]
+	//  [ su  suu suv ] [b] = [ suy]
+	//  [ sv  suv svv ] [d]   [ svy]
+	m := [3][4]float64{
+		{n, su, sv, sy},
+		{su, suu, suv, suy},
+		{sv, suv, svv, svy},
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < 3; col++ {
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return 0, 0, 0, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for k := col; k < 4; k++ {
+				m[r][k] -= f * m[col][k]
+			}
+		}
+	}
+	return m[0][3] / m[0][0], m[1][3] / m[1][1], m[2][3] / m[2][2], true
+}
+
+// FlatThenLinear fits the special segmented shape the PDAM predicts for the
+// thread-scaling experiment: completion time is constant (slope 0) up to the
+// knee P and increases linearly after it. It returns the knee (the derived
+// parallelism P), the flat level, the right-hand slope, and R².
+//
+// The fit is solved exactly for each candidate knee: with u_i = 1 and
+// v_i = max(x_i - c, 0), minimize ||y - (a + d*v)||².
+func FlatThenLinear(xs, ys []float64) (Segmented, error) {
+	if len(xs) != len(ys) {
+		return Segmented{}, errors.New("fit: mismatched sample lengths")
+	}
+	if len(xs) < 3 {
+		return Segmented{}, ErrTooFewPoints
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		minX = math.Min(minX, x)
+		maxX = math.Max(maxX, x)
+	}
+	if minX == maxX {
+		return Segmented{}, errors.New("fit: degenerate x values")
+	}
+	const grid = 2048
+	bestSSE := math.Inf(1)
+	var best Segmented
+	found := false
+	for g := 0; g <= grid; g++ {
+		c := minX + (maxX-minX)*float64(g)/grid
+		a, d, sse, ok := fitFlatKnee(xs, ys, c)
+		if ok && sse < bestSSE {
+			bestSSE = sse
+			best = Segmented{
+				Knee:  c,
+				Left:  Line{Intercept: a, Slope: 0},
+				Right: Line{Slope: d},
+			}
+			found = true
+		}
+	}
+	if !found {
+		return Segmented{}, errors.New("fit: no valid knee candidate")
+	}
+	best.R2 = r2(xs, ys, best.Eval)
+	return best, nil
+}
+
+func fitFlatKnee(xs, ys []float64, c float64) (a, d, sse float64, ok bool) {
+	var n, sv, svv, sy, svy float64
+	var nr int
+	for i, x := range xs {
+		v := 0.0
+		if x > c {
+			v = x - c
+			nr++
+		}
+		n++
+		sv += v
+		svv += v * v
+		sy += ys[i]
+		svy += v * ys[i]
+	}
+	if nr < 1 {
+		// Pure flat fit: a = mean(y), d = 0 (still a valid candidate).
+		a = sy / n
+		d = 0
+	} else {
+		det := n*svv - sv*sv
+		if math.Abs(det) < 1e-12 {
+			return 0, 0, 0, false
+		}
+		a = (sy*svv - sv*svy) / det
+		d = (n*svy - sv*sy) / det
+	}
+	for i, x := range xs {
+		v := 0.0
+		if x > c {
+			v = x - c
+		}
+		r := ys[i] - (a + d*v)
+		sse += r * r
+	}
+	return a, d, sse, true
+}
+
+// LogSpace returns n points geometrically spaced from lo to hi inclusive.
+// It is used by the experiment sweeps (IO sizes, node sizes).
+func LogSpace(lo, hi float64, n int) []float64 {
+	if n <= 0 || lo <= 0 || hi <= lo {
+		panic("fit: invalid LogSpace arguments")
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	x := lo
+	for i := range out {
+		out[i] = x
+		x *= ratio
+	}
+	out[n-1] = hi
+	return out
+}

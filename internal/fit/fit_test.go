@@ -1,0 +1,187 @@
+package fit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"iomodels/internal/stats"
+)
+
+func TestLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x
+	}
+	l, err := Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Slope-2) > 1e-9 || math.Abs(l.Intercept-3) > 1e-9 {
+		t.Fatalf("fit = %+v, want slope 2 intercept 3", l)
+	}
+	if l.R2 < 0.999999 {
+		t.Fatalf("R2 = %v", l.R2)
+	}
+}
+
+func TestLinearNoisy(t *testing.T) {
+	rng := stats.NewRNG(17)
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 10+0.5*x+(rng.Float64()-0.5)*2)
+	}
+	l, err := Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Slope-0.5) > 0.01 || math.Abs(l.Intercept-10) > 1 {
+		t.Fatalf("fit = %+v", l)
+	}
+	if l.R2 < 0.99 {
+		t.Fatalf("R2 = %v", l.R2)
+	}
+}
+
+func TestLinearErrors(t *testing.T) {
+	if _, err := Linear([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("want error for one point")
+	}
+	if _, err := Linear([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("want error for degenerate x")
+	}
+	if _, err := Linear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("want error for mismatched lengths")
+	}
+}
+
+func TestLinearRecoversRandomLine(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 100)
+		b = math.Mod(b, 100)
+		xs := []float64{0, 1, 2, 3, 7, 11}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a + b*x
+		}
+		l, err := Linear(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(l.Intercept-a) < 1e-6*(1+math.Abs(a)) &&
+			math.Abs(l.Slope-b) < 1e-6*(1+math.Abs(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentedRecoversKnee(t *testing.T) {
+	// y flat at 5 until x=20, then slope 1.5.
+	var xs, ys []float64
+	for x := 1.0; x <= 64; x++ {
+		xs = append(xs, x)
+		y := 5.0
+		if x > 20 {
+			y = 5 + 1.5*(x-20)
+		}
+		ys = append(ys, y)
+	}
+	s, err := SegmentedLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Knee-20) > 1 {
+		t.Fatalf("knee = %v, want ~20", s.Knee)
+	}
+	if math.Abs(s.Right.Slope-1.5) > 0.05 {
+		t.Fatalf("right slope = %v", s.Right.Slope)
+	}
+	if s.R2 < 0.999 {
+		t.Fatalf("R2 = %v", s.R2)
+	}
+}
+
+func TestFlatThenLinearRecoversKnee(t *testing.T) {
+	var xs, ys []float64
+	for _, x := range []float64{1, 2, 4, 8, 16, 32, 64} {
+		y := 120.0
+		if x > 3.3 {
+			y = 120 * x / 3.3
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	s, err := FlatThenLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Knee < 2 || s.Knee > 5 {
+		t.Fatalf("knee = %v, want ~3.3", s.Knee)
+	}
+	if s.Left.Slope != 0 {
+		t.Fatalf("left slope = %v, want 0", s.Left.Slope)
+	}
+	if s.R2 < 0.98 {
+		t.Fatalf("R2 = %v", s.R2)
+	}
+}
+
+func TestFlatThenLinearPureFlat(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{7, 7, 7, 7}
+	s, err := FlatThenLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Eval(2.5)-7) > 1e-9 {
+		t.Fatalf("flat fit eval = %v", s.Eval(2.5))
+	}
+}
+
+func TestSegmentedEvalContinuity(t *testing.T) {
+	s := Segmented{
+		Knee:  10,
+		Left:  Line{Intercept: 2, Slope: 0.5},
+		Right: Line{Slope: 3},
+	}
+	atKnee := s.Eval(10)
+	justAfter := s.Eval(10.0001)
+	if math.Abs(atKnee-justAfter) > 0.01 {
+		t.Fatalf("discontinuous at knee: %v vs %v", atKnee, justAfter)
+	}
+}
+
+func TestSegmentedErrors(t *testing.T) {
+	if _, err := SegmentedLinear([]float64{1, 2, 3}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("want error for too few points")
+	}
+	if _, err := FlatThenLinear([]float64{1, 1, 1, 1}, []float64{1, 2, 3, 4}); err == nil {
+		t.Fatal("want error for degenerate x")
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	xs := LogSpace(1, 1024, 11)
+	if len(xs) != 11 || xs[0] != 1 || xs[10] != 1024 {
+		t.Fatalf("LogSpace shape wrong: %v", xs)
+	}
+	for i := 1; i < len(xs); i++ {
+		ratio := xs[i] / xs[i-1]
+		if math.Abs(ratio-2) > 0.01 {
+			t.Fatalf("not geometric: ratio %v at %d", ratio, i)
+		}
+	}
+}
+
+func TestLogSpacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LogSpace(-1, 10, 5)
+}

@@ -1,0 +1,195 @@
+// Package hdd simulates a mechanical hard-disk drive.
+//
+// The simulator is deliberately mechanistic: each random IO pays a seek
+// (track-to-track up to full-stroke, growing with the square root of the
+// distance travelled, per Ruemmler & Wilkes), a rotational latency (uniform
+// in one platter revolution), and a transfer time proportional to the IO
+// size; sequential IOs pay transfer only. The affine model's s and t are
+// never evaluated here — they *emerge*, and the Table 2 experiment recovers
+// them by linear regression, exactly as the paper does on real drives.
+package hdd
+
+import (
+	"fmt"
+	"math"
+
+	"iomodels/internal/sim"
+	"iomodels/internal/stats"
+	"iomodels/internal/storage"
+)
+
+// Profile describes a drive's mechanical parameters.
+type Profile struct {
+	Name       string
+	Year       int
+	CapacityGB int64   // addressable capacity, decimal GB as marketed
+	RPM        float64 // spindle speed
+	SeekMin    sim.Time
+	SeekMax    sim.Time
+	Bandwidth  float64 // sustained media transfer rate, bytes/second
+	Overhead   sim.Time
+}
+
+// Capacity returns the capacity in bytes.
+func (p Profile) Capacity() int64 { return p.CapacityGB * 1e9 }
+
+// RotationPeriod returns the time of one revolution.
+func (p Profile) RotationPeriod() sim.Time {
+	return sim.FromSeconds(60 / p.RPM)
+}
+
+// ExpectedSetup returns the analytically expected per-IO setup cost for
+// uniformly random accesses: mean seek plus half a revolution plus fixed
+// overhead. This is the ground-truth "s" the Table 2 regression should
+// recover.
+//
+// For X, Y uniform on [0,1], E[sqrt(|X-Y|)] = 8/15, so the mean seek is
+// SeekMin + (8/15)(SeekMax - SeekMin).
+func (p Profile) ExpectedSetup() sim.Time {
+	meanSeek := float64(p.SeekMin) + 8.0/15.0*float64(p.SeekMax-p.SeekMin)
+	return sim.Time(meanSeek) + p.RotationPeriod()/2 + p.Overhead
+}
+
+// ExpectedTransferPer4K returns the ground-truth "t": seconds per 4 KiB of
+// transfer.
+func (p Profile) ExpectedTransferPer4K() float64 {
+	return 4096 / p.Bandwidth
+}
+
+// ExpectedAlpha returns the ground-truth normalized bandwidth cost
+// α = t/s with t measured per 4 KiB block, matching Table 2's units.
+func (p Profile) ExpectedAlpha() float64 {
+	return p.ExpectedTransferPer4K() / p.ExpectedSetup().Seconds()
+}
+
+// profileFor constructs mechanical parameters that realize a target setup
+// cost s (seconds) and transfer cost t (seconds per 4 KiB), the two columns
+// of the paper's Table 2. The split between seek and rotation follows
+// commodity drives: 7200 RPM, track-to-track seek at one third of the mean
+// seek.
+func profileFor(name string, year int, capacityGB int64, s, t float64) Profile {
+	const rpm = 7200.0
+	rotHalf := 60 / rpm / 2 // seconds
+	overhead := 0.0002      // 0.2 ms controller/settle overhead
+	meanSeek := s - rotHalf - overhead
+	if meanSeek <= 0 {
+		panic("hdd: target setup cost too small for 7200 RPM")
+	}
+	seekMin := meanSeek / 3
+	// meanSeek = seekMin + 8/15 (seekMax - seekMin)
+	seekMax := seekMin + (meanSeek-seekMin)*15/8
+	return Profile{
+		Name:       name,
+		Year:       year,
+		CapacityGB: capacityGB,
+		RPM:        rpm,
+		SeekMin:    sim.FromSeconds(seekMin),
+		SeekMax:    sim.FromSeconds(seekMax),
+		Bandwidth:  4096 / t,
+		Overhead:   sim.FromSeconds(overhead),
+	}
+}
+
+// Profiles returns the five commodity drives of the paper's Table 2, with
+// mechanical parameters chosen so that the ground-truth s and t equal the
+// paper's measured values.
+func Profiles() []Profile {
+	return []Profile{
+		profileFor("2 TB Seagate", 2002, 2000, 0.018, 0.000021),
+		profileFor("250 GB Seagate", 2006, 250, 0.015, 0.000033),
+		profileFor("1 TB Hitachi", 2009, 1000, 0.013, 0.000041),
+		profileFor("1 TB WD Black", 2011, 1000, 0.012, 0.000035),
+		profileFor("6 TB WD Red", 2018, 6000, 0.016, 0.000026),
+	}
+}
+
+// DefaultProfile returns the drive used by the node-size experiments
+// (Figures 2 and 3): the 1 TB Hitachi, whose α = 0.0031 sits mid-range.
+func DefaultProfile() Profile { return Profiles()[2] }
+
+// Disk is a simulated hard drive. It implements storage.Device. Not safe
+// for concurrent use outside a sim.Engine (which serializes processes).
+type Disk struct {
+	prof    Profile
+	rng     *stats.RNG
+	head    int64    // current head byte position
+	seqEnd  int64    // end offset of the last IO, for sequential detection
+	freeAt  sim.Time // device busy until
+	noRot   bool     // deterministic mode: rotational latency fixed at mean
+	IOCount int64
+}
+
+var _ storage.Device = (*Disk)(nil)
+
+// New creates a drive with the given profile. seed controls the rotational
+// latency stream.
+func New(prof Profile, seed uint64) *Disk {
+	return &Disk{prof: prof, rng: stats.NewRNG(seed), seqEnd: -1}
+}
+
+// NewDeterministic creates a drive whose rotational latency is pinned at its
+// mean (half a revolution) instead of drawn uniformly. Property tests use
+// this to get exactly reproducible latencies independent of IO order.
+func NewDeterministic(prof Profile) *Disk {
+	d := New(prof, 1)
+	d.noRot = true
+	return d
+}
+
+// Profile returns the drive's parameters.
+func (d *Disk) Profile() Profile { return d.prof }
+
+// Name implements storage.Device.
+func (d *Disk) Name() string { return fmt.Sprintf("%s (%d)", d.prof.Name, d.prof.Year) }
+
+// Capacity implements storage.Device.
+func (d *Disk) Capacity() int64 { return d.prof.Capacity() }
+
+// seekTime returns the head travel time for a byte distance, using the
+// square-root law: short seeks are dominated by head settling, long seeks by
+// the arm's acceleration-limited travel.
+func (d *Disk) seekTime(dist int64) sim.Time {
+	if dist == 0 {
+		return 0
+	}
+	frac := math.Sqrt(float64(dist) / float64(d.prof.Capacity()))
+	return d.prof.SeekMin + sim.Time(frac*float64(d.prof.SeekMax-d.prof.SeekMin))
+}
+
+// Access implements storage.Device: it computes the completion time of an
+// IO issued at now. Reads and writes are timed identically on spinning
+// media.
+func (d *Disk) Access(now sim.Time, _ storage.Op, off, size int64) sim.Time {
+	if size <= 0 {
+		panic("hdd: non-positive IO size")
+	}
+	if off < 0 || off+size > d.prof.Capacity() {
+		panic(fmt.Sprintf("hdd: IO out of range: [%d,%d) capacity %d", off, off+size, d.prof.Capacity()))
+	}
+	start := now
+	if d.freeAt > start {
+		start = d.freeAt
+	}
+	var setup sim.Time
+	if off != d.seqEnd {
+		rot := d.prof.RotationPeriod() / 2
+		if !d.noRot {
+			rot = sim.Time(d.rng.Float64() * float64(d.prof.RotationPeriod()))
+		}
+		setup = d.seekTime(abs64(off-d.head)) + rot + d.prof.Overhead
+	}
+	transfer := sim.FromSeconds(float64(size) / d.prof.Bandwidth)
+	done := start + setup + transfer
+	d.head = off + size
+	d.seqEnd = off + size
+	d.freeAt = done
+	d.IOCount++
+	return done
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

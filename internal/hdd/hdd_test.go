@@ -1,0 +1,159 @@
+package hdd
+
+import (
+	"math"
+	"testing"
+
+	"iomodels/internal/fit"
+	"iomodels/internal/sim"
+	"iomodels/internal/stats"
+	"iomodels/internal/storage"
+)
+
+func TestProfilesMatchTable2Targets(t *testing.T) {
+	// The mechanical parameters must realize the paper's measured s and t.
+	targets := []struct {
+		s, t4k float64
+	}{
+		{0.018, 0.000021},
+		{0.015, 0.000033},
+		{0.013, 0.000041},
+		{0.012, 0.000035},
+		{0.016, 0.000026},
+	}
+	profs := Profiles()
+	if len(profs) != len(targets) {
+		t.Fatalf("%d profiles", len(profs))
+	}
+	for i, p := range profs {
+		if got := p.ExpectedSetup().Seconds(); math.Abs(got-targets[i].s) > 1e-6 {
+			t.Errorf("%s: expected setup %v, want %v", p.Name, got, targets[i].s)
+		}
+		if got := p.ExpectedTransferPer4K(); math.Abs(got-targets[i].t4k) > 1e-9 {
+			t.Errorf("%s: transfer per 4K %v, want %v", p.Name, got, targets[i].t4k)
+		}
+		wantAlpha := targets[i].t4k / targets[i].s
+		if got := p.ExpectedAlpha(); math.Abs(got-wantAlpha)/wantAlpha > 0.01 {
+			t.Errorf("%s: alpha %v, want %v", p.Name, got, wantAlpha)
+		}
+	}
+}
+
+func TestRandomIOCostsSetupPlusTransfer(t *testing.T) {
+	p := DefaultProfile()
+	d := NewDeterministic(p)
+	done := d.Access(0, storage.Read, 0, 4096)
+	// First IO from head position 0 to offset 0: no seek distance, but
+	// rotation + overhead still apply.
+	min := p.RotationPeriod()/2 + p.Overhead
+	if done < min {
+		t.Fatalf("first IO too fast: %v < %v", done, min)
+	}
+	// A far-away IO must include a long seek.
+	far := d.Access(done, storage.Read, p.Capacity()-4096, 4096)
+	if far-done < p.SeekMin {
+		t.Fatalf("far IO did not seek: %v", far-done)
+	}
+}
+
+func TestSequentialIOSkipsSetup(t *testing.T) {
+	p := DefaultProfile()
+	d := NewDeterministic(p)
+	firstDone := d.Access(0, storage.Read, 0, 64<<10)
+	seqDone := d.Access(firstDone, storage.Read, 64<<10, 64<<10)
+	transfer := sim.FromSeconds(float64(64<<10) / p.Bandwidth)
+	if got := seqDone - firstDone; got < transfer || got > transfer+sim.Microsecond {
+		t.Fatalf("sequential IO cost %v, want ~%v", got, transfer)
+	}
+}
+
+func TestDeviceBusySerializes(t *testing.T) {
+	p := DefaultProfile()
+	d := NewDeterministic(p)
+	done1 := d.Access(0, storage.Read, 0, 4096)
+	// Submit at time 0 again: must queue behind the first.
+	done2 := d.Access(0, storage.Read, 1<<20, 4096)
+	if done2 <= done1 {
+		t.Fatalf("second IO finished before first: %v <= %v", done2, done1)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d := New(DefaultProfile(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Access(0, storage.Read, d.Capacity()-100, 4096)
+}
+
+func TestNonPositiveSizePanics(t *testing.T) {
+	d := New(DefaultProfile(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Access(0, storage.Read, 0, 0)
+}
+
+// TestAffineFitQuality reproduces the Table 2 methodology in miniature for
+// one drive: 64 random block-aligned reads per IO size, linear regression of
+// mean time versus size, and requires the near-perfect R² the paper reports
+// and recovered parameters near ground truth.
+func TestAffineFitQuality(t *testing.T) {
+	for _, p := range Profiles() {
+		d := New(p, 12345)
+		rng := stats.NewRNG(99)
+		var now sim.Time
+		var xs, ys []float64 // x: 4KiB blocks, y: seconds per IO
+		for _, blocks := range []int64{1, 4, 16, 64, 256, 1024, 4096} {
+			size := blocks * 4096
+			const rounds = 64
+			start := now
+			for i := 0; i < rounds; i++ {
+				off := rng.Int63n((p.Capacity()-size)/4096) * 4096
+				now = d.Access(now, storage.Read, off, size)
+			}
+			xs = append(xs, float64(blocks))
+			ys = append(ys, (now-start).Seconds()/rounds)
+		}
+		line, err := fit.Linear(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line.R2 < 0.995 {
+			t.Errorf("%s: R2 = %v, want > 0.995", p.Name, line.R2)
+		}
+		if s := p.ExpectedSetup().Seconds(); math.Abs(line.Intercept-s)/s > 0.15 {
+			t.Errorf("%s: fitted s = %v, ground truth %v", p.Name, line.Intercept, s)
+		}
+		if tr := p.ExpectedTransferPer4K(); math.Abs(line.Slope-tr)/tr > 0.15 {
+			t.Errorf("%s: fitted t = %v, ground truth %v", p.Name, line.Slope, tr)
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() sim.Time {
+		d := New(DefaultProfile(), 7)
+		rng := stats.NewRNG(3)
+		var now sim.Time
+		for i := 0; i < 200; i++ {
+			off := rng.Int63n(d.Capacity()/4096-16) * 4096
+			now = d.Access(now, storage.Read, off, 64<<10)
+		}
+		return now
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different totals")
+	}
+}
+
+func TestName(t *testing.T) {
+	d := New(DefaultProfile(), 1)
+	if d.Name() != "1 TB Hitachi (2009)" {
+		t.Fatalf("name = %q", d.Name())
+	}
+}

@@ -1,0 +1,97 @@
+// Package pdamdev implements the abstract PDAM device of the paper's
+// Definition 1: in each time step the device serves up to P IOs, each of
+// size B; unused slots in a step are wasted; performance is measured in time
+// steps. The §8 experiment (Lemma 13) runs concurrent query clients against
+// this device.
+//
+// Unlike internal/ssd — a mechanistic simulator used to *validate* the PDAM —
+// this device *is* the model, used to explore algorithm design within it.
+package pdamdev
+
+import (
+	"fmt"
+
+	"iomodels/internal/sim"
+)
+
+// Device is a PDAM storage device. It is driven at virtual time granularity
+// but all service happens on step boundaries. Safe for use by many sim
+// processes (the engine serializes them).
+type Device struct {
+	P          int      // IOs served per time step
+	BlockBytes int64    // B, the IO size
+	StepTime   sim.Time // wall-clock length of one time step
+
+	usage      map[int64]int // step index -> slots consumed
+	TotalIOs   int64
+	pruneBelow int64
+}
+
+// New creates a PDAM device serving p IOs of blockBytes per step of
+// stepTime.
+func New(p int, blockBytes int64, stepTime sim.Time) *Device {
+	if p <= 0 || blockBytes <= 0 || stepTime <= 0 {
+		panic("pdamdev: invalid parameters")
+	}
+	return &Device{P: p, BlockBytes: blockBytes, StepTime: stepTime, usage: make(map[int64]int)}
+}
+
+// StepOf returns the index of the step containing virtual time t.
+func (d *Device) StepOf(t sim.Time) int64 { return int64(t) / int64(d.StepTime) }
+
+// EndOfStep returns the completion instant of step s (IOs served in step s
+// are available at its end).
+func (d *Device) EndOfStep(s int64) sim.Time { return sim.Time(s+1) * d.StepTime }
+
+// Submit schedules n block IOs issued at time now and returns the completion
+// time of the last one. IOs are packed greedily into the earliest steps with
+// free slots, starting with the step containing now. Submitting zero blocks
+// returns now.
+func (d *Device) Submit(now sim.Time, n int) sim.Time {
+	if n < 0 {
+		panic("pdamdev: negative IO count")
+	}
+	if n == 0 {
+		return now
+	}
+	d.TotalIOs += int64(n)
+	step := d.StepOf(now)
+	d.prune(step)
+	var done sim.Time
+	for n > 0 {
+		free := d.P - d.usage[step]
+		if free > 0 {
+			take := free
+			if take > n {
+				take = n
+			}
+			d.usage[step] += take
+			n -= take
+			done = d.EndOfStep(step)
+		}
+		step++
+	}
+	return done
+}
+
+// SlotsFreeAt reports how many IO slots remain in the step containing t.
+func (d *Device) SlotsFreeAt(t sim.Time) int {
+	free := d.P - d.usage[d.StepOf(t)]
+	if free < 0 {
+		panic(fmt.Sprintf("pdamdev: overcommitted step %d", d.StepOf(t)))
+	}
+	return free
+}
+
+// prune drops bookkeeping for steps that can never be used again.
+func (d *Device) prune(current int64) {
+	if current-d.pruneBelow < 4096 || len(d.usage) < 4096 {
+		return
+	}
+	for s := range d.usage {
+		if s < current {
+			delete(d.usage, s)
+		}
+	}
+	d.pruneBelow = current
+}

@@ -1,0 +1,118 @@
+package pdamdev
+
+import (
+	"testing"
+
+	"iomodels/internal/sim"
+)
+
+func TestSubmitWithinOneStep(t *testing.T) {
+	d := New(4, 4096, sim.Millisecond)
+	done := d.Submit(0, 3)
+	if done != sim.Millisecond {
+		t.Fatalf("done = %v, want end of step 0", done)
+	}
+	// One slot left in step 0.
+	if d.SlotsFreeAt(0) != 1 {
+		t.Fatalf("free = %d", d.SlotsFreeAt(0))
+	}
+}
+
+func TestSubmitSpillsToNextStep(t *testing.T) {
+	d := New(2, 4096, sim.Millisecond)
+	done := d.Submit(0, 5) // 2+2+1 across steps 0,1,2
+	if done != 3*sim.Millisecond {
+		t.Fatalf("done = %v, want end of step 2", done)
+	}
+	if d.TotalIOs != 5 {
+		t.Fatalf("TotalIOs = %d", d.TotalIOs)
+	}
+}
+
+func TestLaterArrivalUsesItsOwnStep(t *testing.T) {
+	d := New(2, 4096, sim.Millisecond)
+	d.Submit(0, 2) // fills step 0
+	done := d.Submit(sim.Millisecond+1, 1)
+	if done != 2*sim.Millisecond {
+		t.Fatalf("done = %v, want end of step 1", done)
+	}
+}
+
+func TestContentionBetweenClients(t *testing.T) {
+	d := New(2, 4096, sim.Millisecond)
+	a := d.Submit(0, 2)
+	b := d.Submit(0, 2) // same step, no slots left: pushed to step 1
+	if a != sim.Millisecond || b != 2*sim.Millisecond {
+		t.Fatalf("a=%v b=%v", a, b)
+	}
+}
+
+func TestZeroSubmit(t *testing.T) {
+	d := New(2, 4096, sim.Millisecond)
+	if got := d.Submit(42, 0); got != 42 {
+		t.Fatalf("Submit(_, 0) = %v", got)
+	}
+}
+
+func TestNegativeSubmitPanics(t *testing.T) {
+	d := New(2, 4096, sim.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Submit(0, -1)
+}
+
+func TestStepOf(t *testing.T) {
+	d := New(1, 1, 10)
+	if d.StepOf(0) != 0 || d.StepOf(9) != 0 || d.StepOf(10) != 1 {
+		t.Fatal("StepOf wrong")
+	}
+	if d.EndOfStep(0) != 10 || d.EndOfStep(3) != 40 {
+		t.Fatal("EndOfStep wrong")
+	}
+}
+
+func TestThroughputSaturatesAtP(t *testing.T) {
+	// 8 clients on a P=4 device, each needing 1 IO per "query": per step only
+	// 4 complete, so 80 queries take 20 steps.
+	d := New(4, 4096, sim.Millisecond)
+	eng := sim.New()
+	var finish sim.Time
+	for c := 0; c < 8; c++ {
+		eng.Go(func(p *sim.Proc) {
+			for q := 0; q < 10; q++ {
+				done := d.Submit(p.Now(), 1)
+				p.SleepUntil(done)
+			}
+			if p.Now() > finish {
+				finish = p.Now()
+			}
+		})
+	}
+	eng.Run()
+	if finish != 20*sim.Millisecond {
+		t.Fatalf("finish = %v, want 20ms", finish)
+	}
+}
+
+func TestPruneKeepsCorrectness(t *testing.T) {
+	d := New(1, 1, 1)
+	var now sim.Time
+	for i := 0; i < 10000; i++ {
+		now = d.Submit(now, 1)
+	}
+	if now != 10000 {
+		t.Fatalf("now = %v", now)
+	}
+}
+
+func TestInvalidNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, 4096, sim.Millisecond)
+}

@@ -1,0 +1,257 @@
+// Package sim is a small deterministic discrete-event simulation engine with
+// a virtual nanosecond clock. It underlies every storage-device simulator in
+// this repository: devices compute service times against the virtual clock,
+// so experiments measure exact, noise-free "wall-clock" time regardless of
+// host load.
+//
+// Two styles of use are supported:
+//
+//   - Event callbacks: schedule a func to run at a virtual time (At/After).
+//   - Processes: goroutine-backed simulated threads that can block on the
+//     virtual clock (Sleep/SleepUntil). Only one goroutine — the engine
+//     driver or exactly one process — runs at a time, so simulated code
+//     needs no locking and the simulation is deterministic.
+//
+// The multi-threaded SSD benchmark (Figure 1) uses processes; the
+// single-threaded tree benchmarks use a bare Engine as an advancing clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual timestamp or duration in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a virtual duration to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds converts a virtual duration to floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// FromSeconds converts floating-point seconds to a virtual duration,
+// rounding to the nearest nanosecond.
+func FromSeconds(s float64) Time { return Time(s*float64(Second) + 0.5) }
+
+// String renders the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+type event struct {
+	at  Time
+	seq uint64 // FIFO tiebreak for equal times: determinism
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use at
+// virtual time 0. An Engine must be driven from a single goroutine (its
+// processes are coordinated so that only one runs at a time).
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	running int // live processes, for deadlock detection in Run
+}
+
+// New returns a fresh engine at virtual time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Advance moves the virtual clock forward by d without running events; it is
+// the single-threaded "charge this much service time" primitive. It panics
+// if events are pending (mixing styles that way would reorder time) or if d
+// is negative.
+func (e *Engine) Advance(d Time) {
+	if d < 0 {
+		panic("sim: Advance with negative duration")
+	}
+	if len(e.events) > 0 {
+		panic("sim: Advance while events are pending; use Run")
+	}
+	e.now += d
+}
+
+// AdvanceTo moves the clock to t (no-op if t is in the past). Like Advance
+// it must not race pending events.
+func (e *Engine) AdvanceTo(t Time) {
+	if t > e.now {
+		e.Advance(t - e.now)
+	}
+}
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Step runs the next pending event, advancing the clock to its time. It
+// reports whether an event was run.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run drives the simulation until no events remain. It panics if processes
+// are still blocked when the event queue drains (a simulated deadlock).
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+	if e.running > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events", e.running))
+	}
+}
+
+// RunUntil drives the simulation until virtual time t; remaining events stay
+// queued. The clock ends at exactly t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Proc is a simulated thread: a goroutine that alternates control with the
+// engine. Within a Proc's body, time passes only via Sleep/SleepUntil; all
+// computation between sleeps happens at a single virtual instant.
+type Proc struct {
+	eng  *Engine
+	wake chan struct{}
+	idle chan struct{}
+}
+
+// Go starts fn as a simulated process at the current virtual time. The
+// process runs when the engine is driven (Run/RunUntil/Step).
+func (e *Engine) Go(fn func(p *Proc)) {
+	p := &Proc{eng: e, wake: make(chan struct{}), idle: make(chan struct{})}
+	e.running++
+	go func() {
+		<-p.wake // wait for the engine to hand us control
+		fn(p)
+		e.running--
+		p.idle <- struct{}{} // return control for the last time
+	}()
+	e.After(0, func() { p.handoff() })
+}
+
+// handoff transfers control to the process goroutine and blocks the engine
+// until the process yields (by sleeping or finishing).
+func (p *Proc) handoff() {
+	p.wake <- struct{}{}
+	<-p.idle
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Sleep suspends the process for virtual duration d (d <= 0 yields without
+// advancing time, allowing same-time events to interleave FIFO).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.After(d, func() { p.handoff() })
+	p.idle <- struct{}{} // yield to engine
+	<-p.wake             // resumed at target time
+}
+
+// SleepUntil suspends the process until virtual time t (no-op if t <= now —
+// it still yields, keeping scheduling fair and deterministic).
+func (p *Proc) SleepUntil(t Time) {
+	d := t - p.eng.Now()
+	p.Sleep(d)
+}
+
+// WaitGroup counts outstanding simulated tasks. Unlike sync.WaitGroup it is
+// engine-aware: Wait suspends the calling process until the count drops to
+// zero. It must only be used from engine-coordinated code.
+type WaitGroup struct {
+	count   int
+	waiters []*Proc
+}
+
+// Add increments the counter by n.
+func (w *WaitGroup) Add(n int) { w.count += n }
+
+// Done decrements the counter, waking waiters at zero.
+func (w *WaitGroup) Done() {
+	w.count--
+	if w.count < 0 {
+		panic("sim: WaitGroup counter below zero")
+	}
+	if w.count == 0 {
+		ws := w.waiters
+		w.waiters = nil
+		for _, p := range ws {
+			// Wake each waiter via a zero-delay event so control flows
+			// through the engine deterministically.
+			p.eng.After(0, p.handoff)
+		}
+	}
+}
+
+// Wait suspends p until the counter reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.count == 0 {
+		return
+	}
+	w.waiters = append(w.waiters, p)
+	p.idle <- struct{}{}
+	<-p.wake
+}

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if (2 * Second).Seconds() != 2 {
+		t.Fatal("Seconds roundtrip failed")
+	}
+	if (3 * Millisecond).Milliseconds() != 3 {
+		t.Fatal("Milliseconds roundtrip failed")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		2 * Second:      "2.000s",
+		3 * Millisecond: "3.000ms",
+		4 * Microsecond: "4.000µs",
+		5:               "5ns",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.At(10, func() { order = append(order, 11) }) // same time: FIFO
+	e.Run()
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time = %v", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.Advance(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestAdvance(t *testing.T) {
+	e := New()
+	e.Advance(10)
+	e.AdvanceTo(25)
+	e.AdvanceTo(5) // no-op backwards
+	if e.Now() != 25 {
+		t.Fatalf("now = %v", e.Now())
+	}
+}
+
+func TestAdvanceWithPendingEventsPanics(t *testing.T) {
+	e := New()
+	e.After(10, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Advance(5)
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(30, func() { fired++ })
+	e.RunUntil(20)
+	if fired != 1 || e.Now() != 20 {
+		t.Fatalf("fired=%d now=%v", fired, e.Now())
+	}
+	e.Run()
+	if fired != 2 || e.Now() != 30 {
+		t.Fatalf("fired=%d now=%v", fired, e.Now())
+	}
+}
+
+func TestProcessSleep(t *testing.T) {
+	e := New()
+	var times []Time
+	e.Go(func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(100)
+			times = append(times, p.Now())
+		}
+	})
+	e.Run()
+	want := []Time{100, 200, 300}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v", times)
+		}
+	}
+}
+
+func TestTwoProcessesInterleave(t *testing.T) {
+	e := New()
+	var order []string
+	e.Go(func(p *Proc) {
+		p.Sleep(10)
+		order = append(order, "a10")
+		p.Sleep(20) // wakes at 30
+		order = append(order, "a30")
+	})
+	e.Go(func(p *Proc) {
+		p.Sleep(20)
+		order = append(order, "b20")
+	})
+	e.Run()
+	want := []string{"a10", "b20", "a30"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcessDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := New()
+		var log []Time
+		for i := 0; i < 8; i++ {
+			d := Time((i%3 + 1) * 7)
+			e.Go(func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					p.Sleep(d)
+					log = append(log, p.Now())
+				}
+			})
+		}
+		e.Run()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSleepUntilPast(t *testing.T) {
+	e := New()
+	done := false
+	e.Go(func(p *Proc) {
+		p.Sleep(50)
+		p.SleepUntil(10) // in the past: yields without moving time
+		if p.Now() != 50 {
+			t.Errorf("now = %v, want 50", p.Now())
+		}
+		done = true
+	})
+	e.Run()
+	if !done {
+		t.Fatal("process did not finish")
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := New()
+	var wg WaitGroup
+	var finished []int
+	wg.Add(2)
+	e.Go(func(p *Proc) {
+		p.Sleep(100)
+		finished = append(finished, 1)
+		wg.Done()
+	})
+	e.Go(func(p *Proc) {
+		p.Sleep(200)
+		finished = append(finished, 2)
+		wg.Done()
+	})
+	e.Go(func(p *Proc) {
+		wg.Wait(p)
+		finished = append(finished, 99)
+		if p.Now() != 200 {
+			t.Errorf("waiter woke at %v, want 200", p.Now())
+		}
+	})
+	e.Run()
+	if len(finished) != 3 || finished[2] != 99 {
+		t.Fatalf("finished = %v", finished)
+	}
+}
+
+func TestWaitGroupAlreadyZero(t *testing.T) {
+	e := New()
+	var wg WaitGroup
+	ran := false
+	e.Go(func(p *Proc) {
+		wg.Wait(p) // should not block
+		ran = true
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("Wait on zero counter blocked")
+	}
+}

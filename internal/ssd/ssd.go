@@ -1,0 +1,189 @@
+// Package ssd simulates a flash solid-state drive.
+//
+// Flash storage reads pages from dies; dies are grouped onto channels whose
+// buses carry the data to the host (Desnoyers; Chen, Hou & Lee). The
+// simulator models exactly that structure: an IO is striped across dies by
+// its logical address, each stripe piece occupies its die for the cell-read
+// time and then its channel bus for the transfer time, and pieces queue
+// FIFO behind earlier arrivals at the same die or channel. Parallelism and
+// bank conflicts therefore *emerge* from the geometry — the PDAM's P is
+// never evaluated here. The Table 1 experiment recovers P by segmented
+// regression, exactly as the paper does on real SSDs.
+package ssd
+
+import (
+	"fmt"
+
+	"iomodels/internal/sim"
+	"iomodels/internal/storage"
+)
+
+// Profile describes an SSD's internal geometry and speeds.
+type Profile struct {
+	Name           string
+	CapacityGB     int64
+	Channels       int
+	DiesPerChannel int
+	StripeBytes    int64    // contiguous bytes mapped to one die before rotating
+	DieLatency     sim.Time // fixed cell-access setup per piece
+	DieBandwidth   float64  // cell read/program rate, bytes/second
+	ChanBandwidth  float64  // per-channel bus rate, bytes/second
+	WriteFactor    float64  // program time multiplier over read (>= 1)
+}
+
+// Capacity returns the capacity in bytes.
+func (p Profile) Capacity() int64 { return p.CapacityGB * 1e9 }
+
+// Dies returns the total die count.
+func (p Profile) Dies() int { return p.Channels * p.DiesPerChannel }
+
+// PieceTime returns the die-side service time for size bytes of one piece.
+func (p Profile) PieceTime(size int64) sim.Time {
+	return p.DieLatency + sim.FromSeconds(float64(size)/p.DieBandwidth)
+}
+
+// SaturationBandwidth estimates the device's aggregate throughput ceiling in
+// bytes/second for IOs of the given piece size: the min of total die
+// bandwidth and total channel bandwidth. This is the ground truth for the
+// "∝ PB" column of Table 1.
+func (p Profile) SaturationBandwidth(pieceSize int64) float64 {
+	perDie := float64(pieceSize) / p.PieceTime(pieceSize).Seconds()
+	dieTotal := perDie * float64(p.Dies())
+	chanTotal := p.ChanBandwidth * float64(p.Channels)
+	if dieTotal < chanTotal {
+		return dieTotal
+	}
+	return chanTotal
+}
+
+// Profiles returns the four devices of the paper's Table 1. Geometry and
+// speeds are chosen so that the *derived* parallelism P and saturation
+// throughput land near the paper's measurements (P between ~2.9 and ~5.5,
+// saturation 260–2500 MB/s); the knee's softness comes from genuine bank
+// conflicts under random addressing, as on the real hardware.
+func Profiles() []Profile {
+	// Geometry notes: a 64 KiB benchmark read stripes over four 16 KiB
+	// pieces on consecutive dies, as FTLs do, so the effective parallelism
+	// for 64 KiB IOs is about Dies/4 (each request occupies 4 of the dies);
+	// the many-dies-striped-4-wise arrangement also load-balances well,
+	// giving the sharp knee real devices show in Figure 1.
+	return []Profile{
+		{
+			// SATA SSD, paper-measured P=3.3, ∝PB=530 MB/s.
+			Name: "Samsung 860 pro", CapacityGB: 250,
+			Channels: 3, DiesPerChannel: 4, StripeBytes: 16 << 10,
+			DieLatency: 200 * sim.Microsecond, DieBandwidth: 328e6,
+			ChanBandwidth: 177e6, WriteFactor: 2.5,
+		},
+		{
+			// NVMe SSD, paper-measured P=5.5, ∝PB=2500 MB/s.
+			Name: "Samsung 970 pro", CapacityGB: 500,
+			Channels: 8, DiesPerChannel: 6, StripeBytes: 16 << 10,
+			DieLatency: 100 * sim.Microsecond, DieBandwidth: 600e6,
+			ChanBandwidth: 312e6, WriteFactor: 2.0,
+		},
+		{
+			// Budget SATA SSD, paper-measured P=2.9, ∝PB=260 MB/s.
+			Name: "Silicon Power S55", CapacityGB: 120,
+			Channels: 3, DiesPerChannel: 4, StripeBytes: 16 << 10,
+			DieLatency: 300 * sim.Microsecond, DieBandwidth: 320e6,
+			ChanBandwidth: 87e6, WriteFactor: 3.0,
+		},
+		{
+			// SATA SSD, paper-measured P=4.6, ∝PB=520 MB/s.
+			Name: "Sandisk Ultra II", CapacityGB: 240,
+			Channels: 6, DiesPerChannel: 6, StripeBytes: 16 << 10,
+			DieLatency: 420 * sim.Microsecond, DieBandwidth: 320e6,
+			ChanBandwidth: 87e6, WriteFactor: 2.5,
+		},
+	}
+}
+
+// DefaultProfile returns the Samsung 860 pro.
+func DefaultProfile() Profile { return Profiles()[0] }
+
+// Disk is a simulated SSD. It implements storage.Device and may be shared
+// by many sim processes (the engine serializes them).
+type Disk struct {
+	prof     Profile
+	dieFree  []sim.Time // next instant each die is idle
+	chanFree []sim.Time // next instant each channel bus is idle
+	IOCount  int64
+}
+
+var _ storage.Device = (*Disk)(nil)
+
+// New creates an SSD with the given profile.
+func New(prof Profile) *Disk {
+	if prof.Channels <= 0 || prof.DiesPerChannel <= 0 || prof.StripeBytes <= 0 {
+		panic("ssd: invalid profile geometry")
+	}
+	return &Disk{
+		prof:     prof,
+		dieFree:  make([]sim.Time, prof.Dies()),
+		chanFree: make([]sim.Time, prof.Channels),
+	}
+}
+
+// Profile returns the device's parameters.
+func (d *Disk) Profile() Profile { return d.prof }
+
+// Name implements storage.Device.
+func (d *Disk) Name() string { return d.prof.Name }
+
+// Capacity implements storage.Device.
+func (d *Disk) Capacity() int64 { return d.prof.Capacity() }
+
+// Access implements storage.Device: the IO is split at stripe boundaries;
+// each piece is serviced by the die owning its address (cell access, then
+// channel-bus transfer), and the IO completes when its last piece does.
+func (d *Disk) Access(now sim.Time, op storage.Op, off, size int64) sim.Time {
+	if size <= 0 {
+		panic("ssd: non-positive IO size")
+	}
+	if off < 0 || off+size > d.prof.Capacity() {
+		panic(fmt.Sprintf("ssd: IO out of range: [%d,%d) capacity %d", off, off+size, d.prof.Capacity()))
+	}
+	d.IOCount++
+	done := now
+	stripe := d.prof.StripeBytes
+	for size > 0 {
+		pieceEnd := (off/stripe + 1) * stripe
+		piece := pieceEnd - off
+		if piece > size {
+			piece = size
+		}
+		if t := d.accessPiece(now, op, off, piece); t > done {
+			done = t
+		}
+		off += piece
+		size -= piece
+	}
+	return done
+}
+
+func (d *Disk) accessPiece(now sim.Time, op storage.Op, off, size int64) sim.Time {
+	die := int((off / d.prof.StripeBytes) % int64(d.prof.Dies()))
+	ch := die % d.prof.Channels
+
+	cell := d.prof.PieceTime(size)
+	if op == storage.Write && d.prof.WriteFactor > 1 {
+		cell = sim.Time(float64(cell) * d.prof.WriteFactor)
+	}
+	xfer := sim.FromSeconds(float64(size) / d.prof.ChanBandwidth)
+
+	start := now
+	if d.dieFree[die] > start {
+		start = d.dieFree[die]
+	}
+	cellDone := start + cell
+	d.dieFree[die] = cellDone
+
+	xferStart := cellDone
+	if d.chanFree[ch] > xferStart {
+		xferStart = d.chanFree[ch]
+	}
+	done := xferStart + xfer
+	d.chanFree[ch] = done
+	return done
+}

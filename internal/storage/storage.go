@@ -1,0 +1,240 @@
+// Package storage defines the interface between data structures and the
+// simulated storage devices, plus the bookkeeping every experiment needs:
+// an in-memory backing store for the actual bytes, IO counters (the paper's
+// write-amplification numbers come from these), and an optional IO trace.
+//
+// A Device is pure timing: given an IO's offset, size and start time it
+// returns the completion time. A Disk couples a Device with a byte store and
+// a virtual clock, giving data structures a ReadAt/WriteAt API that charges
+// virtual time as a side effect.
+package storage
+
+import (
+	"fmt"
+
+	"iomodels/internal/sim"
+)
+
+// Op distinguishes reads from writes. The paper's models treat them
+// symmetrically for timing but the write-amplification analysis (§3) needs
+// them separated.
+type Op int
+
+// IO operation kinds.
+const (
+	Read Op = iota
+	Write
+)
+
+// String returns "read" or "write".
+func (o Op) String() string {
+	if o == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Device models the timing behaviour of a storage device. Implementations
+// (internal/hdd, internal/ssd, internal/pdamdev) are mechanistic simulators;
+// they must be callable with non-decreasing `now` values per client but may
+// be shared by many simulated clients under a sim.Engine.
+type Device interface {
+	// Access returns the virtual completion time of an IO of size bytes at
+	// byte offset off that is issued at time now. Implementations update
+	// their internal contention state (head position, die queues, ...).
+	Access(now sim.Time, op Op, off, size int64) sim.Time
+	// Capacity reports the addressable size in bytes.
+	Capacity() int64
+	// Name identifies the device profile (e.g. "1 TB Hitachi (2009)").
+	Name() string
+}
+
+// Counters accumulates IO statistics. The distinction between logical bytes
+// the caller asked for and physical IOs issued is what write amplification
+// measures.
+type Counters struct {
+	Reads        int64
+	Writes       int64
+	BytesRead    int64
+	BytesWritten int64
+	ReadTime     sim.Time
+	WriteTime    sim.Time
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Reads += other.Reads
+	c.Writes += other.Writes
+	c.BytesRead += other.BytesRead
+	c.BytesWritten += other.BytesWritten
+	c.ReadTime += other.ReadTime
+	c.WriteTime += other.WriteTime
+}
+
+// Sub returns c minus other; useful for measuring a phase.
+func (c Counters) Sub(other Counters) Counters {
+	return Counters{
+		Reads:        c.Reads - other.Reads,
+		Writes:       c.Writes - other.Writes,
+		BytesRead:    c.BytesRead - other.BytesRead,
+		BytesWritten: c.BytesWritten - other.BytesWritten,
+		ReadTime:     c.ReadTime - other.ReadTime,
+		WriteTime:    c.WriteTime - other.WriteTime,
+	}
+}
+
+// IOTime returns total virtual time spent in IO.
+func (c Counters) IOTime() sim.Time { return c.ReadTime + c.WriteTime }
+
+// String gives a one-line summary.
+func (c Counters) String() string {
+	return fmt.Sprintf("reads=%d (%d B, %v) writes=%d (%d B, %v)",
+		c.Reads, c.BytesRead, c.ReadTime, c.Writes, c.BytesWritten, c.WriteTime)
+}
+
+// TraceRecord is one IO in a Trace.
+type TraceRecord struct {
+	At      sim.Time
+	Op      Op
+	Off     int64
+	Size    int64
+	Latency sim.Time
+}
+
+// Trace records IOs for post-hoc analysis (e.g. verifying that the optimized
+// Bε-tree issues exactly one IO per level). A nil *Trace records nothing.
+type Trace struct {
+	Records []TraceRecord
+}
+
+func (t *Trace) add(r TraceRecord) {
+	if t != nil {
+		t.Records = append(t.Records, r)
+	}
+}
+
+// Reset discards recorded IOs.
+func (t *Trace) Reset() {
+	if t != nil {
+		t.Records = t.Records[:0]
+	}
+}
+
+// Disk couples a timing Device with an in-memory byte store and a virtual
+// clock. Data structures issue ReadAt/WriteAt; each call advances the clock
+// by the device's service time and moves real bytes, so both timing and
+// content are faithful.
+//
+// Disk is for single-threaded (one simulated client) use; the concurrent
+// experiments drive Devices directly from sim processes.
+type Disk struct {
+	dev      Device
+	clk      *sim.Engine
+	data     []byte // grows on demand up to dev.Capacity()
+	trace    *Trace
+	counters Counters
+}
+
+// NewDisk wraps dev with a byte store on clock clk.
+func NewDisk(dev Device, clk *sim.Engine) *Disk {
+	return &Disk{dev: dev, clk: clk}
+}
+
+// SetTrace attaches an IO trace (nil detaches).
+func (d *Disk) SetTrace(t *Trace) { d.trace = t }
+
+// Device returns the underlying timing device.
+func (d *Disk) Device() Device { return d.dev }
+
+// Clock returns the virtual clock.
+func (d *Disk) Clock() *sim.Engine { return d.clk }
+
+// Counters returns a snapshot of accumulated IO statistics.
+func (d *Disk) Counters() Counters { return d.counters }
+
+// ResetCounters zeroes the IO statistics.
+func (d *Disk) ResetCounters() { d.counters = Counters{} }
+
+func (d *Disk) ensure(end int64) {
+	if end > d.dev.Capacity() {
+		panic(fmt.Sprintf("storage: access beyond device capacity: %d > %d", end, d.dev.Capacity()))
+	}
+	if int64(len(d.data)) < end {
+		grown := make([]byte, end)
+		copy(grown, d.data)
+		d.data = grown
+	}
+}
+
+// ReadAt reads len(p) bytes at offset off, charging device time.
+func (d *Disk) ReadAt(p []byte, off int64) {
+	if len(p) == 0 {
+		return
+	}
+	d.ensure(off + int64(len(p)))
+	start := d.clk.Now()
+	done := d.dev.Access(start, Read, off, int64(len(p)))
+	d.clk.AdvanceTo(done)
+	copy(p, d.data[off:off+int64(len(p))])
+	d.counters.Reads++
+	d.counters.BytesRead += int64(len(p))
+	d.counters.ReadTime += done - start
+	d.trace.add(TraceRecord{At: start, Op: Read, Off: off, Size: int64(len(p)), Latency: done - start})
+}
+
+// WriteAt writes len(p) bytes at offset off, charging device time.
+func (d *Disk) WriteAt(p []byte, off int64) {
+	if len(p) == 0 {
+		return
+	}
+	d.ensure(off + int64(len(p)))
+	start := d.clk.Now()
+	done := d.dev.Access(start, Write, off, int64(len(p)))
+	d.clk.AdvanceTo(done)
+	copy(d.data[off:off+int64(len(p))], p)
+	d.counters.Writes++
+	d.counters.BytesWritten += int64(len(p))
+	d.counters.WriteTime += done - start
+	d.trace.add(TraceRecord{At: start, Op: Write, Off: off, Size: int64(len(p)), Latency: done - start})
+}
+
+// Allocator hands out block-aligned extents on a device with a simple bump
+// pointer plus per-size free lists. Data structures use it to place nodes;
+// freed extents are reused first-fit by exact size (node sizes are uniform
+// per tree, so this is both simple and tight).
+type Allocator struct {
+	next     int64
+	capacity int64
+	free     map[int64][]int64 // size -> offsets
+}
+
+// NewAllocator creates an allocator over [0, capacity).
+func NewAllocator(capacity int64) *Allocator {
+	return &Allocator{capacity: capacity, free: make(map[int64][]int64)}
+}
+
+// Alloc returns the offset of a fresh extent of the given size.
+func (a *Allocator) Alloc(size int64) int64 {
+	if size <= 0 {
+		panic("storage: Alloc with non-positive size")
+	}
+	if list := a.free[size]; len(list) > 0 {
+		off := list[len(list)-1]
+		a.free[size] = list[:len(list)-1]
+		return off
+	}
+	off := a.next
+	if off+size > a.capacity {
+		panic(fmt.Sprintf("storage: device full: need %d at %d, capacity %d", size, off, a.capacity))
+	}
+	a.next += size
+	return off
+}
+
+// Free returns an extent for reuse.
+func (a *Allocator) Free(off, size int64) {
+	a.free[size] = append(a.free[size], off)
+}
+
+// HighWater reports the bump-pointer position (peak space footprint).
+func (a *Allocator) HighWater() int64 { return a.next }

@@ -1,0 +1,173 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"iomodels/internal/sim"
+)
+
+// flatDevice is a trivial Device for storage-layer tests: every IO costs
+// 1ms + 1ns/byte.
+type flatDevice struct{ capacity int64 }
+
+func (d flatDevice) Access(now sim.Time, _ Op, _, size int64) sim.Time {
+	return now + sim.Millisecond + sim.Time(size)
+}
+func (d flatDevice) Capacity() int64 { return d.capacity }
+func (d flatDevice) Name() string    { return "flat" }
+
+func TestDiskRoundtrip(t *testing.T) {
+	clk := sim.New()
+	d := NewDisk(flatDevice{1 << 20}, clk)
+	in := []byte("hello, disk")
+	d.WriteAt(in, 4096)
+	out := make([]byte, len(in))
+	d.ReadAt(out, 4096)
+	if !bytes.Equal(in, out) {
+		t.Fatalf("roundtrip mismatch: %q", out)
+	}
+}
+
+func TestDiskChargesTime(t *testing.T) {
+	clk := sim.New()
+	d := NewDisk(flatDevice{1 << 20}, clk)
+	buf := make([]byte, 1000)
+	d.WriteAt(buf, 0)
+	want := sim.Millisecond + 1000*sim.Nanosecond
+	if clk.Now() != want {
+		t.Fatalf("clock = %v, want %v", clk.Now(), want)
+	}
+	d.ReadAt(buf, 0)
+	if clk.Now() != 2*want {
+		t.Fatalf("clock = %v, want %v", clk.Now(), 2*want)
+	}
+}
+
+func TestDiskCounters(t *testing.T) {
+	clk := sim.New()
+	d := NewDisk(flatDevice{1 << 20}, clk)
+	d.WriteAt(make([]byte, 100), 0)
+	d.ReadAt(make([]byte, 50), 0)
+	d.ReadAt(make([]byte, 50), 50)
+	c := d.Counters()
+	if c.Writes != 1 || c.BytesWritten != 100 || c.Reads != 2 || c.BytesRead != 100 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if c.IOTime() != c.ReadTime+c.WriteTime || c.IOTime() == 0 {
+		t.Fatal("io time inconsistent")
+	}
+	base := d.Counters()
+	d.WriteAt(make([]byte, 10), 0)
+	delta := d.Counters().Sub(base)
+	if delta.Writes != 1 || delta.Reads != 0 || delta.BytesWritten != 10 {
+		t.Fatalf("delta = %+v", delta)
+	}
+	d.ResetCounters()
+	if d.Counters().Reads != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCountersAddString(t *testing.T) {
+	var a Counters
+	a.Add(Counters{Reads: 1, BytesRead: 2, ReadTime: 3})
+	if a.Reads != 1 || a.BytesRead != 2 || a.ReadTime != 3 {
+		t.Fatalf("add = %+v", a)
+	}
+	if a.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestDiskZeroLengthIONoCharge(t *testing.T) {
+	clk := sim.New()
+	d := NewDisk(flatDevice{1 << 20}, clk)
+	d.ReadAt(nil, 0)
+	d.WriteAt(nil, 0)
+	if clk.Now() != 0 || d.Counters().Reads != 0 {
+		t.Fatal("zero-length IO charged")
+	}
+}
+
+func TestDiskBeyondCapacityPanics(t *testing.T) {
+	clk := sim.New()
+	d := NewDisk(flatDevice{100}, clk)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.WriteAt(make([]byte, 10), 95)
+}
+
+func TestTrace(t *testing.T) {
+	clk := sim.New()
+	d := NewDisk(flatDevice{1 << 20}, clk)
+	tr := &Trace{}
+	d.SetTrace(tr)
+	d.WriteAt(make([]byte, 10), 100)
+	d.ReadAt(make([]byte, 20), 200)
+	if len(tr.Records) != 2 {
+		t.Fatalf("records = %d", len(tr.Records))
+	}
+	r := tr.Records[1]
+	if r.Op != Read || r.Off != 200 || r.Size != 20 || r.Latency <= 0 {
+		t.Fatalf("record = %+v", r)
+	}
+	tr.Reset()
+	if len(tr.Records) != 0 {
+		t.Fatal("reset failed")
+	}
+	// nil trace is a no-op
+	var nilTrace *Trace
+	nilTrace.add(TraceRecord{})
+	nilTrace.Reset()
+}
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("op names wrong")
+	}
+}
+
+func TestAllocatorBumpAndReuse(t *testing.T) {
+	a := NewAllocator(1000)
+	x := a.Alloc(100)
+	y := a.Alloc(100)
+	if x == y {
+		t.Fatal("duplicate extents")
+	}
+	if a.HighWater() != 200 {
+		t.Fatalf("highwater = %d", a.HighWater())
+	}
+	a.Free(x, 100)
+	z := a.Alloc(100)
+	if z != x {
+		t.Fatalf("free extent not reused: got %d, want %d", z, x)
+	}
+	if a.HighWater() != 200 {
+		t.Fatal("reuse grew the high-water mark")
+	}
+}
+
+func TestAllocatorSizeSegregation(t *testing.T) {
+	a := NewAllocator(1000)
+	x := a.Alloc(100)
+	a.Free(x, 100)
+	y := a.Alloc(50) // different size: must not reuse the 100-byte extent
+	if y == x {
+		t.Fatal("wrong-size reuse")
+	}
+}
+
+func TestAllocatorFullPanics(t *testing.T) {
+	a := NewAllocator(100)
+	a.Alloc(80)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Alloc(30)
+}

@@ -1,0 +1,292 @@
+// Package veb implements the PDAM search-tree designs of the paper's §8 and
+// the van Emde Boas layout they rely on.
+//
+// The question: a static search tree over N keys on a PDAM device (P block
+// IOs of B per time step) serves k concurrent query clients, k unknown in
+// advance. Small (one-block) nodes are optimal at k=P but waste parallelism
+// at k=1; huge (P-block) nodes are optimal at k=1 but waste bandwidth at
+// k=P. Lemma 13: use P-block nodes whose internal binary search tree is
+// stored in van Emde Boas order; a client granted r=P/k blocks of
+// contiguous read-ahead per step traverses a node in Θ(log_{rB} PB) steps,
+// which is simultaneously optimal for every k.
+//
+// Three designs are provided for the E9 experiment:
+//
+//   - BlockNodes: classic B-tree with one-block nodes (one step per level,
+//     oblivious to read-ahead);
+//   - WholeNodeFetch: P-block nodes loaded in full before searching
+//     (ceil(P/r) steps per level);
+//   - VEBNodes: P-block nodes probed along the internal vEB-ordered BST
+//     with contiguous read-ahead.
+package veb
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Order returns the van Emde Boas permutation for a complete binary tree of
+// height h (2^h - 1 nodes): out[i] is the array position of the node with
+// 1-based heap index i+1. The layout recursively places the top ⌈h/2⌉
+// levels, then each bottom subtree, contiguously — so any root-to-leaf path
+// is covered by O(log_K n) contiguous runs of K array slots, for every K
+// simultaneously.
+func Order(h int) []int32 {
+	if h < 1 || h > 31 {
+		panic(fmt.Sprintf("veb: height %d out of range", h))
+	}
+	n := int32(1<<h - 1)
+	out := make([]int32, n)
+	next := int32(0)
+	// place assigns positions to the subtree of the given height whose root
+	// has the given heap index.
+	var place func(root int64, height int)
+	place = func(root int64, height int) {
+		if height == 1 {
+			out[root-1] = next
+			next++
+			return
+		}
+		top := (height + 1) / 2
+		bottom := height - top
+		place(root, top)
+		// The bottom subtrees hang off the 2^top leaves of the top tree.
+		leaves := int64(1) << top
+		firstLeaf := root << top
+		for i := int64(0); i < leaves; i++ {
+			place(firstLeaf+i, bottom)
+		}
+		return
+	}
+	// The recursion above places the top tree's own subtrees contiguously;
+	// but the standard definition re-splits the top tree too, which the
+	// recursive call handles (place(root, top) recurses until height 1).
+	place(1, h)
+	return out
+}
+
+// InorderRank returns the in-order position (0-based) of the node with
+// 1-based heap index i in a complete binary tree of height h. The BST over
+// a sorted array assigns key InorderRank(i) to heap node i.
+func InorderRank(i int64, h int) int64 {
+	// Depth of i is floor(log2(i)); nodes at depth d have subtree height
+	// h-d. In-order rank = (position within level) * 2^(h-d) + 2^(h-d-1)-1.
+	d := bits.Len64(uint64(i)) - 1
+	sub := int64(1) << (h - d) // subtree size + 1
+	posInLevel := i - int64(1)<<d
+	return posInLevel*sub + sub/2 - 1
+}
+
+// Design selects the node organization of §8.
+type Design int
+
+// Designs.
+const (
+	BlockNodes Design = iota
+	WholeNodeFetch
+	VEBNodes
+)
+
+func (d Design) String() string {
+	switch d {
+	case BlockNodes:
+		return "B-nodes"
+	case WholeNodeFetch:
+		return "PB-nodes (fetch whole)"
+	case VEBNodes:
+		return "PB-nodes (vEB layout)"
+	default:
+		return fmt.Sprintf("design(%d)", int(d))
+	}
+}
+
+// Config shapes a static PDAM search tree.
+type Config struct {
+	BlockEntries int // keys per PDAM block (B in entries)
+	NodeBlocks   int // blocks per node: 1 for BlockNodes, P for the others
+	Design       Design
+}
+
+// Tree is a static search tree over sorted uint64 keys, block-mapped for a
+// PDAM device. Nodes are materialized (this is a real searchable structure,
+// not a cost model): each node holds its separator keys and child links,
+// plus the inner-layout tables used to map probes to blocks.
+type Tree struct {
+	cfg        Config
+	nodeSlots  int // keys per node (padded BST capacity), 2^h - 1
+	height     int // inner BST height
+	vebPos     []int32
+	totalBlks  int64
+	root       *onode
+	treeLevels int
+}
+
+type onode struct {
+	keys      []uint64 // sorted separators, length <= nodeSlots
+	children  []*onode // len(keys)+1, nil for leaves
+	baseBlock int64    // first global block id of this node
+}
+
+// Build constructs the tree over the given sorted, deduplicated keys.
+func Build(cfg Config, keys []uint64) *Tree {
+	if cfg.BlockEntries < 2 || cfg.NodeBlocks < 1 {
+		panic("veb: invalid config")
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		panic("veb: keys not sorted")
+	}
+	capacity := cfg.BlockEntries * cfg.NodeBlocks
+	h := 1
+	for (1<<h)-1 < capacity {
+		h++
+	}
+	// Use the largest full BST that fits the node capacity.
+	for (1<<h)-1 > capacity && h > 1 {
+		h--
+	}
+	t := &Tree{
+		cfg:       cfg,
+		nodeSlots: (1 << h) - 1,
+		height:    h,
+	}
+	if cfg.Design == VEBNodes {
+		t.vebPos = Order(h)
+	}
+	t.root = t.build(keys, &t.totalBlks)
+	lvl := 1
+	for n := t.root; n.children != nil; n = n.children[0] {
+		lvl++
+	}
+	t.treeLevels = lvl
+	return t
+}
+
+func (t *Tree) build(keys []uint64, nextBlock *int64) *onode {
+	n := &onode{baseBlock: *nextBlock}
+	*nextBlock += int64(t.cfg.NodeBlocks)
+	if len(keys) <= t.nodeSlots {
+		n.keys = append([]uint64(nil), keys...)
+		return n
+	}
+	// Choose nodeSlots separators splitting keys into nodeSlots+1 runs.
+	fan := t.nodeSlots + 1
+	n.keys = make([]uint64, 0, t.nodeSlots)
+	n.children = make([]*onode, 0, fan)
+	prev := 0
+	for i := 1; i < fan; i++ {
+		cut := len(keys) * i / fan
+		if cut <= prev {
+			cut = prev + 1
+		}
+		n.keys = append(n.keys, keys[cut-1])
+		n.children = append(n.children, t.build(keys[prev:cut-1], nextBlock))
+		prev = cut
+	}
+	n.children = append(n.children, t.build(keys[prev:], nextBlock))
+	return n
+}
+
+// Levels returns the number of node levels in the tree.
+func (t *Tree) Levels() int { return t.treeLevels }
+
+// TotalBlocks returns the tree's block footprint.
+func (t *Tree) TotalBlocks() int64 { return t.totalBlks }
+
+// Fetcher abstracts the PDAM client: Fetch acquires the contiguous block
+// run [block, block+count) and blocks the caller until it is available.
+// The E9 experiment implements it with pdamdev and sim processes; tests use
+// counting fakes.
+type Fetcher interface {
+	Fetch(block int64, count int)
+}
+
+// Contains searches for key, driving f with the block fetches the design's
+// access pattern requires. readAhead is the client's per-step block budget
+// r = P/k; fetched blocks stay available for the rest of this query only
+// (queries are cold, as in §8).
+func (t *Tree) Contains(key uint64, readAhead int, f Fetcher) bool {
+	if readAhead < 1 {
+		readAhead = 1
+	}
+	n := t.root
+	for {
+		have := map[int64]bool{}
+		fetch := func(local int64) {
+			g := n.baseBlock + local
+			if have[g] {
+				return
+			}
+			count := readAhead
+			if int64(count) > int64(t.cfg.NodeBlocks)-local {
+				count = int(int64(t.cfg.NodeBlocks) - local)
+			}
+			if count < 1 {
+				count = 1
+			}
+			f.Fetch(g, count)
+			for i := 0; i < count; i++ {
+				have[g+int64(i)] = true
+			}
+		}
+		idx := t.searchNode(n, key, fetch)
+		if idx == -1 {
+			return true
+		}
+		if n.children == nil {
+			return false
+		}
+		n = n.children[idx]
+	}
+}
+
+// searchNode walks the node's inner BST, fetching blocks as probes require.
+// It returns -1 if the key is an exact separator hit, else the child index.
+func (t *Tree) searchNode(n *onode, key uint64, fetch func(local int64)) int {
+	switch t.cfg.Design {
+	case WholeNodeFetch:
+		// Load the whole node first, then search in memory.
+		for b := int64(0); b < int64(t.cfg.NodeBlocks); b++ {
+			fetch(b)
+		}
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		if i < len(n.keys) && n.keys[i] == key {
+			return -1
+		}
+		return i
+	case BlockNodes, VEBNodes:
+		// Probe along the BST path; each probe touches the block holding
+		// its layout position.
+		heap := int64(1)
+		result := 0
+		for heap < int64(1)<<t.height {
+			rank := InorderRank(heap, t.height)
+			var pos int64
+			if t.cfg.Design == VEBNodes {
+				pos = int64(t.vebPos[heap-1])
+			} else {
+				pos = rank // sorted order in a single block
+			}
+			fetch(pos / int64(t.cfg.BlockEntries))
+			if rank >= int64(len(n.keys)) {
+				// Padding slot: behaves as +infinity.
+				heap = 2 * heap
+				continue
+			}
+			k := n.keys[rank]
+			switch {
+			case key == k:
+				return -1
+			case key < k:
+				heap = 2 * heap
+				result = int(rank)
+			default:
+				heap = 2*heap + 1
+				result = int(rank) + 1
+			}
+		}
+		return result
+	default:
+		panic("veb: unknown design")
+	}
+}

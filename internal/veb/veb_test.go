@@ -1,0 +1,244 @@
+package veb
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"iomodels/internal/stats"
+)
+
+func TestOrderIsPermutation(t *testing.T) {
+	for h := 1; h <= 12; h++ {
+		out := Order(h)
+		n := (1 << h) - 1
+		if len(out) != n {
+			t.Fatalf("h=%d: len %d", h, len(out))
+		}
+		seen := make([]bool, n)
+		for _, p := range out {
+			if p < 0 || int(p) >= n || seen[p] {
+				t.Fatalf("h=%d: not a permutation", h)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestOrderSmallCases(t *testing.T) {
+	// h=2: root at 0, children follow.
+	out := Order(2)
+	if out[0] != 0 {
+		t.Fatalf("root not first: %v", out)
+	}
+	// h=3: top half (height 2: root+2 children) first, then the four
+	// bottom leaves in order.
+	out = Order(3)
+	if out[0] != 0 {
+		t.Fatalf("root not first: %v", out)
+	}
+	for i := 3; i < 7; i++ { // heap indices 4..7 are the bottom leaves
+		if out[i] != int32(i) {
+			t.Fatalf("h=3 layout unexpected: %v", out)
+		}
+	}
+}
+
+// TestOrderPathLocality quantifies the vEB property: a root-to-leaf path in
+// a height-16 tree must be covered by O(log_K n) contiguous runs of K
+// positions, far fewer than the 16 blocks a BFS/random layout would touch.
+func TestOrderPathLocality(t *testing.T) {
+	const h = 16
+	out := Order(h)
+	const K = 256 // positions per block
+	rng := stats.NewRNG(7)
+	for trial := 0; trial < 50; trial++ {
+		// Random root-to-leaf path.
+		blocks := map[int32]bool{}
+		i := int64(1)
+		for d := 0; d < h; d++ {
+			blocks[out[i-1]/K] = true
+			i = 2*i + int64(rng.Intn(2))
+			if i >= int64(len(out))+1 {
+				break
+			}
+		}
+		// log_K(2^16) = 2 recursion levels; allow a small constant factor.
+		if len(blocks) > 4 {
+			t.Fatalf("path touched %d blocks of %d slots; vEB bound violated", len(blocks), K)
+		}
+	}
+}
+
+func TestInorderRank(t *testing.T) {
+	// Height-3 tree: heap indices 1..7 have in-order ranks 3,1,5,0,2,4,6.
+	want := []int64{3, 1, 5, 0, 2, 4, 6}
+	for i := int64(1); i <= 7; i++ {
+		if got := InorderRank(i, 3); got != want[i-1] {
+			t.Fatalf("InorderRank(%d) = %d, want %d", i, got, want[i-1])
+		}
+	}
+}
+
+func TestInorderRankIsPermutation(t *testing.T) {
+	const h = 10
+	n := int64(1<<h) - 1
+	seen := make([]bool, n)
+	for i := int64(1); i <= n; i++ {
+		r := InorderRank(i, h)
+		if r < 0 || r >= n || seen[r] {
+			t.Fatalf("rank %d of heap %d invalid", r, i)
+		}
+		seen[r] = true
+	}
+}
+
+// countFetcher records fetches without a device.
+type countFetcher struct {
+	fetches int
+	blocks  int
+}
+
+func (c *countFetcher) Fetch(block int64, count int) {
+	c.fetches++
+	c.blocks += count
+}
+
+func buildKeys(n int, seed uint64) []uint64 {
+	rng := stats.NewRNG(seed)
+	set := map[uint64]bool{}
+	for len(set) < n {
+		set[rng.Uint64()] = true
+	}
+	keys := make([]uint64, 0, n)
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func TestContainsCorrectAllDesigns(t *testing.T) {
+	keys := buildKeys(50000, 1)
+	for _, design := range []Design{BlockNodes, WholeNodeFetch, VEBNodes} {
+		cfg := Config{BlockEntries: 64, NodeBlocks: 8, Design: design}
+		if design == BlockNodes {
+			cfg.NodeBlocks = 1
+		}
+		tree := Build(cfg, keys)
+		f := &countFetcher{}
+		rng := stats.NewRNG(2)
+		for trial := 0; trial < 2000; trial++ {
+			i := rng.Intn(len(keys))
+			if !tree.Contains(keys[i], 2, f) {
+				t.Fatalf("%v: present key %d not found", design, i)
+			}
+		}
+		// Probe keys (almost surely) absent.
+		miss := 0
+		for trial := 0; trial < 2000; trial++ {
+			if !tree.Contains(rng.Uint64(), 2, f) {
+				miss++
+			}
+		}
+		if miss < 1995 {
+			t.Fatalf("%v: %d random keys reported present", design, 2000-miss)
+		}
+	}
+}
+
+// TestFetchEconomy compares the designs' fetch behaviour at full read-ahead
+// (single client, r = NodeBlocks): the vEB design must fetch no more blocks
+// than whole-node fetch, and far fewer fetch *calls* than BlockNodes has
+// levels when read-ahead covers runs.
+func TestFetchEconomy(t *testing.T) {
+	keys := buildKeys(200000, 3)
+	const blockEntries, nodeBlocks = 64, 16
+	whole := Build(Config{BlockEntries: blockEntries, NodeBlocks: nodeBlocks, Design: WholeNodeFetch}, keys)
+	vebT := Build(Config{BlockEntries: blockEntries, NodeBlocks: nodeBlocks, Design: VEBNodes}, keys)
+
+	rng := stats.NewRNG(4)
+	var wf, vf countFetcher
+	for trial := 0; trial < 500; trial++ {
+		k := keys[rng.Intn(len(keys))]
+		whole.Contains(k, nodeBlocks, &wf)
+		vebT.Contains(k, nodeBlocks, &vf)
+	}
+	if vf.blocks > wf.blocks {
+		t.Fatalf("vEB fetched more blocks (%d) than whole-node (%d)", vf.blocks, wf.blocks)
+	}
+}
+
+// TestVEBBeatsSequentialAtSmallReadAhead is the heart of Lemma 13: with a
+// small per-step budget (many clients), the vEB layout needs far fewer
+// fetch rounds per query than loading whole fat nodes.
+func TestVEBBeatsSequentialAtSmallReadAhead(t *testing.T) {
+	keys := buildKeys(200000, 5)
+	const blockEntries, nodeBlocks = 64, 16
+	whole := Build(Config{BlockEntries: blockEntries, NodeBlocks: nodeBlocks, Design: WholeNodeFetch}, keys)
+	vebT := Build(Config{BlockEntries: blockEntries, NodeBlocks: nodeBlocks, Design: VEBNodes}, keys)
+	rng := stats.NewRNG(6)
+	var wf, vf countFetcher
+	const r = 1 // k = P: one block per step
+	for trial := 0; trial < 500; trial++ {
+		k := keys[rng.Intn(len(keys))]
+		whole.Contains(k, r, &wf)
+		vebT.Contains(k, r, &vf)
+	}
+	if vf.fetches*2 > wf.fetches {
+		t.Fatalf("vEB fetch rounds (%d) not well below whole-node (%d) at r=1", vf.fetches, wf.fetches)
+	}
+}
+
+func TestBlockNodesObliviousToReadAhead(t *testing.T) {
+	keys := buildKeys(100000, 7)
+	tree := Build(Config{BlockEntries: 64, NodeBlocks: 1, Design: BlockNodes}, keys)
+	var f1, f8 countFetcher
+	rng := stats.NewRNG(8)
+	for trial := 0; trial < 200; trial++ {
+		k := keys[rng.Intn(len(keys))]
+		tree.Contains(k, 1, &f1)
+		tree.Contains(k, 8, &f8)
+	}
+	if f1.fetches != f8.fetches {
+		t.Fatalf("block-node fetch rounds changed with read-ahead: %d vs %d", f1.fetches, f8.fetches)
+	}
+}
+
+func TestBuildPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(Config{BlockEntries: 64, NodeBlocks: 1, Design: BlockNodes}, []uint64{3, 1, 2})
+}
+
+func TestLevelsAndBlocks(t *testing.T) {
+	keys := buildKeys(100000, 9)
+	tree := Build(Config{BlockEntries: 64, NodeBlocks: 4, Design: VEBNodes}, keys)
+	if tree.Levels() < 2 {
+		t.Fatalf("levels = %d", tree.Levels())
+	}
+	if tree.TotalBlocks() <= 0 {
+		t.Fatal("no blocks")
+	}
+}
+
+func TestOrderQuick(t *testing.T) {
+	f := func(raw uint8) bool {
+		h := int(raw%10) + 1
+		out := Order(h)
+		seen := map[int32]bool{}
+		for _, p := range out {
+			if seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return len(out) == (1<<h)-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

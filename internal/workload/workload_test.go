@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyDeterministicAndUnique(t *testing.T) {
+	spec := DefaultSpec()
+	seen := map[string]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		k := spec.Key(i)
+		if len(k) != spec.KeyBytes {
+			t.Fatalf("key length %d", len(k))
+		}
+		if seen[string(k)] {
+			t.Fatalf("duplicate key for id %d", i)
+		}
+		seen[string(k)] = true
+		if !bytes.Equal(k, spec.Key(i)) {
+			t.Fatal("key not deterministic")
+		}
+	}
+}
+
+func TestKeysAreSpread(t *testing.T) {
+	// Bit-mixed keys from sequential ids must land all over the key space:
+	// sorting 1000 of them should interleave, not preserve id order.
+	spec := DefaultSpec()
+	keys := make([][]byte, 1000)
+	for i := range keys {
+		keys[i] = spec.Key(uint64(i))
+	}
+	pos := make([]int, len(keys))
+	order := make([][]byte, len(keys))
+	copy(order, keys)
+	sort.Slice(order, func(i, j int) bool { return bytes.Compare(order[i], order[j]) < 0 })
+	for i, k := range keys {
+		for j, o := range order {
+			if bytes.Equal(k, o) {
+				pos[i] = j
+			}
+		}
+	}
+	inOrder := 0
+	for i := 1; i < len(pos); i++ {
+		if pos[i] > pos[i-1] {
+			inOrder++
+		}
+	}
+	if inOrder > 600 {
+		t.Fatalf("keys nearly id-ordered: %d/999 ascending pairs", inOrder)
+	}
+}
+
+func TestSequentialKeyOrdered(t *testing.T) {
+	spec := DefaultSpec()
+	prev := spec.SequentialKey(0)
+	for i := uint64(1); i < 1000; i++ {
+		k := spec.SequentialKey(i)
+		if bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("sequential keys out of order at %d", i)
+		}
+		prev = k
+	}
+}
+
+func TestValueDeterministic(t *testing.T) {
+	spec := DefaultSpec()
+	if !bytes.Equal(spec.Value(42), spec.Value(42)) {
+		t.Fatal("value not deterministic")
+	}
+	if bytes.Equal(spec.Value(42), spec.Value(43)) {
+		t.Fatal("adjacent values identical")
+	}
+	if len(spec.Value(7)) != spec.ValueBytes {
+		t.Fatal("value length wrong")
+	}
+}
+
+func TestStreamMixProportions(t *testing.T) {
+	mix := Mix{Puts: 5, Gets: 3, Deletes: 1, Scans: 1}
+	s := NewStream(DefaultSpec(), 9, 1000, mix, 0)
+	counts := map[OpKind]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		op := s.Next()
+		counts[op.Kind]++
+		if op.ID >= 1000 {
+			t.Fatalf("id %d out of population", op.ID)
+		}
+	}
+	if frac := float64(counts[OpPut]) / n; frac < 0.45 || frac > 0.55 {
+		t.Fatalf("put fraction %v", frac)
+	}
+	if frac := float64(counts[OpScan]) / n; frac < 0.07 || frac > 0.13 {
+		t.Fatalf("scan fraction %v", frac)
+	}
+	if counts[OpUpsert] != 0 {
+		t.Fatal("unexpected upserts")
+	}
+}
+
+func TestStreamZipfSkew(t *testing.T) {
+	s := NewStream(DefaultSpec(), 9, 10000, Mix{Gets: 1}, 0.99)
+	counts := map[uint64]int{}
+	for i := 0; i < 30000; i++ {
+		counts[s.Next().ID]++
+	}
+	if counts[0] < 100 {
+		t.Fatalf("rank 0 drawn only %d times; not skewed", counts[0])
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	mk := func() []Op {
+		s := NewStream(DefaultSpec(), 1234, 500, Mix{Puts: 1, Gets: 1}, 0)
+		ops := make([]Op, 100)
+		for i := range ops {
+			ops[i] = s.Next()
+		}
+		return ops
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream diverged at %d", i)
+		}
+	}
+}
+
+// mapDict is a reference Dictionary.
+type mapDict struct{ m map[string][]byte }
+
+func (d *mapDict) Put(k, v []byte) { d.m[string(k)] = append([]byte(nil), v...) }
+func (d *mapDict) Get(k []byte) ([]byte, bool) {
+	v, ok := d.m[string(k)]
+	return v, ok
+}
+func (d *mapDict) Scan(lo, hi []byte, fn func(k, v []byte) bool) {
+	var keys []string
+	for k := range d.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if lo != nil && k < string(lo) {
+			continue
+		}
+		if hi != nil && k >= string(hi) {
+			break
+		}
+		if !fn([]byte(k), d.m[k]) {
+			return
+		}
+	}
+}
+
+func TestLoadAndApply(t *testing.T) {
+	spec := DefaultSpec()
+	d := &mapDict{m: map[string][]byte{}}
+	Load(d, spec, 500)
+	if len(d.m) != 500 {
+		t.Fatalf("loaded %d", len(d.m))
+	}
+	v, ok := d.Get(spec.Key(123))
+	if !ok || !bytes.Equal(v, spec.Value(123)) {
+		t.Fatal("load content wrong")
+	}
+	Apply(d, spec, Op{Kind: OpPut, ID: 1000})
+	if _, ok := d.Get(spec.Key(1000)); !ok {
+		t.Fatal("apply put failed")
+	}
+	Apply(d, spec, Op{Kind: OpGet, ID: 1})
+	Apply(d, spec, Op{Kind: OpScan, ID: 1, Len: 5})
+}
+
+func TestApplyPanicsOnDelete(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Apply(&mapDict{m: map[string][]byte{}}, DefaultSpec(), Op{Kind: OpDelete})
+}
+
+func TestMixIsBijection(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return (a == b) == (mix(a) == mix(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for _, k := range []OpKind{OpPut, OpGet, OpDelete, OpScan, OpUpsert, OpKind(99)} {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package iomodels is a from-scratch reproduction of "Small Refinements to
+// the DAM Can Have Big Consequences for Data-Structure Design" (Bender et
+// al., SPAA 2019): the affine and PDAM refinements of the disk-access
+// machine model, the storage-device simulators that validate them, and the
+// external-memory dictionaries (B-tree, Bε-tree, LSM-tree, van Emde Boas
+// PDAM tree) whose design the models explain and improve.
+//
+// This root package is the public facade: it re-exports the pieces a
+// downstream user composes, with convenience constructors wiring a tree to
+// a simulated device on a virtual clock. The layering underneath:
+//
+//	sim        virtual-time discrete-event engine
+//	storage    device interface, byte store, IO counters, traces
+//	hdd, ssd   mechanistic device simulators (Table 1/2 profiles)
+//	pdamdev    the abstract PDAM device of Definition 1
+//	cache      byte-budgeted buffer cache (the models' M)
+//	core       the analytic models and cost formulas (the paper's math)
+//	btree      classic B-tree (BerkeleyDB stand-in)
+//	betree     Bε-tree with the Theorem 9 node organization (TokuDB stand-in)
+//	lsm        leveled LSM-tree (LevelDB stand-in)
+//	veb        §8's van Emde Boas PDAM search tree
+//	experiments one harness per table/figure of the paper
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results; the cmd/ tools regenerate every table and
+// figure.
+package iomodels
+
+import (
+	"iomodels/internal/betree"
+	"iomodels/internal/btree"
+	"iomodels/internal/cobtree"
+	"iomodels/internal/core"
+	"iomodels/internal/hdd"
+	"iomodels/internal/lsm"
+	"iomodels/internal/sim"
+	"iomodels/internal/ssd"
+	"iomodels/internal/storage"
+)
+
+// Re-exported model types (see internal/core for the full API).
+type (
+	// Affine is the affine model of §2.3: an IO of x bytes costs
+	// Setup + PerByte·x seconds.
+	Affine = core.Affine
+	// DAM is the classic disk-access machine model.
+	DAM = core.DAM
+	// PDAM is the parallel DAM of §2.2.
+	PDAM = core.PDAM
+	// BTreeParams parameterizes the §5 B-tree analyses.
+	BTreeParams = core.BTreeParams
+	// BeTreeParams parameterizes the §6 Bε-tree analyses.
+	BeTreeParams = core.BeTreeParams
+)
+
+// Re-exported simulator types.
+type (
+	// Clock is a virtual-time discrete-event engine.
+	Clock = sim.Engine
+	// VirtualTime is a virtual timestamp/duration in nanoseconds.
+	VirtualTime = sim.Time
+	// Disk couples a timing device with a byte store on a virtual clock.
+	Disk = storage.Disk
+	// HDDProfile describes a simulated hard drive.
+	HDDProfile = hdd.Profile
+	// SSDProfile describes a simulated solid-state drive.
+	SSDProfile = ssd.Profile
+)
+
+// Re-exported dictionary types.
+type (
+	// BTree is a disk-backed B-tree with a configurable node size.
+	BTree = btree.Tree
+	// BTreeConfig shapes a BTree.
+	BTreeConfig = btree.Config
+	// BeTree is a disk-backed Bε-tree.
+	BeTree = betree.Tree
+	// BeTreeConfig shapes a BeTree.
+	BeTreeConfig = betree.Config
+	// LSMTree is a leveled log-structured merge tree.
+	LSMTree = lsm.Tree
+	// LSMConfig shapes an LSMTree.
+	LSMConfig = lsm.Config
+	// COBTree is a dynamic cache-oblivious B-tree (packed-memory array with
+	// a van Emde Boas index), the §8 direction made dynamic.
+	COBTree = cobtree.Tree
+	// COBTreeConfig shapes a COBTree.
+	COBTreeConfig = cobtree.Config
+)
+
+// NewClock returns a fresh virtual clock at time zero.
+func NewClock() *Clock { return sim.New() }
+
+// HDDProfiles returns the five Table 2 hard-drive profiles.
+func HDDProfiles() []HDDProfile { return hdd.Profiles() }
+
+// SSDProfiles returns the four Table 1 SSD profiles.
+func SSDProfiles() []SSDProfile { return ssd.Profiles() }
+
+// NewHDD creates a simulated hard drive with backing storage on clk. The
+// seed drives the rotational-latency stream.
+func NewHDD(prof HDDProfile, seed uint64, clk *Clock) *Disk {
+	return storage.NewDisk(hdd.New(prof, seed), clk)
+}
+
+// NewSSD creates a simulated SSD with backing storage on clk.
+func NewSSD(prof SSDProfile, clk *Clock) *Disk {
+	return storage.NewDisk(ssd.New(prof), clk)
+}
+
+// NewBTree creates a B-tree on the given disk.
+func NewBTree(cfg BTreeConfig, disk *Disk) (*BTree, error) { return btree.New(cfg, disk) }
+
+// NewBeTree creates a Bε-tree on the given disk. Use
+// BeTreeConfig.Optimized() for the Theorem 9 node organization.
+func NewBeTree(cfg BeTreeConfig, disk *Disk) (*BeTree, error) { return betree.New(cfg, disk) }
+
+// NewLSMTree creates an LSM-tree on the given disk.
+func NewLSMTree(cfg LSMConfig, disk *Disk) (*LSMTree, error) { return lsm.New(cfg, disk) }
+
+// NewCOBTree creates a cache-oblivious B-tree metered against the disk's
+// device and clock. Unlike the other trees it needs no node-size tuning:
+// its IO efficiency holds for every block size simultaneously.
+func NewCOBTree(cfg COBTreeConfig, disk *Disk) (*COBTree, error) {
+	return cobtree.New(cfg, disk.Device(), disk.Clock())
+}
+
+// AffineOf returns the affine model a simulated hard drive realizes for
+// random IO: setup = expected seek + rotation + overhead, per-byte = inverse
+// bandwidth. Use it to tune node sizes analytically (Corollaries 6/7/11/12)
+// before validating empirically.
+func AffineOf(prof HDDProfile) Affine {
+	return Affine{Setup: prof.ExpectedSetup().Seconds(), PerByte: 1 / prof.Bandwidth}
+}
+
+// OptimalBTreeNodeBytes returns Corollary 7's optimal B-tree node size for
+// point operations on the given drive.
+func OptimalBTreeNodeBytes(prof HDDProfile, entryBytes int) int {
+	return int(core.OptimalBTreeNodeBytes(AffineOf(prof), float64(entryBytes)))
+}
+
+// OptimalBeTreeParams returns Corollary 12's Bε-tree fanout and node size
+// for the given drive: queries optimal to low-order terms, inserts
+// Θ(log(1/α)) faster than any B-tree's point operations.
+func OptimalBeTreeParams(prof HDDProfile, entryBytes, pivotBytes int) (fanout int, nodeBytes int) {
+	f, b := core.OptimalBeTreeParams(AffineOf(prof), float64(entryBytes), float64(pivotBytes))
+	return int(f), int(b)
+}

@@ -1,0 +1,127 @@
+package iomodels
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestFacadeBTreeLifecycle(t *testing.T) {
+	clk := NewClock()
+	disk := NewHDD(HDDProfiles()[0], 1, clk)
+	tree, err := NewBTree(BTreeConfig{
+		NodeBytes: 16 << 10, MaxKeyBytes: 32, MaxValueBytes: 64, CacheBytes: 1 << 20,
+	}, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		tree.Put([]byte(fmt.Sprintf("k%05d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	v, ok := tree.Get([]byte("k00500"))
+	if !ok || string(v) != "v500" {
+		t.Fatalf("got %q %v", v, ok)
+	}
+}
+
+func TestFacadeBeTreeLifecycle(t *testing.T) {
+	clk := NewClock()
+	disk := NewHDD(HDDProfiles()[2], 1, clk)
+	tree, err := NewBeTree(BeTreeConfig{
+		NodeBytes: 64 << 10, MaxFanout: 8, MaxKeyBytes: 32, MaxValueBytes: 64, CacheBytes: 1 << 20,
+	}.Optimized(), disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		tree.Put([]byte(fmt.Sprintf("k%05d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	tree.Upsert([]byte("counter"), 5)
+	v, ok := tree.Get([]byte("k04321"))
+	if !ok || string(v) != "v4321" {
+		t.Fatalf("got %q %v", v, ok)
+	}
+	tree.Flush() // write back dirty nodes: virtual disk time must accrue
+	if clk.Now() == 0 {
+		t.Fatal("no virtual time passed")
+	}
+}
+
+func TestFacadeLSMLifecycle(t *testing.T) {
+	clk := NewClock()
+	disk := NewHDD(HDDProfiles()[2], 1, clk)
+	tree, err := NewLSMTree(LSMConfig{
+		MemtableBytes: 8 << 10, SSTableBytes: 32 << 10, GrowthFactor: 4, Level0Runs: 2, BlockBytes: 4 << 10,
+	}, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		tree.Put([]byte(fmt.Sprintf("k%05d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	v, ok := tree.Get([]byte("k02999"))
+	if !ok || string(v) != "v2999" {
+		t.Fatalf("got %q %v", v, ok)
+	}
+}
+
+func TestFacadeSSD(t *testing.T) {
+	clk := NewClock()
+	disk := NewSSD(SSDProfiles()[0], clk)
+	buf := make([]byte, 64<<10)
+	disk.WriteAt(buf, 0)
+	out := make([]byte, 64<<10)
+	disk.ReadAt(out, 0)
+	if !bytes.Equal(buf, out) {
+		t.Fatal("roundtrip failed")
+	}
+	if clk.Now() == 0 {
+		t.Fatal("no time charged")
+	}
+}
+
+func TestFacadeModelHelpers(t *testing.T) {
+	prof := HDDProfiles()[2]
+	a := AffineOf(prof)
+	if a.Setup <= 0 || a.PerByte <= 0 {
+		t.Fatalf("affine: %+v", a)
+	}
+	opt := OptimalBTreeNodeBytes(prof, 124)
+	if opt <= 0 || float64(opt) >= a.HalfBandwidthBytes() {
+		t.Fatalf("optimal node %d vs half-bandwidth %.0f", opt, a.HalfBandwidthBytes())
+	}
+	f, nb := OptimalBeTreeParams(prof, 124, 28)
+	if f <= 1 || nb <= opt {
+		t.Fatalf("Bε params: F=%d B=%d", f, nb)
+	}
+}
+
+func TestFacadeProfileSets(t *testing.T) {
+	if len(HDDProfiles()) != 5 {
+		t.Fatal("Table 2 has five drives")
+	}
+	if len(SSDProfiles()) != 4 {
+		t.Fatal("Table 1 has four SSDs")
+	}
+}
+
+func TestFacadeCOBTreeLifecycle(t *testing.T) {
+	clk := NewClock()
+	disk := NewHDD(HDDProfiles()[2], 1, clk)
+	tree, err := NewCOBTree(COBTreeConfig{
+		MaxKeyBytes: 32, MaxValueBytes: 64, BlockBytes: 4 << 10, CacheBytes: 1 << 20,
+	}, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		tree.Put([]byte(fmt.Sprintf("k%05d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	v, ok := tree.Get([]byte("k02500"))
+	if !ok || string(v) != "v2500" {
+		t.Fatalf("got %q %v", v, ok)
+	}
+	if clk.Now() == 0 {
+		t.Fatal("no virtual time charged")
+	}
+}
