@@ -15,8 +15,13 @@ import (
 
 	"iomodels/internal/betree"
 	"iomodels/internal/btree"
+	"iomodels/internal/engine"
 	"iomodels/internal/experiments"
+	"iomodels/internal/hdd"
 	"iomodels/internal/lsm"
+	"iomodels/internal/pdamdev"
+	"iomodels/internal/sim"
+	"iomodels/internal/stats"
 	"iomodels/internal/workload"
 )
 
@@ -176,14 +181,110 @@ func shortDesign(s string) string {
 	}
 }
 
+// BenchmarkConcurrentQueries runs k concurrent clients against one shared
+// dictionary through the engine's sharded pager — the Lemma 13 setup on
+// the real trees — across tree type and device family. The custom metric
+// is virtual milliseconds per query: it should FALL as k grows on the
+// parallel device (clients' IOs overlap) and stay near-flat on the hard
+// drive (one head, no parallelism to exploit).
+func BenchmarkConcurrentQueries(b *testing.B) {
+	spec := workload.DefaultSpec()
+	const items = 30_000
+	const queries = 50
+
+	devices := []struct {
+		name string
+		make func() (*Clock, *Engine)
+	}{
+		{"hdd", func() (*Clock, *Engine) {
+			clk := NewClock()
+			eng := engine.New(EngineConfig{CacheBytes: 1 << 20, Shards: 4},
+				hdd.NewDeterministic(hdd.DefaultProfile()), clk)
+			return clk, eng
+		}},
+		{"pdam", func() (*Clock, *Engine) {
+			clk := NewClock()
+			dev := pdamdev.New(16, 4<<10, sim.Millisecond)
+			eng := engine.New(EngineConfig{CacheBytes: 1 << 20, Shards: 4},
+				dev.Storage(1<<31), clk)
+			return clk, eng
+		}},
+	}
+	trees := []struct {
+		name string
+		make func(eng *Engine) func(c *Client) Dictionary
+	}{
+		{"btree", func(eng *Engine) func(c *Client) Dictionary {
+			t, err := btree.New(btree.Config{
+				NodeBytes: 4 << 10, MaxKeyBytes: spec.KeyBytes, MaxValueBytes: spec.ValueBytes,
+			}, eng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			workload.Load(t, spec, items)
+			t.Flush()
+			return func(c *Client) Dictionary { return t.Session(c) }
+		}},
+		{"betree", func(eng *Engine) func(c *Client) Dictionary {
+			t, err := betree.New(betree.Config{
+				NodeBytes: 64 << 10, MaxFanout: 16,
+				MaxKeyBytes: spec.KeyBytes, MaxValueBytes: spec.ValueBytes,
+			}.Optimized(), eng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			workload.Load(t, spec, items)
+			t.Settle()
+			t.Flush()
+			return func(c *Client) Dictionary { return t.Session(c) }
+		}},
+	}
+	for _, dv := range devices {
+		for _, tr := range trees {
+			clk, eng := dv.make()
+			session := tr.make(eng)
+			for _, k := range []int{1, 4, 16} {
+				b.Run(fmt.Sprintf("%s/%s/k=%d", dv.name, tr.name, k), func(b *testing.B) {
+					var elapsed VirtualTime
+					for i := 0; i < b.N; i++ {
+						eng.Pager().EvictAll(eng.Owner())
+						root := stats.NewRNG(uint64(41 + k))
+						start := clk.Now()
+						for c := 0; c < k; c++ {
+							rng := root.Split(uint64(c))
+							clk.Go(func(pr *sim.Proc) {
+								s := session(eng.Process(pr))
+								for q := 0; q < queries; q++ {
+									id := uint64(rng.Int63n(items))
+									if _, ok := s.Get(spec.Key(id)); !ok {
+										b.Error("lost a key")
+										return
+									}
+								}
+							})
+						}
+						clk.Run()
+						elapsed += clk.Now() - start
+					}
+					b.ReportMetric(elapsed.Milliseconds()/float64(b.N*k*queries), "vms/query")
+				})
+			}
+		}
+	}
+}
+
 // --- host-CPU micro-benchmarks of the data structures -------------------
 
-func benchBTree(b *testing.B) *btree.Tree {
+func benchEngine(cacheBytes int64) *Engine {
 	clk := NewClock()
 	disk := NewHDD(HDDProfiles()[2], 1, clk)
+	return NewEngine(EngineConfig{CacheBytes: cacheBytes}, disk)
+}
+
+func benchBTree(b *testing.B) *btree.Tree {
 	tree, err := btree.New(btree.Config{
-		NodeBytes: 64 << 10, MaxKeyBytes: 16, MaxValueBytes: 100, CacheBytes: 32 << 20,
-	}, disk)
+		NodeBytes: 64 << 10, MaxKeyBytes: 16, MaxValueBytes: 100,
+	}, benchEngine(32<<20))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -212,12 +313,9 @@ func BenchmarkBTreeGet(b *testing.B) {
 }
 
 func benchBeTree(b *testing.B) *betree.Tree {
-	clk := NewClock()
-	disk := NewHDD(HDDProfiles()[2], 1, clk)
 	tree, err := betree.New(betree.Config{
 		NodeBytes: 256 << 10, MaxFanout: 16, MaxKeyBytes: 16, MaxValueBytes: 100,
-		CacheBytes: 32 << 20,
-	}.Optimized(), disk)
+	}.Optimized(), benchEngine(32<<20))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -254,9 +352,7 @@ func BenchmarkBeTreeUpsert(b *testing.B) {
 }
 
 func BenchmarkLSMPut(b *testing.B) {
-	clk := NewClock()
-	disk := NewHDD(HDDProfiles()[2], 1, clk)
-	tree, err := lsm.New(lsm.DefaultConfig(), disk)
+	tree, err := lsm.New(lsm.DefaultConfig(), benchEngine(32<<20))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -269,11 +365,9 @@ func BenchmarkLSMPut(b *testing.B) {
 }
 
 func BenchmarkCOBTreePut(b *testing.B) {
-	clk := NewClock()
-	disk := NewHDD(HDDProfiles()[2], 1, clk)
 	tree, err := NewCOBTree(COBTreeConfig{
-		MaxKeyBytes: 16, MaxValueBytes: 100, BlockBytes: 4 << 10, CacheBytes: 32 << 20,
-	}, disk)
+		MaxKeyBytes: 16, MaxValueBytes: 100, BlockBytes: 4 << 10,
+	}, benchEngine(32<<20))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -286,11 +380,9 @@ func BenchmarkCOBTreePut(b *testing.B) {
 }
 
 func BenchmarkCOBTreeGet(b *testing.B) {
-	clk := NewClock()
-	disk := NewHDD(HDDProfiles()[2], 1, clk)
 	tree, err := NewCOBTree(COBTreeConfig{
-		MaxKeyBytes: 16, MaxValueBytes: 100, BlockBytes: 4 << 10, CacheBytes: 32 << 20,
-	}, disk)
+		MaxKeyBytes: 16, MaxValueBytes: 100, BlockBytes: 4 << 10,
+	}, benchEngine(32<<20))
 	if err != nil {
 		b.Fatal(err)
 	}

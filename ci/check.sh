@@ -1,0 +1,31 @@
+#!/bin/sh
+# Repo verification, in increasing order of cost:
+#
+#   gofmt      formatting drift
+#   go vet     static analysis
+#   go build   everything compiles, including cmd/ and examples/
+#   go test    tier-1 correctness
+#   go test -race   the concurrent engine path: k sim processes and
+#                   host-parallel detached clients through the sharded pager
+#
+# The race pass skips the full-scale single-client experiment harnesses
+# (see skipUnderRace in internal/experiments) — they have no goroutine
+# concurrency to check and would push the package past its timeout.
+#
+# CI runs this script verbatim (.github/workflows/ci.yml); run it locally
+# before pushing.
+set -eu
+cd "$(dirname "$0")/.."
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race -timeout 20m ./...
+echo "all checks passed"

@@ -29,6 +29,7 @@ func main() {
 	clk := iomodels.NewClock()
 	prof := iomodels.HDDProfiles()[2]
 	disk := iomodels.NewHDD(prof, 77, clk)
+	eng := iomodels.NewEngine(iomodels.EngineConfig{CacheBytes: 4 << 20}, disk)
 	spec := workload.DefaultSpec()
 
 	var d workload.Dictionary
@@ -37,22 +38,21 @@ func main() {
 	case "b":
 		t, err := iomodels.NewBTree(iomodels.BTreeConfig{
 			NodeBytes: *node, MaxKeyBytes: spec.KeyBytes, MaxValueBytes: spec.ValueBytes,
-			CacheBytes: 4 << 20,
-		}, disk)
+		}, eng)
 		must(err)
 		d, flush = t, t.Flush
 	case "be":
 		t, err := iomodels.NewBeTree(iomodels.BeTreeConfig{
 			NodeBytes: *node, MaxFanout: 16, MaxKeyBytes: spec.KeyBytes,
-			MaxValueBytes: spec.ValueBytes, CacheBytes: 4 << 20,
-		}.Optimized(), disk)
+			MaxValueBytes: spec.ValueBytes,
+		}.Optimized(), eng)
 		must(err)
 		d, flush = t, t.Flush
 	case "lsm":
 		t, err := iomodels.NewLSMTree(iomodels.LSMConfig{
 			MemtableBytes: 1 << 20, SSTableBytes: 2 << 20, GrowthFactor: 10,
 			Level0Runs: 4, BlockBytes: 4 << 10,
-		}, disk)
+		}, eng)
 		must(err)
 		d, flush = t, t.Flush
 	default:
@@ -77,7 +77,8 @@ func main() {
 }
 
 func report(tr *storage.Trace) {
-	if len(tr.Records) == 0 {
+	recs := tr.Snapshot()
+	if len(recs) == 0 {
 		fmt.Println("  (no IO)")
 		return
 	}
@@ -89,7 +90,7 @@ func report(tr *storage.Trace) {
 	}
 	var byOp [2]agg
 	var lastEnd int64 = -1
-	for _, r := range tr.Records {
+	for _, r := range recs {
 		a := &byOp[int(r.Op)]
 		a.n++
 		a.bytes += r.Size
@@ -110,7 +111,7 @@ func report(tr *storage.Trace) {
 		fmt.Printf("         latency ms: mean %.2f  median %.2f  p95 %.2f  max %.2f\n",
 			s.Mean, s.Median, s.P95, s.Max)
 		sizes := map[int64]int{}
-		for _, r := range tr.Records {
+		for _, r := range recs {
 			if r.Op == op {
 				sizes[r.Size]++
 			}

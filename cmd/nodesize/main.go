@@ -36,6 +36,16 @@ func main() {
 	epsilon := flag.Bool("epsilon", false, "run E18 (the ε spectrum: fanout sweep)")
 	flag.Parse()
 
+	// printPager reports the buffer pool's view of each sweep point: the
+	// hit% column in the table is this ratio; here the raw per-point
+	// traffic shows WHY a node size wins (evictions and write-backs).
+	printPager := func(res experiments.NodeSizeResult) {
+		for _, p := range res.Points {
+			fmt.Printf("  pager @ %7d B nodes: %s\n", p.NodeBytes, p.Pager)
+		}
+		fmt.Println()
+	}
+
 	applyDevice := func(cfg experiments.NodeSizeConfig) experiments.NodeSizeConfig {
 		if *device == "ssd" {
 			prof := ssd.DefaultProfile()
@@ -55,6 +65,7 @@ func main() {
 		fmt.Printf("Figure 2: B-tree on %s, %d pairs, %d B cache\n\n", cfg.DeviceName(), cfg.Items, cfg.CacheBytes)
 		res := experiments.Figure2(cfg)
 		fmt.Println(experiments.RenderNodeSize(res, "Figure 2: B-tree ms/op vs node size (cf. paper: optimum ~64KiB, then near-linear growth)"))
+		printPager(res)
 		if *optima {
 			fmt.Println(experiments.RenderOptima(experiments.Corollary7Check(res, cfg)))
 		}
@@ -73,6 +84,7 @@ func main() {
 		fmt.Printf("Figure 3: Bε-tree (F=%d) on %s, %d pairs, %d B cache\n\n", cfg.Fanout, cfg.DeviceName(), cfg.Items, cfg.CacheBytes)
 		res := experiments.Figure3(cfg)
 		fmt.Println(experiments.RenderNodeSize(res, "Figure 3: Bε-tree ms/op vs node size (cf. paper: queries best ~512KiB, inserts ~4MiB, both flat)"))
+		printPager(res)
 		if *csv {
 			fmt.Println(experiments.RenderNodeSizeCSV(res))
 		}

@@ -5,9 +5,15 @@
 // at large k; PB-nodes in a van Emde Boas layout track the best design at
 // every k.
 //
+// It then re-runs the experiment with DYNAMIC dictionaries — the repo's
+// real B-tree and Bε-tree querying through the storage engine's shared
+// pager, each client a simulated process with its own timeline — showing
+// the same Lemma 13 throughput shape on structures that also support
+// inserts, and reporting the buffer pool's hit ratios per round.
+//
 // Usage:
 //
-//	pdamtree [-items N] [-p P] [-queries Q]
+//	pdamtree [-items N] [-p P] [-queries Q] [-dynitems N] [-cache BYTES]
 package main
 
 import (
@@ -18,18 +24,33 @@ import (
 )
 
 func main() {
-	items := flag.Int("items", 1<<20, "keys in the tree")
+	items := flag.Int("items", 1<<20, "keys in the static trees")
 	p := flag.Int("p", 16, "PDAM device parallelism")
 	queries := flag.Int("queries", 200, "queries per client")
+	dynItems := flag.Int64("dynitems", 120_000, "keys in the dynamic trees")
+	cache := flag.Int64("cache", 1<<20, "engine cache budget for the dynamic trees")
 	flag.Parse()
+
+	clients := func(p int) []int {
+		var ks []int
+		for k := 1; k <= p; k *= 2 {
+			ks = append(ks, k)
+		}
+		return ks
+	}
 
 	cfg := experiments.DefaultLemma13Config()
 	cfg.Items = *items
 	cfg.P = *p
 	cfg.QueriesPerClient = *queries
-	cfg.Clients = nil
-	for k := 1; k <= cfg.P; k *= 2 {
-		cfg.Clients = append(cfg.Clients, k)
-	}
+	cfg.Clients = clients(cfg.P)
 	fmt.Println(experiments.RenderLemma13(experiments.Lemma13(cfg)))
+
+	dcfg := experiments.DefaultLemma13DynamicConfig()
+	dcfg.Items = *dynItems
+	dcfg.P = *p
+	dcfg.CacheBytes = *cache
+	dcfg.QueriesPerClient = *queries
+	dcfg.Clients = clients(dcfg.P)
+	fmt.Println(experiments.RenderLemma13Dynamic(experiments.Lemma13Dynamic(dcfg)))
 }

@@ -12,14 +12,14 @@ import (
 func ExampleNewBeTree() {
 	clk := iomodels.NewClock()
 	disk := iomodels.NewHDD(iomodels.HDDProfiles()[2], 1, clk) // 1 TB Hitachi
+	eng := iomodels.NewEngine(iomodels.EngineConfig{CacheBytes: 1 << 20}, disk)
 
 	tree, err := iomodels.NewBeTree(iomodels.BeTreeConfig{
 		NodeBytes:     256 << 10,
 		MaxFanout:     16,
 		MaxKeyBytes:   32,
 		MaxValueBytes: 64,
-		CacheBytes:    1 << 20,
-	}.Optimized(), disk)
+	}.Optimized(), eng)
 	if err != nil {
 		panic(err)
 	}
@@ -56,12 +56,12 @@ func ExampleAffineOf() {
 func ExampleNewBTree() {
 	clk := iomodels.NewClock()
 	disk := iomodels.NewHDD(iomodels.HDDProfiles()[0], 7, clk)
+	eng := iomodels.NewEngine(iomodels.EngineConfig{CacheBytes: 1 << 20}, disk)
 	tree, err := iomodels.NewBTree(iomodels.BTreeConfig{
 		NodeBytes:     16 << 10,
 		MaxKeyBytes:   16,
 		MaxValueBytes: 32,
-		CacheBytes:    1 << 20,
-	}, disk)
+	}, eng)
 	if err != nil {
 		panic(err)
 	}

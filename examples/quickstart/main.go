@@ -15,17 +15,20 @@ func main() {
 	prof := iomodels.HDDProfiles()[2]
 	disk := iomodels.NewHDD(prof, 42, clk)
 
-	// A Bε-tree with TokuDB-like geometry: 1 MiB nodes, fanout 16, 4 MiB
-	// cache, Theorem 9 organization (per-child buffer segments, pivots in
-	// the parent, basement-block leaves).
+	// A storage engine on that disk: its 4 MiB buffer pool is the cache
+	// every tree on this engine shares.
+	eng := iomodels.NewEngine(iomodels.EngineConfig{CacheBytes: 4 << 20}, disk)
+
+	// A Bε-tree with TokuDB-like geometry: 1 MiB nodes, fanout 16,
+	// Theorem 9 organization (per-child buffer segments, pivots in the
+	// parent, basement-block leaves).
 	cfg := iomodels.BeTreeConfig{
 		NodeBytes:     1 << 20,
 		MaxFanout:     16,
 		MaxKeyBytes:   64,
 		MaxValueBytes: 256,
-		CacheBytes:    4 << 20,
 	}.Optimized()
-	tree, err := iomodels.NewBeTree(cfg, disk)
+	tree, err := iomodels.NewBeTree(cfg, eng)
 	if err != nil {
 		panic(err)
 	}

@@ -57,13 +57,13 @@ func roundTo4K(n int) int {
 func measureBTreeQueries(prof iomodels.HDDProfile, nodeBytes int) float64 {
 	clk := iomodels.NewClock()
 	disk := iomodels.NewHDD(prof, 7, clk)
+	eng := iomodels.NewEngine(iomodels.EngineConfig{CacheBytes: 1 << 20}, disk)
 	spec := workload.DefaultSpec()
 	tree, err := iomodels.NewBTree(iomodels.BTreeConfig{
 		NodeBytes:     nodeBytes,
 		MaxKeyBytes:   spec.KeyBytes,
 		MaxValueBytes: spec.ValueBytes,
-		CacheBytes:    1 << 20,
-	}, disk)
+	}, eng)
 	if err != nil {
 		panic(err)
 	}

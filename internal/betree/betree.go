@@ -25,17 +25,17 @@ package betree
 import (
 	"fmt"
 
-	"iomodels/internal/cache"
+	"iomodels/internal/engine"
 	"iomodels/internal/kv"
-	"iomodels/internal/storage"
 )
 
-// Tree is a disk-backed Bε-tree. Not safe for concurrent use.
+// Tree is a disk-backed Bε-tree on an engine. Mutations are single-writer
+// (they run on the engine's owner client); concurrent sim processes read
+// through per-client Sessions, sharing nodes via the engine's pager.
 type Tree struct {
 	cfg   Config
-	disk  *storage.Disk
-	alloc *storage.Allocator
-	cache *cache.Cache
+	eng   *engine.Engine
+	owner *engine.Client
 	root  int64
 	rootN *node // root stays pinned
 	items int
@@ -49,62 +49,69 @@ type Tree struct {
 	Flushes int64
 }
 
-// New creates an empty tree on disk.
-func New(cfg Config, disk *storage.Disk) (*Tree, error) {
+// New creates an empty tree on eng.
+func New(cfg Config, eng *engine.Engine) (*Tree, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Layout == Packed && cfg.QueryMode != WholeNode {
 		return nil, fmt.Errorf("betree: packed layout supports only whole-node queries")
 	}
-	t := &Tree{
-		cfg:   cfg,
-		disk:  disk,
-		alloc: storage.NewAllocator(disk.Device().Capacity()),
-	}
-	t.cache = cache.New(cfg.CacheBytes, (*loader)(t))
+	t := &Tree{cfg: cfg, eng: eng, owner: eng.Owner()}
 	t.rootN = newLeafNode()
 	t.root = t.allocNode()
-	t.cache.Put(cache.PageID(t.root), t.rootN, t.rootN.chargeSize(cfg))
+	t.pager().Put(t.owner, (*loader)(t), engine.PageID(t.root), t.rootN, t.rootN.chargeSize(cfg))
 	// Root remains pinned for the tree's lifetime.
 	return t, nil
 }
 
-// loader adapts Tree to cache.Loader: loads are always explicit in the
-// Bε-tree (partial or full, charged at the exact IO size), so Load is never
-// called; Store writes back whole extents.
+func (t *Tree) pager() *engine.Pager { return t.eng.Pager() }
+
+// loader adapts Tree to engine.Loader. Load performs a whole-extent read
+// (the cold-miss path of ensureFull, under the pager's busy latch so
+// concurrent clients never decode the same node twice); partial reads stay
+// explicit in readSlot. Store writes back whole extents.
 type loader Tree
 
-// Load implements cache.Loader.
-func (l *loader) Load(id cache.PageID) (interface{}, int64) {
-	panic("betree: cache auto-load should never happen; loads are explicit")
+// Load implements engine.Loader.
+func (l *loader) Load(c *engine.Client, id engine.PageID) (interface{}, int64) {
+	t := (*Tree)(l)
+	buf := make([]byte, t.cfg.NodeBytes)
+	c.ReadAt(buf, int64(id))
+	n, err := decodeFull(t.cfg, buf)
+	if err != nil {
+		panic(fmt.Sprintf("betree: load of node at %d: %v", id, err))
+	}
+	return n, n.chargeSize(t.cfg)
 }
 
-// Store implements cache.Loader.
-func (l *loader) Store(id cache.PageID, obj interface{}) {
+// Store implements engine.Loader.
+func (l *loader) Store(c *engine.Client, id engine.PageID, obj interface{}) {
 	t := (*Tree)(l)
 	n := obj.(*node)
 	if !n.full {
 		panic("betree: write-back of partial node")
 	}
-	t.disk.WriteAt(n.encode(t.cfg), int64(id))
+	c.WriteAt(n.encode(t.cfg), int64(id))
 }
 
 func (t *Tree) allocNode() int64 {
 	t.nodes++
-	return t.alloc.Alloc(int64(t.cfg.NodeBytes))
+	return t.eng.Alloc(int64(t.cfg.NodeBytes))
 }
 
 func (t *Tree) freeNode(off int64) {
 	t.nodes--
-	t.cache.Drop(cache.PageID(off))
-	t.alloc.Free(off, int64(t.cfg.NodeBytes))
+	t.pager().Drop(t.owner, engine.PageID(off))
+	t.eng.Free(off, int64(t.cfg.NodeBytes))
 }
 
-func (t *Tree) unpin(off int64) { t.cache.Unpin(cache.PageID(off)) }
+func (t *Tree) unpin(off int64) { t.unpinc(t.owner, off) }
+
+func (t *Tree) unpinc(c *engine.Client, off int64) { t.pager().Unpin(c, engine.PageID(off)) }
 
 func (t *Tree) markDirty(off int64, n *node) {
-	t.cache.MarkDirty(cache.PageID(off), n.chargeSize(t.cfg))
+	t.pager().MarkDirty(t.owner, engine.PageID(off), n.chargeSize(t.cfg))
 }
 
 // Items returns the number of live keys settled in leaves. Updates still
@@ -118,52 +125,52 @@ func (t *Tree) Height() int { return t.rootN.height + 1 }
 // Nodes returns the number of live nodes.
 func (t *Tree) Nodes() int { return t.nodes }
 
-// Cache returns the buffer cache.
-func (t *Tree) Cache() *cache.Cache { return t.cache }
+// Engine returns the engine the tree lives on.
+func (t *Tree) Engine() *engine.Engine { return t.eng }
 
 // Config returns the tree's configuration.
 func (t *Tree) Config() Config { return t.cfg }
 
 // Flush writes all dirty nodes to disk.
-func (t *Tree) Flush() { t.cache.Flush() }
+func (t *Tree) Flush() { t.pager().Flush(t.owner) }
 
 // ---------------------------------------------------------------------------
 // Node residency
 
-// ensureFull returns the node at off with all content resident, pinned.
-// Charges one whole-extent read if anything was missing.
-func (t *Tree) ensureFull(off int64) *node {
-	if obj, ok := t.cache.TryGet(cache.PageID(off)); ok {
+// ensureFull returns the node at off with all content resident, pinned on
+// the owner client (single-writer paths).
+func (t *Tree) ensureFull(off int64) *node { return t.ensureFullc(t.owner, off) }
+
+// ensureFullc returns the node at off with all content resident, pinned on
+// behalf of client c. Charges one whole-extent read if anything was
+// missing. Cold misses go through the pager's Get so the busy latch makes
+// concurrent clients share a single load; the partial→full upgrade is
+// idempotent under the simulator's cooperative interleaving.
+func (t *Tree) ensureFullc(c *engine.Client, off int64) *node {
+	if obj, ok := t.pager().TryGet(c, engine.PageID(off)); ok {
 		n := obj.(*node)
 		if n.full {
 			return n
 		}
 		buf := make([]byte, t.cfg.NodeBytes)
-		t.disk.ReadAt(buf, off)
+		c.ReadAt(buf, off)
 		dec, err := decodeFull(t.cfg, buf)
 		if err != nil {
 			panic(fmt.Sprintf("betree: load of node at %d: %v", off, err))
 		}
 		*n = *dec // upgrade in place so existing references stay valid
-		t.cache.Resize(cache.PageID(off), n.chargeSize(t.cfg))
+		t.pager().Resize(c, engine.PageID(off), n.chargeSize(t.cfg))
 		return n
 	}
-	buf := make([]byte, t.cfg.NodeBytes)
-	t.disk.ReadAt(buf, off)
-	n, err := decodeFull(t.cfg, buf)
-	if err != nil {
-		panic(fmt.Sprintf("betree: load of node at %d: %v", off, err))
-	}
-	t.cache.PutClean(cache.PageID(off), n, n.chargeSize(t.cfg))
-	return n
+	return t.pager().Get(c, (*loader)(t), engine.PageID(off)).(*node)
 }
 
 // readSlot returns slot j of the node at off, reading the minimum the
-// configured QueryMode allows. The returned node is pinned; the caller
-// unpins via t.unpin(off).
-func (t *Tree) readSlot(off int64, leaf bool, height, j int) (*node, slotPayload) {
+// configured QueryMode allows, on behalf of client c. The returned node is
+// pinned; the caller unpins via t.unpinc(c, off).
+func (t *Tree) readSlot(c *engine.Client, off int64, leaf bool, height, j int) (*node, slotPayload) {
 	if t.cfg.QueryMode == WholeNode {
-		n := t.ensureFull(off)
+		n := t.ensureFullc(c, off)
 		var p slotPayload
 		if leaf {
 			p.entries = n.entries[n.cuts[minInt(j, len(n.cuts)-2)]:n.cuts[minInt(j, len(n.cuts)-2)+1]]
@@ -184,16 +191,18 @@ func (t *Tree) readSlot(off int64, leaf bool, height, j int) (*node, slotPayload
 	}
 
 	var n *node
-	if obj, ok := t.cache.TryGet(cache.PageID(off)); ok {
+	if obj, ok := t.pager().TryGet(c, engine.PageID(off)); ok {
 		n = obj.(*node)
 	} else {
 		n = newPartialNode(leaf, height)
 		if t.cfg.QueryMode == MetaPlusSlot {
 			// Pay for the meta region read (the node's own pivots).
 			mbuf := make([]byte, t.cfg.metaCap())
-			t.disk.ReadAt(mbuf, off)
+			c.ReadAt(mbuf, off)
 		}
-		t.cache.PutClean(cache.PageID(off), n, n.chargeSize(t.cfg))
+		// Another client may have inserted the node while we read the meta
+		// region; the pager returns the canonical resident object.
+		n = t.pager().PutClean(c, (*loader)(t), engine.PageID(off), n, n.chargeSize(t.cfg)).(*node)
 	}
 	if n.full {
 		var p slotPayload
@@ -211,13 +220,13 @@ func (t *Tree) readSlot(off int64, leaf bool, height, j int) (*node, slotPayload
 	}
 	stride := t.cfg.slotStride()
 	sbuf := make([]byte, stride)
-	t.disk.ReadAt(sbuf, off+int64(t.cfg.metaCap())+int64(j)*int64(stride))
+	c.ReadAt(sbuf, off+int64(t.cfg.metaCap())+int64(j)*int64(stride))
 	p, err := decodeSlot(leaf, sbuf)
 	if err != nil {
 		panic(fmt.Sprintf("betree: load of slot %d at %d: %v", j, off, err))
 	}
 	n.partial[j] = p
-	t.cache.Resize(cache.PageID(off), n.chargeSize(t.cfg))
+	t.pager().Resize(c, engine.PageID(off), n.chargeSize(t.cfg))
 	return n, p
 }
 
@@ -233,7 +242,9 @@ func minInt(a, b int) int {
 
 // Get returns the value for key, logically applying every buffered message
 // on the root-to-leaf path (newer messages live nearer the root).
-func (t *Tree) Get(key []byte) ([]byte, bool) {
+func (t *Tree) Get(key []byte) ([]byte, bool) { return t.getKey(t.owner, key) }
+
+func (t *Tree) getKey(c *engine.Client, key []byte) ([]byte, bool) {
 	t.checkKey(key)
 	root := t.rootN
 	if root.leaf {
@@ -268,35 +279,35 @@ func (t *Tree) Get(key []byte) ([]byte, bool) {
 			if t.cfg.Layout == Slotted {
 				jb = rt.slotIndex(key)
 			}
-			_, p := t.readSlot(off, true, height, jb)
+			_, p := t.readSlot(c, off, true, height, jb)
 			for _, e := range p.entries {
 				if kv.Compare(e.Key, key) == 0 {
 					base, baseOK = e.Value, true
 					break
 				}
 			}
-			t.unpin(off)
+			t.unpinc(c, off)
 			break
 		}
 		var j2 int
 		var next int64
 		if t.cfg.QueryMode == WholeNode {
-			n, _ := t.readSlot(off, false, height, 0) // ensures full
+			n, _ := t.readSlot(c, off, false, height, 0) // ensures full
 			j2 = n.findChild(key)
 			msgs = bufMessagesFor(n.bufs[j2], key)
 			next = n.children[j2]
 			if t.cfg.Layout == Slotted {
 				rt = n.routes[j2]
 			}
-			t.unpin(off)
+			t.unpinc(c, off)
 		} else {
 			j2 = rt.slotIndex(key)
 			nextPtrs := rt.ptrs
-			_, p := t.readSlot(off, false, height, j2)
+			_, p := t.readSlot(c, off, false, height, j2)
 			msgs = bufMessagesFor(buffer{msgs: p.msgs}, key)
 			rt = p.route
 			next = nextPtrs[j2]
-			t.unpin(off)
+			t.unpinc(c, off)
 		}
 		levels = append(levels, msgs)
 		absorbed = hasAbsorbing(msgs)
@@ -350,11 +361,13 @@ func (t *Tree) Put(key, value []byte) {
 	t.inject(kv.Message{Kind: kv.Put, Key: append([]byte(nil), key...), Value: append([]byte(nil), value...)})
 }
 
-// Delete buffers a tombstone for key. (Whether the key existed is unknown
-// until the tombstone reaches a leaf; use Get first if you need to know.)
-func (t *Tree) Delete(key []byte) {
+// Delete buffers a tombstone for key and reports that the message was
+// accepted. (Whether the key existed is unknown until the tombstone reaches
+// a leaf; use Get first if you need to know.)
+func (t *Tree) Delete(key []byte) bool {
 	t.checkKey(key)
 	t.inject(kv.Message{Kind: kv.Tombstone, Key: append([]byte(nil), key...)})
+	return true
 }
 
 // Upsert adds delta to the 64-bit counter stored at key, creating it if
@@ -576,8 +589,8 @@ func (t *Tree) splitLeafChild(parentOff int64, parent *node, i int, childOff int
 		if t.cfg.Layout == Slotted {
 			parent.routes[at+1] = right.ownRoute()
 		}
-		t.cache.Put(cache.PageID(rightOff), right, right.chargeSize(t.cfg))
-		t.cache.Unpin(cache.PageID(rightOff))
+		t.pager().Put(t.owner, (*loader)(t), engine.PageID(rightOff), right, right.chargeSize(t.cfg))
+		t.pager().Unpin(t.owner, engine.PageID(rightOff))
 		at++
 	}
 }
@@ -738,8 +751,8 @@ func (t *Tree) splitInternalChild(parentOff int64, parent *node, i int, childOff
 		if t.cfg.Layout == Slotted {
 			parent.routes[at+1] = right.ownRoute()
 		}
-		t.cache.Put(cache.PageID(rightOff), right, right.chargeSize(t.cfg))
-		t.cache.Unpin(cache.PageID(rightOff))
+		t.pager().Put(t.owner, (*loader)(t), engine.PageID(rightOff), right, right.chargeSize(t.cfg))
+		t.pager().Unpin(t.owner, engine.PageID(rightOff))
 		at++
 	}
 }
@@ -756,8 +769,8 @@ func (t *Tree) splitRootLeaf() {
 		newRoot.routes = []route{{}}
 	}
 	newOff := t.allocNode()
-	t.cache.Put(cache.PageID(newOff), newRoot, newRoot.chargeSize(t.cfg))
-	t.cache.Pin(cache.PageID(oldOff)) // splitLeafChild unpins it
+	t.pager().Put(t.owner, (*loader)(t), engine.PageID(newOff), newRoot, newRoot.chargeSize(t.cfg))
+	t.pager().Pin(engine.PageID(oldOff)) // splitLeafChild unpins it
 	t.splitLeafChild(newOff, newRoot, 0, oldOff, old)
 	t.markDirty(newOff, newRoot)
 	t.unpin(oldOff) // drop the long-lived root pin
@@ -776,8 +789,8 @@ func (t *Tree) splitRoot() {
 		newRoot.routes = []route{{}}
 	}
 	newOff := t.allocNode()
-	t.cache.Put(cache.PageID(newOff), newRoot, newRoot.chargeSize(t.cfg))
-	t.cache.Pin(cache.PageID(oldOff)) // splitInternalChild unpins it
+	t.pager().Put(t.owner, (*loader)(t), engine.PageID(newOff), newRoot, newRoot.chargeSize(t.cfg))
+	t.pager().Pin(engine.PageID(oldOff)) // splitInternalChild unpins it
 	t.splitInternalChild(newOff, newRoot, 0, oldOff, old)
 	t.markDirty(newOff, newRoot)
 	t.unpin(oldOff) // drop the long-lived root pin

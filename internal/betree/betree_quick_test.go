@@ -128,14 +128,14 @@ func TestBeTreeTornWriteDetected(t *testing.T) {
 		tree.Put(key(i), value(i))
 	}
 	tree.Flush()
-	tree.Cache().EvictAll()
+	tree.pager().EvictAll(tree.owner)
 	var buf [1]byte
 	// Corrupt the child-count field in the meta region of extent 1 (the
 	// root stays pinned, so pick a non-root node's extent).
 	off := int64(cfg.NodeBytes) + 3
-	tree.disk.ReadAt(buf[:], off)
+	tree.owner.ReadAt(buf[:], off)
 	buf[0] ^= 0xFF
-	tree.disk.WriteAt(buf[:], off)
+	tree.owner.WriteAt(buf[:], off)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("corrupted node was accepted")

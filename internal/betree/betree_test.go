@@ -7,6 +7,7 @@ import (
 	"sort"
 	"testing"
 
+	"iomodels/internal/engine"
 	"iomodels/internal/hdd"
 	"iomodels/internal/sim"
 	"iomodels/internal/stats"
@@ -20,8 +21,8 @@ func configs(nodeBytes int, cacheBytes int64) map[string]Config {
 		MaxFanout:     8,
 		MaxKeyBytes:   32,
 		MaxValueBytes: 128,
-		CacheBytes:    cacheBytes,
 	}
+	_ = cacheBytes
 	packed := base
 	packed.Layout = Packed
 	packed.QueryMode = WholeNode
@@ -40,11 +41,16 @@ func configs(nodeBytes int, cacheBytes int64) map[string]Config {
 	}
 }
 
-func newTestTree(t *testing.T, cfg Config) *Tree {
+func newTestTree(t *testing.T, cfg Config, cacheBytes ...int64) *Tree {
 	t.Helper()
 	clk := sim.New()
-	disk := storage.NewDisk(hdd.NewDeterministic(hdd.DefaultProfile()), clk)
-	tree, err := New(cfg, disk)
+	budget := int64(1 << 20)
+	if len(cacheBytes) > 0 {
+		budget = cacheBytes[0]
+	}
+	eng := engine.New(engine.Config{CacheBytes: budget, Shards: 1},
+		hdd.NewDeterministic(hdd.DefaultProfile()), clk)
+	tree, err := New(cfg, eng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +344,7 @@ func TestRandomOpsAgainstModel(t *testing.T) {
 func TestSmallCacheEviction(t *testing.T) {
 	for name, cfg := range configs(16<<10, 64<<10) {
 		t.Run(name, func(t *testing.T) {
-			tree := newTestTree(t, cfg)
+			tree := newTestTree(t, cfg, 64<<10)
 			const n = 3000
 			for i := 0; i < n; i++ {
 				tree.Put(key(i), value(i))
@@ -349,7 +355,7 @@ func TestSmallCacheEviction(t *testing.T) {
 					t.Fatalf("Get(%d) failed after eviction", i)
 				}
 			}
-			st := tree.Cache().Stats()
+			st := tree.pager().Stats()
 			if st.Evictions == 0 || st.Writebacks == 0 {
 				t.Fatalf("cache never spilled: %+v", st)
 			}
@@ -375,17 +381,17 @@ func TestSlotOnlyQueryIOShape(t *testing.T) {
 	if levels < 3 {
 		t.Fatalf("tree too shallow (%d) for the IO-shape test", levels)
 	}
-	tree.Cache().EvictAll()
+	tree.pager().EvictAll(tree.owner)
 	tr := &storage.Trace{}
-	tree.disk.SetTrace(tr)
+	tree.eng.SetTrace(tr)
 	tree.Get(key(n / 2))
-	tree.disk.SetTrace(nil)
+	tree.eng.SetTrace(nil)
 	// Root is pinned, so expect height-1 IOs.
-	if got, want := len(tr.Records), levels-1; got != want {
-		t.Fatalf("cold query issued %d IOs, want %d (one per level below root): %+v", got, want, tr.Records)
+	if got, want := tr.Len(), levels-1; got != want {
+		t.Fatalf("cold query issued %d IOs, want %d (one per level below root): %+v", got, want, tr.Snapshot())
 	}
 	stride := int64(cfg.slotStride())
-	for _, r := range tr.Records {
+	for _, r := range tr.Snapshot() {
 		if r.Op != storage.Read || r.Size != stride {
 			t.Fatalf("query IO %+v is not a single slot read of %d", r, stride)
 		}
@@ -403,15 +409,15 @@ func TestWholeNodeQueryIOShape(t *testing.T) {
 	}
 	tree.Flush()
 	levels := tree.Height()
-	tree.Cache().EvictAll()
+	tree.pager().EvictAll(tree.owner)
 	tr := &storage.Trace{}
-	tree.disk.SetTrace(tr)
+	tree.eng.SetTrace(tr)
 	tree.Get(key(n / 2))
-	tree.disk.SetTrace(nil)
-	if got, want := len(tr.Records), levels-1; got != want {
+	tree.eng.SetTrace(nil)
+	if got, want := tr.Len(), levels-1; got != want {
 		t.Fatalf("cold query issued %d IOs, want %d", got, want)
 	}
-	for _, r := range tr.Records {
+	for _, r := range tr.Snapshot() {
 		if r.Size != int64(cfg.NodeBytes) {
 			t.Fatalf("query IO %+v is not a whole-node read of %d", r, cfg.NodeBytes)
 		}
@@ -426,7 +432,7 @@ func TestFlushPersistsEverything(t *testing.T) {
 				tree.Put(key(i), value(i))
 			}
 			tree.Flush()
-			tree.Cache().EvictAll()
+			tree.pager().EvictAll(tree.owner)
 			for i := 0; i < 2000; i++ {
 				v, ok := tree.Get(key(i))
 				if !ok || !bytes.Equal(v, value(i)) {
@@ -447,7 +453,7 @@ func TestWriteAmpMuchLowerThanBTreeStyle(t *testing.T) {
 		tree.Put(key(i), value(i))
 	}
 	tree.Flush()
-	c := tree.disk.Counters()
+	c := tree.eng.Counters()
 	wa := float64(c.BytesWritten) / float64(tree.LogicalBytesInserted)
 	if wa <= 0 {
 		t.Fatal("no write amplification measured")
@@ -461,13 +467,14 @@ func TestWriteAmpMuchLowerThanBTreeStyle(t *testing.T) {
 
 func TestConfigValidation(t *testing.T) {
 	clk := sim.New()
-	disk := storage.NewDisk(hdd.NewDeterministic(hdd.DefaultProfile()), clk)
-	bad := Config{NodeBytes: 1024, MaxFanout: 16, MaxKeyBytes: 32, MaxValueBytes: 128, CacheBytes: 1 << 20, Layout: Slotted}
-	if _, err := New(bad, disk); err == nil {
+	eng := engine.New(engine.Config{CacheBytes: 1 << 20},
+		hdd.NewDeterministic(hdd.DefaultProfile()), clk)
+	bad := Config{NodeBytes: 1024, MaxFanout: 16, MaxKeyBytes: 32, MaxValueBytes: 128, Layout: Slotted}
+	if _, err := New(bad, eng); err == nil {
 		t.Fatal("tiny slotted node accepted")
 	}
-	packedPartial := Config{NodeBytes: 64 << 10, MaxFanout: 8, MaxKeyBytes: 32, MaxValueBytes: 128, CacheBytes: 1 << 20, Layout: Packed, QueryMode: SlotOnly}
-	if _, err := New(packedPartial, disk); err == nil {
+	packedPartial := Config{NodeBytes: 64 << 10, MaxFanout: 8, MaxKeyBytes: 32, MaxValueBytes: 128, Layout: Packed, QueryMode: SlotOnly}
+	if _, err := New(packedPartial, eng); err == nil {
 		t.Fatal("packed+slot-only accepted")
 	}
 }
@@ -498,16 +505,16 @@ func TestMetaPlusSlotQueryIOShape(t *testing.T) {
 	if levels < 3 {
 		t.Fatalf("tree too shallow (%d)", levels)
 	}
-	tree.Cache().EvictAll()
+	tree.pager().EvictAll(tree.owner)
 	tr := &storage.Trace{}
-	tree.disk.SetTrace(tr)
+	tree.eng.SetTrace(tr)
 	tree.Get(key(n / 2))
-	tree.disk.SetTrace(nil)
-	if got, want := len(tr.Records), 2*(levels-1); got != want {
-		t.Fatalf("cold query issued %d IOs, want %d (meta+slot per level): %+v", got, want, tr.Records)
+	tree.eng.SetTrace(nil)
+	if got, want := tr.Len(), 2*(levels-1); got != want {
+		t.Fatalf("cold query issued %d IOs, want %d (meta+slot per level): %+v", got, want, tr.Snapshot())
 	}
 	meta, slot := 0, 0
-	for _, r := range tr.Records {
+	for _, r := range tr.Snapshot() {
 		switch r.Size {
 		case int64(cfg.metaCap()):
 			meta++
@@ -532,18 +539,18 @@ func TestScanIOShape(t *testing.T) {
 		tree.Put(key(i), value(i))
 	}
 	tree.Flush()
-	tree.Cache().EvictAll()
+	tree.pager().EvictAll(tree.owner)
 	tr := &storage.Trace{}
-	tree.disk.SetTrace(tr)
+	tree.eng.SetTrace(tr)
 	got := tree.ScanN(key(n/2), 200)
-	tree.disk.SetTrace(nil)
+	tree.eng.SetTrace(nil)
 	if len(got) != 200 {
 		t.Fatalf("scan returned %d", len(got))
 	}
-	if len(tr.Records) == 0 {
+	if tr.Len() == 0 {
 		t.Fatal("scan issued no IOs")
 	}
-	for _, r := range tr.Records {
+	for _, r := range tr.Snapshot() {
 		if r.Size != int64(cfg.NodeBytes) {
 			t.Fatalf("scan IO %+v is not a whole extent", r)
 		}

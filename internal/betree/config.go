@@ -95,8 +95,6 @@ type Config struct {
 	// MaxKeyBytes and MaxValueBytes bound one key-value pair.
 	MaxKeyBytes   int
 	MaxValueBytes int
-	// CacheBytes is the buffer-cache budget: the models' M.
-	CacheBytes int64
 	// Layout and QueryMode select the node organization (see package docs).
 	Layout    Layout
 	QueryMode QueryMode
@@ -179,7 +177,7 @@ func (c Config) packedBufCapBytes() int {
 }
 
 func (c Config) validate() error {
-	if c.NodeBytes <= 0 || c.MaxFanout < 2 || c.MaxKeyBytes <= 0 || c.MaxValueBytes < 0 || c.CacheBytes <= 0 {
+	if c.NodeBytes <= 0 || c.MaxFanout < 2 || c.MaxKeyBytes <= 0 || c.MaxValueBytes < 0 {
 		return fmt.Errorf("betree: invalid config field")
 	}
 	if c.Layout == Slotted {

@@ -13,13 +13,14 @@ package betree
 import (
 	"sort"
 
+	"iomodels/internal/engine"
 	"iomodels/internal/kv"
 )
 
 // Scan calls fn for each live entry with lo <= key < hi in key order (hi
 // nil means unbounded). fn returning false stops the scan early.
 func (t *Tree) Scan(lo, hi []byte, fn func(key, value []byte) bool) {
-	t.scanNode(t.root, t.rootN, lo, hi, nil, fn)
+	t.scanNode(t.owner, t.root, t.rootN, lo, hi, nil, fn)
 }
 
 // ScanN collects up to n entries starting at lo.
@@ -39,14 +40,14 @@ func (t *Tree) ScanN(lo []byte, n int) []kv.Entry {
 // [lo, hi), under the pending messages inherited from ancestors (sorted by
 // key then seq). The node handle n may be nil, in which case it is loaded.
 // Returns false if fn stopped the scan.
-func (t *Tree) scanNode(off int64, n *node, lo, hi []byte, pending []kv.Message, fn func(k, v []byte) bool) bool {
+func (t *Tree) scanNode(c *engine.Client, off int64, n *node, lo, hi []byte, pending []kv.Message, fn func(k, v []byte) bool) bool {
 	owned := false
 	if n == nil {
-		n = t.ensureFull(off)
+		n = t.ensureFullc(c, off)
 		owned = true
 	}
 	if owned {
-		defer t.unpin(off)
+		defer t.unpinc(c, off)
 	}
 	if n.leaf {
 		return emitLeaf(n.entries, pending, lo, hi, fn)
@@ -66,7 +67,7 @@ func (t *Tree) scanNode(off int64, n *node, lo, hi []byte, pending []kv.Message,
 			sliceRange(pending, clo, chi),
 			sliceRange(n.bufs[i].msgs, clo, chi),
 		)
-		if !t.scanNode(n.children[i], nil, lo, hi, childPending, fn) {
+		if !t.scanNode(c, n.children[i], nil, lo, hi, childPending, fn) {
 			return false
 		}
 	}

@@ -1,0 +1,49 @@
+package betree
+
+import "iomodels/internal/engine"
+
+// Tree and Session both implement the engine's common dictionary
+// interface.
+var (
+	_ engine.Dictionary = (*Tree)(nil)
+	_ engine.Dictionary = (*Session)(nil)
+)
+
+// Stats implements engine.Dictionary. Items is approximate until Settle
+// (buffered updates are not counted).
+func (t *Tree) Stats() engine.Stats {
+	return engine.Stats{Items: t.items, IO: t.eng.Counters(), Pager: t.pager().Stats()}
+}
+
+// Session is one client's handle onto a shared tree: reads (Get/Scan) run
+// in the client's own virtual timeline through the shared pager, so k
+// sessions on k sim processes overlap their IOs on the device. Mutations
+// are delegated to the tree's single-writer owner client and must not run
+// concurrently with other operations.
+type Session struct {
+	t *Tree
+	c *engine.Client
+}
+
+// Session creates a client-bound view of the tree.
+func (t *Tree) Session(c *engine.Client) *Session { return &Session{t: t, c: c} }
+
+// Client returns the session's engine client.
+func (s *Session) Client() *engine.Client { return s.c }
+
+// Get returns the value for key, charging IO to the session's client.
+func (s *Session) Get(key []byte) ([]byte, bool) { return s.t.getKey(s.c, key) }
+
+// Scan visits [lo, hi) in order, charging IO to the session's client.
+func (s *Session) Scan(lo, hi []byte, fn func(key, value []byte) bool) {
+	s.t.scanNode(s.c, s.t.root, s.t.rootN, lo, hi, nil, fn)
+}
+
+// Put delegates to the tree's single-writer path.
+func (s *Session) Put(key, value []byte) { s.t.Put(key, value) }
+
+// Delete delegates to the tree's single-writer path.
+func (s *Session) Delete(key []byte) bool { return s.t.Delete(key) }
+
+// Stats reports the shared tree's stats.
+func (s *Session) Stats() engine.Stats { return s.t.Stats() }

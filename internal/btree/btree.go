@@ -14,9 +14,8 @@ package btree
 import (
 	"fmt"
 
-	"iomodels/internal/cache"
+	"iomodels/internal/engine"
 	"iomodels/internal/kv"
-	"iomodels/internal/storage"
 )
 
 // Config shapes a tree.
@@ -27,8 +26,6 @@ type Config struct {
 	// always make room for one more.
 	MaxKeyBytes   int
 	MaxValueBytes int
-	// CacheBytes is the buffer-cache budget: the models' M.
-	CacheBytes int64
 }
 
 func (c Config) maxEntryBytes() int {
@@ -38,7 +35,7 @@ func (c Config) maxEntryBytes() int {
 func (c Config) maxPivotBytes() int { return 4 + c.MaxKeyBytes + childRefBytes }
 
 func (c Config) validate() error {
-	if c.NodeBytes <= 0 || c.MaxKeyBytes <= 0 || c.MaxValueBytes < 0 || c.CacheBytes <= 0 {
+	if c.NodeBytes <= 0 || c.MaxKeyBytes <= 0 || c.MaxValueBytes < 0 {
 		return fmt.Errorf("btree: non-positive config field")
 	}
 	if c.NodeBytes < baseNodeBytes+4*c.maxEntryBytes() {
@@ -50,13 +47,13 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Tree is a disk-backed B-tree. Not safe for concurrent use (the paper's
-// sequential-dictionary setting).
+// Tree is a disk-backed B-tree on an engine. Mutations are single-writer
+// (they run on the engine's owner client); concurrent sim processes read
+// through per-client Sessions, sharing nodes via the engine's pager.
 type Tree struct {
 	cfg    Config
-	disk   *storage.Disk
-	alloc  *storage.Allocator
-	cache  *cache.Cache
+	eng    *engine.Engine
+	owner  *engine.Client
 	root   int64
 	height int // levels including root; 1 = root is a leaf
 	items  int
@@ -66,33 +63,31 @@ type Tree struct {
 	LogicalBytesInserted int64
 }
 
-// New creates an empty tree on disk.
-func New(cfg Config, disk *storage.Disk) (*Tree, error) {
+// New creates an empty tree on eng.
+func New(cfg Config, eng *engine.Engine) (*Tree, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	t := &Tree{
-		cfg:   cfg,
-		disk:  disk,
-		alloc: storage.NewAllocator(disk.Device().Capacity()),
-	}
-	t.cache = cache.New(cfg.CacheBytes, (*loader)(t))
+	t := &Tree{cfg: cfg, eng: eng, owner: eng.Owner()}
 	root := newLeaf()
 	t.root = t.allocNode()
 	t.height = 1
-	t.cache.Put(cache.PageID(t.root), root, int64(root.size))
-	t.cache.Unpin(cache.PageID(t.root))
+	t.pager().Put(t.owner, (*loader)(t), engine.PageID(t.root), root, int64(root.size))
+	t.pager().Unpin(t.owner, engine.PageID(t.root))
 	return t, nil
 }
 
-// loader adapts Tree to cache.Loader.
+func (t *Tree) pager() *engine.Pager { return t.eng.Pager() }
+
+// loader adapts Tree to engine.Loader.
 type loader Tree
 
-// Load implements cache.Loader: one IO of exactly NodeBytes.
-func (l *loader) Load(id cache.PageID) (interface{}, int64) {
+// Load implements engine.Loader: one IO of exactly NodeBytes, charged to
+// the requesting client.
+func (l *loader) Load(c *engine.Client, id engine.PageID) (interface{}, int64) {
 	t := (*Tree)(l)
 	buf := make([]byte, t.cfg.NodeBytes)
-	t.disk.ReadAt(buf, int64(id))
+	c.ReadAt(buf, int64(id))
 	n, err := decodeNode(buf)
 	if err != nil {
 		panic(fmt.Sprintf("btree: load of node at %d: %v", id, err))
@@ -100,30 +95,40 @@ func (l *loader) Load(id cache.PageID) (interface{}, int64) {
 	return n, int64(n.size)
 }
 
-// Store implements cache.Loader: one IO of exactly NodeBytes.
-func (l *loader) Store(id cache.PageID, obj interface{}) {
+// Store implements engine.Loader: one IO of exactly NodeBytes.
+func (l *loader) Store(c *engine.Client, id engine.PageID, obj interface{}) {
 	t := (*Tree)(l)
 	n := obj.(*node)
-	t.disk.WriteAt(n.encode(t.cfg.NodeBytes), int64(id))
+	c.WriteAt(n.encode(t.cfg.NodeBytes), int64(id))
 }
 
 func (t *Tree) allocNode() int64 {
 	t.nodes++
-	return t.alloc.Alloc(int64(t.cfg.NodeBytes))
+	return t.eng.Alloc(int64(t.cfg.NodeBytes))
 }
 
 func (t *Tree) freeNode(off int64) {
 	t.nodes--
-	t.cache.Drop(cache.PageID(off))
-	t.alloc.Free(off, int64(t.cfg.NodeBytes))
+	t.pager().Drop(t.owner, engine.PageID(off))
+	t.eng.Free(off, int64(t.cfg.NodeBytes))
 }
 
-// get pins and returns the node at off.
-func (t *Tree) get(off int64) *node { return t.cache.Get(cache.PageID(off)).(*node) }
+// getc pins and returns the node at off on behalf of client c.
+func (t *Tree) getc(c *engine.Client, off int64) *node {
+	return t.pager().Get(c, (*loader)(t), engine.PageID(off)).(*node)
+}
 
-func (t *Tree) unpin(off int64) { t.cache.Unpin(cache.PageID(off)) }
+func (t *Tree) unpinc(c *engine.Client, off int64) { t.pager().Unpin(c, engine.PageID(off)) }
 
-func (t *Tree) dirty(off int64, n *node) { t.cache.MarkDirty(cache.PageID(off), int64(n.size)) }
+// get/unpin/dirty are the owner-client shorthands the single-writer
+// mutation path uses.
+func (t *Tree) get(off int64) *node { return t.getc(t.owner, off) }
+
+func (t *Tree) unpin(off int64) { t.unpinc(t.owner, off) }
+
+func (t *Tree) dirty(off int64, n *node) {
+	t.pager().MarkDirty(t.owner, engine.PageID(off), int64(n.size))
+}
 
 // Items returns the number of live keys.
 func (t *Tree) Items() int { return t.items }
@@ -134,14 +139,14 @@ func (t *Tree) Height() int { return t.height }
 // Nodes returns the number of live nodes.
 func (t *Tree) Nodes() int { return t.nodes }
 
-// Cache returns the tree's buffer cache (for stats and flushing).
-func (t *Tree) Cache() *cache.Cache { return t.cache }
+// Engine returns the engine the tree lives on.
+func (t *Tree) Engine() *engine.Engine { return t.eng }
 
 // Config returns the tree's configuration.
 func (t *Tree) Config() Config { return t.cfg }
 
 // Flush writes all dirty nodes back to disk.
-func (t *Tree) Flush() { t.cache.Flush() }
+func (t *Tree) Flush() { t.pager().Flush(t.owner) }
 
 func (t *Tree) checkKV(key, value []byte) {
 	if len(key) == 0 || len(key) > t.cfg.MaxKeyBytes {
@@ -153,21 +158,23 @@ func (t *Tree) checkKV(key, value []byte) {
 }
 
 // Get returns the value for key.
-func (t *Tree) Get(key []byte) ([]byte, bool) {
+func (t *Tree) Get(key []byte) ([]byte, bool) { return t.getKey(t.owner, key) }
+
+func (t *Tree) getKey(c *engine.Client, key []byte) ([]byte, bool) {
 	off := t.root
-	n := t.get(off)
+	n := t.getc(c, off)
 	for !n.leaf {
 		child := n.children[n.findChild(key)]
-		t.unpin(off)
+		t.unpinc(c, off)
 		off = child
-		n = t.get(off)
+		n = t.getc(c, off)
 	}
 	i, found := n.findEntry(key)
 	var val []byte
 	if found {
 		val = n.entries[i].Value
 	}
-	t.unpin(off)
+	t.unpinc(c, off)
 	return val, found
 }
 
@@ -202,7 +209,7 @@ func (t *Tree) Put(key, value []byte) {
 		newRoot.children = []int64{rootOff}
 		newRoot.size += childRefBytes
 		newOff := t.allocNode()
-		t.cache.Put(cache.PageID(newOff), newRoot, int64(newRoot.size))
+		t.pager().Put(t.owner, (*loader)(t), engine.PageID(newOff), newRoot, int64(newRoot.size))
 		t.splitChild(newOff, newRoot, 0, rootOff, root)
 		t.unpin(rootOff)
 		t.root = newOff
@@ -255,8 +262,8 @@ func (t *Tree) splitChild(parentOff int64, parent *node, i int, childOff int64, 
 	parent.pivots[i] = pivot
 	parent.size += childRefBytes + 4 + len(pivot)
 
-	t.cache.Put(cache.PageID(rightOff), right, int64(right.size))
-	t.cache.Unpin(cache.PageID(rightOff))
+	t.pager().Put(t.owner, (*loader)(t), engine.PageID(rightOff), right, int64(right.size))
+	t.pager().Unpin(t.owner, engine.PageID(rightOff))
 	t.dirty(parentOff, parent)
 	t.dirty(childOff, child)
 }
@@ -484,12 +491,12 @@ func (t *Tree) borrowFromLeft(parent *node, i int, child, sib *node) {
 // Scan calls fn for each entry with lo <= key < hi in key order (hi nil
 // means unbounded). fn returning false stops the scan early.
 func (t *Tree) Scan(lo, hi []byte, fn func(key, value []byte) bool) {
-	t.scan(t.root, lo, hi, fn)
+	t.scan(t.owner, t.root, lo, hi, fn)
 }
 
-func (t *Tree) scan(off int64, lo, hi []byte, fn func(key, value []byte) bool) bool {
-	n := t.get(off)
-	defer t.unpin(off)
+func (t *Tree) scan(c *engine.Client, off int64, lo, hi []byte, fn func(key, value []byte) bool) bool {
+	n := t.getc(c, off)
+	defer t.unpinc(c, off)
 	if n.leaf {
 		i := 0
 		if lo != nil {
@@ -514,7 +521,7 @@ func (t *Tree) scan(off int64, lo, hi []byte, fn func(key, value []byte) bool) b
 		if i > 0 && hi != nil && kv.Compare(n.pivots[i-1], hi) >= 0 {
 			return false
 		}
-		if !t.scan(n.children[i], lo, hi, fn) {
+		if !t.scan(c, n.children[i], lo, hi, fn) {
 			return false
 		}
 	}

@@ -6,22 +6,22 @@ import (
 	"sort"
 	"testing"
 
+	"iomodels/internal/engine"
 	"iomodels/internal/hdd"
 	"iomodels/internal/sim"
 	"iomodels/internal/stats"
-	"iomodels/internal/storage"
 )
 
 func newTestTree(t *testing.T, nodeBytes int, cacheBytes int64) *Tree {
 	t.Helper()
 	clk := sim.New()
-	disk := storage.NewDisk(hdd.NewDeterministic(hdd.DefaultProfile()), clk)
+	eng := engine.New(engine.Config{CacheBytes: cacheBytes, Shards: 1},
+		hdd.NewDeterministic(hdd.DefaultProfile()), clk)
 	tree, err := New(Config{
 		NodeBytes:     nodeBytes,
 		MaxKeyBytes:   32,
 		MaxValueBytes: 128,
-		CacheBytes:    cacheBytes,
-	}, disk)
+	}, eng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestSmallCacheEviction(t *testing.T) {
 			t.Fatalf("Get(%d) failed after eviction", i)
 		}
 	}
-	st := tree.Cache().Stats()
+	st := tree.pager().Stats()
 	if st.Evictions == 0 || st.Writebacks == 0 {
 		t.Fatalf("cache never spilled: %+v", st)
 	}
@@ -197,7 +197,7 @@ func TestSmallCacheEviction(t *testing.T) {
 
 func TestIOChargesTime(t *testing.T) {
 	tree := newTestTree(t, 4096, 16384)
-	clk := tree.disk.Clock()
+	clk := tree.eng.Clock()
 	rng := stats.NewRNG(77)
 	perm := rng.Perm(2000)
 	for _, i := range perm {
@@ -206,7 +206,7 @@ func TestIOChargesTime(t *testing.T) {
 	if clk.Now() == 0 {
 		t.Fatal("no virtual time passed despite evictions")
 	}
-	c := tree.disk.Counters()
+	c := tree.eng.Counters()
 	if c.Writes == 0 || c.Reads == 0 {
 		t.Fatalf("counters = %+v", c)
 	}
@@ -308,7 +308,7 @@ func TestFlushPersistsEverything(t *testing.T) {
 	}
 	tree.Flush()
 	// Evict the whole cache; subsequent reads must come from disk intact.
-	tree.Cache().EvictAll()
+	tree.pager().EvictAll(tree.owner)
 	for i := 0; i < 500; i++ {
 		v, ok := tree.Get(key(i))
 		if !ok || !bytes.Equal(v, value(i)) {
@@ -323,13 +323,13 @@ func TestTornWriteDetected(t *testing.T) {
 		tree.Put(key(i), value(i))
 	}
 	tree.Flush()
-	tree.Cache().EvictAll()
+	tree.pager().EvictAll(tree.owner)
 	// Corrupt the count field in the header of the node at extent 0 (the
 	// CRC covers the payload, so header corruption must be caught).
 	var buf [1]byte
-	tree.disk.ReadAt(buf[:], 1)
+	tree.owner.ReadAt(buf[:], 1)
 	buf[0] ^= 0xFF
-	tree.disk.WriteAt(buf[:], 1)
+	tree.owner.WriteAt(buf[:], 1)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("corrupted node was accepted")
@@ -342,11 +342,12 @@ func TestTornWriteDetected(t *testing.T) {
 
 func TestConfigValidation(t *testing.T) {
 	clk := sim.New()
-	disk := storage.NewDisk(hdd.NewDeterministic(hdd.DefaultProfile()), clk)
-	if _, err := New(Config{NodeBytes: 64, MaxKeyBytes: 32, MaxValueBytes: 128, CacheBytes: 1 << 20}, disk); err == nil {
+	eng := engine.New(engine.Config{CacheBytes: 1 << 20},
+		hdd.NewDeterministic(hdd.DefaultProfile()), clk)
+	if _, err := New(Config{NodeBytes: 64, MaxKeyBytes: 32, MaxValueBytes: 128}, eng); err == nil {
 		t.Fatal("tiny node accepted")
 	}
-	if _, err := New(Config{}, disk); err == nil {
+	if _, err := New(Config{}, eng); err == nil {
 		t.Fatal("zero config accepted")
 	}
 }

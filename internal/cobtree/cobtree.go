@@ -22,8 +22,8 @@ import (
 	"fmt"
 	"math/bits"
 
+	"iomodels/internal/engine"
 	"iomodels/internal/kv"
-	"iomodels/internal/sim"
 	"iomodels/internal/storage"
 	"iomodels/internal/veb"
 )
@@ -33,14 +33,13 @@ type Config struct {
 	MaxKeyBytes   int
 	MaxValueBytes int
 	// BlockBytes is the metering granularity (the cache line B the
-	// structure itself never consults for layout decisions).
+	// structure itself never consults for layout decisions). The cache
+	// budget M is the engine's CacheBytes.
 	BlockBytes int
-	// CacheBytes is the pager's budget (the model's M).
-	CacheBytes int64
 }
 
 func (c Config) validate() error {
-	if c.MaxKeyBytes <= 0 || c.MaxValueBytes < 0 || c.BlockBytes <= 0 || c.CacheBytes <= 0 {
+	if c.MaxKeyBytes <= 0 || c.MaxValueBytes < 0 || c.BlockBytes <= 0 {
 		return fmt.Errorf("cobtree: invalid config")
 	}
 	return nil
@@ -54,10 +53,13 @@ const (
 	rhoRoot = 0.30
 )
 
-// Tree is a cache-oblivious B-tree. Not safe for concurrent use.
+// Tree is a cache-oblivious B-tree on a shared storage engine. Mutations
+// run on the engine's owner client (single writer); concurrent reads go
+// through per-client Sessions.
 type Tree struct {
 	cfg       Config
-	pager     *pager
+	eng       *engine.Engine
+	owner     *engine.Client
 	slotBytes int64
 
 	cells    []kv.Entry // len = capacity; empty cell has nil Key
@@ -76,14 +78,15 @@ type Tree struct {
 	Rebalances int64
 }
 
-// New creates an empty tree metered against dev on clk.
-func New(cfg Config, dev storage.Device, clk *sim.Engine) (*Tree, error) {
+// New creates an empty tree metered against the engine's device.
+func New(cfg Config, eng *engine.Engine) (*Tree, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	t := &Tree{
 		cfg:       cfg,
-		pager:     newPager(dev, clk, int64(cfg.BlockBytes), cfg.CacheBytes),
+		eng:       eng,
+		owner:     eng.Owner(),
 		slotBytes: int64(9 + cfg.MaxKeyBytes + cfg.MaxValueBytes),
 		idxSlot:   int64(8 + cfg.MaxKeyBytes),
 	}
@@ -102,10 +105,13 @@ func (t *Tree) Items() int { return t.live }
 func (t *Tree) Capacity() int { return len(t.cells) }
 
 // Counters returns the metered IO statistics.
-func (t *Tree) Counters() storage.Counters { return t.pager.Counters() }
+func (t *Tree) Counters() storage.Counters { return t.eng.Counters() }
+
+// Engine returns the storage engine backing the tree.
+func (t *Tree) Engine() *engine.Engine { return t.eng }
 
 // Flush writes back dirty metered blocks.
-func (t *Tree) Flush() { t.pager.Flush() }
+func (t *Tree) Flush() { t.eng.Pager().Flush(t.owner) }
 
 // height returns the number of window levels above a segment.
 func (t *Tree) height() int { return bits.Len(uint(t.numSegs)) - 1 }
@@ -134,6 +140,10 @@ func (t *Tree) rebuild(entries []kv.Entry, capacity int) {
 	if capacity < 2*t.segSlots {
 		capacity = 2 * t.segSlots
 	}
+	oldExtent := int64(len(t.cells)) * t.slotBytes
+	if len(t.mins) > 1 {
+		oldExtent = t.idxBase + int64(len(t.mins)-1)*t.idxSlot
+	}
 	t.cells = make([]kv.Entry, capacity)
 	t.numSegs = capacity / t.segSlots
 	t.live = len(entries)
@@ -157,8 +167,8 @@ func (t *Tree) rebuild(entries []kv.Entry, capacity int) {
 		}
 	}
 	// The old image is garbage; charge the new one as one bulk write.
-	t.pager.DropAll()
-	t.pager.Touch(0, int64(capacity)*t.slotBytes+int64(nIndex)*t.idxSlot, true)
+	t.dropImage(oldExtent)
+	t.touch(t.owner, 0, int64(capacity)*t.slotBytes+int64(nIndex)*t.idxSlot, true)
 	for s := t.numSegs - 1; s >= 0; s-- {
 		t.setSegMin(s, false)
 	}
@@ -179,9 +189,9 @@ func (t *Tree) segMin(s int) []byte {
 	return nil
 }
 
-// touchIndex charges one index-node access.
-func (t *Tree) touchIndex(heap int, write bool) {
-	t.pager.Touch(t.idxBase+int64(t.vebPos[heap-1])*t.idxSlot, t.idxSlot, write)
+// touchIndex charges client c for one index-node access.
+func (t *Tree) touchIndex(c *engine.Client, heap int, write bool) {
+	t.touch(c, t.idxBase+int64(t.vebPos[heap-1])*t.idxSlot, t.idxSlot, write)
 }
 
 // setSegMin refreshes the leaf min for segment s and its ancestors,
@@ -190,7 +200,7 @@ func (t *Tree) setSegMin(s int, charge bool) {
 	i := t.numSegs + s
 	t.mins[i] = t.segMin(s)
 	if charge {
-		t.touchIndex(i, true)
+		t.touchIndex(t.owner, i, true)
 	}
 	for i > 1 {
 		i /= 2
@@ -204,16 +214,16 @@ func (t *Tree) setSegMin(s int, charge bool) {
 			t.mins[i] = r
 		}
 		if charge {
-			t.touchIndex(i, true)
+			t.touchIndex(t.owner, i, true)
 		}
 	}
 }
 
 // findSeg descends the vEB index to the segment that should hold key,
-// charging index reads.
-func (t *Tree) findSeg(key []byte) int {
+// charging index reads to client c.
+func (t *Tree) findSeg(c *engine.Client, key []byte) int {
 	i := 1
-	t.touchIndex(i, false)
+	t.touchIndex(c, i, false)
 	for i < t.numSegs {
 		r := t.mins[2*i+1]
 		if r != nil && kv.Compare(key, r) >= 0 {
@@ -221,15 +231,15 @@ func (t *Tree) findSeg(key []byte) int {
 		} else {
 			i = 2 * i
 		}
-		t.touchIndex(i, false)
+		t.touchIndex(c, i, false)
 	}
 	return i - t.numSegs
 }
 
-// touchSeg charges a read (or write) of segment s's cell range.
-func (t *Tree) touchSeg(s int, write bool) {
+// touchSeg charges client c a read (or write) of segment s's cell range.
+func (t *Tree) touchSeg(c *engine.Client, s int, write bool) {
 	lo, _ := t.segRange(s)
-	t.pager.Touch(int64(lo)*t.slotBytes, int64(t.segSlots)*t.slotBytes, write)
+	t.touch(c, int64(lo)*t.slotBytes, int64(t.segSlots)*t.slotBytes, write)
 }
 
 // findInSeg returns the in-segment position of key and whether it is
@@ -257,10 +267,12 @@ func (t *Tree) findInSeg(s int, key []byte) (int, int, bool) {
 }
 
 // Get returns the value stored at key.
-func (t *Tree) Get(key []byte) ([]byte, bool) {
+func (t *Tree) Get(key []byte) ([]byte, bool) { return t.getKey(t.owner, key) }
+
+func (t *Tree) getKey(c *engine.Client, key []byte) ([]byte, bool) {
 	t.checkKey(key, nil)
-	s := t.findSeg(key)
-	t.touchSeg(s, false)
+	s := t.findSeg(c, key)
+	t.touchSeg(c, s, false)
 	pos, _, found := t.findInSeg(s, key)
 	if !found {
 		return nil, false
@@ -284,12 +296,12 @@ func (t *Tree) Put(key, value []byte) {
 	key = append([]byte(nil), key...)
 	value = append([]byte(nil), value...)
 
-	s := t.findSeg(key)
-	t.touchSeg(s, false)
+	s := t.findSeg(t.owner, key)
+	t.touchSeg(t.owner, s, false)
 	pos, occ, found := t.findInSeg(s, key)
 	if found {
 		t.cells[pos].Value = value
-		t.touchSeg(s, true)
+		t.touchSeg(t.owner, s, true)
 		return
 	}
 	if float64(occ+1) <= tauLeaf*float64(t.segSlots) {
@@ -298,7 +310,7 @@ func (t *Tree) Put(key, value []byte) {
 		copy(t.cells[pos+1:lo+occ+1], t.cells[pos:lo+occ])
 		t.cells[pos] = kv.Entry{Key: key, Value: value}
 		t.live++
-		t.touchSeg(s, true)
+		t.touchSeg(t.owner, s, true)
 		t.setSegMin(s, true)
 		return
 	}
@@ -321,7 +333,7 @@ func (t *Tree) insertByRebalance(s int, e kv.Entry) {
 		}
 	}
 	// Root window full: grow. Charge the full read of the old image.
-	t.pager.Touch(0, int64(len(t.cells))*t.slotBytes, false)
+	t.touch(t.owner, 0, int64(len(t.cells))*t.slotBytes, false)
 	entries := t.collect(0, t.numSegs)
 	entries = insertSorted(entries, e)
 	t.rebuild(entries, 2*len(t.cells))
@@ -332,7 +344,7 @@ func (t *Tree) insertByRebalance(s int, e kv.Entry) {
 func (t *Tree) windowLive(s0, w int) int {
 	n := 0
 	for s := s0; s < s0+w; s++ {
-		t.touchSeg(s, false)
+		t.touchSeg(t.owner, s, false)
 		lo, hi := t.segRange(s)
 		for i := lo; i < hi && t.cells[i].Key != nil; i++ {
 			n++
@@ -396,7 +408,7 @@ func (t *Tree) redistribute(s0, w int, extra *kv.Entry) {
 			pos++
 		}
 	}
-	t.pager.Touch(int64(lo)*t.slotBytes, int64(hi-lo)*t.slotBytes, true)
+	t.touch(t.owner, int64(lo)*t.slotBytes, int64(hi-lo)*t.slotBytes, true)
 	for s := s0; s < s0+w; s++ {
 		t.setSegMin(s, true)
 	}
@@ -405,8 +417,8 @@ func (t *Tree) redistribute(s0, w int, extra *kv.Entry) {
 // Delete removes key, reporting whether it was present.
 func (t *Tree) Delete(key []byte) bool {
 	t.checkKey(key, nil)
-	s := t.findSeg(key)
-	t.touchSeg(s, false)
+	s := t.findSeg(t.owner, key)
+	t.touchSeg(t.owner, s, false)
 	pos, occ, found := t.findInSeg(s, key)
 	if !found {
 		return false
@@ -415,7 +427,7 @@ func (t *Tree) Delete(key []byte) bool {
 	copy(t.cells[pos:], t.cells[pos+1:lo+occ])
 	t.cells[lo+occ-1] = kv.Entry{}
 	t.live--
-	t.touchSeg(s, true)
+	t.touchSeg(t.owner, s, true)
 	t.setSegMin(s, true)
 
 	// Climb windows that fell below their minimum density.
@@ -435,7 +447,7 @@ func (t *Tree) Delete(key []byte) bool {
 	}
 	// Root under-full: shrink (never below the minimum capacity). Charge
 	// the full read of the old image.
-	t.pager.Touch(0, int64(len(t.cells))*t.slotBytes, false)
+	t.touch(t.owner, 0, int64(len(t.cells))*t.slotBytes, false)
 	if len(t.cells) > 2*t.segSlots {
 		t.rebuild(t.collect(0, t.numSegs), len(t.cells)/2)
 	} else {
@@ -447,9 +459,13 @@ func (t *Tree) Delete(key []byte) bool {
 // Scan calls fn for each entry with lo <= key < hi in key order (hi nil =
 // unbounded), charging sequential cell reads.
 func (t *Tree) Scan(lo, hi []byte, fn func(key, value []byte) bool) {
+	t.scan(t.owner, lo, hi, fn)
+}
+
+func (t *Tree) scan(c *engine.Client, lo, hi []byte, fn func(key, value []byte) bool) {
 	start := 0
 	if lo != nil {
-		s := t.findSeg(lo)
+		s := t.findSeg(c, lo)
 		pos, _, _ := t.findInSeg(s, lo)
 		start = pos
 		// The key could also be in a later segment if this one is empty
@@ -460,7 +476,7 @@ func (t *Tree) Scan(lo, hi []byte, fn func(key, value []byte) bool) {
 		if e.Key == nil {
 			continue
 		}
-		t.pager.Touch(int64(i)*t.slotBytes, t.slotBytes, false)
+		t.touch(c, int64(i)*t.slotBytes, t.slotBytes, false)
 		if lo != nil && kv.Compare(e.Key, lo) < 0 {
 			continue
 		}

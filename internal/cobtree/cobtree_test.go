@@ -8,6 +8,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"iomodels/internal/engine"
 	"iomodels/internal/hdd"
 	"iomodels/internal/sim"
 	"iomodels/internal/stats"
@@ -16,13 +17,13 @@ import (
 func newTestTree(t testing.TB, blockBytes int, cacheBytes int64) (*Tree, *sim.Engine) {
 	t.Helper()
 	clk := sim.New()
-	dev := hdd.NewDeterministic(hdd.DefaultProfile())
+	eng := engine.New(engine.Config{CacheBytes: cacheBytes, Shards: 1},
+		hdd.NewDeterministic(hdd.DefaultProfile()), clk)
 	tree, err := New(Config{
 		MaxKeyBytes:   32,
 		MaxValueBytes: 64,
 		BlockBytes:    blockBytes,
-		CacheBytes:    cacheBytes,
-	}, dev, clk)
+	}, eng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,8 +269,9 @@ func TestKeyValidation(t *testing.T) {
 
 func TestConfigValidation(t *testing.T) {
 	clk := sim.New()
-	dev := hdd.NewDeterministic(hdd.DefaultProfile())
-	if _, err := New(Config{}, dev, clk); err == nil {
+	eng := engine.New(engine.Config{CacheBytes: 1 << 20},
+		hdd.NewDeterministic(hdd.DefaultProfile()), clk)
+	if _, err := New(Config{}, eng); err == nil {
 		t.Fatal("zero config accepted")
 	}
 }

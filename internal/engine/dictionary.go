@@ -1,0 +1,43 @@
+package engine
+
+import (
+	"fmt"
+
+	"iomodels/internal/storage"
+)
+
+// Dictionary is the common external-memory dictionary interface: every
+// tree in this repo (B-tree, Bε-tree, LSM-tree, cache-oblivious B-tree)
+// implements it, so experiments and examples can sweep structures
+// generically. Keys and values are copied on Put; callbacks must not retain
+// the slices they are handed.
+type Dictionary interface {
+	// Get returns the value for key, or false if absent.
+	Get(key []byte) ([]byte, bool)
+	// Put inserts or replaces key.
+	Put(key, value []byte)
+	// Delete removes key, reporting whether the operation was accepted
+	// (message-buffered structures accept deletes for keys they have not
+	// yet materialized, so true does not imply the key was present).
+	Delete(key []byte) bool
+	// Scan visits keys in [lo, hi) in order until fn returns false.
+	Scan(lo, hi []byte, fn func(key, value []byte) bool)
+	// Stats reports the dictionary's size and IO behaviour.
+	Stats() Stats
+}
+
+// Stats is a Dictionary's self-report, uniform across structures.
+type Stats struct {
+	// Items is the number of live keys (approximate for structures that
+	// buffer deletes).
+	Items int
+	// IO aggregates device traffic attributed to the dictionary's engine.
+	IO storage.Counters
+	// Pager is the buffer-pool traffic of the dictionary's engine.
+	Pager PagerStats
+}
+
+// String gives a multi-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("items=%d\nio: %v\npager: %v", s.Items, s.IO, s.Pager)
+}

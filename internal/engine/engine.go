@@ -1,0 +1,235 @@
+// Package engine bundles a simulated device, its byte store, an extent
+// allocator, and a sharded buffer pool (the Pager) behind one constructor,
+// and defines the Dictionary interface every tree in this repo implements.
+//
+// The point of the layer is concurrency: the paper's PDAM half (§8,
+// Lemma 13) is about k clients saturating a parallel device, so the IO path
+// must let k simulated processes issue overlapping IOs. Each client carries
+// its own notion of virtual time (a sim process's clock position, or the
+// global clock for the classic sequential usage) and its own IO counters;
+// the shared Store serializes device-model calls so die/channel queues see
+// the true interleaved arrival order, and the Pager's per-shard locks plus
+// pin/latch discipline make cached nodes safe to share.
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"iomodels/internal/sim"
+	"iomodels/internal/storage"
+)
+
+// Config sizes the engine's shared resources.
+type Config struct {
+	// CacheBytes is the pager's byte budget: the model's memory size M.
+	CacheBytes int64
+	// Shards overrides the pager shard count (0 = auto: one shard per
+	// 8 MiB of budget, between 1 and 16). More shards reduce lock and LRU
+	// contention between concurrent clients but fragment the budget.
+	Shards int
+}
+
+// Engine owns the shared IO path: device + byte store + allocator + pager.
+// Many trees may live on one engine (the shared allocator keeps their
+// extents, and hence their PageIDs, disjoint), and many clients may drive
+// it concurrently.
+type Engine struct {
+	clk   *sim.Engine
+	store *storage.Store
+	pager *Pager
+
+	allocMu sync.Mutex
+	alloc   *storage.Allocator
+
+	owner *Client
+}
+
+// New creates an engine over dev on clock clk.
+func New(cfg Config, dev storage.Device, clk *sim.Engine) *Engine {
+	return fromStore(cfg, storage.NewStore(dev), clk)
+}
+
+// FromDisk creates an engine sharing an existing Disk's byte store, clock,
+// and counters. Trees constructed through the facade use this so the
+// familiar "one disk, several structures" setup keeps working.
+func FromDisk(cfg Config, d *storage.Disk) *Engine {
+	return fromStore(cfg, d.Store(), d.Clock())
+}
+
+func fromStore(cfg Config, store *storage.Store, clk *sim.Engine) *Engine {
+	e := &Engine{
+		clk:   clk,
+		store: store,
+		alloc: storage.NewAllocator(store.Device().Capacity()),
+		pager: newPager(cfg),
+	}
+	e.owner = &Client{eng: e, ctx: clockCtx{clk}}
+	return e
+}
+
+// Clock returns the virtual clock.
+func (e *Engine) Clock() *sim.Engine { return e.clk }
+
+// Store returns the shared byte store.
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// Device returns the underlying timing device.
+func (e *Engine) Device() storage.Device { return e.store.Device() }
+
+// Pager returns the shared buffer pool.
+func (e *Engine) Pager() *Pager { return e.pager }
+
+// Owner returns the clock-driven client: IOs issued through it advance the
+// global clock directly. It is the right client for single-threaded phases
+// (loads, settles, sequential experiments) and must not be used while sim
+// processes are pending — the clock will refuse (panic) if it is.
+func (e *Engine) Owner() *Client { return e.owner }
+
+// Process returns a client whose IOs run in pr's virtual timeline: each IO
+// is issued at the process's current instant and the process sleeps until
+// the device completes it, so IOs from different processes overlap on the
+// device model.
+func (e *Engine) Process(pr *sim.Proc) *Client {
+	return &Client{eng: e, ctx: procCtx{pr}}
+}
+
+// Detached returns a client with a private time cursor that never touches
+// the sim engine. It exists for host-parallel stress tests (many real
+// goroutines hammering the pager under -race); virtual times measured
+// through it are per-client, not globally ordered.
+func (e *Engine) Detached() *Client {
+	return &Client{eng: e, ctx: &detachedCtx{}}
+}
+
+// Alloc reserves an extent of the given size (safe for concurrent use).
+func (e *Engine) Alloc(size int64) int64 {
+	e.allocMu.Lock()
+	defer e.allocMu.Unlock()
+	return e.alloc.Alloc(size)
+}
+
+// Free returns an extent for reuse (safe for concurrent use).
+func (e *Engine) Free(off, size int64) {
+	e.allocMu.Lock()
+	defer e.allocMu.Unlock()
+	e.alloc.Free(off, size)
+}
+
+// HighWater reports the allocator's bump-pointer position.
+func (e *Engine) HighWater() int64 {
+	e.allocMu.Lock()
+	defer e.allocMu.Unlock()
+	return e.alloc.HighWater()
+}
+
+// Counters returns the store's aggregate IO statistics (all clients).
+func (e *Engine) Counters() storage.Counters { return e.store.Counters() }
+
+// ResetCounters zeroes the store's aggregate IO statistics.
+func (e *Engine) ResetCounters() { e.store.ResetCounters() }
+
+// SetTrace attaches an IO trace to the store (nil detaches).
+func (e *Engine) SetTrace(t *storage.Trace) { e.store.SetTrace(t) }
+
+// ioCtx is a client's notion of time: where IOs are issued from and how the
+// client waits for their completion.
+type ioCtx interface {
+	Now() sim.Time
+	WaitUntil(t sim.Time)
+}
+
+// clockCtx drives the global clock directly (sequential usage).
+type clockCtx struct{ clk *sim.Engine }
+
+func (c clockCtx) Now() sim.Time        { return c.clk.Now() }
+func (c clockCtx) WaitUntil(t sim.Time) { c.clk.AdvanceTo(t) }
+
+// procCtx runs inside a simulated process.
+type procCtx struct{ pr *sim.Proc }
+
+func (c procCtx) Now() sim.Time        { return c.pr.Now() }
+func (c procCtx) WaitUntil(t sim.Time) { c.pr.SleepUntil(t) }
+
+// detachedCtx keeps a goroutine-local cursor; WaitUntil yields the OS
+// thread so host-parallel tests interleave.
+type detachedCtx struct{ now sim.Time }
+
+func (c *detachedCtx) Now() sim.Time { return c.now }
+func (c *detachedCtx) WaitUntil(t sim.Time) {
+	if t > c.now {
+		c.now = t
+	}
+	runtime.Gosched()
+}
+
+// Client is one simulated actor's handle onto the engine: it issues IOs at
+// its own current instant, waits out their completion in its own timeline,
+// and accumulates its own IO counters. A Client is used by one goroutine at
+// a time (its process); distinct clients are safe concurrently.
+type Client struct {
+	eng      *Engine
+	ctx      ioCtx
+	counters storage.Counters
+}
+
+// Engine returns the engine this client drives.
+func (c *Client) Engine() *Engine { return c.eng }
+
+// Now returns the client's current virtual time.
+func (c *Client) Now() sim.Time { return c.ctx.Now() }
+
+// ReadAt reads len(p) bytes at off, charging device time to this client.
+func (c *Client) ReadAt(p []byte, off int64) {
+	if len(p) == 0 {
+		return
+	}
+	now := c.ctx.Now()
+	done := c.eng.store.ReadAt(now, p, off)
+	c.counters.Add(storage.Counters{Reads: 1, BytesRead: int64(len(p)), ReadTime: done - now})
+	c.ctx.WaitUntil(done)
+}
+
+// WriteAt writes len(p) bytes at off, charging device time to this client.
+func (c *Client) WriteAt(p []byte, off int64) {
+	if len(p) == 0 {
+		return
+	}
+	now := c.ctx.Now()
+	done := c.eng.store.WriteAt(now, p, off)
+	c.counters.Add(storage.Counters{Writes: 1, BytesWritten: int64(len(p)), WriteTime: done - now})
+	c.ctx.WaitUntil(done)
+}
+
+// Meter charges an IO's time and counters without moving bytes (the
+// cache-oblivious tree's block metering).
+func (c *Client) Meter(op storage.Op, off, size int64) {
+	if size <= 0 {
+		return
+	}
+	now := c.ctx.Now()
+	done := c.eng.store.Meter(now, op, off, size)
+	if op == storage.Read {
+		c.counters.Add(storage.Counters{Reads: 1, BytesRead: size, ReadTime: done - now})
+	} else {
+		c.counters.Add(storage.Counters{Writes: 1, BytesWritten: size, WriteTime: done - now})
+	}
+	c.ctx.WaitUntil(done)
+}
+
+// Counters returns this client's accumulated IO statistics.
+func (c *Client) Counters() storage.Counters { return c.counters }
+
+// ResetCounters zeroes this client's IO statistics.
+func (c *Client) ResetCounters() { c.counters = storage.Counters{} }
+
+// latchPoll is how long a client waits between checks of a page another
+// client is loading or writing back. In a cooperative simulation a client
+// cannot block on a Go synchronization primitive (the engine would deadlock
+// waiting for it to yield), so latch waits are short virtual-time sleeps.
+const latchPoll = 20 * sim.Microsecond
+
+// wait sleeps the client one latch-poll quantum in its own timeline.
+func (c *Client) wait() {
+	c.ctx.WaitUntil(c.ctx.Now() + latchPoll)
+}

@@ -1,0 +1,504 @@
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// PageID identifies a cached object. Trees use the object's disk offset,
+// which the engine's shared allocator keeps unique across every structure
+// on the engine.
+type PageID int64
+
+// Loader moves objects between pager and disk on behalf of a client, so
+// load and write-back IO is charged to the client that caused it.
+type Loader interface {
+	// Load reads and decodes the object; size is its charged byte footprint.
+	Load(c *Client, id PageID) (obj interface{}, size int64)
+	// Store serializes and writes back a dirty object.
+	Store(c *Client, id PageID, obj interface{})
+}
+
+// ShardStats counts one shard's traffic.
+type ShardStats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64
+	// PeakOver is the maximum number of bytes the shard exceeded its budget
+	// by, which can happen transiently when the pinned working set is larger
+	// than the budget.
+	PeakOver int64
+}
+
+func (s *ShardStats) add(o ShardStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Writebacks += o.Writebacks
+	if o.PeakOver > s.PeakOver {
+		s.PeakOver = o.PeakOver
+	}
+}
+
+// PagerStats aggregates traffic over all shards.
+type PagerStats struct {
+	ShardStats
+	Shards   int
+	PerShard []ShardStats
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any traffic.
+func (s PagerStats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// String gives a one-line summary.
+func (s PagerStats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d (ratio %.3f) evictions=%d writebacks=%d shards=%d",
+		s.Hits, s.Misses, s.HitRatio(), s.Evictions, s.Writebacks, s.Shards)
+}
+
+// item is one cached object. busy latches it during a load or write-back:
+// while busy, only the latching client touches obj, and every other client
+// polls in virtual time. A busy item is never in the LRU and (except for
+// the latching client's own reference) never pinned.
+type item struct {
+	id     PageID
+	obj    interface{}
+	size   int64
+	dirty  bool
+	pins   int
+	busy   bool
+	loader Loader
+	elem   *list.Element // position in LRU list; nil while pinned or busy
+}
+
+type shard struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	items  map[PageID]*item
+	lru    *list.List // front = most recently used; holds only unpinned items
+	stats  ShardStats
+}
+
+// Pager is the engine's buffer pool: an LRU object cache with a byte
+// budget, sharded so concurrent clients contend only per shard. Within a
+// shard the lock covers map/LRU manipulation only — IO (loads and
+// write-backs) happens outside the lock under a per-item busy latch, so a
+// client sleeping out an IO's virtual latency never blocks the others.
+type Pager struct {
+	shards []*shard
+}
+
+func newPager(cfg Config) *Pager {
+	if cfg.CacheBytes <= 0 {
+		panic("engine: non-positive cache budget")
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = int(cfg.CacheBytes / (8 << 20))
+		if n < 1 {
+			n = 1
+		}
+		if n > 16 {
+			n = 16
+		}
+	}
+	per := cfg.CacheBytes / int64(n)
+	if per <= 0 {
+		per = 1
+	}
+	p := &Pager{shards: make([]*shard, n)}
+	for i := range p.shards {
+		p.shards[i] = &shard{
+			budget: per,
+			items:  make(map[PageID]*item),
+			lru:    list.New(),
+		}
+	}
+	return p
+}
+
+func (p *Pager) shard(id PageID) *shard {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return p.shards[(h>>32)%uint64(len(p.shards))]
+}
+
+// Budget returns the total configured byte budget (the model's M).
+func (p *Pager) Budget() int64 {
+	var total int64
+	for _, sh := range p.shards {
+		total += sh.budget
+	}
+	return total
+}
+
+// Used returns the bytes currently charged across all shards.
+func (p *Pager) Used() int64 {
+	var total int64
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		total += sh.used
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Stats returns a snapshot of traffic counters, aggregated and per shard.
+func (p *Pager) Stats() PagerStats {
+	out := PagerStats{Shards: len(p.shards), PerShard: make([]ShardStats, len(p.shards))}
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		out.PerShard[i] = sh.stats
+		sh.mu.Unlock()
+		out.ShardStats.add(out.PerShard[i])
+	}
+	return out
+}
+
+// ResetStats zeroes the traffic counters.
+func (p *Pager) ResetStats() {
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		sh.stats = ShardStats{}
+		sh.mu.Unlock()
+	}
+}
+
+// Contains reports whether id is resident (without touching LRU order).
+func (p *Pager) Contains(id PageID) bool {
+	sh := p.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.items[id]
+	return ok
+}
+
+// pin takes an item out of the LRU and holds it. Caller holds sh.mu and
+// has checked !it.busy.
+func (sh *shard) pin(it *item) {
+	if it.elem != nil {
+		sh.lru.Remove(it.elem)
+		it.elem = nil
+	}
+	it.pins++
+}
+
+// Get returns the object for id, loading it through loader on a miss, and
+// pins it. The caller must Unpin when done with the reference; mutating
+// callers must also MarkDirty. If another client is mid-load or mid-evict
+// on id, Get waits (in the client's virtual timeline) for the latch.
+func (p *Pager) Get(c *Client, loader Loader, id PageID) interface{} {
+	sh := p.shard(id)
+	for {
+		sh.mu.Lock()
+		if it, ok := sh.items[id]; ok {
+			if it.busy {
+				sh.mu.Unlock()
+				c.wait()
+				continue
+			}
+			sh.stats.Hits++
+			sh.pin(it)
+			sh.mu.Unlock()
+			p.evictToBudget(c, sh)
+			return it.obj
+		}
+		// Miss: latch a placeholder so concurrent getters wait rather than
+		// issuing a duplicate load, then do the IO outside the lock.
+		sh.stats.Misses++
+		it := &item{id: id, pins: 1, busy: true, loader: loader}
+		sh.items[id] = it
+		sh.mu.Unlock()
+
+		obj, size := loader.Load(c, id)
+
+		sh.mu.Lock()
+		it.obj, it.size = obj, size
+		it.busy = false
+		sh.used += size
+		sh.mu.Unlock()
+		p.evictToBudget(c, sh)
+		return obj
+	}
+}
+
+// Put inserts a freshly created object (not yet on disk) as dirty and pins
+// it. It panics if id is already cached: fresh PageIDs come from the
+// engine's allocator and are unique while live.
+func (p *Pager) Put(c *Client, loader Loader, id PageID, obj interface{}, size int64) {
+	sh := p.shard(id)
+	sh.mu.Lock()
+	if _, ok := sh.items[id]; ok {
+		sh.mu.Unlock()
+		panic(fmt.Sprintf("engine: Put of resident page %d", id))
+	}
+	it := &item{id: id, obj: obj, size: size, dirty: true, pins: 1, loader: loader}
+	sh.items[id] = it
+	sh.used += size
+	sh.mu.Unlock()
+	p.evictToBudget(c, sh)
+}
+
+// PutClean inserts an object whose on-disk image is current (e.g. a node
+// shell decoded from a partial read) and pins it; evicting it never writes.
+// If id turned out to be resident already — two clients can race to decode
+// the same cold node — the canonical resident object wins and is returned
+// pinned; the caller must use the returned object, not its own candidate.
+func (p *Pager) PutClean(c *Client, loader Loader, id PageID, obj interface{}, size int64) interface{} {
+	sh := p.shard(id)
+	for {
+		sh.mu.Lock()
+		if it, ok := sh.items[id]; ok {
+			if it.busy {
+				sh.mu.Unlock()
+				c.wait()
+				continue
+			}
+			sh.pin(it)
+			sh.mu.Unlock()
+			p.evictToBudget(c, sh)
+			return it.obj
+		}
+		it := &item{id: id, obj: obj, size: size, pins: 1, loader: loader}
+		sh.items[id] = it
+		sh.used += size
+		sh.mu.Unlock()
+		p.evictToBudget(c, sh)
+		return obj
+	}
+}
+
+// TryGet returns and pins the object for id if it is resident, without
+// consulting any loader on a miss. Callers that load partial objects
+// explicitly (the Bε-tree's segment reads) use this instead of Get. A
+// latched item counts as resident: TryGet waits for the latch and retries.
+func (p *Pager) TryGet(c *Client, id PageID) (interface{}, bool) {
+	sh := p.shard(id)
+	for {
+		sh.mu.Lock()
+		it, ok := sh.items[id]
+		if !ok {
+			sh.stats.Misses++
+			sh.mu.Unlock()
+			return nil, false
+		}
+		if it.busy {
+			sh.mu.Unlock()
+			c.wait()
+			continue
+		}
+		sh.stats.Hits++
+		sh.pin(it)
+		sh.mu.Unlock()
+		return it.obj, true
+	}
+}
+
+// Pin increments id's pin count; the object must be resident.
+func (p *Pager) Pin(id PageID) {
+	sh := p.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it, ok := sh.items[id]
+	if !ok || it.busy {
+		panic(fmt.Sprintf("engine: Pin of non-resident page %d", id))
+	}
+	sh.pin(it)
+}
+
+// Unpin decrements id's pin count, returning the object to the LRU when it
+// reaches zero (which can trigger write-back eviction, charged to c).
+func (p *Pager) Unpin(c *Client, id PageID) {
+	sh := p.shard(id)
+	sh.mu.Lock()
+	it, ok := sh.items[id]
+	if !ok {
+		sh.mu.Unlock()
+		panic(fmt.Sprintf("engine: Unpin of non-resident page %d", id))
+	}
+	if it.pins <= 0 {
+		sh.mu.Unlock()
+		panic(fmt.Sprintf("engine: Unpin of unpinned page %d", id))
+	}
+	it.pins--
+	if it.pins == 0 && !it.busy {
+		it.elem = sh.lru.PushFront(it)
+	}
+	sh.mu.Unlock()
+	p.evictToBudget(c, sh)
+}
+
+// MarkDirty flags id as modified and updates its charged size (serialized
+// sizes change as nodes gain and lose entries). The caller must hold a pin.
+func (p *Pager) MarkDirty(c *Client, id PageID, newSize int64) {
+	sh := p.shard(id)
+	sh.mu.Lock()
+	it, ok := sh.items[id]
+	if !ok {
+		sh.mu.Unlock()
+		panic(fmt.Sprintf("engine: MarkDirty of non-resident page %d", id))
+	}
+	it.dirty = true
+	sh.used += newSize - it.size
+	it.size = newSize
+	sh.mu.Unlock()
+	p.evictToBudget(c, sh)
+}
+
+// Resize updates id's charged size without marking it dirty (used when a
+// clean object grows by absorbing more of its on-disk image). The caller
+// must hold a pin.
+func (p *Pager) Resize(c *Client, id PageID, newSize int64) {
+	sh := p.shard(id)
+	sh.mu.Lock()
+	it, ok := sh.items[id]
+	if !ok {
+		sh.mu.Unlock()
+		panic(fmt.Sprintf("engine: Resize of non-resident page %d", id))
+	}
+	sh.used += newSize - it.size
+	it.size = newSize
+	sh.mu.Unlock()
+	p.evictToBudget(c, sh)
+}
+
+// Drop discards id without write-back (the node was freed). It panics if
+// the object is pinned by anyone; if the object is latched (being evicted),
+// Drop waits the latch out — the page is gone either way.
+func (p *Pager) Drop(c *Client, id PageID) {
+	sh := p.shard(id)
+	for {
+		sh.mu.Lock()
+		it, ok := sh.items[id]
+		if !ok {
+			sh.mu.Unlock()
+			return
+		}
+		if it.busy {
+			sh.mu.Unlock()
+			c.wait()
+			continue
+		}
+		if it.pins > 0 {
+			sh.mu.Unlock()
+			panic(fmt.Sprintf("engine: Drop of pinned page %d", id))
+		}
+		sh.remove(it)
+		sh.mu.Unlock()
+		return
+	}
+}
+
+// Flush writes back every dirty object (pinned or not) without evicting,
+// charging the IO to c.
+func (p *Pager) Flush(c *Client) {
+	for _, sh := range p.shards {
+		for {
+			sh.mu.Lock()
+			var victim *item
+			for _, it := range sh.items {
+				if it.dirty && !it.busy {
+					victim = it
+					break
+				}
+			}
+			if victim == nil {
+				sh.mu.Unlock()
+				break
+			}
+			victim.busy = true
+			if victim.elem != nil {
+				sh.lru.Remove(victim.elem)
+				victim.elem = nil
+			}
+			sh.stats.Writebacks++
+			sh.mu.Unlock()
+
+			victim.loader.Store(c, victim.id, victim.obj)
+
+			sh.mu.Lock()
+			victim.dirty = false
+			victim.busy = false
+			if victim.pins == 0 {
+				victim.elem = sh.lru.PushFront(victim)
+			}
+			sh.mu.Unlock()
+		}
+	}
+}
+
+// EvictAll writes back and drops every unpinned object (used by experiments
+// to cold-start a phase), charging write-backs to c.
+func (p *Pager) EvictAll(c *Client) {
+	for _, sh := range p.shards {
+		for p.evictOne(c, sh) {
+		}
+	}
+}
+
+// evictToBudget evicts LRU objects from sh until it is within budget (or
+// nothing evictable remains), then records how far over budget the pinned
+// working set left it.
+func (p *Pager) evictToBudget(c *Client, sh *shard) {
+	for {
+		sh.mu.Lock()
+		over := sh.used - sh.budget
+		if over > sh.stats.PeakOver {
+			sh.stats.PeakOver = over
+		}
+		needMore := over > 0 && sh.lru.Len() > 0
+		sh.mu.Unlock()
+		if !needMore {
+			return
+		}
+		p.evictOne(c, sh)
+	}
+}
+
+// evictOne evicts sh's LRU-tail object, writing it back first if dirty.
+// The IO runs outside the lock under the item's busy latch. Returns false
+// if nothing was evictable.
+func (p *Pager) evictOne(c *Client, sh *shard) bool {
+	sh.mu.Lock()
+	elem := sh.lru.Back()
+	if elem == nil {
+		sh.mu.Unlock()
+		return false
+	}
+	it := elem.Value.(*item)
+	sh.lru.Remove(elem)
+	it.elem = nil
+	it.busy = true
+	dirty := it.dirty
+	sh.stats.Evictions++
+	if dirty {
+		sh.stats.Writebacks++
+	}
+	sh.mu.Unlock()
+
+	if dirty {
+		it.loader.Store(c, it.id, it.obj)
+	}
+
+	sh.mu.Lock()
+	sh.remove(it)
+	sh.mu.Unlock()
+	return true
+}
+
+// remove deletes an item from the shard. Caller holds sh.mu.
+func (sh *shard) remove(it *item) {
+	if it.elem != nil {
+		sh.lru.Remove(it.elem)
+		it.elem = nil
+	}
+	delete(sh.items, it.id)
+	sh.used -= it.size
+}

@@ -1,0 +1,436 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"iomodels/internal/sim"
+	"iomodels/internal/storage"
+)
+
+// flatDevice is a trivial timing device: every IO costs 1ms + 1ns/byte.
+type flatDevice struct{ capacity int64 }
+
+func (d flatDevice) Access(now sim.Time, _ storage.Op, _, size int64) sim.Time {
+	return now + sim.Millisecond + sim.Time(size)
+}
+func (d flatDevice) Capacity() int64 { return d.capacity }
+func (d flatDevice) Name() string    { return "flat" }
+
+// fakeLoader backs the pager with a map and counts traffic. No IO is
+// charged, so tests drive the pager with any client.
+type fakeLoader struct {
+	data   map[PageID]string
+	loads  int
+	stores int
+}
+
+func newFakeLoader() *fakeLoader { return &fakeLoader{data: map[PageID]string{}} }
+
+func (l *fakeLoader) Load(_ *Client, id PageID) (interface{}, int64) {
+	l.loads++
+	v, ok := l.data[id]
+	if !ok {
+		panic(fmt.Sprintf("load of unknown page %d", id))
+	}
+	return v, int64(len(v))
+}
+
+func (l *fakeLoader) Store(_ *Client, id PageID, obj interface{}) {
+	l.stores++
+	l.data[id] = obj.(string)
+}
+
+// newTestPager builds a single-shard pager (deterministic LRU) plus a
+// clock client to drive it.
+func newTestPager(budget int64) (*Pager, *Client) {
+	e := New(Config{CacheBytes: budget, Shards: 1}, flatDevice{1 << 30}, sim.New())
+	return e.Pager(), e.Owner()
+}
+
+func TestGetLoadsOnceWhileResident(t *testing.T) {
+	l := newFakeLoader()
+	l.data[1] = "aaaa"
+	p, c := newTestPager(100)
+	if got := p.Get(c, l, 1).(string); got != "aaaa" {
+		t.Fatalf("got %q", got)
+	}
+	p.Unpin(c, 1)
+	p.Get(c, l, 1)
+	p.Unpin(c, 1)
+	if l.loads != 1 {
+		t.Fatalf("loads = %d, want 1", l.loads)
+	}
+	s := p.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s.ShardStats)
+	}
+	if s.HitRatio() != 0.5 {
+		t.Fatalf("hit ratio = %v", s.HitRatio())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	l := newFakeLoader()
+	for i := PageID(1); i <= 3; i++ {
+		l.data[i] = "xxxxxxxxxx" // 10 bytes each
+	}
+	p, c := newTestPager(25)
+	for i := PageID(1); i <= 2; i++ {
+		p.Get(c, l, i)
+		p.Unpin(c, i)
+	}
+	// Touch 1 so 2 becomes LRU.
+	p.Get(c, l, 1)
+	p.Unpin(c, 1)
+	p.Get(c, l, 3) // must evict 2
+	p.Unpin(c, 3)
+	if !p.Contains(1) || p.Contains(2) || !p.Contains(3) {
+		t.Fatalf("wrong eviction victim: 1=%v 2=%v 3=%v", p.Contains(1), p.Contains(2), p.Contains(3))
+	}
+}
+
+func TestDirtyWritebackOnEviction(t *testing.T) {
+	l := newFakeLoader()
+	l.data[1] = "aaaaaaaaaa"
+	l.data[2] = "bbbbbbbbbb"
+	p, c := newTestPager(15)
+	p.Get(c, l, 1)
+	p.MarkDirty(c, 1, 10)
+	p.Unpin(c, 1)
+	p.Get(c, l, 2) // evicts 1, which must be written back
+	p.Unpin(c, 2)
+	if l.stores != 1 {
+		t.Fatalf("stores = %d, want 1", l.stores)
+	}
+	if p.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", p.Stats().Writebacks)
+	}
+}
+
+func TestCleanEvictionDoesNotWrite(t *testing.T) {
+	l := newFakeLoader()
+	l.data[1] = "aaaaaaaaaa"
+	l.data[2] = "bbbbbbbbbb"
+	p, c := newTestPager(15)
+	p.Get(c, l, 1)
+	p.Unpin(c, 1)
+	p.Get(c, l, 2)
+	p.Unpin(c, 2)
+	if l.stores != 0 {
+		t.Fatalf("stores = %d, want 0", l.stores)
+	}
+}
+
+func TestPinnedNotEvicted(t *testing.T) {
+	l := newFakeLoader()
+	l.data[1] = "aaaaaaaaaa"
+	l.data[2] = "bbbbbbbbbb"
+	p, c := newTestPager(15)
+	p.Get(c, l, 1) // stays pinned
+	p.Get(c, l, 2) // over budget, but 1 is pinned
+	if !p.Contains(1) {
+		t.Fatal("pinned object was evicted")
+	}
+	if p.Stats().PeakOver <= 0 {
+		t.Fatal("overcommit not recorded")
+	}
+	p.Unpin(c, 1)
+	p.Unpin(c, 2)
+}
+
+func TestPutAndDrop(t *testing.T) {
+	l := newFakeLoader()
+	p, c := newTestPager(100)
+	p.Put(c, l, 5, "new", 3)
+	p.Unpin(c, 5)
+	p.Drop(c, 5)
+	if p.Contains(5) {
+		t.Fatal("dropped object still resident")
+	}
+	if l.stores != 0 {
+		t.Fatal("drop wrote back")
+	}
+	p.Drop(c, 5) // idempotent
+}
+
+func TestDropPinnedPanics(t *testing.T) {
+	p, c := newTestPager(100)
+	p.Put(c, newFakeLoader(), 1, "x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Drop(c, 1)
+}
+
+func TestPutDuplicatePanics(t *testing.T) {
+	p, c := newTestPager(100)
+	l := newFakeLoader()
+	p.Put(c, l, 1, "x", 1)
+	p.Unpin(c, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Put(c, l, 1, "y", 1)
+}
+
+func TestPutCleanReturnsResident(t *testing.T) {
+	p, c := newTestPager(100)
+	l := newFakeLoader()
+	p.Put(c, l, 1, "canonical", 9)
+	got := p.PutClean(c, l, 1, "duplicate", 9)
+	if got.(string) != "canonical" {
+		t.Fatalf("PutClean returned %q, want resident object", got)
+	}
+	p.Unpin(c, 1)
+	p.Unpin(c, 1)
+}
+
+func TestFlushWritesAllDirty(t *testing.T) {
+	l := newFakeLoader()
+	p, c := newTestPager(100)
+	p.Put(c, l, 1, "a", 1)
+	p.Put(c, l, 2, "b", 1)
+	p.Unpin(c, 1)
+	p.Flush(c)
+	if l.stores != 2 {
+		t.Fatalf("stores = %d, want 2", l.stores)
+	}
+	// Second flush writes nothing: all clean now.
+	p.Flush(c)
+	if l.stores != 2 {
+		t.Fatalf("stores after clean flush = %d", l.stores)
+	}
+	p.Unpin(c, 2)
+}
+
+func TestMarkDirtyResizes(t *testing.T) {
+	p, c := newTestPager(100)
+	p.Put(c, newFakeLoader(), 1, "x", 10)
+	p.MarkDirty(c, 1, 30)
+	if p.Used() != 30 {
+		t.Fatalf("used = %d, want 30", p.Used())
+	}
+	p.Unpin(c, 1)
+}
+
+func TestTryGet(t *testing.T) {
+	l := newFakeLoader()
+	l.data[1] = "aaaa"
+	p, c := newTestPager(100)
+	if _, ok := p.TryGet(c, 1); ok {
+		t.Fatal("TryGet hit on empty pager")
+	}
+	p.Get(c, l, 1)
+	p.Unpin(c, 1)
+	obj, ok := p.TryGet(c, 1)
+	if !ok || obj.(string) != "aaaa" {
+		t.Fatal("TryGet missed resident object")
+	}
+	p.Unpin(c, 1)
+	if l.loads != 1 {
+		t.Fatalf("TryGet triggered a load: %d", l.loads)
+	}
+}
+
+func TestPutCleanEvictsWithoutWrite(t *testing.T) {
+	l := newFakeLoader()
+	l.data[2] = "bbbbbbbbbb"
+	p, c := newTestPager(15)
+	p.PutClean(c, l, 1, "partial", 10)
+	p.Unpin(c, 1)
+	p.Get(c, l, 2) // evicts 1
+	p.Unpin(c, 2)
+	if l.stores != 0 {
+		t.Fatal("clean object was written back")
+	}
+}
+
+func TestResizeClean(t *testing.T) {
+	l := newFakeLoader()
+	p, c := newTestPager(100)
+	p.PutClean(c, l, 1, "x", 5)
+	p.Resize(c, 1, 50)
+	if p.Used() != 50 {
+		t.Fatalf("used = %d", p.Used())
+	}
+	p.Unpin(c, 1)
+	p.EvictAll(c)
+	if l.stores != 0 {
+		t.Fatal("resized clean object was written back")
+	}
+}
+
+func TestUnpinUnderflowPanics(t *testing.T) {
+	p, c := newTestPager(100)
+	p.Put(c, newFakeLoader(), 1, "x", 1)
+	p.Unpin(c, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Unpin(c, 1)
+}
+
+func TestEvictAll(t *testing.T) {
+	l := newFakeLoader()
+	p, c := newTestPager(100)
+	p.Put(c, l, 1, "a", 1)
+	p.Put(c, l, 2, "b", 1)
+	p.Unpin(c, 1)
+	p.Unpin(c, 2)
+	p.EvictAll(c)
+	if p.Used() != 0 {
+		t.Fatalf("used = %d after EvictAll", p.Used())
+	}
+	if l.stores != 2 {
+		t.Fatalf("stores = %d", l.stores)
+	}
+}
+
+func TestPinKeepsEntryOffLRU(t *testing.T) {
+	l := newFakeLoader()
+	l.data[1] = "aaaaaaaaaa"
+	l.data[2] = "bbbbbbbbbb"
+	p, c := newTestPager(15)
+	p.Get(c, l, 1)
+	p.Unpin(c, 1)
+	p.Pin(1) // re-pin via explicit Pin
+	p.Get(c, l, 2)
+	if !p.Contains(1) {
+		t.Fatal("explicitly pinned object evicted")
+	}
+	p.Unpin(c, 1)
+	p.Unpin(c, 2)
+}
+
+func TestNewPanicsOnBadBudget(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{CacheBytes: 0}, flatDevice{1 << 20}, sim.New())
+}
+
+func TestShardingSplitsBudget(t *testing.T) {
+	e := New(Config{CacheBytes: 64 << 20, Shards: 4}, flatDevice{1 << 30}, sim.New())
+	p := e.Pager()
+	if len(p.shards) != 4 {
+		t.Fatalf("shards = %d", len(p.shards))
+	}
+	if p.Budget() != 64<<20 {
+		t.Fatalf("budget = %d", p.Budget())
+	}
+	// Auto shard count scales with budget and clamps to [1, 16].
+	if n := len(New(Config{CacheBytes: 1 << 20}, flatDevice{1 << 30}, sim.New()).Pager().shards); n != 1 {
+		t.Fatalf("auto shards for 1 MiB = %d", n)
+	}
+	if n := len(New(Config{CacheBytes: 1 << 30}, flatDevice{1 << 31}, sim.New()).Pager().shards); n != 16 {
+		t.Fatalf("auto shards for 1 GiB = %d", n)
+	}
+}
+
+// trackingLoader backs the pager and remembers the last stored content per
+// page, to verify no dirty data is lost.
+type trackingLoader struct {
+	disk map[PageID]int // page -> version on "disk"
+}
+
+func (l *trackingLoader) Load(_ *Client, id PageID) (interface{}, int64) {
+	v, ok := l.disk[id]
+	if !ok {
+		panic(fmt.Sprintf("load of never-written page %d", id))
+	}
+	return v, 10
+}
+
+func (l *trackingLoader) Store(_ *Client, id PageID, obj interface{}) {
+	l.disk[id] = obj.(int)
+}
+
+func TestQuickPagerNeverLosesWrites(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Page uint8
+	}
+	f := func(script []op) bool {
+		l := &trackingLoader{disk: map[PageID]int{}}
+		p, c := newTestPager(55) // room for ~5 unpinned pages of 10 bytes
+		latest := map[PageID]int{}
+		version := 0
+		for _, o := range script {
+			id := PageID(o.Page % 12)
+			switch o.Kind % 3 {
+			case 0: // create or rewrite
+				version++
+				if p.Contains(id) {
+					p.Drop(c, id)
+				}
+				if _, onDisk := l.disk[id]; !onDisk {
+					l.disk[id] = -1 // placeholder so Load never panics
+				}
+				p.Put(c, l, id, version, 10)
+				p.MarkDirty(c, id, 10)
+				p.Unpin(c, id)
+				latest[id] = version
+			case 1: // read through
+				if _, ok := latest[id]; !ok {
+					continue
+				}
+				got := p.Get(c, l, id).(int)
+				p.Unpin(c, id)
+				if got != latest[id] {
+					return false
+				}
+			case 2: // flush everything
+				p.Flush(c)
+			}
+			if p.Used() < 0 {
+				return false
+			}
+		}
+		// After a full flush, the disk must hold the latest version of
+		// every page.
+		p.Flush(c)
+		for id, want := range latest {
+			if l.disk[id] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBudgetRespectedWhenUnpinned(t *testing.T) {
+	f := func(pages []uint8) bool {
+		l := &trackingLoader{disk: map[PageID]int{}}
+		p, c := newTestPager(50)
+		for i, page := range pages {
+			id := PageID(page)
+			if p.Contains(id) {
+				continue
+			}
+			l.disk[id] = i
+			p.Put(c, l, id, i, 10)
+			p.Unpin(c, id)
+			// With nothing pinned, the pager must stay within budget.
+			if p.Used() > 50 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,10 +17,10 @@ import (
 
 	"iomodels/internal/betree"
 	"iomodels/internal/btree"
+	"iomodels/internal/engine"
 	"iomodels/internal/hdd"
 	"iomodels/internal/sim"
 	"iomodels/internal/stats"
-	"iomodels/internal/storage"
 	"iomodels/internal/workload"
 )
 
@@ -74,10 +74,10 @@ type agingDict interface {
 // Aging runs E16 for the B-tree and the Bε-tree.
 func Aging(cfg AgingConfig) []AgingRow {
 	var rows []AgingRow
-	run := func(name string, mk func(disk *storage.Disk) (agingDict, func(key []byte))) {
+	run := func(name string, mk func(eng *engine.Engine) (agingDict, func(key []byte))) {
 		clk := sim.New()
-		disk := storage.NewDisk(hdd.New(cfg.Profile, cfg.Seed), clk)
-		d, del := mk(disk)
+		eng := engine.New(engine.Config{CacheBytes: cfg.CacheBytes}, hdd.New(cfg.Profile, cfg.Seed), clk)
+		d, del := mk(eng)
 		// Sequential load: ascending keys allocate leaves in disk order.
 		for id := int64(0); id < cfg.Items; id++ {
 			d.Put(cfg.Spec.SequentialKey(uint64(id)), cfg.Spec.Value(uint64(id)))
@@ -100,26 +100,24 @@ func Aging(cfg AgingConfig) []AgingRow {
 			AgingPenalty: aged / fresh,
 		})
 	}
-	run(fmt.Sprintf("B-tree (%s nodes)", humanBytes(cfg.NodeBytes)), func(disk *storage.Disk) (agingDict, func(key []byte)) {
+	run(fmt.Sprintf("B-tree (%s nodes)", humanBytes(cfg.NodeBytes)), func(eng *engine.Engine) (agingDict, func(key []byte)) {
 		t, err := btree.New(btree.Config{
 			NodeBytes:     cfg.NodeBytes,
 			MaxKeyBytes:   cfg.Spec.KeyBytes,
 			MaxValueBytes: cfg.Spec.ValueBytes,
-			CacheBytes:    cfg.CacheBytes,
-		}, disk)
+		}, eng)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: aging btree: %v", err))
 		}
 		return t, func(k []byte) { t.Delete(k) }
 	})
-	run(fmt.Sprintf("Bε-tree (%s nodes)", humanBytes(cfg.BeNodeView)), func(disk *storage.Disk) (agingDict, func(key []byte)) {
+	run(fmt.Sprintf("Bε-tree (%s nodes)", humanBytes(cfg.BeNodeView)), func(eng *engine.Engine) (agingDict, func(key []byte)) {
 		t, err := betree.New(betree.Config{
 			NodeBytes:     cfg.BeNodeView,
 			MaxFanout:     cfg.Fanout,
 			MaxKeyBytes:   cfg.Spec.KeyBytes,
 			MaxValueBytes: cfg.Spec.ValueBytes,
-			CacheBytes:    cfg.CacheBytes,
-		}.Optimized(), disk)
+		}.Optimized(), eng)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: aging betree: %v", err))
 		}

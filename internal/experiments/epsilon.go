@@ -12,9 +12,9 @@ import (
 	"fmt"
 
 	"iomodels/internal/betree"
+	"iomodels/internal/engine"
 	"iomodels/internal/hdd"
 	"iomodels/internal/sim"
-	"iomodels/internal/storage"
 	"iomodels/internal/workload"
 )
 
@@ -64,11 +64,10 @@ func EpsilonSweep(cfg EpsilonConfig) []EpsilonRow {
 			MaxFanout:     f,
 			MaxKeyBytes:   cfg.Spec.KeyBytes,
 			MaxValueBytes: cfg.Spec.ValueBytes,
-			CacheBytes:    cfg.CacheBytes,
 		}.Optimized()
 		clk := sim.New()
-		disk := storage.NewDisk(hdd.New(cfg.Profile, cfg.Seed), clk)
-		tree, err := betree.New(bcfg, disk)
+		eng := engine.New(engine.Config{CacheBytes: cfg.CacheBytes}, hdd.New(cfg.Profile, cfg.Seed), clk)
+		tree, err := betree.New(bcfg, eng)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: epsilon sweep F=%d: %v", f, err))
 		}

@@ -14,10 +14,10 @@ import (
 	"fmt"
 
 	"iomodels/internal/betree"
+	"iomodels/internal/engine"
 	"iomodels/internal/hdd"
 	"iomodels/internal/sim"
 	"iomodels/internal/stats"
-	"iomodels/internal/storage"
 	"iomodels/internal/workload"
 )
 
@@ -66,17 +66,16 @@ func FlushPolicyAblation(cfg FlushPolicyConfig) []FlushPolicyRow {
 	for _, skewed := range []bool{false, true} {
 		for _, policy := range []betree.FlushPolicy{betree.FlushFullest, betree.FlushRoundRobin} {
 			clk := sim.New()
-			disk := storage.NewDisk(hdd.New(cfg.Profile, cfg.Seed), clk)
+			eng := engine.New(engine.Config{CacheBytes: cfg.CacheBytes}, hdd.New(cfg.Profile, cfg.Seed), clk)
 			bcfg := betree.Config{
 				NodeBytes:     cfg.NodeBytes,
 				MaxFanout:     cfg.Fanout,
 				MaxKeyBytes:   cfg.Spec.KeyBytes,
 				MaxValueBytes: cfg.Spec.ValueBytes,
-				CacheBytes:    cfg.CacheBytes,
 				FlushPolicy:   policy,
 			}.Optimized()
 			bcfg.FlushPolicy = policy // Optimized() must not reset it
-			tree, err := betree.New(bcfg, disk)
+			tree, err := betree.New(bcfg, eng)
 			if err != nil {
 				panic(fmt.Sprintf("experiments: flush policy: %v", err))
 			}

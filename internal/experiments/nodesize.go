@@ -16,6 +16,7 @@ import (
 	"iomodels/internal/betree"
 	"iomodels/internal/btree"
 	"iomodels/internal/core"
+	"iomodels/internal/engine"
 	"iomodels/internal/hdd"
 	"iomodels/internal/sim"
 	"iomodels/internal/ssd"
@@ -86,6 +87,7 @@ type NodeSizePoint struct {
 	ModelQueryMs  float64
 	ModelInsertMs float64
 	ModelScanUsIt float64
+	Pager         engine.PagerStats // buffer-pool traffic over the measured phases
 }
 
 // NodeSizeResult is a full sweep.
@@ -140,18 +142,18 @@ func Figure2(cfg NodeSizeConfig) NodeSizeResult {
 	a := cfg.affine()
 	for _, nb := range cfg.NodeSizes {
 		clk := sim.New()
-		disk := storage.NewDisk(cfg.makeDevice(), clk)
+		eng := engine.New(engine.Config{CacheBytes: cfg.CacheBytes}, cfg.makeDevice(), clk)
 		tree, err := btree.New(btree.Config{
 			NodeBytes:     nb,
 			MaxKeyBytes:   cfg.Spec.KeyBytes,
 			MaxValueBytes: cfg.Spec.ValueBytes,
-			CacheBytes:    cfg.CacheBytes,
-		}, disk)
+		}, eng)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: figure2 config: %v", err))
 		}
 		workload.Load(tree, cfg.Spec, cfg.Items)
 		tree.Flush()
+		eng.Pager().ResetStats()
 
 		queryMs := measurePhase(clk, cfg.QueryOps, func(i int) {
 			id := uint64(int64(i*2654435761) % cfg.Items)
@@ -183,6 +185,7 @@ func Figure2(cfg NodeSizeConfig) NodeSizeResult {
 			ModelQueryMs:  core.BTreePointCost(a, p) * 1000,
 			ModelInsertMs: core.BTreePointCost(a, p) * 1000,
 			ModelScanUsIt: core.BTreeRangeCost(a, p, float64(cfg.ScanLen)) / float64(maxInt(cfg.ScanLen, 1)) * 1e6,
+			Pager:         eng.Pager().Stats(),
 		})
 	}
 	return res
@@ -202,19 +205,19 @@ func Figure3(cfg NodeSizeConfig) NodeSizeResult {
 			MaxFanout:     cfg.Fanout,
 			MaxKeyBytes:   cfg.Spec.KeyBytes,
 			MaxValueBytes: cfg.Spec.ValueBytes,
-			CacheBytes:    cfg.CacheBytes,
 		}
 		if cfg.Optimized {
 			bcfg = bcfg.Optimized()
 		}
 		clk := sim.New()
-		disk := storage.NewDisk(cfg.makeDevice(), clk)
-		tree, err := betree.New(bcfg, disk)
+		eng := engine.New(engine.Config{CacheBytes: cfg.CacheBytes}, cfg.makeDevice(), clk)
+		tree, err := betree.New(bcfg, eng)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: figure3 config at %d: %v", nb, err))
 		}
 		workload.Load(tree, cfg.Spec, cfg.Items)
 		tree.Flush()
+		eng.Pager().ResetStats()
 
 		queryMs := measurePhase(clk, cfg.QueryOps, func(i int) {
 			id := uint64(int64(i*2654435761) % cfg.Items)
@@ -249,6 +252,7 @@ func Figure3(cfg NodeSizeConfig) NodeSizeResult {
 			ModelQueryMs:  core.BeTreePointCost(a, p) * 1000,
 			ModelInsertMs: core.BeTreeInsertCost(a, p) * 1000,
 			ModelScanUsIt: core.BeTreeRangeCost(a, p, float64(cfg.ScanLen)) / float64(maxInt(cfg.ScanLen, 1)) * 1e6,
+			Pager:         eng.Pager().Stats(),
 		})
 	}
 	return res
@@ -298,10 +302,11 @@ func RenderNodeSize(res NodeSizeResult, title string) string {
 			f3(p.QueryMs), f3(p.ModelQueryMs),
 			f3(p.InsertMs), f3(p.ModelInsertMs),
 			f2(p.ScanUsItem), f2(p.ModelScanUsIt),
+			f2(p.Pager.HitRatio() * 100),
 		})
 	}
 	return RenderTable(title,
-		[]string{"Node size", "query ms/op", "model", "insert ms/op", "model", "scan µs/item", "model"}, cells)
+		[]string{"Node size", "query ms/op", "model", "insert ms/op", "model", "scan µs/item", "model", "hit%"}, cells)
 }
 
 // RenderNodeSizeCSV emits the sweep as CSV.
@@ -382,16 +387,15 @@ func Theorem9Ablation(cfg NodeSizeConfig, nodeBytes int) []AblationRow {
 	var rows []AblationRow
 	for _, v := range variants {
 		clk := sim.New()
-		disk := storage.NewDisk(hdd.New(cfg.Profile, cfg.Seed), clk)
+		eng := engine.New(engine.Config{CacheBytes: cfg.CacheBytes}, hdd.New(cfg.Profile, cfg.Seed), clk)
 		tree, err := betree.New(betree.Config{
 			NodeBytes:     nodeBytes,
 			MaxFanout:     cfg.Fanout,
 			MaxKeyBytes:   cfg.Spec.KeyBytes,
 			MaxValueBytes: cfg.Spec.ValueBytes,
-			CacheBytes:    cfg.CacheBytes,
 			Layout:        v.layout,
 			QueryMode:     v.qm,
-		}, disk)
+		}, eng)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: ablation: %v", err))
 		}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceDetector reports whether this test binary was built with -race.
+const raceDetector = false

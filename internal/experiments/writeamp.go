@@ -15,10 +15,10 @@ import (
 
 	"iomodels/internal/betree"
 	"iomodels/internal/btree"
+	"iomodels/internal/engine"
 	"iomodels/internal/hdd"
 	"iomodels/internal/lsm"
 	"iomodels/internal/sim"
-	"iomodels/internal/storage"
 	"iomodels/internal/workload"
 )
 
@@ -62,19 +62,18 @@ func WriteAmp(cfg WriteAmpConfig) []WriteAmpRow {
 		// B-tree.
 		{
 			clk := sim.New()
-			disk := storage.NewDisk(hdd.New(cfg.Profile, cfg.Seed), clk)
+			eng := engine.New(engine.Config{CacheBytes: cfg.CacheBytes}, hdd.New(cfg.Profile, cfg.Seed), clk)
 			tree, err := btree.New(btree.Config{
 				NodeBytes:     nb,
 				MaxKeyBytes:   cfg.Spec.KeyBytes,
 				MaxValueBytes: cfg.Spec.ValueBytes,
-				CacheBytes:    cfg.CacheBytes,
-			}, disk)
+			}, eng)
 			if err != nil {
 				panic(fmt.Sprintf("experiments: writeamp btree: %v", err))
 			}
 			workload.Load(tree, cfg.Spec, cfg.Items)
 			tree.Flush()
-			c := disk.Counters()
+			c := eng.Counters()
 			rows = append(rows, WriteAmpRow{
 				Structure: "B-tree",
 				NodeBytes: nb,
@@ -85,21 +84,20 @@ func WriteAmp(cfg WriteAmpConfig) []WriteAmpRow {
 		// Bε-tree (Theorem 9 organization).
 		{
 			clk := sim.New()
-			disk := storage.NewDisk(hdd.New(cfg.Profile, cfg.Seed), clk)
+			eng := engine.New(engine.Config{CacheBytes: cfg.CacheBytes}, hdd.New(cfg.Profile, cfg.Seed), clk)
 			tree, err := betree.New(betree.Config{
 				NodeBytes:     nb,
 				MaxFanout:     cfg.Fanout,
 				MaxKeyBytes:   cfg.Spec.KeyBytes,
 				MaxValueBytes: cfg.Spec.ValueBytes,
-				CacheBytes:    cfg.CacheBytes,
-			}.Optimized(), disk)
+			}.Optimized(), eng)
 			if err != nil {
 				panic(fmt.Sprintf("experiments: writeamp betree: %v", err))
 			}
 			workload.Load(tree, cfg.Spec, cfg.Items)
 			tree.Settle()
 			tree.Flush()
-			c := disk.Counters()
+			c := eng.Counters()
 			h := float64(tree.Height() - 1)
 			if h < 1 {
 				h = 1
@@ -115,16 +113,16 @@ func WriteAmp(cfg WriteAmpConfig) []WriteAmpRow {
 	// LSM (node size not applicable; one row).
 	{
 		clk := sim.New()
-		disk := storage.NewDisk(hdd.New(cfg.Profile, cfg.Seed), clk)
+		eng := engine.New(engine.Config{CacheBytes: cfg.CacheBytes}, hdd.New(cfg.Profile, cfg.Seed), clk)
 		lcfg := lsm.DefaultConfig()
 		lcfg.MemtableBytes = int(cfg.CacheBytes / 4)
-		tree, err := lsm.New(lcfg, disk)
+		tree, err := lsm.New(lcfg, eng)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: writeamp lsm: %v", err))
 		}
 		workload.Load(tree, cfg.Spec, cfg.Items)
 		tree.Flush()
-		c := disk.Counters()
+		c := eng.Counters()
 		rows = append(rows, WriteAmpRow{
 			Structure: "LSM-tree",
 			NodeBytes: lcfg.SSTableBytes,

@@ -17,8 +17,8 @@ import (
 	"fmt"
 	"sort"
 
+	"iomodels/internal/engine"
 	"iomodels/internal/kv"
-	"iomodels/internal/storage"
 )
 
 // Config shapes a tree.
@@ -73,11 +73,13 @@ type table struct {
 	blockIx [][]byte // first key of each BlockBytes block, for lookup reads
 }
 
-// Tree is a leveled LSM-tree. Not safe for concurrent use.
+// Tree is a leveled LSM-tree on a shared storage engine. Mutations run on
+// the engine's owner client (single writer); concurrent reads go through
+// per-client Sessions.
 type Tree struct {
 	cfg    Config
-	disk   *storage.Disk
-	alloc  *storage.Allocator
+	eng    *engine.Engine
+	owner  *engine.Client
 	mem    []entry // sorted by key
 	memB   int
 	levels [][]*table // levels[0] newest-first runs; levels[i>0] sorted, disjoint
@@ -89,17 +91,20 @@ type Tree struct {
 	Compactions int64
 }
 
-// New creates an empty tree on disk.
-func New(cfg Config, disk *storage.Disk) (*Tree, error) {
+// New creates an empty tree on the engine's device.
+func New(cfg Config, eng *engine.Engine) (*Tree, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	return &Tree{
 		cfg:   cfg,
-		disk:  disk,
-		alloc: storage.NewAllocator(disk.Device().Capacity()),
+		eng:   eng,
+		owner: eng.Owner(),
 	}, nil
 }
+
+// Engine returns the storage engine backing the tree.
+func (t *Tree) Engine() *engine.Engine { return t.eng }
 
 // Items returns an upper bound on live keys (exact after a full compaction;
 // overwrites and tombstones in upper levels are not yet deduplicated).
@@ -147,14 +152,18 @@ func (t *Tree) Put(key, value []byte) {
 	})
 }
 
-// Delete writes a tombstone for key.
-func (t *Tree) Delete(key []byte) {
+// Delete writes a tombstone for key. It always returns true: the tombstone
+// is accepted whether or not the key is present below.
+func (t *Tree) Delete(key []byte) bool {
 	t.memInsert(entry{key: append([]byte(nil), key...), tombstone: true})
+	return true
 }
 
 // Get returns the value for key: memtable, then L0 runs newest-first, then
 // one candidate table per deeper level.
-func (t *Tree) Get(key []byte) ([]byte, bool) {
+func (t *Tree) Get(key []byte) ([]byte, bool) { return t.getKey(t.owner, key) }
+
+func (t *Tree) getKey(c *engine.Client, key []byte) ([]byte, bool) {
 	if i, ok := t.memFind(key); ok {
 		e := t.mem[i]
 		if e.tombstone {
@@ -164,7 +173,7 @@ func (t *Tree) Get(key []byte) ([]byte, bool) {
 	}
 	for li, level := range t.levels {
 		for _, tb := range t.candidates(li, level, key) {
-			e, found := t.tableGet(tb, key)
+			e, found := t.tableGet(c, tb, key)
 			if found {
 				if e.tombstone {
 					return nil, false
@@ -200,7 +209,7 @@ func (t *Tree) candidates(li int, level []*table, key []byte) []*table {
 // tableGet performs a point lookup inside one SSTable: the in-memory block
 // index narrows the key to one block, which is read and scanned — one IO of
 // BlockBytes, as in LevelDB.
-func (t *Tree) tableGet(tb *table, key []byte) (entry, bool) {
+func (t *Tree) tableGet(c *engine.Client, tb *table, key []byte) (entry, bool) {
 	bi := sort.Search(len(tb.blockIx), func(i int) bool {
 		return kv.Compare(tb.blockIx[i], key) > 0
 	}) - 1
@@ -213,7 +222,7 @@ func (t *Tree) tableGet(tb *table, key []byte) (entry, bool) {
 		size = tb.size - start
 	}
 	buf := make([]byte, size)
-	t.disk.ReadAt(buf, tb.off+start)
+	c.ReadAt(buf, tb.off+start)
 	// Entries never span blocks (the writer pads); scan the block.
 	d := kv.Dec{Buf: buf}
 	for d.Off < len(buf) {
@@ -285,15 +294,15 @@ func (t *Tree) writeTable(entries []entry) *table {
 		e.Bytes(ent.value)
 	}
 	tb.size = int64(len(e.Buf))
-	tb.off = t.alloc.Alloc(tb.size)
-	t.disk.WriteAt(e.Buf, tb.off)
+	tb.off = t.eng.Alloc(tb.size)
+	t.owner.WriteAt(e.Buf, tb.off)
 	return tb
 }
 
 // readTable loads a whole SSTable (used by compaction and scans).
-func (t *Tree) readTable(tb *table) []entry {
+func (t *Tree) readTable(c *engine.Client, tb *table) []entry {
 	buf := make([]byte, tb.size)
-	t.disk.ReadAt(buf, tb.off)
+	c.ReadAt(buf, tb.off)
 	d := kv.Dec{Buf: buf}
 	out := make([]entry, 0, tb.count)
 	for len(out) < tb.count {
@@ -321,7 +330,7 @@ func (t *Tree) readTable(tb *table) []entry {
 }
 
 func (t *Tree) dropTable(tb *table) {
-	t.alloc.Free(tb.off, tb.size)
+	t.eng.Free(tb.off, tb.size)
 }
 
 // levelBudget returns the byte budget of level li (L0 is counted in runs).
@@ -377,10 +386,10 @@ func (t *Tree) compactInto(li, ti int) {
 	overlapping := next[lo:hi]
 
 	// Merge: src is newer than everything below it.
-	merged := t.readTable(src)
+	merged := t.readTable(t.owner, src)
 	t.dropTable(src)
 	for _, tb := range overlapping {
-		merged = mergeRuns(merged, t.readTable(tb))
+		merged = mergeRuns(merged, t.readTable(t.owner, tb))
 		t.dropTable(tb)
 	}
 	bottom := li+1 == len(t.levels)-1 && hi == len(next)
@@ -443,6 +452,10 @@ func dropTombstones(entries []entry) []entry {
 // Scan calls fn for each live entry with lo <= key < hi in key order (hi
 // nil = unbounded), merging the memtable and every level.
 func (t *Tree) Scan(lo, hi []byte, fn func(key, value []byte) bool) {
+	t.scan(t.owner, lo, hi, fn)
+}
+
+func (t *Tree) scan(c *engine.Client, lo, hi []byte, fn func(key, value []byte) bool) {
 	// Collect all runs, newest first.
 	var runs [][]entry
 	if len(t.mem) > 0 {
@@ -451,7 +464,7 @@ func (t *Tree) Scan(lo, hi []byte, fn func(key, value []byte) bool) {
 	for li, level := range t.levels {
 		if li == 0 {
 			for _, tb := range level {
-				runs = append(runs, t.readTable(tb))
+				runs = append(runs, t.readTable(c, tb))
 			}
 			continue
 		}
@@ -463,7 +476,7 @@ func (t *Tree) Scan(lo, hi []byte, fn func(key, value []byte) bool) {
 			if lo != nil && kv.Compare(tb.maxKey, lo) < 0 {
 				continue
 			}
-			run = append(run, t.readTable(tb)...)
+			run = append(run, t.readTable(c, tb)...)
 		}
 		if len(run) > 0 {
 			runs = append(runs, run)

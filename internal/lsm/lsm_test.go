@@ -6,17 +6,21 @@ import (
 	"sort"
 	"testing"
 
+	"iomodels/internal/engine"
 	"iomodels/internal/hdd"
 	"iomodels/internal/sim"
 	"iomodels/internal/stats"
-	"iomodels/internal/storage"
 )
+
+func newTestEngine() *engine.Engine {
+	clk := sim.New()
+	return engine.New(engine.Config{CacheBytes: 1 << 20, Shards: 1},
+		hdd.NewDeterministic(hdd.DefaultProfile()), clk)
+}
 
 func newTestTree(t *testing.T, cfg Config) *Tree {
 	t.Helper()
-	clk := sim.New()
-	disk := storage.NewDisk(hdd.NewDeterministic(hdd.DefaultProfile()), clk)
-	tree, err := New(cfg, disk)
+	tree, err := New(cfg, newTestEngine())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +203,7 @@ func TestWriteAmplificationBounded(t *testing.T) {
 		tree.Put(key(i), value(i))
 	}
 	tree.Flush()
-	c := tree.disk.Counters()
+	c := tree.eng.Counters()
 	wa := float64(c.BytesWritten) / float64(tree.LogicalBytesInserted)
 	if wa < 1 {
 		t.Fatalf("write amp %v below 1", wa)
@@ -212,9 +216,7 @@ func TestWriteAmplificationBounded(t *testing.T) {
 }
 
 func TestValidation(t *testing.T) {
-	clk := sim.New()
-	disk := storage.NewDisk(hdd.NewDeterministic(hdd.DefaultProfile()), clk)
-	if _, err := New(Config{}, disk); err == nil {
+	if _, err := New(Config{}, newTestEngine()); err == nil {
 		t.Fatal("zero config accepted")
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"iomodels/internal/sim"
+	"iomodels/internal/storage"
 )
 
 // Device is a PDAM storage device. It is driven at virtual time granularity
@@ -81,6 +82,39 @@ func (d *Device) SlotsFreeAt(t sim.Time) int {
 		panic(fmt.Sprintf("pdamdev: overcommitted step %d", d.StepOf(t)))
 	}
 	return free
+}
+
+// Storage adapts the PDAM device to the storage.Device interface so the
+// real dictionaries (B-tree, Bε-tree, ...) can run on the abstract model
+// through the engine layer: an IO of any size costs ceil(size/B) block
+// IOs, packed into the earliest time steps with free slots. Reads and
+// writes are symmetric, as in Definition 1.
+type Storage struct {
+	dev      *Device
+	capacity int64
+}
+
+// Storage wraps the device as a storage.Device with the given byte
+// capacity.
+func (d *Device) Storage(capacity int64) *Storage {
+	if capacity <= 0 {
+		panic("pdamdev: invalid capacity")
+	}
+	return &Storage{dev: d, capacity: capacity}
+}
+
+// Access implements storage.Device.
+func (s *Storage) Access(now sim.Time, _ storage.Op, _ int64, size int64) sim.Time {
+	n := int((size + s.dev.BlockBytes - 1) / s.dev.BlockBytes)
+	return s.dev.Submit(now, n)
+}
+
+// Capacity implements storage.Device.
+func (s *Storage) Capacity() int64 { return s.capacity }
+
+// Name implements storage.Device.
+func (s *Storage) Name() string {
+	return fmt.Sprintf("pdam(P=%d,B=%d)", s.dev.P, s.dev.BlockBytes)
 }
 
 // prune drops bookkeeping for steps that can never be used again.

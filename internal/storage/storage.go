@@ -4,13 +4,17 @@
 // write-amplification numbers come from these), and an optional IO trace.
 //
 // A Device is pure timing: given an IO's offset, size and start time it
-// returns the completion time. A Disk couples a Device with a byte store and
-// a virtual clock, giving data structures a ReadAt/WriteAt API that charges
-// virtual time as a side effect.
+// returns the completion time. A Store couples a Device with a byte store:
+// it issues IOs at a caller-supplied instant and returns the completion
+// time without advancing any clock, so many concurrent clients can keep
+// their own notion of time and genuinely overlap IOs on the device (the
+// engine layer builds its per-client API on this). A Disk layers a virtual
+// clock on a Store for the classic single-threaded ReadAt/WriteAt usage.
 package storage
 
 import (
 	"fmt"
+	"sync"
 
 	"iomodels/internal/sim"
 )
@@ -36,8 +40,8 @@ func (o Op) String() string {
 
 // Device models the timing behaviour of a storage device. Implementations
 // (internal/hdd, internal/ssd, internal/pdamdev) are mechanistic simulators;
-// they must be callable with non-decreasing `now` values per client but may
-// be shared by many simulated clients under a sim.Engine.
+// they must be callable with non-decreasing `now` values and may be shared
+// by many simulated clients (a Store serializes the calls).
 type Device interface {
 	// Access returns the virtual completion time of an IO of size bytes at
 	// byte offset off that is issued at time now. Implementations update
@@ -83,6 +87,19 @@ func (c Counters) Sub(other Counters) Counters {
 	}
 }
 
+// record accumulates one IO into c.
+func (c *Counters) record(op Op, size int64, latency sim.Time) {
+	if op == Read {
+		c.Reads++
+		c.BytesRead += size
+		c.ReadTime += latency
+	} else {
+		c.Writes++
+		c.BytesWritten += size
+		c.WriteTime += latency
+	}
+}
+
 // IOTime returns total virtual time spent in IO.
 func (c Counters) IOTime() sim.Time { return c.ReadTime + c.WriteTime }
 
@@ -103,105 +120,282 @@ type TraceRecord struct {
 
 // Trace records IOs for post-hoc analysis (e.g. verifying that the optimized
 // Bε-tree issues exactly one IO per level). A nil *Trace records nothing.
+// The zero value is an unbounded trace; SetCap turns it into a ring buffer
+// that keeps only the most recent records, so long concurrent runs can stay
+// traced without growing memory without limit. A Trace is safe for
+// concurrent use.
 type Trace struct {
-	Records []TraceRecord
+	mu      sync.Mutex
+	cap     int // 0 = unbounded
+	start   int // ring head: index of the oldest record when capped
+	records []TraceRecord
+	dropped int64
+}
+
+// NewTrace returns an unbounded trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// NewBoundedTrace returns a trace that keeps only the most recent n records.
+func NewBoundedTrace(n int) *Trace {
+	t := &Trace{}
+	t.SetCap(n)
+	return t
+}
+
+// SetCap bounds the trace to the most recent n records (n <= 0 removes the
+// bound). Shrinking below the current length drops the oldest records.
+func (t *Trace) SetCap(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.normalize()
+	if n > 0 && len(t.records) > n {
+		t.dropped += int64(len(t.records) - n)
+		t.records = append([]TraceRecord(nil), t.records[len(t.records)-n:]...)
+	}
+	if n <= 0 {
+		n = 0
+	}
+	t.cap = n
 }
 
 func (t *Trace) add(r TraceRecord) {
-	if t != nil {
-		t.Records = append(t.Records, r)
+	if t == nil {
+		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cap > 0 && len(t.records) == t.cap {
+		// Ring: overwrite the oldest record in place.
+		t.records[t.start] = r
+		t.start = (t.start + 1) % t.cap
+		t.dropped++
+		return
+	}
+	t.records = append(t.records, r)
 }
 
-// Reset discards recorded IOs.
+// Snapshot returns the recorded IOs in chronological order.
+func (t *Trace) Snapshot() []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceRecord, 0, len(t.records))
+	out = append(out, t.records[t.start:]...)
+	out = append(out, t.records[:t.start]...)
+	return out
+}
+
+// Len returns the number of retained records.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.records)
+}
+
+// Dropped returns how many records the cap has discarded.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards recorded IOs (the drop counter included).
 func (t *Trace) Reset() {
-	if t != nil {
-		t.Records = t.Records[:0]
+	if t == nil {
+		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.normalize()
+	t.records = t.records[:0]
+	t.start = 0
+	t.dropped = 0
 }
 
-// Disk couples a timing Device with an in-memory byte store and a virtual
-// clock. Data structures issue ReadAt/WriteAt; each call advances the clock
-// by the device's service time and moves real bytes, so both timing and
-// content are faithful.
-//
-// Disk is for single-threaded (one simulated client) use; the concurrent
-// experiments drive Devices directly from sim processes.
-type Disk struct {
-	dev      Device
-	clk      *sim.Engine
+// normalize rotates the ring so records are in chronological order starting
+// at index 0. Caller holds mu.
+func (t *Trace) normalize() {
+	if t.start == 0 {
+		return
+	}
+	rotated := make([]TraceRecord, 0, len(t.records))
+	rotated = append(rotated, t.records[t.start:]...)
+	rotated = append(rotated, t.records[:t.start]...)
+	t.records = rotated
+	t.start = 0
+}
+
+// Store couples a timing Device with an in-memory byte store. It is safe
+// for concurrent use: each call issues one IO at the caller-supplied
+// instant, moves real bytes, and returns the device's completion time
+// without touching any clock. Concurrent clients that wait out their own
+// completion times therefore genuinely overlap on the device — the die and
+// channel queues of internal/ssd, say, see the interleaved arrival order.
+type Store struct {
+	dev Device
+
+	mu       sync.Mutex
 	data     []byte // grows on demand up to dev.Capacity()
 	trace    *Trace
 	counters Counters
 }
 
+// NewStore wraps dev with a byte store.
+func NewStore(dev Device) *Store {
+	return &Store{dev: dev}
+}
+
+// Device returns the underlying timing device. The device must only be
+// driven through the Store once concurrent clients share it.
+func (s *Store) Device() Device { return s.dev }
+
+// SetTrace attaches an IO trace (nil detaches).
+func (s *Store) SetTrace(t *Trace) {
+	s.mu.Lock()
+	s.trace = t
+	s.mu.Unlock()
+}
+
+// Counters returns a snapshot of IO statistics aggregated over all clients.
+func (s *Store) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
+
+// ResetCounters zeroes the aggregate IO statistics.
+func (s *Store) ResetCounters() {
+	s.mu.Lock()
+	s.counters = Counters{}
+	s.mu.Unlock()
+}
+
+// ensure grows the byte store to cover [0, end). Caller holds mu.
+func (s *Store) ensure(end int64) {
+	if end > s.dev.Capacity() {
+		panic(fmt.Sprintf("storage: access beyond device capacity: %d > %d", end, s.dev.Capacity()))
+	}
+	if int64(len(s.data)) < end {
+		grown := make([]byte, end)
+		copy(grown, s.data)
+		s.data = grown
+	}
+}
+
+// ReadAt issues a read of len(p) bytes at off at time now, copies the bytes
+// out, and returns the IO's completion time. The caller is responsible for
+// waiting until then (advancing a clock, sleeping a sim process, ...).
+func (s *Store) ReadAt(now sim.Time, p []byte, off int64) sim.Time {
+	if len(p) == 0 {
+		return now
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensure(off + int64(len(p)))
+	done := s.dev.Access(now, Read, off, int64(len(p)))
+	copy(p, s.data[off:off+int64(len(p))])
+	s.counters.record(Read, int64(len(p)), done-now)
+	s.trace.add(TraceRecord{At: now, Op: Read, Off: off, Size: int64(len(p)), Latency: done - now})
+	return done
+}
+
+// WriteAt issues a write of len(p) bytes at off at time now, copies the
+// bytes in, and returns the IO's completion time.
+func (s *Store) WriteAt(now sim.Time, p []byte, off int64) sim.Time {
+	if len(p) == 0 {
+		return now
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensure(off + int64(len(p)))
+	done := s.dev.Access(now, Write, off, int64(len(p)))
+	copy(s.data[off:off+int64(len(p))], p)
+	s.counters.record(Write, int64(len(p)), done-now)
+	s.trace.add(TraceRecord{At: now, Op: Write, Off: off, Size: int64(len(p)), Latency: done - now})
+	return done
+}
+
+// Meter issues an IO for timing and counters only, moving no bytes. The
+// cache-oblivious tree uses it: its in-memory arrays are authoritative and
+// the disk image is pure metering.
+func (s *Store) Meter(now sim.Time, op Op, off, size int64) sim.Time {
+	if size <= 0 {
+		return now
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off+size > s.dev.Capacity() {
+		panic(fmt.Sprintf("storage: access beyond device capacity: %d > %d", off+size, s.dev.Capacity()))
+	}
+	done := s.dev.Access(now, op, off, size)
+	s.counters.record(op, size, done-now)
+	s.trace.add(TraceRecord{At: now, Op: op, Off: off, Size: size, Latency: done - now})
+	return done
+}
+
+// Disk layers a virtual clock on a Store: data structures issue
+// ReadAt/WriteAt, and each call advances the clock by the device's service
+// time as a side effect. This is the classic one-simulated-client usage;
+// concurrent clients go through the engine layer's per-client API instead,
+// sharing the Store underneath.
+type Disk struct {
+	store *Store
+	clk   *sim.Engine
+}
+
 // NewDisk wraps dev with a byte store on clock clk.
 func NewDisk(dev Device, clk *sim.Engine) *Disk {
-	return &Disk{dev: dev, clk: clk}
+	return &Disk{store: NewStore(dev), clk: clk}
+}
+
+// DiskOn wraps an existing Store on clock clk (sharing bytes and counters
+// with every other client of the store).
+func DiskOn(store *Store, clk *sim.Engine) *Disk {
+	return &Disk{store: store, clk: clk}
 }
 
 // SetTrace attaches an IO trace (nil detaches).
-func (d *Disk) SetTrace(t *Trace) { d.trace = t }
+func (d *Disk) SetTrace(t *Trace) { d.store.SetTrace(t) }
+
+// Store returns the underlying byte store.
+func (d *Disk) Store() *Store { return d.store }
 
 // Device returns the underlying timing device.
-func (d *Disk) Device() Device { return d.dev }
+func (d *Disk) Device() Device { return d.store.Device() }
 
 // Clock returns the virtual clock.
 func (d *Disk) Clock() *sim.Engine { return d.clk }
 
 // Counters returns a snapshot of accumulated IO statistics.
-func (d *Disk) Counters() Counters { return d.counters }
+func (d *Disk) Counters() Counters { return d.store.Counters() }
 
 // ResetCounters zeroes the IO statistics.
-func (d *Disk) ResetCounters() { d.counters = Counters{} }
-
-func (d *Disk) ensure(end int64) {
-	if end > d.dev.Capacity() {
-		panic(fmt.Sprintf("storage: access beyond device capacity: %d > %d", end, d.dev.Capacity()))
-	}
-	if int64(len(d.data)) < end {
-		grown := make([]byte, end)
-		copy(grown, d.data)
-		d.data = grown
-	}
-}
+func (d *Disk) ResetCounters() { d.store.ResetCounters() }
 
 // ReadAt reads len(p) bytes at offset off, charging device time.
 func (d *Disk) ReadAt(p []byte, off int64) {
-	if len(p) == 0 {
-		return
-	}
-	d.ensure(off + int64(len(p)))
-	start := d.clk.Now()
-	done := d.dev.Access(start, Read, off, int64(len(p)))
-	d.clk.AdvanceTo(done)
-	copy(p, d.data[off:off+int64(len(p))])
-	d.counters.Reads++
-	d.counters.BytesRead += int64(len(p))
-	d.counters.ReadTime += done - start
-	d.trace.add(TraceRecord{At: start, Op: Read, Off: off, Size: int64(len(p)), Latency: done - start})
+	d.clk.AdvanceTo(d.store.ReadAt(d.clk.Now(), p, off))
 }
 
 // WriteAt writes len(p) bytes at offset off, charging device time.
 func (d *Disk) WriteAt(p []byte, off int64) {
-	if len(p) == 0 {
-		return
-	}
-	d.ensure(off + int64(len(p)))
-	start := d.clk.Now()
-	done := d.dev.Access(start, Write, off, int64(len(p)))
-	d.clk.AdvanceTo(done)
-	copy(d.data[off:off+int64(len(p))], p)
-	d.counters.Writes++
-	d.counters.BytesWritten += int64(len(p))
-	d.counters.WriteTime += done - start
-	d.trace.add(TraceRecord{At: start, Op: Write, Off: off, Size: int64(len(p)), Latency: done - start})
+	d.clk.AdvanceTo(d.store.WriteAt(d.clk.Now(), p, off))
 }
 
 // Allocator hands out block-aligned extents on a device with a simple bump
 // pointer plus per-size free lists. Data structures use it to place nodes;
 // freed extents are reused first-fit by exact size (node sizes are uniform
-// per tree, so this is both simple and tight).
+// per tree, so this is both simple and tight). An Allocator is not
+// internally synchronized; the engine layer guards its shared allocator
+// with a mutex.
 type Allocator struct {
 	next     int64
 	capacity int64

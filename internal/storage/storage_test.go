@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 
 	"iomodels/internal/sim"
@@ -108,21 +109,96 @@ func TestTrace(t *testing.T) {
 	d.SetTrace(tr)
 	d.WriteAt(make([]byte, 10), 100)
 	d.ReadAt(make([]byte, 20), 200)
-	if len(tr.Records) != 2 {
-		t.Fatalf("records = %d", len(tr.Records))
+	recs := tr.Snapshot()
+	if len(recs) != 2 || tr.Len() != 2 {
+		t.Fatalf("records = %d", len(recs))
 	}
-	r := tr.Records[1]
+	r := recs[1]
 	if r.Op != Read || r.Off != 200 || r.Size != 20 || r.Latency <= 0 {
 		t.Fatalf("record = %+v", r)
 	}
 	tr.Reset()
-	if len(tr.Records) != 0 {
+	if tr.Len() != 0 {
 		t.Fatal("reset failed")
 	}
 	// nil trace is a no-op
 	var nilTrace *Trace
 	nilTrace.add(TraceRecord{})
 	nilTrace.Reset()
+	if nilTrace.Snapshot() != nil || nilTrace.Len() != 0 || nilTrace.Dropped() != 0 {
+		t.Fatal("nil trace not empty")
+	}
+}
+
+func TestTraceRingCap(t *testing.T) {
+	clk := sim.New()
+	d := NewDisk(flatDevice{1 << 20}, clk)
+	tr := NewBoundedTrace(3)
+	d.SetTrace(tr)
+	for i := 0; i < 10; i++ {
+		d.WriteAt(make([]byte, 1), int64(i))
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", tr.Dropped())
+	}
+	recs := tr.Snapshot()
+	for i, r := range recs {
+		if r.Off != int64(7+i) {
+			t.Fatalf("record %d has off %d, want %d (oldest must be dropped, order chronological)", i, r.Off, 7+i)
+		}
+	}
+	// Shrinking the cap drops the oldest retained records.
+	tr.SetCap(2)
+	recs = tr.Snapshot()
+	if len(recs) != 2 || recs[0].Off != 8 || recs[1].Off != 9 {
+		t.Fatalf("after shrink: %+v", recs)
+	}
+	if tr.Dropped() != 8 {
+		t.Fatalf("dropped after shrink = %d, want 8", tr.Dropped())
+	}
+	// Removing the cap lets it grow again.
+	tr.SetCap(0)
+	for i := 0; i < 5; i++ {
+		d.WriteAt(make([]byte, 1), int64(100+i))
+	}
+	if tr.Len() != 7 {
+		t.Fatalf("uncapped len = %d, want 7", tr.Len())
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestStoreConcurrentSafe(t *testing.T) {
+	// Host-parallel smoke test: many goroutines hammer a shared Store.
+	// Run under -race this checks the locking discipline.
+	s := NewStore(flatDevice{1 << 20})
+	s.SetTrace(NewBoundedTrace(16))
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			buf := make([]byte, 64)
+			off := int64(g) * 4096
+			var now sim.Time
+			for i := 0; i < 200; i++ {
+				now = s.WriteAt(now, buf, off)
+				now = s.ReadAt(now, buf, off)
+				now = s.Meter(now, Read, off, 64)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	c := s.Counters()
+	if c.Writes != 8*200 || c.Reads != 2*8*200 {
+		t.Fatalf("counters = %+v", c)
+	}
 }
 
 func TestOpString(t *testing.T) {
@@ -170,4 +246,60 @@ func TestAllocatorFullPanics(t *testing.T) {
 		}
 	}()
 	a.Alloc(30)
+}
+
+// TestAllocatorProperties drives random Alloc/Free streams and checks the
+// two invariants everything above the allocator relies on: live extents
+// never overlap, and a freed extent of the right size is reused before the
+// bump pointer advances.
+func TestAllocatorProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sizes := []int64{512, 4096, 64 << 10}
+	a := NewAllocator(64 << 20)
+
+	type extent struct{ off, size int64 }
+	var live []extent
+	freeBySize := map[int64]int{} // size -> count of freed extents available
+
+	overlaps := func(x, y extent) bool {
+		return x.off < y.off+y.size && y.off < x.off+x.size
+	}
+
+	for step := 0; step < 5000; step++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			// Free a random live extent.
+			i := rng.Intn(len(live))
+			e := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			a.Free(e.off, e.size)
+			freeBySize[e.size]++
+			continue
+		}
+		size := sizes[rng.Intn(len(sizes))]
+		before := a.HighWater()
+		off := a.Alloc(size)
+		e := extent{off, size}
+		if off+size > 64<<20 || off < 0 {
+			t.Fatalf("step %d: extent out of range: %+v", step, e)
+		}
+		for _, other := range live {
+			if overlaps(e, other) {
+				t.Fatalf("step %d: extent %+v overlaps live %+v", step, e, other)
+			}
+		}
+		if freeBySize[size] > 0 {
+			// A freed extent of this size existed: it must be reused,
+			// i.e. the bump pointer must not have advanced.
+			if a.HighWater() != before {
+				t.Fatalf("step %d: bump pointer advanced (%d -> %d) with %d freed extents of size %d available",
+					step, before, a.HighWater(), freeBySize[size], size)
+			}
+			freeBySize[size]--
+		} else if a.HighWater() != before+size {
+			t.Fatalf("step %d: fresh alloc advanced bump pointer by %d, want %d",
+				step, a.HighWater()-before, size)
+		}
+		live = append(live, e)
+	}
 }

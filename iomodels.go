@@ -9,11 +9,12 @@
 // downstream user composes, with convenience constructors wiring a tree to
 // a simulated device on a virtual clock. The layering underneath:
 //
-//	sim        virtual-time discrete-event engine
+//	sim        virtual-time discrete-event engine (clock + processes)
 //	storage    device interface, byte store, IO counters, traces
 //	hdd, ssd   mechanistic device simulators (Table 1/2 profiles)
 //	pdamdev    the abstract PDAM device of Definition 1
-//	cache      byte-budgeted buffer cache (the models' M)
+//	engine     shared IO path: device + allocator + sharded buffer pool
+//	           (the models' M), multi-client, and the Dictionary interface
 //	core       the analytic models and cost formulas (the paper's math)
 //	btree      classic B-tree (BerkeleyDB stand-in)
 //	betree     Bε-tree with the Theorem 9 node organization (TokuDB stand-in)
@@ -31,6 +32,7 @@ import (
 	"iomodels/internal/btree"
 	"iomodels/internal/cobtree"
 	"iomodels/internal/core"
+	"iomodels/internal/engine"
 	"iomodels/internal/hdd"
 	"iomodels/internal/lsm"
 	"iomodels/internal/sim"
@@ -65,6 +67,27 @@ type (
 	HDDProfile = hdd.Profile
 	// SSDProfile describes a simulated solid-state drive.
 	SSDProfile = ssd.Profile
+)
+
+// Re-exported engine types: the shared IO path every dictionary runs on.
+type (
+	// Engine bundles a device, its byte store, an extent allocator, and a
+	// sharded buffer pool; many trees and many concurrent clients may
+	// share one.
+	Engine = engine.Engine
+	// EngineConfig sizes an Engine (cache budget, pager shards).
+	EngineConfig = engine.Config
+	// Client is one simulated actor's handle onto an Engine: it issues
+	// IOs in its own virtual timeline and keeps its own IO counters.
+	Client = engine.Client
+	// Dictionary is the common interface all four tree structures
+	// implement (Get/Put/Delete/Scan/Stats).
+	Dictionary = engine.Dictionary
+	// DictionaryStats is a Dictionary's uniform self-report.
+	DictionaryStats = engine.Stats
+	// PagerStats reports buffer-pool hits, misses, evictions, and
+	// write-backs.
+	PagerStats = engine.PagerStats
 )
 
 // Re-exported dictionary types.
@@ -108,21 +131,27 @@ func NewSSD(prof SSDProfile, clk *Clock) *Disk {
 	return storage.NewDisk(ssd.New(prof), clk)
 }
 
-// NewBTree creates a B-tree on the given disk.
-func NewBTree(cfg BTreeConfig, disk *Disk) (*BTree, error) { return btree.New(cfg, disk) }
+// NewEngine creates a storage engine sharing disk's device, byte store,
+// and clock. All trees living on one engine share its cache budget,
+// allocator, and IO counters.
+func NewEngine(cfg EngineConfig, disk *Disk) *Engine { return engine.FromDisk(cfg, disk) }
 
-// NewBeTree creates a Bε-tree on the given disk. Use
+// NewBTree creates a B-tree on the given engine.
+func NewBTree(cfg BTreeConfig, eng *Engine) (*BTree, error) { return btree.New(cfg, eng) }
+
+// NewBeTree creates a Bε-tree on the given engine. Use
 // BeTreeConfig.Optimized() for the Theorem 9 node organization.
-func NewBeTree(cfg BeTreeConfig, disk *Disk) (*BeTree, error) { return betree.New(cfg, disk) }
+func NewBeTree(cfg BeTreeConfig, eng *Engine) (*BeTree, error) { return betree.New(cfg, eng) }
 
-// NewLSMTree creates an LSM-tree on the given disk.
-func NewLSMTree(cfg LSMConfig, disk *Disk) (*LSMTree, error) { return lsm.New(cfg, disk) }
+// NewLSMTree creates an LSM-tree on the given engine.
+func NewLSMTree(cfg LSMConfig, eng *Engine) (*LSMTree, error) { return lsm.New(cfg, eng) }
 
-// NewCOBTree creates a cache-oblivious B-tree metered against the disk's
-// device and clock. Unlike the other trees it needs no node-size tuning:
-// its IO efficiency holds for every block size simultaneously.
-func NewCOBTree(cfg COBTreeConfig, disk *Disk) (*COBTree, error) {
-	return cobtree.New(cfg, disk.Device(), disk.Clock())
+// NewCOBTree creates a cache-oblivious B-tree metered against the engine's
+// device. Unlike the other trees it needs no node-size tuning: its IO
+// efficiency holds for every block size simultaneously (the engine's
+// CacheBytes plays the model's M).
+func NewCOBTree(cfg COBTreeConfig, eng *Engine) (*COBTree, error) {
+	return cobtree.New(cfg, eng)
 }
 
 // AffineOf returns the affine model a simulated hard drive realizes for

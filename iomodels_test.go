@@ -9,9 +9,10 @@ import (
 func TestFacadeBTreeLifecycle(t *testing.T) {
 	clk := NewClock()
 	disk := NewHDD(HDDProfiles()[0], 1, clk)
+	eng := NewEngine(EngineConfig{CacheBytes: 1 << 20}, disk)
 	tree, err := NewBTree(BTreeConfig{
-		NodeBytes: 16 << 10, MaxKeyBytes: 32, MaxValueBytes: 64, CacheBytes: 1 << 20,
-	}, disk)
+		NodeBytes: 16 << 10, MaxKeyBytes: 32, MaxValueBytes: 64,
+	}, eng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,9 +28,10 @@ func TestFacadeBTreeLifecycle(t *testing.T) {
 func TestFacadeBeTreeLifecycle(t *testing.T) {
 	clk := NewClock()
 	disk := NewHDD(HDDProfiles()[2], 1, clk)
+	eng := NewEngine(EngineConfig{CacheBytes: 1 << 20}, disk)
 	tree, err := NewBeTree(BeTreeConfig{
-		NodeBytes: 64 << 10, MaxFanout: 8, MaxKeyBytes: 32, MaxValueBytes: 64, CacheBytes: 1 << 20,
-	}.Optimized(), disk)
+		NodeBytes: 64 << 10, MaxFanout: 8, MaxKeyBytes: 32, MaxValueBytes: 64,
+	}.Optimized(), eng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,9 +52,10 @@ func TestFacadeBeTreeLifecycle(t *testing.T) {
 func TestFacadeLSMLifecycle(t *testing.T) {
 	clk := NewClock()
 	disk := NewHDD(HDDProfiles()[2], 1, clk)
+	eng := NewEngine(EngineConfig{CacheBytes: 1 << 20}, disk)
 	tree, err := NewLSMTree(LSMConfig{
 		MemtableBytes: 8 << 10, SSTableBytes: 32 << 10, GrowthFactor: 4, Level0Runs: 2, BlockBytes: 4 << 10,
-	}, disk)
+	}, eng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,9 +111,10 @@ func TestFacadeProfileSets(t *testing.T) {
 func TestFacadeCOBTreeLifecycle(t *testing.T) {
 	clk := NewClock()
 	disk := NewHDD(HDDProfiles()[2], 1, clk)
+	eng := NewEngine(EngineConfig{CacheBytes: 1 << 20}, disk)
 	tree, err := NewCOBTree(COBTreeConfig{
-		MaxKeyBytes: 32, MaxValueBytes: 64, BlockBytes: 4 << 10, CacheBytes: 1 << 20,
-	}, disk)
+		MaxKeyBytes: 32, MaxValueBytes: 64, BlockBytes: 4 << 10,
+	}, eng)
 	if err != nil {
 		t.Fatal(err)
 	}
