@@ -5,8 +5,11 @@
 #   go vet     static analysis
 #   go build   everything compiles, including cmd/ and examples/
 #   go test    tier-1 correctness
+#   panic lint the durability path (internal/wal, the engine's durability
+#              and recovery files) must degrade via errors, never panic
 #   go test -race   the concurrent engine path: k sim processes and
-#                   host-parallel detached clients through the sharded pager
+#                   host-parallel detached clients through the sharded pager,
+#                   plus an explicit pass over the crash/recovery suite
 #
 # The race pass skips the full-scale single-client experiment harnesses
 # (see skipUnderRace in internal/experiments) — they have no goroutine
@@ -27,5 +30,22 @@ fi
 go vet ./...
 go build ./...
 go test ./...
+
+# Durability code must not panic: a WAL or checkpoint failure has to surface
+# as an error (sticky in the engine) so availability survives degraded
+# durability. Test files and the fault injector (which panics by design to
+# model power loss) are exempt.
+panics=$(grep -n 'panic(' internal/wal/*.go internal/engine/durability.go internal/engine/recover.go 2>/dev/null |
+	grep -v '_test\.go' || true)
+if [ -n "$panics" ]; then
+	echo "panic() in durability path (return errors instead):" >&2
+	echo "$panics" >&2
+	exit 1
+fi
+
+# The crash-consistency suite under the race detector, named explicitly so a
+# future -short or skip in the full pass cannot silently drop it.
+go test -race -run 'Crash|Fault|Replay|Durab|Recover|Torn|LogFull|NoSteal|Stats' \
+	./internal/wal ./internal/storage ./internal/engine
 go test -race -timeout 20m ./...
 echo "all checks passed"

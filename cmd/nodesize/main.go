@@ -34,6 +34,7 @@ func main() {
 	device := flag.String("device", "hdd", "device family for the sweeps: hdd or ssd (E15)")
 	aging := flag.Bool("aging", false, "run E16 (sequential-load vs aged scan cost)")
 	epsilon := flag.Bool("epsilon", false, "run E18 (the ε spectrum: fanout sweep)")
+	durability := flag.Bool("durability", false, "run E19 (logging/checkpoint write amplification + crash recovery drill)")
 	flag.Parse()
 
 	// printPager reports the buffer pool's view of each sweep point: the
@@ -130,5 +131,15 @@ func main() {
 			cfg.KeySpace = *items
 		}
 		fmt.Println(experiments.RenderFlushPolicy(experiments.FlushPolicyAblation(cfg)))
+	}
+	if *durability {
+		cfg := experiments.DefaultCrashConfig()
+		if *items > 0 {
+			cfg.Items = *items
+		}
+		if *cache > 0 {
+			cfg.CacheBytes = *cache
+		}
+		fmt.Println(experiments.RenderCrash(experiments.Crash(cfg)))
 	}
 }

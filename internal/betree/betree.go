@@ -95,6 +95,14 @@ func (l *loader) Store(c *engine.Client, id engine.PageID, obj interface{}) {
 	c.WriteAt(n.encode(t.cfg), int64(id))
 }
 
+// StoreSize implements engine.StoreSizer: nodes encode to at most the
+// configured node size (exactly, under the slotted layout). The bound
+// keeps the pager's dirty-set accounting conservative, which is the safe
+// direction for the durability layer's journal-capacity trigger.
+func (l *loader) StoreSize(interface{}) int64 {
+	return int64((*Tree)(l).cfg.NodeBytes)
+}
+
 func (t *Tree) allocNode() int64 {
 	t.nodes++
 	return t.eng.Alloc(int64(t.cfg.NodeBytes))

@@ -102,6 +102,12 @@ func (l *loader) Store(c *engine.Client, id engine.PageID, obj interface{}) {
 	c.WriteAt(n.encode(t.cfg.NodeBytes), int64(id))
 }
 
+// StoreSize implements engine.StoreSizer: nodes always encode to the full
+// configured node size, however few entries they hold.
+func (l *loader) StoreSize(interface{}) int64 {
+	return int64((*Tree)(l).cfg.NodeBytes)
+}
+
 func (t *Tree) allocNode() int64 {
 	t.nodes++
 	return t.eng.Alloc(int64(t.cfg.NodeBytes))

@@ -36,28 +36,43 @@ type Config struct {
 // it concurrently.
 type Engine struct {
 	clk   *sim.Engine
-	store *storage.Store
+	store storage.ByteStore
 	pager *Pager
 
 	allocMu sync.Mutex
 	alloc   *storage.Allocator
+	// pendingFree holds extents freed since the last checkpoint when
+	// durability is on: they may still be referenced by the checkpoint
+	// image, so reusing them before the next checkpoint seals could let an
+	// in-place write corrupt state that recovery depends on. The next
+	// checkpoint merges them into the allocator's free lists. Guarded by
+	// allocMu.
+	pendingFree []extent
+
+	dur *durability
 
 	owner *Client
 }
 
+// extent is a freed [off, off+size) range awaiting a checkpoint.
+type extent struct{ off, size int64 }
+
 // New creates an engine over dev on clock clk.
 func New(cfg Config, dev storage.Device, clk *sim.Engine) *Engine {
-	return fromStore(cfg, storage.NewStore(dev), clk)
+	return FromStore(cfg, storage.NewStore(dev), clk)
 }
 
 // FromDisk creates an engine sharing an existing Disk's byte store, clock,
 // and counters. Trees constructed through the facade use this so the
 // familiar "one disk, several structures" setup keeps working.
 func FromDisk(cfg Config, d *storage.Disk) *Engine {
-	return fromStore(cfg, d.Store(), d.Clock())
+	return FromStore(cfg, d.Store(), d.Clock())
 }
 
-func fromStore(cfg Config, store *storage.Store, clk *sim.Engine) *Engine {
+// FromStore creates an engine over any ByteStore — in particular a
+// *storage.FaultStore, which is how the crash tests interpose fault
+// injection between the engine and the medium.
+func FromStore(cfg Config, store storage.ByteStore, clk *sim.Engine) *Engine {
 	e := &Engine{
 		clk:   clk,
 		store: store,
@@ -72,7 +87,7 @@ func fromStore(cfg Config, store *storage.Store, clk *sim.Engine) *Engine {
 func (e *Engine) Clock() *sim.Engine { return e.clk }
 
 // Store returns the shared byte store.
-func (e *Engine) Store() *storage.Store { return e.store }
+func (e *Engine) Store() storage.ByteStore { return e.store }
 
 // Device returns the underlying timing device.
 func (e *Engine) Device() storage.Device { return e.store.Device() }
@@ -109,10 +124,16 @@ func (e *Engine) Alloc(size int64) int64 {
 	return e.alloc.Alloc(size)
 }
 
-// Free returns an extent for reuse (safe for concurrent use).
+// Free returns an extent for reuse (safe for concurrent use). With
+// durability enabled the extent is parked until the next checkpoint (see
+// Engine.pendingFree) instead of becoming reusable immediately.
 func (e *Engine) Free(off, size int64) {
 	e.allocMu.Lock()
 	defer e.allocMu.Unlock()
+	if e.dur != nil {
+		e.pendingFree = append(e.pendingFree, extent{off, size})
+		return
+	}
 	e.alloc.Free(off, size)
 }
 
@@ -171,6 +192,16 @@ type Client struct {
 	eng      *Engine
 	ctx      ioCtx
 	counters storage.Counters
+	// capture, when non-nil, diverts WriteAt into a buffer instead of the
+	// device. The checkpoint uses it to collect the pager's dirty pages
+	// into the journal without issuing in-place IO.
+	capture *[]pageWrite
+}
+
+// pageWrite is one captured write.
+type pageWrite struct {
+	off  int64
+	data []byte
 }
 
 // Engine returns the engine this client drives.
@@ -193,6 +224,10 @@ func (c *Client) ReadAt(p []byte, off int64) {
 // WriteAt writes len(p) bytes at off, charging device time to this client.
 func (c *Client) WriteAt(p []byte, off int64) {
 	if len(p) == 0 {
+		return
+	}
+	if c.capture != nil {
+		*c.capture = append(*c.capture, pageWrite{off: off, data: append([]byte(nil), p...)})
 		return
 	}
 	now := c.ctx.Now()

@@ -20,6 +20,16 @@ type Loader interface {
 	Store(c *Client, id PageID, obj interface{})
 }
 
+// StoreSizer is an optional Loader extension reporting the exact byte
+// length Store would write for obj right now. The pager uses it to track
+// the encoded size of the dirty set (DirtyBytes), which the durability
+// layer compares against its journal capacity — charged (in-memory) sizes
+// can be much smaller than the on-disk images a checkpoint must seal.
+// Loaders without it are assumed to store their charged size.
+type StoreSizer interface {
+	StoreSize(obj interface{}) int64
+}
+
 // ShardStats counts one shard's traffic.
 type ShardStats struct {
 	Hits       int64
@@ -71,6 +81,7 @@ type item struct {
 	id     PageID
 	obj    interface{}
 	size   int64
+	enc    int64 // while dirty: Store's byte length, counted in shard.dirtyBytes
 	dirty  bool
 	pins   int
 	busy   bool
@@ -78,13 +89,25 @@ type item struct {
 	elem   *list.Element // position in LRU list; nil while pinned or busy
 }
 
+// encSize returns the bytes Store would write for it's current object.
+func (it *item) encSize() int64 {
+	if ss, ok := it.loader.(StoreSizer); ok {
+		return ss.StoreSize(it.obj)
+	}
+	return it.size
+}
+
 type shard struct {
 	mu     sync.Mutex
 	budget int64
 	used   int64
-	items  map[PageID]*item
-	lru    *list.List // front = most recently used; holds only unpinned items
-	stats  ShardStats
+	// dirtyBytes tracks the encoded (Store) size of dirty items. The
+	// durability layer checkpoints before this approaches the journal
+	// region size: the whole dirty set must fit in one sealed frame.
+	dirtyBytes int64
+	items      map[PageID]*item
+	lru        *list.List // front = most recently used; holds only unpinned items
+	stats      ShardStats
 }
 
 // Pager is the engine's buffer pool: an LRU object cache with a byte
@@ -94,6 +117,13 @@ type shard struct {
 // client sleeping out an IO's virtual latency never blocks the others.
 type Pager struct {
 	shards []*shard
+	// noSteal, set by the engine's durability layer before the workload
+	// starts, forbids evicting dirty pages: between checkpoints the on-disk
+	// image of checkpointed state must stay intact, so dirty pages live in
+	// memory until the next checkpoint writes them as one recoverable unit
+	// (a no-steal buffer policy). The dirty working set can then exceed the
+	// budget; PeakOver records by how much.
+	noSteal bool
 }
 
 func newPager(cfg Config) *Pager {
@@ -145,6 +175,19 @@ func (p *Pager) Used() int64 {
 	for _, sh := range p.shards {
 		sh.mu.Lock()
 		total += sh.used
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// DirtyBytes returns the encoded size of dirty (not yet written back)
+// objects across all shards: the write-back volume the next checkpoint
+// must seal into a journal frame under the no-steal policy.
+func (p *Pager) DirtyBytes() int64 {
+	var total int64
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		total += sh.dirtyBytes
 		sh.mu.Unlock()
 	}
 	return total
@@ -240,8 +283,10 @@ func (p *Pager) Put(c *Client, loader Loader, id PageID, obj interface{}, size i
 		panic(fmt.Sprintf("engine: Put of resident page %d", id))
 	}
 	it := &item{id: id, obj: obj, size: size, dirty: true, pins: 1, loader: loader}
+	it.enc = it.encSize()
 	sh.items[id] = it
 	sh.used += size
+	sh.dirtyBytes += it.enc
 	sh.mu.Unlock()
 	p.evictToBudget(c, sh)
 }
@@ -251,6 +296,12 @@ func (p *Pager) Put(c *Client, loader Loader, id PageID, obj interface{}, size i
 // If id turned out to be resident already — two clients can race to decode
 // the same cold node — the canonical resident object wins and is returned
 // pinned; the caller must use the returned object, not its own candidate.
+//
+// Accounting: PutClean is the insert half of a probe-style access (TryGet
+// miss → explicit partial load → PutClean), so the fresh-insert path counts
+// the Miss for that access and the already-resident race path counts a Hit.
+// Together with TryGet counting only true hits, every logical access
+// produces exactly one Hits or Misses increment.
 func (p *Pager) PutClean(c *Client, loader Loader, id PageID, obj interface{}, size int64) interface{} {
 	sh := p.shard(id)
 	for {
@@ -261,11 +312,13 @@ func (p *Pager) PutClean(c *Client, loader Loader, id PageID, obj interface{}, s
 				c.wait()
 				continue
 			}
+			sh.stats.Hits++
 			sh.pin(it)
 			sh.mu.Unlock()
 			p.evictToBudget(c, sh)
 			return it.obj
 		}
+		sh.stats.Misses++
 		it := &item{id: id, obj: obj, size: size, pins: 1, loader: loader}
 		sh.items[id] = it
 		sh.used += size
@@ -279,13 +332,17 @@ func (p *Pager) PutClean(c *Client, loader Loader, id PageID, obj interface{}, s
 // consulting any loader on a miss. Callers that load partial objects
 // explicitly (the Bε-tree's segment reads) use this instead of Get. A
 // latched item counts as resident: TryGet waits for the latch and retries.
+//
+// A failed TryGet counts nothing: the probe-style caller follows up with a
+// Get or PutClean for the same logical access, and that call counts the
+// Miss (counting both would double-count the access and inflate the miss
+// ratio the experiments report).
 func (p *Pager) TryGet(c *Client, id PageID) (interface{}, bool) {
 	sh := p.shard(id)
 	for {
 		sh.mu.Lock()
 		it, ok := sh.items[id]
 		if !ok {
-			sh.stats.Misses++
 			sh.mu.Unlock()
 			return nil, false
 		}
@@ -345,7 +402,14 @@ func (p *Pager) MarkDirty(c *Client, id PageID, newSize int64) {
 		sh.mu.Unlock()
 		panic(fmt.Sprintf("engine: MarkDirty of non-resident page %d", id))
 	}
-	it.dirty = true
+	newEnc := it.encSize()
+	if it.dirty {
+		sh.dirtyBytes += newEnc - it.enc
+	} else {
+		it.dirty = true
+		sh.dirtyBytes += newEnc
+	}
+	it.enc = newEnc
 	sh.used += newSize - it.size
 	it.size = newSize
 	sh.mu.Unlock()
@@ -362,6 +426,11 @@ func (p *Pager) Resize(c *Client, id PageID, newSize int64) {
 	if !ok {
 		sh.mu.Unlock()
 		panic(fmt.Sprintf("engine: Resize of non-resident page %d", id))
+	}
+	if it.dirty {
+		newEnc := it.encSize()
+		sh.dirtyBytes += newEnc - it.enc
+		it.enc = newEnc
 	}
 	sh.used += newSize - it.size
 	it.size = newSize
@@ -424,7 +493,9 @@ func (p *Pager) Flush(c *Client) {
 			victim.loader.Store(c, victim.id, victim.obj)
 
 			sh.mu.Lock()
+			sh.dirtyBytes -= victim.enc
 			victim.dirty = false
+			victim.enc = 0
 			victim.busy = false
 			if victim.pins == 0 {
 				victim.elem = sh.lru.PushFront(victim)
@@ -444,7 +515,8 @@ func (p *Pager) EvictAll(c *Client) {
 }
 
 // evictToBudget evicts LRU objects from sh until it is within budget (or
-// nothing evictable remains), then records how far over budget the pinned
+// nothing evictable remains — all residents pinned, or dirty under the
+// no-steal policy), then records how far over budget the unevictable
 // working set left it.
 func (p *Pager) evictToBudget(c *Client, sh *shard) {
 	for {
@@ -453,12 +525,10 @@ func (p *Pager) evictToBudget(c *Client, sh *shard) {
 		if over > sh.stats.PeakOver {
 			sh.stats.PeakOver = over
 		}
-		needMore := over > 0 && sh.lru.Len() > 0
 		sh.mu.Unlock()
-		if !needMore {
+		if over <= 0 || !p.evictOne(c, sh) {
 			return
 		}
-		p.evictOne(c, sh)
 	}
 }
 
@@ -468,6 +538,12 @@ func (p *Pager) evictToBudget(c *Client, sh *shard) {
 func (p *Pager) evictOne(c *Client, sh *shard) bool {
 	sh.mu.Lock()
 	elem := sh.lru.Back()
+	if p.noSteal {
+		// Skip dirty pages: they are unevictable until the next checkpoint.
+		for elem != nil && elem.Value.(*item).dirty {
+			elem = elem.Prev()
+		}
+	}
 	if elem == nil {
 		sh.mu.Unlock()
 		return false
@@ -498,6 +574,9 @@ func (sh *shard) remove(it *item) {
 	if it.elem != nil {
 		sh.lru.Remove(it.elem)
 		it.elem = nil
+	}
+	if it.dirty {
+		sh.dirtyBytes -= it.enc
 	}
 	delete(sh.items, it.id)
 	sh.used -= it.size

@@ -434,3 +434,108 @@ func TestQuickBudgetRespectedWhenUnpinned(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStatsCountExactlyOnePerAccess pins down the accounting contract:
+// every logical access — Get, TryGet hit, PutClean — produces exactly one
+// Hits or Misses increment, and inserts (Put) and TryGet absences produce
+// none. Probe-style callers (the Bε-tree's TryGet-then-Get upgrade path)
+// would otherwise inflate the miss ratio.
+func TestStatsCountExactlyOnePerAccess(t *testing.T) {
+	l := newFakeLoader()
+	l.data[1] = "aa"
+	p, c := newTestPager(100)
+
+	check := func(step string, hits, misses int64) {
+		t.Helper()
+		s := p.Stats()
+		if s.Hits != hits || s.Misses != misses {
+			t.Fatalf("%s: hits/misses = %d/%d, want %d/%d", step, s.Hits, s.Misses, hits, misses)
+		}
+	}
+
+	if _, ok := p.TryGet(c, 1); ok {
+		t.Fatal("unexpected resident")
+	}
+	check("TryGet absent counts nothing", 0, 0)
+
+	p.Get(c, l, 1)
+	p.Unpin(c, 1)
+	check("Get cold is one miss", 0, 1)
+
+	p.Get(c, l, 1)
+	p.Unpin(c, 1)
+	check("Get warm is one hit", 1, 1)
+
+	if _, ok := p.TryGet(c, 1); !ok {
+		t.Fatal("expected resident")
+	}
+	p.Unpin(c, 1)
+	check("TryGet hit is one hit", 2, 1)
+
+	p.Put(c, l, 2, "bb", 2)
+	p.Unpin(c, 2)
+	check("Put insert counts nothing", 2, 1)
+
+	p.PutClean(c, l, 3, "cc", 2)
+	p.Unpin(c, 3)
+	check("PutClean fresh is one miss", 2, 2)
+
+	p.PutClean(c, l, 3, "dd", 2)
+	p.Unpin(c, 3)
+	check("PutClean resident is one hit", 3, 2)
+
+	s := p.Stats()
+	if s.Hits+s.Misses != 5 {
+		t.Fatalf("total accesses = %d, want 5", s.Hits+s.Misses)
+	}
+}
+
+// TestNoStealKeepsDirtyResident: under the durability layer's no-steal
+// policy, dirty pages must survive cache pressure (they may only reach the
+// device through a checkpoint), clean pages still evict, and the overrun is
+// recorded in PeakOver.
+func TestNoStealKeepsDirtyResident(t *testing.T) {
+	l := newFakeLoader()
+	p, c := newTestPager(20)
+	p.noSteal = true
+
+	p.Put(c, l, 1, "dirty-one", 9) // dirty insert
+	p.Unpin(c, 1)
+	l.data[2] = "cleanclean"
+	p.Get(c, l, 2) // clean resident
+	p.Unpin(c, 2)
+	l.data[3] = "cleanclean"
+	p.Get(c, l, 3) // pressure: must evict 2, not 1
+	p.Unpin(c, 3)
+
+	if l.stores != 0 {
+		t.Fatalf("dirty page written back under no-steal (stores = %d)", l.stores)
+	}
+	if !p.Contains(1) {
+		t.Fatal("dirty page evicted under no-steal")
+	}
+	if p.Contains(2) {
+		t.Fatal("clean page not evicted under pressure")
+	}
+
+	// Fill with dirty pages only: nothing evictable, pager runs over budget.
+	p.Put(c, l, 4, "dirty-two-ooooo", 15)
+	p.Unpin(c, 4)
+	if p.Stats().PeakOver <= 0 {
+		t.Fatalf("PeakOver = %d, want > 0 with unevictable dirty set", p.Stats().PeakOver)
+	}
+	if !p.Contains(1) || !p.Contains(4) {
+		t.Fatal("dirty pages lost while over budget")
+	}
+
+	// Flush cleans them; eviction works again.
+	p.Flush(c)
+	if l.stores == 0 {
+		t.Fatal("flush wrote nothing")
+	}
+	p.Get(c, l, 2)
+	p.Unpin(c, 2)
+	if p.Contains(1) && p.Contains(4) && p.Contains(2) && p.Used() > 20+15 {
+		t.Fatal("eviction still stuck after flush")
+	}
+}

@@ -681,3 +681,49 @@ func TestE18EpsilonSpectrum(t *testing.T) {
 		t.Fatal("render broken")
 	}
 }
+
+// TestE19Durability runs the §3 durability-tax harness at reduced scale and
+// checks its structural claims: with the WAL on, every structure pays a
+// logging component of roughly one (each logical byte is logged once, plus
+// framing), checkpoints happen, the crash drill replays the operations
+// logged after the last checkpoint, and recovery cost orders like insert
+// cost (LSM cheapest).
+func TestE19Durability(t *testing.T) {
+	skipUnderRace(t)
+	cfg := DefaultCrashConfig()
+	cfg.Items = 12_000
+	cfg.CacheBytes = 1 << 20
+	cfg.NodeBytes = 32 << 10
+	cfg.Durability.JournalBytes = 16 << 20
+	cfg.Durability.CheckpointEveryBytes = 512 << 10
+	rows := Crash(cfg)
+	if len(rows) != 3 {
+		t.Fatalf("want 3 structures, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.LogWA < 1 || r.LogWA > 2 {
+			t.Errorf("%s: log WA %.2f outside [1,2]", r.Structure, r.LogWA)
+		}
+		if r.Checkpoints < 2 {
+			t.Errorf("%s: only %d checkpoints", r.Structure, r.Checkpoints)
+		}
+		if r.DurableWA <= r.LogWA {
+			t.Errorf("%s: durable WA %.2f not above its log component %.2f", r.Structure, r.DurableWA, r.LogWA)
+		}
+		if r.Replayed <= 0 {
+			t.Errorf("%s: crash drill replayed nothing", r.Structure)
+		}
+		if r.RecoveryTime <= 0 {
+			t.Errorf("%s: no recovery time accrued", r.Structure)
+		}
+		if r.Stats.Err != nil {
+			t.Errorf("%s: sticky durability error: %v", r.Structure, r.Stats.Err)
+		}
+	}
+	if rows[2].RecoveryTime >= rows[0].RecoveryTime {
+		t.Errorf("LSM recovery (%v) not cheaper than B-tree recovery (%v)", rows[2].RecoveryTime, rows[0].RecoveryTime)
+	}
+	if !strings.Contains(RenderCrash(rows), "durability tax") {
+		t.Fatal("render broken")
+	}
+}

@@ -187,6 +187,17 @@ func (d *Disk) Access(now sim.Time, _ storage.Op, off, size int64) sim.Time {
 	return done
 }
 
+// Reboot implements storage.Rebooter: a power cycle discards the drive's
+// volatile scheduling state — pending-IO completion horizon, head position,
+// sequential-run tracking — while the platters keep their bytes. Without
+// this, a crash/recovery simulation on a fresh clock would charge the first
+// post-reboot IO the entire pre-crash busy time.
+func (d *Disk) Reboot() {
+	d.freeAt = 0
+	d.head = 0
+	d.seqEnd = -1
+}
+
 func abs64(x int64) int64 {
 	if x < 0 {
 		return -x

@@ -1,0 +1,89 @@
+// Checkpoint/Open: the LSM-tree's half of engine crash recovery. Unlike
+// the B-trees, the LSM keeps real volatile state outside the engine — the
+// memtable — so Checkpoint first flushes it to an L0 run (the SSTables land
+// on freshly allocated extents, never overwriting anything an earlier
+// checkpoint references), then serializes the level structure: per table,
+// its extent, key range, entry count, and block index.
+
+package lsm
+
+import (
+	"fmt"
+
+	"iomodels/internal/engine"
+	"iomodels/internal/kv"
+)
+
+const manifestMagic = 0x4C534D43 // "LSMC"
+
+// Checkpoint implements engine.RecoverableDict: it flushes the memtable and
+// returns a manifest from which Open reconstructs the tree against a
+// recovered engine.
+func (t *Tree) Checkpoint() []byte {
+	t.flushMemtable()
+	var e kv.Enc
+	e.U32(manifestMagic)
+	e.U64(uint64(t.items))
+	e.U64(uint64(t.LogicalBytesInserted))
+	e.U64(uint64(t.Compactions))
+	e.U32(uint32(len(t.levels)))
+	for _, level := range t.levels {
+		e.U32(uint32(len(level)))
+		for _, tb := range level {
+			e.U64(uint64(tb.off))
+			e.U64(uint64(tb.size))
+			e.U64(uint64(tb.count))
+			e.Bytes(tb.minKey)
+			e.Bytes(tb.maxKey)
+			e.U32(uint32(len(tb.blockIx)))
+			for _, k := range tb.blockIx {
+				e.Bytes(k)
+			}
+		}
+	}
+	return e.Buf
+}
+
+// Open reconstructs a tree from a Checkpoint manifest on a recovered
+// engine. cfg must match the configuration the tree was created with
+// (BlockBytes determines block-index geometry). The memtable starts empty:
+// whatever it held at the crash is replayed from the WAL.
+func Open(cfg Config, eng *engine.Engine, manifest []byte) (*Tree, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d := &kv.Dec{Buf: manifest}
+	if magic := d.U32(); magic != manifestMagic {
+		return nil, fmt.Errorf("lsm: bad manifest magic %#x", magic)
+	}
+	t := &Tree{cfg: cfg, eng: eng, owner: eng.Owner()}
+	t.items = int(d.U64())
+	t.LogicalBytesInserted = int64(d.U64())
+	t.Compactions = int64(d.U64())
+	nLevels := d.U32()
+	for li := uint32(0); li < nLevels && d.Err == nil; li++ {
+		nTables := d.U32()
+		level := make([]*table, 0, nTables)
+		for ti := uint32(0); ti < nTables && d.Err == nil; ti++ {
+			tb := &table{
+				off:    int64(d.U64()),
+				size:   int64(d.U64()),
+				count:  int(d.U64()),
+				minKey: d.Bytes(),
+				maxKey: d.Bytes(),
+			}
+			nBlocks := d.U32()
+			for bi := uint32(0); bi < nBlocks && d.Err == nil; bi++ {
+				tb.blockIx = append(tb.blockIx, d.Bytes())
+			}
+			level = append(level, tb)
+		}
+		t.levels = append(t.levels, level)
+	}
+	if d.Err != nil {
+		return nil, fmt.Errorf("lsm: corrupt manifest: %w", d.Err)
+	}
+	return t, nil
+}
+
+var _ engine.RecoverableDict = (*Tree)(nil)

@@ -134,6 +134,17 @@ func (d *Disk) Name() string { return d.prof.Name }
 // Capacity implements storage.Device.
 func (d *Disk) Capacity() int64 { return d.prof.Capacity() }
 
+// Reboot implements storage.Rebooter: a power cycle discards the volatile
+// die and channel busy horizons (the flash keeps its bytes).
+func (d *Disk) Reboot() {
+	for i := range d.dieFree {
+		d.dieFree[i] = 0
+	}
+	for i := range d.chanFree {
+		d.chanFree[i] = 0
+	}
+}
+
 // Access implements storage.Device: the IO is split at stripe boundaries;
 // each piece is serviced by the die owning its address (cell access, then
 // channel-bus transfer), and the IO completes when its last piece does.

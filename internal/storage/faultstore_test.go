@@ -1,0 +1,133 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"iomodels/internal/sim"
+)
+
+// flatDev is a minimal timing device for fault tests.
+type flatDev struct{ capacity int64 }
+
+func (d flatDev) Access(now sim.Time, op Op, off, size int64) sim.Time {
+	return now + sim.Time(size)
+}
+func (d flatDev) Capacity() int64 { return d.capacity }
+func (d flatDev) Name() string    { return "flat" }
+
+func TestFaultStoreCrashTearsWrite(t *testing.T) {
+	f := NewFaultStore(flatDev{1 << 20})
+	payload := bytes.Repeat([]byte{0xEE}, 64)
+	f.WriteAt(0, payload, 0)
+
+	f.CrashAtWrite(1, 24) // next write: 24 bytes survive, then the machine dies
+	crashed := func() (c bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(*CrashError); !ok {
+					t.Fatalf("panic payload %T, want *CrashError", r)
+				}
+				c = true
+			}
+		}()
+		f.WriteAt(0, bytes.Repeat([]byte{0x11}, 64), 128)
+		return false
+	}()
+	if !crashed || !f.Crashed() {
+		t.Fatal("armed crash did not fire")
+	}
+
+	// Everything panics while down.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("read after crash did not panic")
+			}
+		}()
+		f.ReadAt(0, make([]byte, 8), 0)
+	}()
+
+	// Reboot: the durable image has the full first write and exactly the
+	// torn prefix of the fatal one.
+	f.ClearFaults()
+	got := make([]byte, 64)
+	f.ReadAt(0, got, 0)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("pre-crash write lost")
+	}
+	f.ReadAt(0, got, 128)
+	want := append(bytes.Repeat([]byte{0x11}, 24), make([]byte, 40)...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("torn write image wrong: %x", got[:32])
+	}
+}
+
+func TestFaultStoreCorruptRead(t *testing.T) {
+	f := NewFaultStore(flatDev{1 << 20})
+	f.WriteAt(0, bytes.Repeat([]byte{0xAA}, 32), 0)
+	f.CorruptRead(2)
+	clean := make([]byte, 32)
+	f.ReadAt(0, clean, 0)
+	if !bytes.Equal(clean, bytes.Repeat([]byte{0xAA}, 32)) {
+		t.Fatal("read 1 should be clean")
+	}
+	dirty := make([]byte, 32)
+	f.ReadAt(0, dirty, 0)
+	if bytes.Equal(dirty, clean) {
+		t.Fatal("read 2 should be corrupted")
+	}
+	// One bit, in the middle.
+	if dirty[16] != 0xAA^0x01 {
+		t.Fatalf("corruption pattern wrong: %x", dirty)
+	}
+}
+
+func TestFaultStoreFailRead(t *testing.T) {
+	f := NewFaultStore(flatDev{1 << 20})
+	f.WriteAt(0, []byte{1, 2, 3, 4}, 0)
+	f.FailRead(1)
+	func() {
+		defer func() {
+			if _, ok := recover().(*ReadFaultError); !ok {
+				t.Fatal("expected *ReadFaultError")
+			}
+		}()
+		f.ReadAt(0, make([]byte, 4), 0)
+	}()
+	// A hard read error is not a crash: the store stays up.
+	if f.Crashed() {
+		t.Fatal("read fault must not mark the store crashed")
+	}
+	f.ReadAt(0, make([]byte, 4), 0)
+}
+
+func TestAllocatorSnapshotRoundTrip(t *testing.T) {
+	a := NewAllocator(1 << 20)
+	o1 := a.Alloc(4096)
+	o2 := a.Alloc(4096)
+	a.Alloc(8192)
+	a.Free(o1, 4096)
+	snap := a.Snapshot()
+
+	// Diverge, then restore.
+	a.Alloc(4096) // reuses o1
+	a.Alloc(65536)
+	b := NewAllocator(1 << 20)
+	b.LoadState(snap)
+	if b.HighWater() != snap.Next {
+		t.Fatalf("restored high water %d, want %d", b.HighWater(), snap.Next)
+	}
+	if got := b.Alloc(4096); got != o1 {
+		t.Fatalf("restored allocator handed %d, want freed extent %d", got, o1)
+	}
+	if got := b.Alloc(4096); got == o2 {
+		t.Fatalf("restored allocator reused live extent %d", o2)
+	}
+	// The snapshot is a deep copy: restoring twice behaves identically.
+	c := NewAllocator(1 << 20)
+	c.LoadState(snap)
+	if got := c.Alloc(4096); got != o1 {
+		t.Fatalf("snapshot mutated by first restore: got %d, want %d", got, o1)
+	}
+}

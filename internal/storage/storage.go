@@ -53,6 +53,14 @@ type Device interface {
 	Name() string
 }
 
+// Rebooter is an optional Device extension: a power cycle discards the
+// device's volatile scheduling state (busy horizons, head position) while
+// the stored bytes survive. FaultStore.ClearFaults invokes it so that a
+// recovery running on a fresh clock is not charged the pre-crash backlog.
+type Rebooter interface {
+	Reboot()
+}
+
 // Counters accumulates IO statistics. The distinction between logical bytes
 // the caller asked for and physical IOs issued is what write amplification
 // measures.
@@ -231,6 +239,19 @@ func (t *Trace) normalize() {
 	rotated = append(rotated, t.records[:t.start]...)
 	t.records = rotated
 	t.start = 0
+}
+
+// ByteStore is the concurrent byte-moving interface a *Store implements.
+// The engine layer accepts any ByteStore so fault-injection wrappers (see
+// FaultStore) can sit between the engine and the real store.
+type ByteStore interface {
+	Device() Device
+	SetTrace(t *Trace)
+	Counters() Counters
+	ResetCounters()
+	ReadAt(now sim.Time, p []byte, off int64) sim.Time
+	WriteAt(now sim.Time, p []byte, off int64) sim.Time
+	Meter(now sim.Time, op Op, off, size int64) sim.Time
 }
 
 // Store couples a timing Device with an in-memory byte store. It is safe
@@ -432,3 +453,40 @@ func (a *Allocator) Free(off, size int64) {
 
 // HighWater reports the bump-pointer position (peak space footprint).
 func (a *Allocator) HighWater() int64 { return a.next }
+
+// AllocatorState is a deep copy of an allocator's state, taken by Snapshot
+// and restored by LoadState. The engine's checkpoint serializes it so
+// recovery resumes allocation exactly where the checkpoint left it.
+type AllocatorState struct {
+	Next     int64
+	Capacity int64
+	Free     map[int64][]int64
+}
+
+// Snapshot returns a deep copy of the allocator's state.
+func (a *Allocator) Snapshot() AllocatorState {
+	free := make(map[int64][]int64, len(a.free))
+	for size, offs := range a.free {
+		if len(offs) == 0 {
+			continue
+		}
+		free[size] = append([]int64(nil), offs...)
+	}
+	return AllocatorState{Next: a.next, Capacity: a.capacity, Free: free}
+}
+
+// LoadState replaces the allocator's state with a snapshot (deep-copied, so
+// the snapshot stays reusable).
+func (a *Allocator) LoadState(s AllocatorState) {
+	a.next = s.Next
+	if s.Capacity > 0 {
+		a.capacity = s.Capacity
+	}
+	a.free = make(map[int64][]int64, len(s.Free))
+	for size, offs := range s.Free {
+		if len(offs) == 0 {
+			continue
+		}
+		a.free[size] = append([]int64(nil), offs...)
+	}
+}

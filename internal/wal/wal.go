@@ -10,17 +10,40 @@
 // a logger to a workload adds exactly the write traffic the paper alludes
 // to, measurable through the disk counters.
 //
-// The log is also recoverable: Replay re-reads committed records in order,
-// verifying per-record checksums and stopping cleanly at a torn tail.
+// The log is recoverable from the device image alone. Every record carries
+// a sequence number, and commits are sealed into epoch-stamped frames:
+//
+//	region:  [header slot A | header slot B | frame | frame | ...]
+//	header:  magic | epoch | startSeq | crc           (dual slots, ping-pong)
+//	frame:   magic | epoch | firstSeq | count | payloadLen | payloadCRC | hdrCRC
+//	record:  kind | dict | seq | key | value          (inside the payload)
+//
+// Replay scans the on-disk frame area and stops at the first frame that
+// fails validation — wrong magic, wrong epoch, a sequence number that does
+// not continue the chain, or a checksum mismatch — so a torn tail loses
+// only the uncommitted suffix, and records written before the last
+// Checkpoint (whose epoch bump rewrites the header and invalidates them)
+// are never resurrected even though their CRCs still validate.
+//
+// Nothing in this package panics: filling the log returns ErrLogFull so the
+// caller can checkpoint and retry, and configurations that could never
+// commit a single group are rejected up front by New/Open.
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 
 	"iomodels/internal/kv"
-	"iomodels/internal/storage"
 )
+
+// Device is the byte-addressed medium the log lives on. Both *storage.Disk
+// and *engine.Client satisfy it.
+type Device interface {
+	ReadAt(p []byte, off int64)
+	WriteAt(p []byte, off int64)
+}
 
 // Config shapes a log.
 type Config struct {
@@ -37,114 +60,328 @@ func DefaultConfig(offset int64) Config {
 	return Config{Offset: offset, Capacity: 64 << 20, GroupBytes: 64 << 10}
 }
 
-// Record is one logged operation.
+// Record is one logged operation. Dict routes the record to a dictionary
+// when one log serves several (the engine's durability layer assigns IDs
+// in registration order); Seq is assigned by Append.
 type Record struct {
+	Seq   uint64
 	Kind  kv.Kind // Put / Tombstone / Upsert, as in the trees
+	Dict  uint8
 	Key   []byte
 	Value []byte
 }
 
-// Log is a write-ahead log. Not safe for concurrent use.
+// ErrLogFull reports that committing the pending group would overflow the
+// log region. The pending records are kept: checkpoint (which truncates the
+// log) and retry.
+var ErrLogFull = errors.New("wal: log full (checkpoint and retry)")
+
+const (
+	headerMagic  = 0x57414C48 // "WALH"
+	frameMagic   = 0x57414C46 // "WALF"
+	headerBytes  = 4 + 8 + 8 + 4
+	frameHdrSize = 4 + 8 + 8 + 4 + 4 + 4 + 4
+)
+
+// Log is a write-ahead log. Not safe for concurrent use (the engine's
+// durability layer serializes access with a mutex).
 type Log struct {
-	cfg  Config
-	disk *storage.Disk
-	buf  []byte
-	head int64 // bytes durably written
+	cfg Config
+	dev Device
+
+	buf      []byte // pending (uncommitted) frame payload
+	bufCount uint32 // records in buf
+	bufFirst uint64 // seq of the first record in buf
+
+	head     int64  // committed frame bytes in the current epoch
+	epoch    uint64 // current epoch; bumped by Checkpoint
+	startSeq uint64 // first seq belonging to the current epoch
+	nextSeq  uint64 // seq the next appended record receives
+	slot     int    // header slot the current epoch was written to
 
 	// Records counts appended records; Commits counts group commits.
 	Records int64
 	Commits int64
+	// BytesWritten counts bytes this Log wrote to the device (headers and
+	// frames): the paper-§3 logging traffic.
+	BytesWritten int64
 }
 
-// New creates an empty log on disk.
-func New(cfg Config, disk *storage.Disk) (*Log, error) {
+func validate(cfg Config) error {
 	if cfg.Capacity <= 0 || cfg.GroupBytes <= 0 || cfg.Offset < 0 {
-		return nil, fmt.Errorf("wal: invalid config")
+		return fmt.Errorf("wal: invalid config %+v", cfg)
 	}
-	return &Log{cfg: cfg, disk: disk}, nil
+	if int64(cfg.GroupBytes)+frameHdrSize > cfg.Capacity-2*headerBytes {
+		return fmt.Errorf("wal: capacity %d cannot fit a single %d-byte group",
+			cfg.Capacity, cfg.GroupBytes)
+	}
+	return nil
 }
 
-// DurableBytes reports the log's durable size.
+// usable is the frame area's size.
+func (l *Log) usable() int64 { return l.cfg.Capacity - 2*headerBytes }
+
+// frameStart is the device offset of the frame area.
+func (l *Log) frameStart() int64 { return l.cfg.Offset + 2*headerBytes }
+
+// New creates an empty log on dev, overwriting whatever the region held.
+func New(cfg Config, dev Device) (*Log, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	l := &Log{cfg: cfg, dev: dev, epoch: 1, startSeq: 1, nextSeq: 1}
+	// Invalidate both header slots and the first frame so a recycled region
+	// cannot resurrect old records, then seal the fresh epoch into slot 0.
+	zero := make([]byte, 2*headerBytes+frameHdrSize)
+	dev.WriteAt(zero, cfg.Offset)
+	l.BytesWritten += int64(len(zero))
+	l.writeHeader(0)
+	return l, nil
+}
+
+// Open attaches to an existing log region, recovering the current epoch and
+// the true committed head from the device image alone. Use Replay to read
+// the committed records back.
+func Open(cfg Config, dev Device) (*Log, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	l := &Log{cfg: cfg, dev: dev}
+	epoch, startSeq, slot, ok := l.readHeaders()
+	if !ok {
+		return nil, fmt.Errorf("wal: no valid header in region at offset %d (not a log?)", cfg.Offset)
+	}
+	l.epoch, l.startSeq, l.slot = epoch, startSeq, slot
+	head, count := l.scan(nil)
+	l.head = head
+	l.nextSeq = startSeq + uint64(count)
+	return l, nil
+}
+
+// writeHeader seals the current epoch into the given slot.
+func (l *Log) writeHeader(slot int) {
+	var e kv.Enc
+	e.U32(headerMagic)
+	e.U64(l.epoch)
+	e.U64(l.startSeq)
+	e.U32(crc32.ChecksumIEEE(e.Buf))
+	l.dev.WriteAt(e.Buf, l.cfg.Offset+int64(slot)*headerBytes)
+	l.BytesWritten += int64(len(e.Buf))
+	l.slot = slot
+}
+
+// readHeaders validates both header slots and returns the highest valid
+// epoch. A torn header write leaves the other slot (the previous epoch)
+// authoritative.
+func (l *Log) readHeaders() (epoch, startSeq uint64, slot int, ok bool) {
+	buf := make([]byte, 2*headerBytes)
+	l.dev.ReadAt(buf, l.cfg.Offset)
+	for s := 0; s < 2; s++ {
+		d := kv.Dec{Buf: buf[s*headerBytes : (s+1)*headerBytes]}
+		magic := d.U32()
+		ep := d.U64()
+		ss := d.U64()
+		sum := d.U32()
+		if d.Err != nil || magic != headerMagic {
+			continue
+		}
+		if crc32.ChecksumIEEE(d.Buf[:headerBytes-4]) != sum {
+			continue
+		}
+		if !ok || ep > epoch {
+			epoch, startSeq, slot, ok = ep, ss, s, true
+		}
+	}
+	return epoch, startSeq, slot, ok
+}
+
+// scan walks the frame area validating frames of the current epoch, calling
+// visit (if non-nil) for each record, and returns the byte length of the
+// valid committed prefix and its record count. It stops at the first frame
+// that fails any check: that is the torn tail (or the stale remains of a
+// previous epoch).
+func (l *Log) scan(visit func(Record) bool) (head int64, count uint64) {
+	off := l.frameStart()
+	end := off + l.usable()
+	expectSeq := l.startSeq
+	hdr := make([]byte, frameHdrSize)
+	for off+frameHdrSize <= end {
+		l.dev.ReadAt(hdr, off)
+		d := kv.Dec{Buf: hdr}
+		magic := d.U32()
+		epoch := d.U64()
+		firstSeq := d.U64()
+		n := d.U32()
+		payloadLen := d.U32()
+		payloadCRC := d.U32()
+		hdrCRC := d.U32()
+		if magic != frameMagic || epoch != l.epoch || firstSeq != expectSeq {
+			break
+		}
+		if crc32.ChecksumIEEE(hdr[:frameHdrSize-4]) != hdrCRC {
+			break
+		}
+		if n == 0 || off+frameHdrSize+int64(payloadLen) > end {
+			break
+		}
+		payload := make([]byte, payloadLen)
+		l.dev.ReadAt(payload, off+frameHdrSize)
+		if crc32.ChecksumIEEE(payload) != payloadCRC {
+			break
+		}
+		recs, ok := decodeRecords(payload, firstSeq, n)
+		if !ok {
+			break
+		}
+		for _, r := range recs {
+			if visit != nil && !visit(r) {
+				return head, count
+			}
+		}
+		off += frameHdrSize + int64(payloadLen)
+		head = off - l.frameStart()
+		count += uint64(n)
+		expectSeq = firstSeq + uint64(n)
+	}
+	return head, count
+}
+
+// decodeRecords decodes a frame payload, checking the sequence chain.
+func decodeRecords(payload []byte, firstSeq uint64, n uint32) ([]Record, bool) {
+	d := kv.Dec{Buf: payload}
+	recs := make([]Record, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var r Record
+		r.Kind = kv.Kind(d.U8())
+		r.Dict = d.U8()
+		r.Seq = d.U64()
+		r.Key = append([]byte(nil), d.Bytes()...)
+		r.Value = append([]byte(nil), d.Bytes()...)
+		if d.Err != nil || r.Seq != firstSeq+uint64(i) || len(r.Key) == 0 {
+			return nil, false
+		}
+		switch r.Kind {
+		case kv.Put, kv.Tombstone, kv.Upsert:
+		default:
+			return nil, false
+		}
+		recs = append(recs, r)
+	}
+	if d.Off != len(payload) {
+		return nil, false
+	}
+	return recs, true
+}
+
+// DurableBytes reports the committed frame bytes of the current epoch.
 func (l *Log) DurableBytes() int64 { return l.head }
 
+// PendingBytes reports the size of the uncommitted group.
+func (l *Log) PendingBytes() int { return len(l.buf) }
+
+// Epoch returns the current checkpoint epoch.
+func (l *Log) Epoch() uint64 { return l.epoch }
+
+// LastSeq returns the sequence number of the most recently appended record
+// (0 before the first append).
+func (l *Log) LastSeq() uint64 { return l.nextSeq - 1 }
+
 // Append adds a record to the current commit group, committing the group
-// when it reaches GroupBytes.
-func (l *Log) Append(r Record) {
+// when it reaches GroupBytes. It returns the record's assigned sequence
+// number. On ErrLogFull the record stays pending (with its sequence number
+// burned): checkpoint and retry the commit, or re-append after a checkpoint
+// that dropped the pending group.
+func (l *Log) Append(r Record) (uint64, error) {
 	if len(r.Key) == 0 {
-		panic("wal: empty key")
+		return 0, errors.New("wal: empty key")
 	}
+	switch r.Kind {
+	case kv.Put, kv.Tombstone, kv.Upsert:
+	default:
+		return 0, fmt.Errorf("wal: invalid record kind %d", r.Kind)
+	}
+	if len(l.buf) == 0 {
+		l.bufFirst = l.nextSeq
+	}
+	seq := l.nextSeq
+	l.nextSeq++
 	var e kv.Enc
 	e.U8(uint8(r.Kind))
+	e.U8(r.Dict)
+	e.U64(seq)
 	e.Bytes(r.Key)
 	e.Bytes(r.Value)
-	var frame kv.Enc
-	frame.U32(uint32(len(e.Buf)))
-	frame.U32(crc32.ChecksumIEEE(e.Buf))
-	frame.Buf = append(frame.Buf, e.Buf...)
-	l.buf = append(l.buf, frame.Buf...)
+	l.buf = append(l.buf, e.Buf...)
+	l.bufCount++
 	l.Records++
 	if len(l.buf) >= l.cfg.GroupBytes {
-		l.Commit()
+		if err := l.Commit(); err != nil {
+			return seq, err
+		}
 	}
+	return seq, nil
 }
 
-// Commit forces the current group to disk (one sequential write).
-func (l *Log) Commit() {
+// Commit seals the pending group into a frame and writes it with one
+// sequential IO. If the frame would overflow the log region it returns
+// ErrLogFull and keeps the group pending.
+func (l *Log) Commit() error {
 	if len(l.buf) == 0 {
-		return
+		return nil
 	}
-	if l.head+int64(len(l.buf)) > l.cfg.Capacity {
-		panic(fmt.Sprintf("wal: log full: %d + %d > %d (checkpoint first)",
-			l.head, len(l.buf), l.cfg.Capacity))
+	frameLen := int64(frameHdrSize + len(l.buf))
+	if l.head+frameLen > l.usable() {
+		return fmt.Errorf("%w: need %d bytes at head %d of %d",
+			ErrLogFull, frameLen, l.head, l.usable())
 	}
-	l.disk.WriteAt(l.buf, l.cfg.Offset+l.head)
-	l.head += int64(len(l.buf))
+	var e kv.Enc
+	e.U32(frameMagic)
+	e.U64(l.epoch)
+	e.U64(l.bufFirst)
+	e.U32(l.bufCount)
+	e.U32(uint32(len(l.buf)))
+	e.U32(crc32.ChecksumIEEE(l.buf))
+	e.U32(crc32.ChecksumIEEE(e.Buf))
+	e.Buf = append(e.Buf, l.buf...)
+	l.dev.WriteAt(e.Buf, l.frameStart()+l.head)
+	l.BytesWritten += int64(len(e.Buf))
+	l.head += frameLen
 	l.buf = l.buf[:0]
+	l.bufCount = 0
 	l.Commits++
+	return nil
 }
 
 // Checkpoint declares all logged state durably applied and truncates the
-// log (the caller must have flushed its data structure first).
+// log: the epoch is bumped and sealed into the alternate header slot, which
+// atomically invalidates every frame on disk (and a torn header write
+// leaves the previous epoch's log intact). Any pending uncommitted group is
+// dropped — the caller has just made its effects durable by other means; a
+// caller that has not yet applied a pending record must re-append it.
 func (l *Log) Checkpoint() {
-	l.Commit()
+	l.buf = l.buf[:0]
+	l.bufCount = 0
+	l.epoch++
+	l.startSeq = l.nextSeq
 	l.head = 0
+	l.writeHeader(l.slot ^ 1)
+	// Invalidate the first frame so a stale frame from two epochs ago (same
+	// slot parity) can never chain onto the new epoch.
+	l.dev.WriteAt(make([]byte, frameHdrSize), l.frameStart())
+	l.BytesWritten += frameHdrSize
 }
 
-// Replay reads committed records in append order, calling fn for each. It
-// stops silently at a corrupt or torn record (the crash-recovery contract:
-// a torn tail loses only uncommitted records) and returns how many records
-// were recovered.
+// Replay scans the on-disk region and calls fn for each committed record of
+// the current epoch in append order (fn returning false stops early). It
+// stops silently at a corrupt or torn frame — the crash-recovery contract:
+// a torn tail loses only uncommitted records — and returns how many records
+// were visited. Replay reads the device, not memory, so it works on a log
+// just attached with Open.
 func (l *Log) Replay(fn func(Record) bool) (int, error) {
-	if l.head == 0 {
-		return 0, nil
-	}
-	buf := make([]byte, l.head)
-	l.disk.ReadAt(buf, l.cfg.Offset)
-	d := kv.Dec{Buf: buf}
 	n := 0
-	for d.Off < len(buf) {
-		length := int(d.U32())
-		sum := d.U32()
-		if d.Err != nil || length <= 0 || d.Off+length > len(buf) {
-			break // torn tail
-		}
-		payload := buf[d.Off : d.Off+length]
-		if crc32.ChecksumIEEE(payload) != sum {
-			break
-		}
-		pd := kv.Dec{Buf: payload}
-		var r Record
-		r.Kind = kv.Kind(pd.U8())
-		r.Key = pd.Bytes()
-		r.Value = pd.Bytes()
-		if pd.Err != nil {
-			break
-		}
-		d.Off += length
+	l.scan(func(r Record) bool {
 		n++
-		if !fn(r) {
-			return n, nil
-		}
-	}
+		return fn == nil || fn(r)
+	})
 	return n, nil
 }

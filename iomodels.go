@@ -90,6 +90,33 @@ type (
 	PagerStats = engine.PagerStats
 )
 
+// Re-exported durability and fault-injection types: the WAL-backed engine
+// write path, journaled checkpoints, crash recovery, and the fault store
+// that drills them (see internal/engine and internal/storage).
+type (
+	// DurabilityConfig sizes the WAL, the checkpoint journal regions, and
+	// the auto-checkpoint cadence; zero values pick defaults.
+	DurabilityConfig = engine.DurabilityConfig
+	// Durable is the write-ahead-logging wrapper around a Dictionary:
+	// every mutation is logged before it is applied.
+	Durable = engine.Durable
+	// DurabilityStats decomposes the durability write traffic (log bytes,
+	// journal bytes, in-place installs) the paper's §3 alludes to.
+	DurabilityStats = engine.DurabilityStats
+	// Recovery is the reopen-after-crash handle: reattach dictionaries by
+	// name, then Replay the WAL's committed suffix.
+	Recovery = engine.Recovery
+	// Device models the timing behaviour of a storage device.
+	Device = storage.Device
+	// ByteStore couples a timing device with stored bytes.
+	ByteStore = storage.ByteStore
+	// FaultStore wraps a ByteStore with crash, torn-write, and read-fault
+	// injection.
+	FaultStore = storage.FaultStore
+	// CrashError is the panic value a fired crash fault unwinds with.
+	CrashError = storage.CrashError
+)
+
 // Re-exported dictionary types.
 type (
 	// BTree is a disk-backed B-tree with a configurable node size.
@@ -126,6 +153,11 @@ func NewHDD(prof HDDProfile, seed uint64, clk *Clock) *Disk {
 	return storage.NewDisk(hdd.New(prof, seed), clk)
 }
 
+// NewHDDDeterministic creates a hard-drive timing device whose rotational
+// latency is pinned at its mean, for exactly reproducible runs (crash
+// drills, property tests). Pair it with NewFaultStore + NewEngineOnStore.
+func NewHDDDeterministic(prof HDDProfile) Device { return hdd.NewDeterministic(prof) }
+
 // NewSSD creates a simulated SSD with backing storage on clk.
 func NewSSD(prof SSDProfile, clk *Clock) *Disk {
 	return storage.NewDisk(ssd.New(prof), clk)
@@ -136,8 +168,45 @@ func NewSSD(prof SSDProfile, clk *Clock) *Disk {
 // allocator, and IO counters.
 func NewEngine(cfg EngineConfig, disk *Disk) *Engine { return engine.FromDisk(cfg, disk) }
 
+// NewFaultStore wraps dev with an in-memory byte store plus crash,
+// torn-write, and read-fault injection. Build an engine on it with
+// NewEngineOnStore; after a crash, ClearFaults reboots the medium and
+// RecoverEngine reopens the surviving image.
+func NewFaultStore(dev Device) *FaultStore { return storage.NewFaultStore(dev) }
+
+// NewEngineOnStore creates an engine directly on a ByteStore (e.g. a
+// FaultStore) with a clock. Call Engine.EnableDurability before creating
+// trees to turn on the WAL-backed write path.
+func NewEngineOnStore(cfg EngineConfig, store ByteStore, clk *Clock) *Engine {
+	return engine.FromStore(cfg, store, clk)
+}
+
+// RecoverEngine reopens a durable engine's device image after a crash: it
+// locates the newest sealed checkpoint, reinstalls its pages and allocator,
+// and scans the WAL's committed suffix. Reattach each dictionary (reopened
+// from Recovery.Manifest via OpenBTree/OpenBeTree/OpenLSMTree) in its
+// original registration order, then call Recovery.Replay.
+func RecoverEngine(cfg EngineConfig, dcfg DurabilityConfig, store ByteStore, clk *Clock) (*Engine, *Recovery, error) {
+	return engine.Recover(cfg, dcfg, store, clk)
+}
+
 // NewBTree creates a B-tree on the given engine.
 func NewBTree(cfg BTreeConfig, eng *Engine) (*BTree, error) { return btree.New(cfg, eng) }
+
+// OpenBTree reopens a checkpointed B-tree from its recovery manifest.
+func OpenBTree(cfg BTreeConfig, eng *Engine, manifest []byte) (*BTree, error) {
+	return btree.Open(cfg, eng, manifest)
+}
+
+// OpenBeTree reopens a checkpointed Bε-tree from its recovery manifest.
+func OpenBeTree(cfg BeTreeConfig, eng *Engine, manifest []byte) (*BeTree, error) {
+	return betree.Open(cfg, eng, manifest)
+}
+
+// OpenLSMTree reopens a checkpointed LSM-tree from its recovery manifest.
+func OpenLSMTree(cfg LSMConfig, eng *Engine, manifest []byte) (*LSMTree, error) {
+	return lsm.Open(cfg, eng, manifest)
+}
 
 // NewBeTree creates a Bε-tree on the given engine. Use
 // BeTreeConfig.Optimized() for the Theorem 9 node organization.

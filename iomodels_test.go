@@ -129,3 +129,74 @@ func TestFacadeCOBTreeLifecycle(t *testing.T) {
 		t.Fatal("no virtual time charged")
 	}
 }
+
+func TestFacadeDurableCrashRecovery(t *testing.T) {
+	fs := NewFaultStore(NewHDDDeterministic(HDDProfiles()[2]))
+	eng := NewEngineOnStore(EngineConfig{CacheBytes: 1 << 20}, fs, NewClock())
+	dcfg := DurabilityConfig{LogBytes: 4 << 20, GroupBytes: 1 << 10}
+	if err := eng.EnableDurability(dcfg); err != nil {
+		t.Fatal(err)
+	}
+	btCfg := BTreeConfig{NodeBytes: 16 << 10, MaxKeyBytes: 32, MaxValueBytes: 64}
+	tree, err := NewBTree(btCfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := eng.Durable("t", tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		wrapped.Put([]byte(fmt.Sprintf("k%05d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := eng.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 300; i < 400; i++ {
+		wrapped.Put([]byte(fmt.Sprintf("k%05d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := eng.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pull the plug on the next device write, then trip it.
+	fs.CrashAtWrite(1, 1<<30)
+	func() {
+		defer func() {
+			if _, ok := recover().(*CrashError); !ok {
+				t.Fatal("expected a crash")
+			}
+		}()
+		for i := 0; i < 50; i++ { // fill the group until a commit write trips
+			wrapped.Put([]byte(fmt.Sprintf("t%05d", i)), bytes.Repeat([]byte("x"), 40))
+		}
+		eng.Sync() //nolint:errcheck
+		eng.Checkpoint()
+	}()
+
+	fs.ClearFaults()
+	e2, rec, err := RecoverEngine(EngineConfig{CacheBytes: 1 << 20}, dcfg, fs, NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, ok := rec.Manifest("t")
+	if !ok {
+		t.Fatal("manifest lost")
+	}
+	t2, err := OpenBTree(btCfg, e2, man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Attach("t", t2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		v, ok := t2.Get([]byte(fmt.Sprintf("k%05d", i)))
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d: got %q %v after recovery", i, v, ok)
+		}
+	}
+}
