@@ -5,6 +5,8 @@
 #   go vet     static analysis
 #   go build   everything compiles, including cmd/ and examples/
 #   go test    tier-1 correctness
+#   smoke      kvserve + loadgen end to end: boot the server binary, drive
+#              it over TCP, verify clean SIGINT shutdown
 #   panic lint the durability path (internal/wal, the engine's durability
 #              and recovery files) must degrade via errors, never panic
 #   go test -race   the concurrent engine path: k sim processes and
@@ -31,6 +33,48 @@ go vet ./...
 go build ./...
 go test ./...
 
+# Server smoke test: boot kvserve on the in-memory PDAM device, wait for
+# the listening line, fire a loadgen burst at it, and verify a clean
+# SIGINT shutdown (exit 0). This exercises the real binaries end to end —
+# TCP framing, the batch read scheduler, group commit, graceful close —
+# that unit tests only reach in-process.
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"; kill "$kvpid" 2>/dev/null || true' EXIT
+kvpid=""
+go build -o "$smoke" ./cmd/kvserve ./cmd/loadgen
+"$smoke/kvserve" -addr 127.0.0.1:0 -items 2000 -durable >"$smoke/kvserve.log" 2>&1 &
+kvpid=$!
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+	addr=$(sed -n 's/^kvserve: listening on //p' "$smoke/kvserve.log" 2>/dev/null | head -n 1)
+	[ -n "$addr" ] && break
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+	echo "kvserve never reported its address:" >&2
+	cat "$smoke/kvserve.log" >&2
+	exit 1
+fi
+"$smoke/loadgen" -addr "$addr" -clients 4 -ops 200 -ycsb b -keys 2000 >"$smoke/loadgen.log" 2>&1 || {
+	echo "loadgen failed:" >&2
+	cat "$smoke/loadgen.log" >&2
+	exit 1
+}
+grep -q "ops/s" "$smoke/loadgen.log" || {
+	echo "loadgen printed no throughput:" >&2
+	cat "$smoke/loadgen.log" >&2
+	exit 1
+}
+kill -INT "$kvpid"
+wait "$kvpid" || {
+	echo "kvserve did not shut down cleanly:" >&2
+	cat "$smoke/kvserve.log" >&2
+	exit 1
+}
+kvpid=""
+
 # Durability code must not panic: a WAL or checkpoint failure has to surface
 # as an error (sticky in the engine) so availability survives degraded
 # durability. Test files and the fault injector (which panics by design to
@@ -47,5 +91,11 @@ fi
 # future -short or skip in the full pass cannot silently drop it.
 go test -race -run 'Crash|Fault|Replay|Durab|Recover|Torn|LogFull|NoSteal|Stats' \
 	./internal/wal ./internal/storage ./internal/engine
+
+# The server package entire under the race detector: real TCP handlers, the
+# batch scheduler, and the group-commit writer are the most goroutine-dense
+# code in the repo, so it gets an explicit pass a future -short cannot drop.
+go test -race ./internal/server
+
 go test -race -timeout 20m ./...
 echo "all checks passed"

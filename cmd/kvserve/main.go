@@ -1,0 +1,188 @@
+// Command kvserve boots the PDAM-aware KV service: a tree on a simulated
+// device behind the binary TCP protocol, with the batch read scheduler,
+// group-commit writer, and live metrics of internal/server.
+//
+// Usage:
+//
+//	kvserve [-addr HOST:PORT] [-metrics HOST:PORT] [-device pdam|ssd]
+//	        [-tree btree|betree|lsm] [-items N] [-durable] [-batch N] ...
+//
+// The device is a timing model, so IO cost accrues on a shared virtual
+// clock while connections are real TCP; the /stats document reports both
+// (vclock_ns vs wall-clock op latencies). -batch 1 degrades the read
+// scheduler to the DAM-style one-IO-at-a-time baseline of experiment E20.
+//
+// On startup it prints "listening on HOST:PORT" (the CI smoke test greps
+// for it); SIGINT or SIGTERM shuts down cleanly and prints a final stats
+// summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"iomodels/internal/betree"
+	"iomodels/internal/btree"
+	"iomodels/internal/engine"
+	"iomodels/internal/lsm"
+	"iomodels/internal/pdamdev"
+	"iomodels/internal/server"
+	"iomodels/internal/sim"
+	"iomodels/internal/ssd"
+	"iomodels/internal/storage"
+	"iomodels/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "TCP listen address (:0 picks a free port)")
+	metricsAddr := flag.String("metrics", "", "HTTP listen address for /stats and /metrics (empty: disabled)")
+	device := flag.String("device", "pdam", "device model: pdam or ssd")
+	p := flag.Int("p", 16, "PDAM parallelism P (IO slots per step)")
+	block := flag.Int64("block", 4<<10, "PDAM block bytes B")
+	step := flag.Duration("step", time.Millisecond, "PDAM step length (virtual time)")
+	capacity := flag.Int64("capacity", 4<<30, "pdam device capacity bytes")
+	treeKind := flag.String("tree", "btree", "dictionary: btree, betree, or lsm")
+	node := flag.Int("node", 4<<10, "tree node bytes (btree/betree)")
+	cache := flag.Int64("cache", 64<<20, "engine cache bytes")
+	items := flag.Int64("items", 0, "preload this many keys before serving")
+	durable := flag.Bool("durable", false, "enable the WAL: group commit and crash recovery")
+	batch := flag.Int("batch", 0, "read batch size (0: ask the device for P; 1: DAM-style)")
+	grace := flag.Duration("grace", 0, "partial-batch launch grace (0: server default)")
+	readq := flag.Int("readq", 0, "read admission bound (0: 4x batch)")
+	writeq := flag.Int("writeq", 0, "write queue bound (0: default 1024)")
+	writeBatch := flag.Int("writebatch", 0, "mutations per group commit (0: default 64)")
+	traceCap := flag.Int("trace", 0, "retain an IO trace of this many records (0: off)")
+	flag.Parse()
+
+	var dev storage.Device
+	switch *device {
+	case "pdam":
+		dev = pdamdev.New(*p, *block, sim.Time(*step)).Storage(*capacity)
+	case "ssd":
+		dev = ssd.New(ssd.DefaultProfile())
+	default:
+		fatalf("unknown device %q (want pdam or ssd)", *device)
+	}
+
+	eng := engine.New(engine.Config{CacheBytes: *cache}, dev, sim.New())
+	if *durable {
+		if err := eng.EnableDurability(engine.DurabilityConfig{}); err != nil {
+			fatalf("durability: %v", err)
+		}
+	}
+
+	spec := workload.DefaultSpec()
+	var (
+		session func(*engine.Client) engine.Dictionary
+		writer  engine.Dictionary
+		settle  func()
+	)
+	switch *treeKind {
+	case "btree":
+		tree, err := btree.New(btree.Config{
+			NodeBytes: *node, MaxKeyBytes: spec.KeyBytes, MaxValueBytes: spec.ValueBytes,
+		}, eng)
+		if err != nil {
+			fatalf("btree: %v", err)
+		}
+		session = func(c *engine.Client) engine.Dictionary { return tree.Session(c) }
+		writer, settle = tree, tree.Flush
+	case "betree":
+		tree, err := betree.New(betree.Config{
+			NodeBytes: *node, MaxFanout: betree.DefaultFanout,
+			MaxKeyBytes: spec.KeyBytes, MaxValueBytes: spec.ValueBytes,
+		}.Optimized(), eng)
+		if err != nil {
+			fatalf("betree: %v", err)
+		}
+		session = func(c *engine.Client) engine.Dictionary { return tree.Session(c) }
+		writer, settle = tree, tree.Flush
+	case "lsm":
+		tree, err := lsm.New(lsm.DefaultConfig(), eng)
+		if err != nil {
+			fatalf("lsm: %v", err)
+		}
+		session = func(c *engine.Client) engine.Dictionary { return tree.Session(c) }
+		writer, settle = tree, tree.Flush
+	default:
+		fatalf("unknown tree %q (want btree, betree, or lsm)", *treeKind)
+	}
+	if *durable {
+		d, err := eng.Durable(*treeKind, writer)
+		if err != nil {
+			fatalf("durable %s: %v", *treeKind, err)
+		}
+		writer = d
+	}
+
+	if *items > 0 {
+		workload.Load(writer, spec, *items)
+		settle()
+		if *durable {
+			if err := eng.Sync(); err != nil {
+				fatalf("preload sync: %v", err)
+			}
+		}
+		fmt.Printf("kvserve: preloaded %d items (%s of virtual IO)\n", *items, eng.Clock().Now())
+	}
+
+	var trace *storage.Trace
+	if *traceCap > 0 {
+		trace = storage.NewBoundedTrace(*traceCap)
+	}
+
+	clock := engine.NewSharedClock()
+	eng.AdoptSharedClock(clock)
+	srv, err := server.New(server.Config{
+		Addr:       *addr,
+		BatchIOs:   *batch,
+		BatchGrace: *grace,
+		ReadQueue:  *readq,
+		WriteQueue: *writeq,
+		WriteBatch: *writeBatch,
+		Trace:      trace,
+	}, server.Backend{Eng: eng, Clock: clock, NewSession: session, Writer: writer})
+	if err != nil {
+		fatalf("server: %v", err)
+	}
+	bound, err := srv.ListenAndServe()
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	cfg := srv.Config()
+	fmt.Printf("kvserve: %s on %s, batch=%d grace=%v durable=%v\n",
+		*treeKind, eng.Device().Name(), cfg.BatchIOs, cfg.BatchGrace, *durable)
+	fmt.Printf("kvserve: listening on %s\n", bound)
+
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatalf("metrics listen: %v", err)
+		}
+		fmt.Printf("kvserve: metrics on http://%s/stats and /metrics\n", mln.Addr())
+		go func() { _ = http.Serve(mln, srv.MetricsHandler()) }()
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	<-sigs
+	fmt.Println("kvserve: shutting down")
+	if err := srv.Close(); err != nil {
+		fatalf("close: %v", err)
+	}
+	snap := srv.Snapshot()
+	fmt.Printf("kvserve: served %d conns, %d gets, %d puts, %d read batches, %d group commits, %s virtual\n",
+		snap.ConnsTotal, snap.Ops["get"].Count, snap.Ops["put"].Count,
+		snap.ReadBatches, snap.WriteBatches, sim.Time(snap.VClock))
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "kvserve: "+format+"\n", args...)
+	os.Exit(1)
+}

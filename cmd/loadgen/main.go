@@ -1,0 +1,234 @@
+// Command loadgen drives a kvserve instance with a closed-loop YCSB-style
+// workload: k client connections, each issuing one request at a time from a
+// weighted operation mix over a (optionally Zipfian) key population — the
+// concurrency shape of the paper's Lemma 13 experiment.
+//
+// Usage:
+//
+//	loadgen -addr HOST:PORT [-clients K] [-ops N] [-ycsb a|b|c|f]
+//	        [-mix get=95,put=5,...] [-theta 0.99] [-keys N] [-seed S]
+//
+// It reports aggregate throughput, wall-clock latency percentiles (merged
+// from per-client histograms), busy (shed) counts, and — with -stats — the
+// server's own snapshot afterwards.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iomodels/internal/server"
+	"iomodels/internal/stats"
+	"iomodels/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "kvserve address")
+	clients := flag.Int("clients", 8, "concurrent closed-loop connections")
+	ops := flag.Int("ops", 1000, "operations per client")
+	ycsb := flag.String("ycsb", "", "preset mix: a (50r/50w), b (95r/5w), c (100r), f (50r/50rmw)")
+	mixFlag := flag.String("mix", "", "weighted mix, e.g. get=95,put=5 (ops: get,put,delete,scan,upsert,rmw)")
+	theta := flag.Float64("theta", 0, "Zipf skew over the key population (0: uniform)")
+	keys := flag.Int64("keys", 100_000, "key population size")
+	scanLen := flag.Int("scanlen", 100, "entries per scan")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	showStats := flag.Bool("stats", false, "print the server's /stats document afterwards")
+	flag.Parse()
+
+	mix, err := parseMix(*ycsb, *mixFlag, *scanLen)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	spec := workload.DefaultSpec()
+	hist := stats.NewLatencyHist()
+	var shed, misses atomic.Int64
+	counts := make([]int64, int(workload.OpRMW)+1)
+	var countsMu sync.Mutex
+
+	start := time.Now()
+	errs := make(chan error, *clients)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			errs <- runClient(*addr, spec, workload.NewStream(spec, *seed+uint64(c), *keys, mix, *theta),
+				*ops, hist, &shed, &misses, counts, &countsMu)
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	total := int64(*clients) * int64(*ops)
+	snap := hist.Snapshot()
+	fmt.Printf("loadgen: %d clients x %d ops in %.2fs = %.0f ops/s\n",
+		*clients, *ops, elapsed.Seconds(), float64(total)/elapsed.Seconds())
+	fmt.Printf("latency µs: mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%.0f\n",
+		snap.Mean/1e3, float64(snap.P50)/1e3, float64(snap.P95)/1e3,
+		float64(snap.P99)/1e3, float64(snap.Max)/1e3)
+	countsMu.Lock()
+	var parts []string
+	for k, n := range counts {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", workload.OpKind(k), n))
+		}
+	}
+	countsMu.Unlock()
+	fmt.Printf("ops: %s; busy(shed)=%d not_found=%d\n", strings.Join(parts, " "), shed.Load(), misses.Load())
+
+	if *showStats {
+		cl, err := server.Dial(*addr)
+		if err != nil {
+			fatalf("stats dial: %v", err)
+		}
+		defer cl.Close()
+		js, err := cl.Stats()
+		if err != nil {
+			fatalf("stats: %v", err)
+		}
+		fmt.Printf("server stats: %s\n", js)
+	}
+}
+
+// runClient is one closed-loop connection: draw an op, execute it, repeat.
+// Shed requests (StatusBusy) are counted and retried immediately — the
+// closed loop itself is the backpressure.
+func runClient(addr string, spec workload.KeySpec, stream *workload.Stream, ops int,
+	hist *stats.LatencyHist, shed, misses *atomic.Int64, counts []int64, countsMu *sync.Mutex) error {
+	cl, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	local := stats.NewLatencyHist()
+	localCounts := make([]int64, len(counts))
+	for i := 0; i < ops; i++ {
+		op := stream.Next()
+		key := spec.Key(op.ID)
+		t0 := time.Now()
+		err := execOp(cl, spec, op, key, misses)
+		if errors.Is(err, server.ErrBusy) {
+			shed.Add(1)
+			i-- // retry the slot; closed-loop offered load stays constant
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("%v %q: %w", op.Kind, key, err)
+		}
+		local.Observe(int64(time.Since(t0)))
+		localCounts[int(op.Kind)]++
+	}
+	hist.Merge(local)
+	countsMu.Lock()
+	for i, n := range localCounts {
+		counts[i] += n
+	}
+	countsMu.Unlock()
+	return nil
+}
+
+func execOp(cl *server.Client, spec workload.KeySpec, op workload.Op, key []byte, misses *atomic.Int64) error {
+	switch op.Kind {
+	case workload.OpGet:
+		_, ok, err := cl.Get(key)
+		if err == nil && !ok {
+			misses.Add(1)
+		}
+		return err
+	case workload.OpPut:
+		return cl.Put(key, spec.Value(op.ID))
+	case workload.OpDelete:
+		_, err := cl.Delete(key)
+		return err
+	case workload.OpScan:
+		_, err := cl.Scan(key, nil, op.Len)
+		return err
+	case workload.OpUpsert:
+		return cl.Upsert(key, 1)
+	case workload.OpRMW:
+		// Get-then-Put with a data dependency, as in workload.Apply.
+		old, ok, err := cl.Get(key)
+		if err != nil {
+			return err
+		}
+		next := spec.Value(op.ID)
+		if ok && len(old) > 0 && len(next) > 0 {
+			next = append([]byte(nil), next...)
+			next[0] ^= old[0]
+		}
+		return cl.Put(key, next)
+	default:
+		return fmt.Errorf("loadgen: unhandled op %v", op.Kind)
+	}
+}
+
+// parseMix resolves the -ycsb preset or the -mix weight list (the presets
+// follow the YCSB core workloads; update = put).
+func parseMix(ycsb, mixFlag string, scanLen int) (workload.Mix, error) {
+	if ycsb != "" && mixFlag != "" {
+		return workload.Mix{}, errors.New("loadgen: -ycsb and -mix are mutually exclusive")
+	}
+	switch strings.ToLower(ycsb) {
+	case "a":
+		return workload.Mix{Gets: 50, Puts: 50}, nil
+	case "b":
+		return workload.Mix{Gets: 95, Puts: 5}, nil
+	case "c":
+		return workload.Mix{Gets: 100}, nil
+	case "f":
+		return workload.Mix{Gets: 50, RMWs: 50}, nil
+	case "":
+	default:
+		return workload.Mix{}, fmt.Errorf("loadgen: unknown YCSB preset %q (want a, b, c, or f)", ycsb)
+	}
+	if mixFlag == "" {
+		return workload.Mix{Gets: 95, Puts: 5}, nil // default: YCSB B
+	}
+	mix := workload.Mix{ScanLen: scanLen}
+	for _, part := range strings.Split(mixFlag, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return mix, fmt.Errorf("loadgen: bad mix element %q (want op=weight)", part)
+		}
+		w, err := strconv.Atoi(kv[1])
+		if err != nil || w < 0 {
+			return mix, fmt.Errorf("loadgen: bad weight in %q", part)
+		}
+		switch kv[0] {
+		case "get":
+			mix.Gets = w
+		case "put":
+			mix.Puts = w
+		case "delete":
+			mix.Deletes = w
+		case "scan":
+			mix.Scans = w
+		case "upsert":
+			mix.Upserts = w
+		case "rmw":
+			mix.RMWs = w
+		default:
+			return mix, fmt.Errorf("loadgen: unknown op %q in mix", kv[0])
+		}
+	}
+	return mix, nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -11,9 +11,14 @@
 // the same Lemma 13 throughput shape on structures that also support
 // inserts, and reporting the buffer pool's hit ratios per round.
 //
+// With -serving it also runs E20: the same effect through the full network
+// stack — real TCP clients against internal/server's batch read scheduler,
+// batch-of-P vs the DAM-style batch-of-1, plus the group-commit table.
+//
 // Usage:
 //
 //	pdamtree [-items N] [-p P] [-queries Q] [-dynitems N] [-cache BYTES]
+//	         [-serving]
 package main
 
 import (
@@ -29,6 +34,7 @@ func main() {
 	queries := flag.Int("queries", 200, "queries per client")
 	dynItems := flag.Int64("dynitems", 120_000, "keys in the dynamic trees")
 	cache := flag.Int64("cache", 1<<20, "engine cache budget for the dynamic trees")
+	serving := flag.Bool("serving", false, "also run E20 (Lemma 13 through the TCP server)")
 	flag.Parse()
 
 	clients := func(p int) []int {
@@ -53,4 +59,16 @@ func main() {
 	dcfg.QueriesPerClient = *queries
 	dcfg.Clients = clients(dcfg.P)
 	fmt.Println(experiments.RenderLemma13Dynamic(experiments.Lemma13Dynamic(dcfg)))
+
+	if *serving {
+		scfg := experiments.DefaultServingConfig()
+		scfg.P = *p
+		scfg.Clients = clients(scfg.P)
+		rows, commits, err := experiments.Serving(scfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(experiments.RenderServing(rows))
+		fmt.Println(experiments.RenderServingCommit(commits))
+	}
 }

@@ -1,0 +1,149 @@
+// Serving-path extensions: the shared wall clock that lets real (OS-thread)
+// goroutines drive the engine's virtual-time device models, and the
+// group-commit batch hook the network server's writer uses.
+//
+// The sim package's processes give deterministic overlap, but they require
+// the whole simulation to be driven from one goroutine — a TCP server's
+// connection handlers are real goroutines woken by the network poller, so
+// they cannot be sim processes. A SharedClock bridges the gap: every serving
+// client keeps its own virtual cursor (like Detached) but all cursors
+// observe a common monotone high-water mark, and a scheduler can re-align a
+// client onto that mark (AlignTo) when it admits the client's next request.
+// Virtual time measured through the shared clock is therefore globally
+// meaningful — "how many device time steps did this load consume" — even
+// though the goroutines themselves are scheduled by the host kernel.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"iomodels/internal/kv"
+	"iomodels/internal/sim"
+)
+
+// SharedClock is a monotone virtual-time high-water mark shared by many real
+// goroutines. It is safe for concurrent use. The mark advances to the
+// completion time of every IO issued through a client attached to it
+// (SharedClient, or the owner after AdoptSharedClock), so Now is "the latest
+// instant the device has served anyone to".
+type SharedClock struct {
+	now atomic.Int64
+}
+
+// NewSharedClock returns a clock at virtual time zero.
+func NewSharedClock() *SharedClock { return &SharedClock{} }
+
+// Now returns the high-water mark.
+func (sc *SharedClock) Now() sim.Time { return sim.Time(sc.now.Load()) }
+
+// Observe raises the high-water mark to t (no-op if t is in the past).
+func (sc *SharedClock) Observe(t sim.Time) {
+	for {
+		cur := sc.now.Load()
+		if int64(t) <= cur || sc.now.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}
+
+// sharedCtx is a per-client virtual cursor that reports its completions to a
+// SharedClock. Like detachedCtx it yields the OS thread on waits so
+// host-parallel clients interleave; unlike it, the cursor can be re-aligned
+// onto the shared mark between requests (see Client.AlignTo).
+type sharedCtx struct {
+	clock *SharedClock
+	now   sim.Time
+}
+
+func (c *sharedCtx) Now() sim.Time { return c.now }
+
+func (c *sharedCtx) WaitUntil(t sim.Time) {
+	if t > c.now {
+		c.now = t
+		c.clock.Observe(t)
+	}
+	runtime.Gosched()
+}
+
+func (c *sharedCtx) alignTo(t sim.Time) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// SharedClient returns a client for one real goroutine (a server connection
+// handler, say) whose IOs are timestamped on its own cursor, starting at the
+// clock's current mark. Distinct shared clients are safe concurrently; each
+// individual client is single-goroutine, as always.
+func (e *Engine) SharedClient(sc *SharedClock) *Client {
+	return &Client{eng: e, ctx: &sharedCtx{clock: sc, now: sc.Now()}}
+}
+
+// AdoptSharedClock rebinds the engine's owner client — and with it every
+// tree's single-writer mutation path and the WAL, which hold the owner —
+// onto the shared clock, carrying the sim clock's current time over. Call it
+// once, after loading/recovery and before serving; the engine must not drive
+// sim processes afterwards (their timeline would diverge from the shared
+// one).
+func (e *Engine) AdoptSharedClock(sc *SharedClock) {
+	sc.Observe(e.clk.Now())
+	e.owner.ctx = &sharedCtx{clock: sc, now: sc.Now()}
+}
+
+// AlignTo moves the client's virtual cursor forward to t (never backward).
+// The server's batch scheduler uses it to start every request admitted into
+// one device batch at the batch's common instant, so their IOs overlap on
+// the device model's queues regardless of how the host schedules the
+// handler goroutines. Only shared-clock clients support it.
+func (c *Client) AlignTo(t sim.Time) {
+	sc, ok := c.ctx.(*sharedCtx)
+	if !ok {
+		panic("engine: AlignTo on a non-shared-clock client (use Engine.SharedClient)")
+	}
+	sc.alignTo(t)
+}
+
+// Mutation is one write in a group-commit batch. Accepted is an output:
+// ApplyBatch stores Delete's acceptance report there (true for Put/Upsert).
+type Mutation struct {
+	Dict     *Durable
+	Kind     kv.Kind // Put / Tombstone / Upsert
+	Key      []byte
+	Value    []byte // Put: the value; ignored otherwise
+	Delta    int64  // Upsert: the counter delta
+	Accepted bool
+}
+
+// ApplyBatch applies muts in order through their Durable wrappers, then
+// commits the WAL's pending group once: N mutations from N connections, one
+// log flush — the server's group commit. The usual single-writer rule
+// applies (no concurrent mutations or checkpoints on the engine). The
+// returned error is the WAL commit's; mutations themselves are always
+// applied (durability degrades before availability does, as everywhere in
+// this layer).
+func (e *Engine) ApplyBatch(muts []Mutation) error {
+	if e.dur == nil {
+		return errNotEnabled
+	}
+	for i := range muts {
+		m := &muts[i]
+		if m.Dict == nil {
+			return fmt.Errorf("engine: ApplyBatch mutation %d has no dictionary", i)
+		}
+		switch m.Kind {
+		case kv.Put:
+			m.Dict.Put(m.Key, m.Value)
+			m.Accepted = true
+		case kv.Tombstone:
+			m.Accepted = m.Dict.Delete(m.Key)
+		case kv.Upsert:
+			m.Dict.Upsert(m.Key, m.Delta)
+			m.Accepted = true
+		default:
+			return fmt.Errorf("engine: ApplyBatch mutation %d has invalid kind %d", i, m.Kind)
+		}
+	}
+	return e.Sync()
+}

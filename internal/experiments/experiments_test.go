@@ -727,3 +727,76 @@ func TestE19Durability(t *testing.T) {
 		t.Fatal("render broken")
 	}
 }
+
+// TestE20Serving is the serving experiment's shape check: through the full
+// TCP stack, the batch-of-P read scheduler scales with clients up to ~P while
+// the batch-of-1 (DAM-style) scheduler stays flat, and concurrent writers
+// share WAL flushes where a serial writer pays one flush per write.
+func TestE20Serving(t *testing.T) {
+	skipUnderRace(t)
+	cfg := DefaultServingConfig()
+	cfg.Items = 30_000
+	cfg.OpsPerClient = 40
+	cfg.Writers = 16
+	cfg.WritesPerWriter = 20
+	rows, commits, err := Serving(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := map[string][]ServingRow{}
+	for _, r := range rows {
+		if r.Throughput <= 0 || r.Steps <= 0 {
+			t.Fatalf("%s k=%d: degenerate row %+v", r.Mode, r.Clients, r)
+		}
+		byMode[r.Mode] = append(byMode[r.Mode], r)
+	}
+	for _, mode := range []string{"dam", "pdam"} {
+		if len(byMode[mode]) != len(cfg.Clients) {
+			t.Fatalf("%s: %d rows, want %d", mode, len(byMode[mode]), len(cfg.Clients))
+		}
+	}
+	pdam, dam := byMode["pdam"], byMode["dam"]
+	// The PDAM scheduler scales: aggregate throughput never decreases as
+	// clients are added (15% tolerance for TCP arrival jitter), and k=P is
+	// several times k=1.
+	for i := 1; i < len(pdam); i++ {
+		if pdam[i].Throughput < 0.85*pdam[i-1].Throughput {
+			t.Errorf("pdam: throughput fell %.3f -> %.3f from k=%d to k=%d",
+				pdam[i-1].Throughput, pdam[i].Throughput, pdam[i-1].Clients, pdam[i].Clients)
+		}
+	}
+	first, last := pdam[0], pdam[len(pdam)-1]
+	if last.Throughput < 3*first.Throughput {
+		t.Errorf("pdam: k=%d throughput %.3f not ≫ k=1 %.3f — batching is not overlapping IOs",
+			last.Clients, last.Throughput, first.Throughput)
+	}
+	// Acceptance: the batched plateau is at least 2x the DAM-style scheduler
+	// under the same load.
+	damLast := dam[len(dam)-1]
+	t.Logf("plateau: pdam=%.3f dam=%.3f gets/step (ratio %.2f)",
+		last.Throughput, damLast.Throughput, last.Throughput/damLast.Throughput)
+	if last.Throughput < 2*damLast.Throughput {
+		t.Errorf("pdam plateau %.3f < 2x dam plateau %.3f", last.Throughput, damLast.Throughput)
+	}
+	// Group commit: the serial writer pays one flush per write; concurrent
+	// writers share flushes.
+	if len(commits) != 2 {
+		t.Fatalf("want 2 commit rows, got %d", len(commits))
+	}
+	serial, conc := commits[0], commits[1]
+	if serial.Writers != 1 || serial.Records == 0 || serial.Commits != serial.Records {
+		t.Errorf("serial writer should flush per write: %+v", serial)
+	}
+	if conc.Records != serial.Records {
+		t.Errorf("write phases unbalanced: serial %d records, concurrent %d", serial.Records, conc.Records)
+	}
+	if conc.Commits == 0 || conc.Commits >= conc.Records {
+		t.Errorf("concurrent writers did not share WAL flushes: %+v", conc)
+	}
+	t.Logf("group commit: %d records in %d flushes (%.2f writes/flush)",
+		conc.Records, conc.Commits, conc.PerFlush)
+	out := RenderServing(rows)
+	if !strings.Contains(out, "pdam") || !strings.Contains(RenderServingCommit(commits), "writes/flush") {
+		t.Fatal("render broken")
+	}
+}

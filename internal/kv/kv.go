@@ -201,10 +201,14 @@ func (d *Dec) U64() uint64 {
 }
 
 // Bytes reads a length-prefixed byte string. The returned slice is a copy,
-// so decoded structures do not alias page buffers.
+// so decoded structures do not alias page buffers. The length is validated
+// against the remaining buffer before any allocation, so a hostile prefix
+// (the server decodes these off the wire) cannot force a huge allocation —
+// and on 32-bit platforms the int conversion is guarded against going
+// negative.
 func (d *Dec) Bytes() []byte {
 	n := int(d.U32())
-	if d.Err != nil || d.Off+n > len(d.Buf) {
+	if d.Err != nil || n < 0 || n > len(d.Buf)-d.Off {
 		d.fail("bytes")
 		return nil
 	}

@@ -117,6 +117,11 @@ func (s *Storage) Name() string {
 	return fmt.Sprintf("pdam(P=%d,B=%d)", s.dev.P, s.dev.BlockBytes)
 }
 
+// ParallelismHint reports the device's IOs-per-step P — the natural batch
+// size for a Lemma 13-style scheduler (the server sizes its read batches
+// from this).
+func (s *Storage) ParallelismHint() int { return s.dev.P }
+
 // prune drops bookkeeping for steps that can never be used again.
 func (d *Device) prune(current int64) {
 	if current-d.pruneBelow < 4096 || len(d.usage) < 4096 {

@@ -1,0 +1,168 @@
+// Client is the Go client for the wire protocol: one TCP connection, one
+// outstanding request at a time (the closed-loop shape the Lemma 13
+// experiment assumes — concurrency comes from many clients, not pipelining).
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"iomodels/internal/kv"
+)
+
+// ErrBusy is returned when the server sheds the request under admission
+// control. The request was not executed; the caller may retry.
+var ErrBusy = errors.New("server busy")
+
+// Client is a synchronous protocol client. Not safe for concurrent use; open
+// one per goroutine.
+type Client struct {
+	conn     net.Conn
+	r        *bufio.Reader
+	w        *bufio.Writer
+	maxFrame int
+	// Busy counts ErrBusy replies seen, a convenience for load generators.
+	Busy int64
+}
+
+// Dial connects to a kvserve address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn:     conn,
+		r:        bufio.NewReaderSize(conn, 64<<10),
+		w:        bufio.NewWriterSize(conn, 64<<10),
+		maxFrame: DefaultMaxFrame,
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends req and returns the reply payload positioned after the
+// status byte, having mapped Busy/Err statuses to errors.
+func (c *Client) roundTrip(req request) (Status, *kv.Dec, error) {
+	if err := writeFrame(c.w, encodeRequest(req)); err != nil {
+		return 0, nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, nil, err
+	}
+	buf, err := readFrame(c.r, c.maxFrame)
+	if err != nil {
+		return 0, nil, err
+	}
+	d := &kv.Dec{Buf: buf}
+	status := Status(d.U8())
+	switch status {
+	case StatusOK, StatusNotFound:
+		return status, d, nil
+	case StatusBusy:
+		c.Busy++
+		msg := d.Bytes()
+		if d.Err != nil {
+			return status, nil, fmt.Errorf("server: malformed busy reply: %w", d.Err)
+		}
+		return status, nil, fmt.Errorf("%w: %s", ErrBusy, msg)
+	case StatusErr:
+		msg := d.Bytes()
+		if d.Err != nil {
+			return status, nil, fmt.Errorf("server: malformed error reply: %w", d.Err)
+		}
+		return status, nil, fmt.Errorf("server: %s", msg)
+	default:
+		return status, nil, fmt.Errorf("server: unknown reply status %d", uint8(status))
+	}
+}
+
+// Ping round-trips an empty request.
+func (c *Client) Ping() error {
+	_, _, err := c.roundTrip(request{op: OpPing})
+	return err
+}
+
+// Get fetches key; ok is false if absent.
+func (c *Client) Get(key []byte) (value []byte, ok bool, err error) {
+	status, d, err := c.roundTrip(request{op: OpGet, key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	if status == StatusNotFound {
+		return nil, false, nil
+	}
+	v := d.Bytes()
+	if d.Err != nil {
+		return nil, false, fmt.Errorf("server: malformed get reply: %w", d.Err)
+	}
+	return v, true, nil
+}
+
+// Put inserts or replaces key.
+func (c *Client) Put(key, value []byte) error {
+	_, _, err := c.roundTrip(request{op: OpPut, key: key, value: value})
+	return err
+}
+
+// Delete removes key, reporting whether the server accepted the delete.
+func (c *Client) Delete(key []byte) (accepted bool, err error) {
+	_, d, err := c.roundTrip(request{op: OpDelete, key: key})
+	if err != nil {
+		return false, err
+	}
+	a := d.U8()
+	if d.Err != nil {
+		return false, fmt.Errorf("server: malformed delete reply: %w", d.Err)
+	}
+	return a != 0, nil
+}
+
+// Upsert applies a blind delta to a counter key.
+func (c *Client) Upsert(key []byte, delta int64) error {
+	_, _, err := c.roundTrip(request{op: OpUpsert, key: key, delta: delta})
+	return err
+}
+
+// Scan returns up to limit entries in [lo, hi); empty bounds are unbounded.
+func (c *Client) Scan(lo, hi []byte, limit int) ([]kv.Entry, error) {
+	_, d, err := c.roundTrip(request{op: OpScan, lo: lo, hi: hi, limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	n := int(d.U32())
+	if d.Err != nil || n < 0 || n > limit {
+		return nil, fmt.Errorf("server: malformed scan reply (n=%d)", n)
+	}
+	out := make([]kv.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.Entry())
+	}
+	if d.Err != nil {
+		return nil, fmt.Errorf("server: malformed scan reply: %w", d.Err)
+	}
+	return out, nil
+}
+
+// Stats fetches the server's JSON stats snapshot (the same document the
+// HTTP /stats endpoint serves).
+func (c *Client) Stats() ([]byte, error) {
+	_, d, err := c.roundTrip(request{op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	js := d.Bytes()
+	if d.Err != nil {
+		return nil, fmt.Errorf("server: malformed stats reply: %w", d.Err)
+	}
+	return js, nil
+}

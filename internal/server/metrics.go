@@ -1,0 +1,220 @@
+// Observability: per-op latency histograms, in-flight gauges, and counters,
+// exported three ways — a JSON snapshot (the wire protocol's Stats op and
+// HTTP /stats) and a Prometheus-style text rendering (HTTP /metrics).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"iomodels/internal/stats"
+)
+
+// metrics is the server's counter set. All fields are atomics or fixed
+// read-only structure, so the hot path never takes a lock for accounting.
+type metrics struct {
+	started time.Time
+
+	conns      atomic.Int64 // open connections (gauge)
+	connsTotal atomic.Int64
+	inFlight   atomic.Int64 // requests being served (gauge)
+	protoErrs  atomic.Int64
+	busy       atomic.Int64 // requests shed by admission control
+	notFound   atomic.Int64
+
+	writeBatches atomic.Int64 // group-commit batches applied
+	writeOps     atomic.Int64 // mutations across those batches
+	writeSteps   atomic.Int64 // virtual time spent applying them
+
+	ops map[Op]*opMetrics // fixed at construction; values are atomic inside
+}
+
+// opMetrics is one operation's counter + latency histogram (wall-clock ns).
+type opMetrics struct {
+	count atomic.Int64
+	lat   *stats.LatencyHist
+}
+
+func newMetrics() *metrics {
+	m := &metrics{started: time.Now(), ops: make(map[Op]*opMetrics)}
+	for _, op := range []Op{OpPing, OpGet, OpPut, OpDelete, OpScan, OpUpsert, OpStats} {
+		m.ops[op] = &opMetrics{lat: stats.NewLatencyHist()}
+	}
+	return m
+}
+
+// observe records one completed operation.
+func (m *metrics) observe(op Op, wall time.Duration) {
+	if om := m.ops[op]; om != nil {
+		om.count.Add(1)
+		om.lat.Observe(int64(wall))
+	}
+}
+
+// OpSnapshot is one operation's stats in the JSON document.
+type OpSnapshot struct {
+	Count  int64   `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
+	P99Us  float64 `json:"p99_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+// StatsSnapshot is the full /stats document. Field names are part of the
+// protocol surface (loadgen and the CI smoke test parse them).
+type StatsSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Device        string  `json:"device"`
+	BatchIOs      int     `json:"batch_ios"` // scheduler batch size (the device's P)
+
+	Conns      int64 `json:"conns"`
+	ConnsTotal int64 `json:"conns_total"`
+	InFlight   int64 `json:"in_flight"`
+	ReadQueued int64 `json:"read_queued"`
+	ProtoErrs  int64 `json:"proto_errors"`
+	Busy       int64 `json:"busy"`
+	NotFound   int64 `json:"not_found"`
+
+	Ops map[string]OpSnapshot `json:"ops"`
+
+	ReadBatches  int64   `json:"read_batches"`
+	WriteBatches int64   `json:"write_batches"`
+	WriteOps     int64   `json:"write_ops"`
+	WriteSteps   int64   `json:"write_vsteps"`
+	VClock       int64   `json:"vclock_ns"` // shared virtual clock, ns
+	PagerHits    int64   `json:"pager_hits"`
+	PagerMisses  int64   `json:"pager_misses"`
+	PagerHit     float64 `json:"pager_hit_ratio"`
+	DevReads     int64   `json:"dev_reads"`
+	DevWrites    int64   `json:"dev_writes"`
+	DevReadMB    float64 `json:"dev_read_mb"`
+	DevWriteMB   float64 `json:"dev_write_mb"`
+
+	WALRecords     int64  `json:"wal_records"`
+	WALCommits     int64  `json:"wal_commits"`
+	WALBytes       int64  `json:"wal_bytes"`
+	Checkpoints    int64  `json:"checkpoints"`
+	DurabilityErr  string `json:"durability_error,omitempty"`
+	DurableEnabled bool   `json:"durable"`
+
+	TraceLen     int   `json:"trace_len"`
+	TraceCap     int   `json:"trace_cap"`
+	TraceDropped int64 `json:"trace_dropped"`
+}
+
+// Snapshot assembles the current stats document.
+func (s *Server) Snapshot() StatsSnapshot {
+	m := s.metrics
+	queued, readBatches := s.readSched.snapshot()
+	out := StatsSnapshot{
+		UptimeSeconds: time.Since(m.started).Seconds(),
+		Device:        s.backend.Eng.Device().Name(),
+		BatchIOs:      s.readSched.size,
+		Conns:         m.conns.Load(),
+		ConnsTotal:    m.connsTotal.Load(),
+		InFlight:      m.inFlight.Load(),
+		ReadQueued:    int64(queued),
+		ProtoErrs:     m.protoErrs.Load(),
+		Busy:          m.busy.Load(),
+		NotFound:      m.notFound.Load(),
+		Ops:           make(map[string]OpSnapshot, len(m.ops)),
+		ReadBatches:   readBatches,
+		WriteBatches:  m.writeBatches.Load(),
+		WriteOps:      m.writeOps.Load(),
+		WriteSteps:    m.writeSteps.Load(),
+		VClock:        int64(s.backend.Clock.Now()),
+	}
+	for op, om := range m.ops {
+		snap := om.lat.Snapshot()
+		out.Ops[op.String()] = OpSnapshot{
+			Count:  om.count.Load(),
+			MeanUs: snap.Mean / 1e3,
+			P50Us:  float64(snap.P50) / 1e3,
+			P95Us:  float64(snap.P95) / 1e3,
+			P99Us:  float64(snap.P99) / 1e3,
+			MaxUs:  float64(snap.Max) / 1e3,
+		}
+	}
+	ps := s.backend.Eng.Pager().Stats()
+	out.PagerHits, out.PagerMisses, out.PagerHit = ps.Hits, ps.Misses, ps.HitRatio()
+	io := s.backend.Eng.Counters()
+	out.DevReads, out.DevWrites = io.Reads, io.Writes
+	out.DevReadMB = float64(io.BytesRead) / (1 << 20)
+	out.DevWriteMB = float64(io.BytesWritten) / (1 << 20)
+	if ds := s.backend.Eng.DurabilityStats(); ds.Enabled {
+		out.DurableEnabled = true
+		out.WALRecords, out.WALCommits, out.WALBytes = ds.LogRecords, ds.LogCommits, ds.LogBytes
+		out.Checkpoints = ds.Checkpoints
+		if ds.Err != nil {
+			out.DurabilityErr = ds.Err.Error()
+		}
+	}
+	if t := s.cfg.Trace; t != nil {
+		out.TraceLen, out.TraceCap, out.TraceDropped = t.Len(), t.Cap(), t.Dropped()
+	}
+	return out
+}
+
+// statsJSON marshals the snapshot (the wire Stats op's payload).
+func statsJSON(s *Server) ([]byte, error) {
+	return json.Marshal(s.Snapshot())
+}
+
+// MetricsHandler serves GET /stats (JSON) and GET /metrics
+// (Prometheus-style text) for the server.
+func (s *Server) MetricsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Snapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		writeProm(w, s.Snapshot())
+	})
+	return mux
+}
+
+// writeProm renders the snapshot in Prometheus exposition format.
+func writeProm(w http.ResponseWriter, snap StatsSnapshot) {
+	g := func(name string, v interface{}) { fmt.Fprintf(w, "kvserve_%s %v\n", name, v) }
+	g("uptime_seconds", snap.UptimeSeconds)
+	g("batch_ios", snap.BatchIOs)
+	g("conns", snap.Conns)
+	g("conns_total", snap.ConnsTotal)
+	g("in_flight", snap.InFlight)
+	g("read_queued", snap.ReadQueued)
+	g("proto_errors_total", snap.ProtoErrs)
+	g("busy_total", snap.Busy)
+	g("not_found_total", snap.NotFound)
+	g("read_batches_total", snap.ReadBatches)
+	g("write_batches_total", snap.WriteBatches)
+	g("write_ops_total", snap.WriteOps)
+	g("vclock_ns", snap.VClock)
+	g("pager_hits_total", snap.PagerHits)
+	g("pager_misses_total", snap.PagerMisses)
+	g("device_reads_total", snap.DevReads)
+	g("device_writes_total", snap.DevWrites)
+	g("wal_records_total", snap.WALRecords)
+	g("wal_commits_total", snap.WALCommits)
+	g("checkpoints_total", snap.Checkpoints)
+	names := make([]string, 0, len(snap.Ops))
+	for name := range snap.Ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		op := snap.Ops[name]
+		fmt.Fprintf(w, "kvserve_op_count{op=%q} %d\n", name, op.Count)
+		fmt.Fprintf(w, "kvserve_op_latency_us{op=%q,q=\"0.5\"} %g\n", name, op.P50Us)
+		fmt.Fprintf(w, "kvserve_op_latency_us{op=%q,q=\"0.95\"} %g\n", name, op.P95Us)
+		fmt.Fprintf(w, "kvserve_op_latency_us{op=%q,q=\"0.99\"} %g\n", name, op.P99Us)
+	}
+}

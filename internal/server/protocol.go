@@ -1,0 +1,227 @@
+// Wire protocol: length-prefixed binary frames over TCP, encoded with the
+// repo's kv codec (big-endian integers, u32-length-prefixed byte strings).
+//
+//	frame   := u32 length | payload (length bytes)
+//	request := u8 op | op-specific fields
+//	reply   := u8 status | status/op-specific fields
+//
+// Requests (client → server):
+//
+//	Ping
+//	Get    key
+//	Put    key value
+//	Delete key
+//	Scan   lo hi limit     (empty lo/hi = unbounded; limit u32)
+//	Upsert key delta       (delta u64, two's complement)
+//	Stats
+//
+// Replies (server → client):
+//
+//	OK       op-specific: Get → value; Scan → u32 n, n×(key value);
+//	         Delete → u8 accepted; Stats → JSON bytes; others → empty
+//	NotFound (Get of an absent key)
+//	Busy     message      (admission control shed the request; retry later)
+//	Err      message
+//
+// The payload is decoded with kv.Dec and must be consumed exactly: trailing
+// bytes are a protocol error, as is any truncation (Dec's sticky Err).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"iomodels/internal/kv"
+)
+
+// Op codes.
+type Op uint8
+
+// Request operations.
+const (
+	OpPing Op = iota + 1
+	OpGet
+	OpPut
+	OpDelete
+	OpScan
+	OpUpsert
+	OpStats
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	case OpUpsert:
+		return "upsert"
+	case OpStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Status codes.
+type Status uint8
+
+// Reply statuses.
+const (
+	StatusOK Status = iota + 1
+	StatusNotFound
+	StatusBusy
+	StatusErr
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusNotFound:
+		return "not-found"
+	case StatusBusy:
+		return "busy"
+	case StatusErr:
+		return "error"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// DefaultMaxFrame bounds a frame payload: large enough for any node-sized
+// value or a full scan page, small enough that a hostile length prefix
+// cannot balloon memory.
+const DefaultMaxFrame = 1 << 20
+
+// frame length prefix size.
+const frameHdr = 4
+
+// errFrameTooLarge is returned when a peer announces a frame beyond the
+// limit.
+var errFrameTooLarge = errors.New("server: frame exceeds size limit")
+
+// readFrame reads one length-prefixed frame into a fresh buffer.
+func readFrame(r io.Reader, maxFrame int) ([]byte, error) {
+	var hdr [frameHdr]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3]))
+	if n < 0 || n > maxFrame {
+		return nil, fmt.Errorf("%w (%d > %d)", errFrameTooLarge, uint32(n), maxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("server: truncated frame: %w", err)
+	}
+	return buf, nil
+}
+
+// writeFrame writes payload as one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	hdr := [frameHdr]byte{
+		byte(len(payload) >> 24), byte(len(payload) >> 16),
+		byte(len(payload) >> 8), byte(len(payload)),
+	}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// request is a decoded client request.
+type request struct {
+	op    Op
+	key   []byte
+	value []byte
+	lo    []byte // scan
+	hi    []byte // scan
+	limit int    // scan
+	delta int64  // upsert
+}
+
+// decodeRequest parses an untrusted request payload. Every error is a
+// protocol error (the connection is answered with StatusErr but kept open).
+func decodeRequest(buf []byte, maxScanLimit int) (request, error) {
+	d := &kv.Dec{Buf: buf}
+	var req request
+	req.op = Op(d.U8())
+	switch req.op {
+	case OpPing, OpStats:
+	case OpGet, OpDelete:
+		req.key = d.Bytes()
+	case OpPut:
+		req.key = d.Bytes()
+		req.value = d.Bytes()
+	case OpUpsert:
+		req.key = d.Bytes()
+		req.delta = int64(d.U64())
+	case OpScan:
+		req.lo = d.Bytes()
+		req.hi = d.Bytes()
+		req.limit = int(d.U32())
+	default:
+		return req, fmt.Errorf("server: unknown op %d", uint8(req.op))
+	}
+	if d.Err != nil {
+		return req, fmt.Errorf("server: malformed %v request: %w", req.op, d.Err)
+	}
+	if d.Off != len(buf) {
+		return req, fmt.Errorf("server: %v request has %d trailing bytes", req.op, len(buf)-d.Off)
+	}
+	switch req.op {
+	case OpGet, OpPut, OpDelete, OpUpsert:
+		if len(req.key) == 0 {
+			return req, fmt.Errorf("server: %v request with empty key", req.op)
+		}
+	case OpScan:
+		if req.limit <= 0 || req.limit > maxScanLimit {
+			return req, fmt.Errorf("server: scan limit %d out of range (1..%d)", req.limit, maxScanLimit)
+		}
+	}
+	return req, nil
+}
+
+// encodeRequest builds a request payload (the client side of decodeRequest).
+func encodeRequest(req request) []byte {
+	var e kv.Enc
+	e.U8(uint8(req.op))
+	switch req.op {
+	case OpPing, OpStats:
+	case OpGet, OpDelete:
+		e.Bytes(req.key)
+	case OpPut:
+		e.Bytes(req.key)
+		e.Bytes(req.value)
+	case OpUpsert:
+		e.Bytes(req.key)
+		e.U64(uint64(req.delta))
+	case OpScan:
+		e.Bytes(req.lo)
+		e.Bytes(req.hi)
+		e.U32(uint32(req.limit))
+	default:
+		panic(fmt.Sprintf("server: encodeRequest of invalid op %d", uint8(req.op)))
+	}
+	return e.Buf
+}
+
+// encodeStatus builds the common single-status reply, optionally with a
+// message (Busy/Err).
+func encodeStatus(s Status, msg string) []byte {
+	var e kv.Enc
+	e.U8(uint8(s))
+	if s == StatusBusy || s == StatusErr {
+		e.Bytes([]byte(msg))
+	}
+	return e.Buf
+}

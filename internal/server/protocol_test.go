@@ -1,0 +1,89 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"iomodels/internal/kv"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []request{
+		{op: OpPing},
+		{op: OpStats},
+		{op: OpGet, key: []byte("k")},
+		{op: OpDelete, key: []byte("k")},
+		{op: OpPut, key: []byte("k"), value: []byte("v")},
+		{op: OpPut, key: []byte("k"), value: nil}, // empty value is legal
+		{op: OpUpsert, key: []byte("ctr"), delta: -42},
+		{op: OpScan, lo: []byte("a"), hi: []byte("z"), limit: 10},
+		{op: OpScan, lo: nil, hi: nil, limit: 1}, // unbounded scan
+	}
+	for _, want := range cases {
+		got, err := decodeRequest(encodeRequest(want), 10000)
+		if err != nil {
+			t.Fatalf("%v: %v", want.op, err)
+		}
+		if got.op != want.op || !bytes.Equal(got.key, want.key) ||
+			!bytes.Equal(got.value, want.value) || !bytes.Equal(got.lo, want.lo) ||
+			!bytes.Equal(got.hi, want.hi) || got.limit != want.limit || got.delta != want.delta {
+			t.Fatalf("round trip mutated request: %+v -> %+v", want, got)
+		}
+	}
+}
+
+func TestDecodeRequestRejects(t *testing.T) {
+	bad := [][]byte{
+		{},                        // no op
+		{99},                      // unknown op
+		{byte(OpGet)},             // missing key
+		{byte(OpGet), 0, 0, 0, 0}, // empty key
+		{byte(OpPut), 0, 0, 0, 1}, // truncated key
+		append(encodeRequest(request{op: OpPing}), 0xEE), // trailing bytes
+		encodeRequest(request{op: OpScan, limit: 0}),     // zero limit
+		encodeRequest(request{op: OpScan, limit: 99999}), // over limit cap
+		{byte(OpUpsert), 0, 0, 0, 1, 'k'},                // missing delta
+	}
+	for _, buf := range bad {
+		if req, err := decodeRequest(buf, 10000); err == nil {
+			t.Fatalf("payload %x decoded as %+v", buf, req)
+		}
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	var out bytes.Buffer
+	payload := bytes.Repeat([]byte("x"), 100)
+	if err := writeFrame(&out, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&out, 1000)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("frame round trip: %v", err)
+	}
+
+	out.Reset()
+	_ = writeFrame(&out, payload)
+	if _, err := readFrame(&out, 50); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+
+	// Truncated frame body.
+	out.Reset()
+	_ = writeFrame(&out, payload)
+	trunc := bytes.NewReader(out.Bytes()[:frameHdr+10])
+	if _, err := readFrame(trunc, 1000); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestStatusEncoding(t *testing.T) {
+	d := &kv.Dec{Buf: encodeStatus(StatusBusy, "read queue full")}
+	if Status(d.U8()) != StatusBusy || string(d.Bytes()) != "read queue full" || d.Err != nil {
+		t.Fatal("busy status mangled")
+	}
+	d = &kv.Dec{Buf: encodeStatus(StatusOK, "ignored")}
+	if Status(d.U8()) != StatusOK || d.Off != len(d.Buf) {
+		t.Fatal("ok status should carry no message")
+	}
+}

@@ -1,0 +1,146 @@
+// The PDAM-aware read scheduler. The paper's Lemma 13 observation: a device
+// serving P IOs per time step is only saturated when ~P independent requests
+// are in flight per step; a scheduler admitting one request at a time (the
+// DAM's implicit discipline) leaves P-1 slots idle.
+//
+// The scheduler groups incoming reads into batches of up to `size` (the
+// device's ParallelismHint), and launches each batch at one common virtual
+// instant. Every member aligns its engine client to the batch's start time
+// before running, so the batch's IOs pack into the same device time steps —
+// the virtual-time picture is the Lemma 13 experiment's, regardless of how
+// the host kernel interleaves the handler goroutines. A short real-time
+// grace window lets a partially-filled batch wait for stragglers before
+// launching; it costs real latency only, never virtual throughput.
+//
+// Admission control: at most maxQueue requests may be queued or running.
+// Beyond that, admit refuses and the connection answers StatusBusy — shedding
+// load at the door instead of queueing without bound.
+package server
+
+import (
+	"sync"
+	"time"
+
+	"iomodels/internal/engine"
+	"iomodels/internal/sim"
+)
+
+// readBatch is one group of reads sharing a virtual start instant.
+type readBatch struct {
+	launched chan struct{} // closed at launch; members wait on it
+	start    sim.Time      // common virtual start, set at launch
+	n        int           // members admitted
+	done     int           // members finished
+	end      sim.Time      // max member completion time
+	ready    bool          // grace expired: launch as soon as we're head
+}
+
+// readScheduler batches read admissions.
+type readScheduler struct {
+	clock    *engine.SharedClock
+	size     int           // max batch size (the device's P; 1 = DAM-style)
+	maxQueue int           // admission bound across queued+running requests
+	grace    time.Duration // how long a partial batch waits for stragglers
+
+	mu      sync.Mutex
+	queue   []*readBatch // queue[0] is running or next to launch
+	queued  int          // total members across queue (admission gauge)
+	batches int64        // batches launched (metrics)
+}
+
+func newReadScheduler(clock *engine.SharedClock, size, maxQueue int, grace time.Duration) *readScheduler {
+	if size < 1 {
+		size = 1
+	}
+	if maxQueue < size {
+		maxQueue = size
+	}
+	return &readScheduler{clock: clock, size: size, maxQueue: maxQueue, grace: grace}
+}
+
+// admit joins the caller into a batch, or refuses (admission control). On
+// true, the caller must wait on the batch's launched channel, align its
+// client to batch.start, run the read, then call done.
+func (s *readScheduler) admit() (*readBatch, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.queued >= s.maxQueue {
+		return nil, false
+	}
+	var b *readBatch
+	if n := len(s.queue); n > 0 {
+		if tail := s.queue[n-1]; tail.n < s.size && !launchedOf(tail) {
+			b = tail
+		}
+	}
+	if b == nil {
+		b = &readBatch{launched: make(chan struct{})}
+		s.queue = append(s.queue, b)
+		if s.grace > 0 && s.size > 1 {
+			time.AfterFunc(s.grace, func() {
+				s.mu.Lock()
+				b.ready = true
+				s.launchHeadLocked()
+				s.mu.Unlock()
+			})
+		} else {
+			b.ready = true
+		}
+	}
+	b.n++
+	s.queued++
+	s.launchHeadLocked()
+	return b, true
+}
+
+// done reports a member's completion at virtual time end. When the whole
+// batch has finished, its max completion time becomes the shared clock's new
+// mark and the next batch may launch.
+func (s *readScheduler) done(b *readBatch, end sim.Time) {
+	s.mu.Lock()
+	b.done++
+	if end > b.end {
+		b.end = end
+	}
+	s.queued--
+	if b.done == b.n && len(s.queue) > 0 && s.queue[0] == b {
+		s.clock.Observe(b.end)
+		s.queue = s.queue[1:]
+		s.launchHeadLocked()
+	}
+	s.mu.Unlock()
+}
+
+// launchHeadLocked launches the head batch if it is full, or its grace
+// window has expired, and it has not launched yet. Called with mu held.
+func (s *readScheduler) launchHeadLocked() {
+	if len(s.queue) == 0 {
+		return
+	}
+	b := s.queue[0]
+	if launchedOf(b) || b.n == 0 {
+		return
+	}
+	if b.n >= s.size || b.ready {
+		b.start = s.clock.Now()
+		s.batches++
+		close(b.launched) // batch is now closed to joins (head + launched)
+	}
+}
+
+// launchedOf reports whether b has launched (its channel is closed).
+func launchedOf(b *readBatch) bool {
+	select {
+	case <-b.launched:
+		return true
+	default:
+		return false
+	}
+}
+
+// snapshot returns (queued members, batches launched) for metrics.
+func (s *readScheduler) snapshot() (int, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued, s.batches
+}

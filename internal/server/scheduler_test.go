@@ -1,0 +1,91 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"iomodels/internal/engine"
+	"iomodels/internal/sim"
+)
+
+// TestSchedulerAdmissionControl: with grace 0, the head launches
+// immediately; later arrivals queue into following batches, and queued+
+// running members beyond maxQueue are refused.
+func TestSchedulerAdmissionControl(t *testing.T) {
+	clock := engine.NewSharedClock()
+	s := newReadScheduler(clock, 2, 4, 0)
+
+	b1, ok := s.admit()
+	if !ok {
+		t.Fatal("first admit refused")
+	}
+	if !launchedOf(b1) {
+		t.Fatal("head batch did not launch (grace 0)")
+	}
+	b2, _ := s.admit()
+	if b2 == b1 {
+		t.Fatal("joined an already-launched batch")
+	}
+	if launchedOf(b2) {
+		t.Fatal("non-head batch launched early")
+	}
+	b3, _ := s.admit()
+	if b3 != b2 {
+		t.Fatal("second arrival did not join the open tail batch")
+	}
+	b4, _ := s.admit()
+	if b4 == b2 {
+		t.Fatal("joined a full batch")
+	}
+	if _, ok := s.admit(); ok {
+		t.Fatal("admitted beyond maxQueue")
+	}
+
+	// Completing the head launches the next batch at the head's end time.
+	s.done(b1, 100)
+	if clock.Now() != 100 {
+		t.Fatalf("clock = %v, want the head batch's end (100)", clock.Now())
+	}
+	if !launchedOf(b2) || b2.start != 100 {
+		t.Fatalf("next batch launched=%v start=%v, want launched at 100", launchedOf(b2), b2.start)
+	}
+	// Its members finish; then the last (partial) batch launches.
+	s.done(b2, 150)
+	s.done(b2, 220)
+	if !launchedOf(b4) || b4.start != 220 {
+		t.Fatalf("final batch launched=%v start=%v, want launched at 220", launchedOf(b4), b4.start)
+	}
+	s.done(b4, 300)
+	if q, batches := s.snapshot(); q != 0 || batches != 3 {
+		t.Fatalf("snapshot = (%d queued, %d batches), want (0, 3)", q, batches)
+	}
+	// Capacity is free again.
+	if _, ok := s.admit(); !ok {
+		t.Fatal("admit refused after queue drained")
+	}
+}
+
+// TestSchedulerGraceLaunchesPartialBatch: a batch that never fills must
+// still launch once its grace window expires (k < P clients would otherwise
+// deadlock).
+func TestSchedulerGraceLaunchesPartialBatch(t *testing.T) {
+	clock := engine.NewSharedClock()
+	clock.Observe(7 * sim.Millisecond)
+	s := newReadScheduler(clock, 8, 32, time.Millisecond)
+	b, ok := s.admit()
+	if !ok {
+		t.Fatal("admit refused")
+	}
+	select {
+	case <-b.launched:
+	case <-time.After(2 * time.Second):
+		t.Fatal("partial batch never launched")
+	}
+	if b.start != clock.Now() {
+		t.Fatalf("batch start %v != clock %v", b.start, clock.Now())
+	}
+	s.done(b, b.start+sim.Millisecond)
+	if clock.Now() != 8*sim.Millisecond {
+		t.Fatalf("clock = %v after done", clock.Now())
+	}
+}

@@ -1,0 +1,397 @@
+// Package server is a concurrent KV service over the repo's storage engine
+// and trees: a length-prefixed binary protocol on TCP, a PDAM-aware read
+// scheduler that admits reads in device-parallelism-sized batches
+// (scheduler.go), a single writer that group-commits mutations across
+// connections through the PR-2 WAL (writer.go), admission control that
+// sheds load with typed busy replies, and a metrics layer (metrics.go).
+//
+// Virtual vs real time: the engine's devices are timing models, so the
+// server runs them on an engine.SharedClock — handler goroutines are real,
+// but every IO is stamped in virtual time, and throughput in device time
+// steps is measured exactly as in the paper's Lemma 13 experiment. Latency
+// histograms, by contrast, are wall-clock: they describe the service as a
+// network process.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"iomodels/internal/engine"
+	"iomodels/internal/kv"
+	"iomodels/internal/storage"
+)
+
+// DefaultTraceCap bounds a serving device's IO trace: long-running sessions
+// must not grow memory without bound, so an unbounded trace handed to the
+// server is capped to this many records (most recent kept).
+const DefaultTraceCap = 65536
+
+// Config tunes the server. Zero values select defaults.
+type Config struct {
+	// Addr is the TCP listen address for ListenAndServe ("127.0.0.1:0"
+	// picks a free port).
+	Addr string
+	// BatchIOs is the read scheduler's batch size. 0 asks the device for
+	// its ParallelismHint (the PDAM's P); devices without one get 16.
+	// 1 gives the DAM-style one-at-a-time scheduler (the E20 baseline).
+	BatchIOs int
+	// BatchGrace is how long (real time) a partial read batch waits for
+	// stragglers before launching. Default 200µs.
+	BatchGrace time.Duration
+	// ReadQueue bounds queued+running read requests; beyond it reads are
+	// refused with StatusBusy. Default 4×BatchIOs.
+	ReadQueue int
+	// WriteQueue bounds queued write requests (default 1024); WriteBatch
+	// bounds mutations per group commit (default 64).
+	WriteQueue int
+	WriteBatch int
+	// MaxFrameBytes bounds request/reply frames (default DefaultMaxFrame).
+	MaxFrameBytes int
+	// MaxScanLimit bounds one scan's entry count (default 10000).
+	MaxScanLimit int
+	// Trace, if set, is attached to the engine's store. Unbounded traces
+	// are capped to DefaultTraceCap first.
+	Trace *storage.Trace
+}
+
+func (c Config) withDefaults(dev storage.Device) Config {
+	if c.BatchIOs == 0 {
+		if h, ok := dev.(interface{ ParallelismHint() int }); ok {
+			c.BatchIOs = h.ParallelismHint()
+		} else {
+			c.BatchIOs = 16
+		}
+	}
+	if c.BatchIOs < 1 {
+		c.BatchIOs = 1
+	}
+	if c.BatchGrace == 0 {
+		c.BatchGrace = 200 * time.Microsecond
+	}
+	if c.ReadQueue == 0 {
+		c.ReadQueue = 4 * c.BatchIOs
+	}
+	if c.WriteQueue == 0 {
+		c.WriteQueue = 1024
+	}
+	if c.WriteBatch == 0 {
+		c.WriteBatch = 64
+	}
+	if c.MaxFrameBytes == 0 {
+		c.MaxFrameBytes = DefaultMaxFrame
+	}
+	if c.MaxScanLimit == 0 {
+		c.MaxScanLimit = 10000
+	}
+	return c
+}
+
+// Backend is what the server serves: an engine already adopted onto Clock,
+// a session factory for the read path, and the write target. For a durable
+// backend, Writer is the *engine.Durable wrapper and writes group-commit;
+// otherwise they apply directly.
+type Backend struct {
+	Eng   *engine.Engine
+	Clock *engine.SharedClock
+	// NewSession returns a per-connection read session (tree.Session(c)).
+	NewSession func(*engine.Client) engine.Dictionary
+	// Writer is the mutation target (the Durable wrapper when durability
+	// is on, else the tree itself).
+	Writer engine.Dictionary
+}
+
+// Server is one serving instance.
+type Server struct {
+	cfg     Config
+	backend Backend
+
+	readSched *readScheduler
+	metrics   *metrics
+
+	writeCh      chan writeReq
+	writerDone   chan struct{}
+	writeScratch []writeReq // writer-goroutine-local batch buffer
+
+	// stateMu orders tree reads against tree mutations: sessions take the
+	// read side per operation, the writer takes the write side per batch.
+	// (The pager is internally synchronized; this lock is for the trees'
+	// single-writer rule.)
+	stateMu sync.RWMutex
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	acceptWG sync.WaitGroup
+	connWG   sync.WaitGroup
+}
+
+// New creates a server over backend. It validates the backend, applies
+// config defaults (asking the device for its parallelism), caps the trace,
+// and starts the writer goroutine; call ListenAndServe (or Serve) next.
+func New(cfg Config, backend Backend) (*Server, error) {
+	if backend.Eng == nil || backend.Clock == nil || backend.NewSession == nil || backend.Writer == nil {
+		return nil, errors.New("server: incomplete backend")
+	}
+	cfg = cfg.withDefaults(backend.Eng.Device())
+	if cfg.Trace != nil {
+		if cfg.Trace.Cap() <= 0 {
+			cfg.Trace.SetCap(DefaultTraceCap)
+		}
+		backend.Eng.SetTrace(cfg.Trace)
+	}
+	s := &Server{
+		cfg:        cfg,
+		backend:    backend,
+		readSched:  newReadScheduler(backend.Clock, cfg.BatchIOs, cfg.ReadQueue, cfg.BatchGrace),
+		metrics:    newMetrics(),
+		writeCh:    make(chan writeReq, cfg.WriteQueue),
+		writerDone: make(chan struct{}),
+		conns:      make(map[net.Conn]struct{}),
+	}
+	go s.writerLoop()
+	return s, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// ListenAndServe binds cfg.Addr and serves until Close. It returns once the
+// listener is bound, serving in the background; the returned address has any
+// ":0" port resolved.
+func (s *Server) ListenAndServe() (net.Addr, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections from ln in the background until Close.
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.acceptWG.Add(1)
+	go func() {
+		defer s.acceptWG.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			if !s.track(conn) {
+				conn.Close()
+				return
+			}
+			s.connWG.Add(1)
+			go s.handleConn(conn)
+		}
+	}()
+}
+
+// track registers a live connection; false once the server is closing.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.metrics.conns.Add(1)
+	s.metrics.connsTotal.Add(1)
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.metrics.conns.Add(-1)
+}
+
+// Close shuts the server down: stop accepting, sever connections, wait for
+// handlers, then drain and stop the writer. Safe to call once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("server: already closed")
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.acceptWG.Wait()
+	s.connWG.Wait()
+	close(s.writeCh)
+	<-s.writerDone
+	return nil
+}
+
+// handleConn serves one connection: its own engine client and read session
+// (per-connection virtual timeline), one request at a time.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer s.untrack(conn)
+	defer conn.Close()
+
+	client := s.backend.Eng.SharedClient(s.backend.Clock)
+	s.stateMu.RLock()
+	session := s.backend.NewSession(client)
+	s.stateMu.RUnlock()
+
+	c := NewClient(conn) // reuse the framing helpers on the server side
+	for {
+		buf, err := readFrame(c.r, s.cfg.MaxFrameBytes)
+		if err != nil {
+			if errors.Is(err, errFrameTooLarge) {
+				s.metrics.protoErrs.Add(1)
+			}
+			return // disconnect (EOF, reset, oversized frame)
+		}
+		req, err := decodeRequest(buf, s.cfg.MaxScanLimit)
+		var reply []byte
+		if err != nil {
+			s.metrics.protoErrs.Add(1)
+			reply = encodeStatus(StatusErr, err.Error())
+		} else {
+			reply = s.serveRequest(client, session, req)
+		}
+		if err := writeFrame(c.w, reply); err != nil {
+			return
+		}
+		if err := c.w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// serveRequest executes one decoded request and returns the reply payload.
+func (s *Server) serveRequest(client *engine.Client, session engine.Dictionary, req request) []byte {
+	s.metrics.inFlight.Add(1)
+	start := time.Now()
+	var reply []byte
+	switch req.op {
+	case OpPing:
+		reply = encodeStatus(StatusOK, "")
+	case OpStats:
+		reply = s.serveStats()
+	case OpGet, OpScan:
+		reply = s.serveRead(client, session, req)
+	case OpPut, OpDelete, OpUpsert:
+		reply = s.serveWrite(req)
+	default:
+		reply = encodeStatus(StatusErr, fmt.Sprintf("unhandled op %v", req.op))
+	}
+	s.metrics.observe(req.op, time.Since(start))
+	s.metrics.inFlight.Add(-1)
+	return reply
+}
+
+// serveRead runs a Get/Scan through the batch scheduler: join a batch (or
+// be shed), start at the batch's common virtual instant, read under the
+// state read-lock, report completion.
+func (s *Server) serveRead(client *engine.Client, session engine.Dictionary, req request) []byte {
+	b, ok := s.readSched.admit()
+	if !ok {
+		s.metrics.busy.Add(1)
+		return encodeStatus(StatusBusy, "read queue full")
+	}
+	<-b.launched
+	client.AlignTo(b.start)
+
+	s.stateMu.RLock()
+	var reply []byte
+	switch req.op {
+	case OpGet:
+		v, found := session.Get(req.key)
+		if found {
+			var e kv.Enc
+			e.U8(uint8(StatusOK))
+			e.Bytes(v)
+			reply = e.Buf
+		} else {
+			s.metrics.notFound.Add(1)
+			reply = encodeStatus(StatusNotFound, "")
+		}
+	case OpScan:
+		var lo, hi []byte
+		if len(req.lo) > 0 {
+			lo = req.lo
+		}
+		if len(req.hi) > 0 {
+			hi = req.hi
+		}
+		var entries []kv.Entry
+		session.Scan(lo, hi, func(k, v []byte) bool {
+			entries = append(entries, kv.Entry{
+				Key:   append([]byte(nil), k...),
+				Value: append([]byte(nil), v...),
+			})
+			return len(entries) < req.limit
+		})
+		var e kv.Enc
+		e.U8(uint8(StatusOK))
+		e.U32(uint32(len(entries)))
+		for _, ent := range entries {
+			e.Entry(ent)
+		}
+		reply = e.Buf
+	}
+	s.stateMu.RUnlock()
+	s.readSched.done(b, client.Now())
+	return reply
+}
+
+// serveWrite enqueues the mutation for the writer's next group commit and
+// waits for the batch's WAL flush before acknowledging.
+func (s *Server) serveWrite(req request) []byte {
+	wr := writeReq{op: req.op, key: req.key, value: req.value, delta: req.delta,
+		done: make(chan writeResult, 1)}
+	select {
+	case s.writeCh <- wr:
+	default:
+		s.metrics.busy.Add(1)
+		return encodeStatus(StatusBusy, "write queue full")
+	}
+	res := <-wr.done
+	if res.err != nil {
+		// Durability degraded (sticky WAL error): the mutation applied but
+		// is not durable — surface that instead of a silent OK.
+		return encodeStatus(StatusErr, fmt.Sprintf("durability: %v", res.err))
+	}
+	if req.op == OpDelete {
+		var e kv.Enc
+		e.U8(uint8(StatusOK))
+		if res.accepted {
+			e.U8(1)
+		} else {
+			e.U8(0)
+		}
+		return e.Buf
+	}
+	return encodeStatus(StatusOK, "")
+}
+
+// serveStats renders the JSON snapshot into an OK reply.
+func (s *Server) serveStats() []byte {
+	js, err := statsJSON(s)
+	if err != nil {
+		return encodeStatus(StatusErr, err.Error())
+	}
+	var e kv.Enc
+	e.U8(uint8(StatusOK))
+	e.Bytes(js)
+	return e.Buf
+}

@@ -1,0 +1,450 @@
+// Integration tests: real TCP connections against real trees on simulated
+// devices. The headline assertions mirror E20's acceptance criteria — the
+// PDAM batch scheduler beats a batch-of-1 (DAM-style) configuration in
+// device time steps, and concurrent writers share WAL flushes.
+
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"iomodels/internal/btree"
+	"iomodels/internal/engine"
+	"iomodels/internal/kv"
+	"iomodels/internal/pdamdev"
+	"iomodels/internal/sim"
+	"iomodels/internal/stats"
+	"iomodels/internal/storage"
+)
+
+// flatDev is a stateless timing device: every IO takes 50µs.
+type flatDev struct{ capacity int64 }
+
+func (d flatDev) Access(now sim.Time, _ storage.Op, _, _ int64) sim.Time {
+	return now + 50*sim.Microsecond
+}
+func (d flatDev) Capacity() int64 { return d.capacity }
+func (d flatDev) Name() string    { return "flat" }
+
+func tkey(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+func tval(i int) []byte { return []byte(fmt.Sprintf("value-%08d", i)) }
+
+// testBackend wires a B-tree server over dev, optionally durable, with
+// items preloaded.
+type testBackend struct {
+	srv   *Server
+	addr  net.Addr
+	clock *engine.SharedClock
+	eng   *engine.Engine
+}
+
+func newTestServer(t *testing.T, cfg Config, dev storage.Device, durable bool, cacheBytes int64, items int) *testBackend {
+	t.Helper()
+	eng := engine.New(engine.Config{CacheBytes: cacheBytes}, dev, sim.New())
+	if durable {
+		if err := eng.EnableDurability(engine.DurabilityConfig{
+			LogBytes:     8 << 20,
+			GroupBytes:   1 << 20, // commits come from group commit, not size
+			JournalBytes: 4 << 20,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bt, err := btree.New(btree.Config{NodeBytes: 4 << 10, MaxKeyBytes: 64, MaxValueBytes: 256}, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var writer engine.Dictionary = bt
+	if durable {
+		d, err := eng.Durable("bt", bt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writer = d
+	}
+	for i := 0; i < items; i++ {
+		writer.Put(tkey(i), tval(i))
+	}
+	if durable {
+		if err := eng.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clock := engine.NewSharedClock()
+	eng.AdoptSharedClock(clock)
+	srv, err := New(cfg, Backend{
+		Eng:   eng,
+		Clock: clock,
+		NewSession: func(c *engine.Client) engine.Dictionary {
+			return bt.Session(c)
+		},
+		Writer: writer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.cfg.Addr = "127.0.0.1:0"
+	addr, err := srv.ListenAndServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return &testBackend{srv: srv, addr: addr, clock: clock, eng: eng}
+}
+
+func dialT(t *testing.T, tb *testBackend) *Client {
+	t.Helper()
+	c, err := Dial(tb.addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	tb := newTestServer(t, Config{}, flatDev{64 << 20}, true, 1<<20, 100)
+	c := dialT(t, tb)
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// Reads of the preload.
+	v, ok, err := c.Get(tkey(7))
+	if err != nil || !ok || string(v) != string(tval(7)) {
+		t.Fatalf("get preloaded: %q %v %v", v, ok, err)
+	}
+	if _, ok, err = c.Get([]byte("nope")); err != nil || ok {
+		t.Fatalf("get absent: ok=%v err=%v", ok, err)
+	}
+	// Write, read back, delete.
+	if err := c.Put([]byte("wkey"), []byte("wval")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := c.Get([]byte("wkey")); !ok || string(v) != "wval" {
+		t.Fatalf("read own write: %q %v", v, ok)
+	}
+	if acc, err := c.Delete([]byte("wkey")); err != nil || !acc {
+		t.Fatalf("delete: %v %v", acc, err)
+	}
+	if _, ok, _ := c.Get([]byte("wkey")); ok {
+		t.Fatal("deleted key still visible")
+	}
+	// Upsert counter path.
+	if err := c.Upsert([]byte("ctr"), 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Upsert([]byte("ctr"), -2); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := c.Get([]byte("ctr")); !ok || int64(binary.BigEndian.Uint64(v)) != 3 {
+		t.Fatalf("counter = %x ok=%v, want 3", v, ok)
+	}
+	// Scan a bounded range.
+	ents, err := c.Scan(tkey(10), tkey(20), 100)
+	if err != nil || len(ents) != 10 {
+		t.Fatalf("scan: %d entries, err %v", len(ents), err)
+	}
+	for i, e := range ents {
+		if string(e.Key) != string(tkey(10+i)) {
+			t.Fatalf("scan entry %d: key %q", i, e.Key)
+		}
+	}
+	// Limited scan truncates.
+	if ents, _ := c.Scan(nil, nil, 5); len(ents) != 5 {
+		t.Fatalf("limited scan returned %d", len(ents))
+	}
+	// Stats document.
+	js, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap StatsSnapshot
+	if err := json.Unmarshal(js, &snap); err != nil {
+		t.Fatalf("stats JSON: %v\n%s", err, js)
+	}
+	if !snap.DurableEnabled || snap.Ops["get"].Count == 0 || snap.Conns != 1 {
+		t.Fatalf("stats snapshot wrong: %+v", snap)
+	}
+	if snap.WALCommits == 0 || snap.WALRecords == 0 {
+		t.Fatalf("WAL counters empty: %+v", snap)
+	}
+}
+
+// TestServerConcurrentClients hammers one durable server with mixed
+// readers/writers on separate connections. Run under -race in CI; the
+// assertions are about correctness of acknowledged writes.
+func TestServerConcurrentClients(t *testing.T) {
+	tb := newTestServer(t, Config{}, flatDev{128 << 20}, true, 1<<20, 500)
+	const workers = 8
+	const opsEach = 60
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(tb.addr.String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			rng := stats.NewRNG(uint64(w + 1))
+			for i := 0; i < opsEach; i++ {
+				switch rng.Intn(4) {
+				case 0:
+					if err := c.Put(tkey(1000+w*opsEach+i), tval(i)); err != nil {
+						errs <- fmt.Errorf("put: %w", err)
+						return
+					}
+				case 1:
+					if _, _, err := c.Get(tkey(rng.Intn(500))); err != nil {
+						errs <- fmt.Errorf("get: %w", err)
+						return
+					}
+				case 2:
+					if err := c.Upsert([]byte(fmt.Sprintf("ctr-%d", w)), 1); err != nil {
+						errs <- fmt.Errorf("upsert: %w", err)
+						return
+					}
+				default:
+					if _, err := c.Scan(tkey(rng.Intn(400)), nil, 20); err != nil {
+						errs <- fmt.Errorf("scan: %w", err)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every acknowledged put is readable afterwards.
+	c := dialT(t, tb)
+	for w := 0; w < workers; w++ {
+		js, err := c.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap StatsSnapshot
+		if err := json.Unmarshal(js, &snap); err != nil {
+			t.Fatal(err)
+		}
+		if snap.DurabilityErr != "" {
+			t.Fatalf("durability degraded: %s", snap.DurabilityErr)
+		}
+		break
+	}
+	if st := tb.eng.DurabilityStats(); st.Err != nil {
+		t.Fatal(st.Err)
+	}
+}
+
+// TestServerGroupCommit: writers released simultaneously share WAL flushes —
+// strictly fewer commits than records, and (with a healthy margin) at most
+// half, demonstrating cross-connection group commit.
+func TestServerGroupCommit(t *testing.T) {
+	tb := newTestServer(t, Config{}, flatDev{64 << 20}, true, 1<<20, 0)
+	s := tb.srv
+	before := tb.eng.DurabilityStats()
+
+	const writers = 64
+	var release, done sync.WaitGroup
+	release.Add(1)
+	done.Add(writers)
+	for i := 0; i < writers; i++ {
+		go func(i int) {
+			defer done.Done()
+			release.Wait()
+			reply := s.serveWrite(request{op: OpPut, key: tkey(i), value: tval(i)})
+			if st := Status(reply[0]); st != StatusOK {
+				t.Errorf("writer %d: status %v", i, st)
+			}
+		}(i)
+	}
+	release.Done()
+	done.Wait()
+
+	after := tb.eng.DurabilityStats()
+	records := after.LogRecords - before.LogRecords
+	commits := after.LogCommits - before.LogCommits
+	if records != writers {
+		t.Fatalf("records = %d, want %d", records, writers)
+	}
+	if commits == 0 || commits*2 > records {
+		t.Fatalf("%d records took %d WAL flushes; group commit should share them (want <= %d)",
+			records, commits, records/2)
+	}
+	for i := 0; i < writers; i++ {
+		if _, ok := s.backend.Writer.Get(tkey(i)); !ok {
+			t.Fatalf("acknowledged write %d missing", i)
+		}
+	}
+}
+
+// TestServerBusyWrite: with the writer wedged (state lock held) and the
+// queue full, further writes get StatusBusy instead of queueing unboundedly.
+func TestServerBusyWrite(t *testing.T) {
+	tb := newTestServer(t, Config{WriteQueue: 1, WriteBatch: 1}, flatDev{64 << 20}, false, 1<<20, 0)
+	s := tb.srv
+
+	s.stateMu.Lock() // wedge the writer
+	replies := make(chan Status, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			reply := s.serveWrite(request{op: OpPut, key: tkey(i), value: tval(i)})
+			replies <- Status(reply[0])
+		}(i)
+	}
+	// Wait until the writer goroutine has taken one request off the queue
+	// (wedged in applyWrites) and the other fills the 1-slot queue.
+	deadline := time.After(5 * time.Second)
+	for {
+		s.mu.Lock()
+		queued := len(s.writeCh)
+		s.mu.Unlock()
+		if queued == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			s.stateMu.Unlock()
+			t.Fatal("write queue never filled")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	reply := s.serveWrite(request{op: OpPut, key: []byte("extra"), value: []byte("x")})
+	if st := Status(reply[0]); st != StatusBusy {
+		s.stateMu.Unlock()
+		t.Fatalf("over-capacity write got %v, want busy", st)
+	}
+	s.stateMu.Unlock()
+	for i := 0; i < 2; i++ {
+		if st := <-replies; st != StatusOK {
+			t.Fatalf("wedged write %d finished %v", i, st)
+		}
+	}
+	if got := s.metrics.busy.Load(); got != 1 {
+		t.Fatalf("busy counter = %d, want 1", got)
+	}
+}
+
+// TestServerSchedulerBeatsDAM is the Lemma 13 effect end-to-end: the same
+// closed-loop read load, served by a batch-of-P scheduler vs a batch-of-1
+// (DAM-style) one, must consume at least 2× fewer device time steps with
+// batching. Virtual time makes this robust to host scheduling noise.
+func TestServerSchedulerBeatsDAM(t *testing.T) {
+	const (
+		p     = 8
+		block = int64(4 << 10)
+		step  = 100 * sim.Microsecond
+		items = 8000
+		conns = 8
+		each  = 40
+	)
+	run := func(batch int) float64 {
+		dev := pdamdev.New(p, block, step)
+		tb := newTestServer(t, Config{
+			BatchIOs:   batch,
+			BatchGrace: time.Millisecond,
+			ReadQueue:  4 * conns, // don't shed: both configs serve the full load
+		}, dev.Storage(1<<30), false, 64<<10 /* small cache: force misses */, items)
+		start := tb.clock.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < conns; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				c, err := Dial(tb.addr.String())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer c.Close()
+				rng := stats.NewRNG(uint64(w) + 99)
+				for i := 0; i < each; i++ {
+					if _, _, err := c.Get(tkey(rng.Intn(items))); err != nil {
+						t.Errorf("get: %v", err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		return float64(tb.clock.Now()-start) / float64(step)
+	}
+
+	damSteps := run(1)
+	pdamSteps := run(p)
+	if pdamSteps <= 0 || damSteps <= 0 {
+		t.Fatalf("degenerate measurement: dam=%v pdam=%v", damSteps, pdamSteps)
+	}
+	ratio := damSteps / pdamSteps
+	t.Logf("device steps: dam(batch=1)=%.0f pdam(batch=%d)=%.0f ratio=%.2f", damSteps, p, pdamSteps, ratio)
+	if ratio < 2 {
+		t.Fatalf("batch scheduler only %.2fx better than DAM-style (dam=%.0f pdam=%.0f steps), want >= 2x",
+			ratio, damSteps, pdamSteps)
+	}
+}
+
+// TestServerTraceCapDefault: an unbounded trace handed to the server is
+// capped, so long-running serving cannot grow memory without bound.
+func TestServerTraceCapDefault(t *testing.T) {
+	tr := storage.NewTrace()
+	tb := newTestServer(t, Config{Trace: tr}, flatDev{64 << 20}, false, 1<<20, 10)
+	if got := tr.Cap(); got != DefaultTraceCap {
+		t.Fatalf("trace cap = %d, want %d", got, DefaultTraceCap)
+	}
+	c := dialT(t, tb)
+	if _, _, err := c.Get(tkey(1)); err != nil {
+		t.Fatal(err)
+	}
+	// A pre-bounded trace keeps its bound.
+	tr2 := storage.NewBoundedTrace(128)
+	tb2 := newTestServer(t, Config{Trace: tr2}, flatDev{64 << 20}, false, 1<<20, 10)
+	_ = tb2
+	if got := tr2.Cap(); got != 128 {
+		t.Fatalf("bounded trace cap rewritten to %d", got)
+	}
+}
+
+// TestServerProtocolErrorKeepsConnection: a malformed request gets a typed
+// error reply and the connection stays usable.
+func TestServerProtocolErrorKeepsConnection(t *testing.T) {
+	tb := newTestServer(t, Config{}, flatDev{64 << 20}, false, 1<<20, 10)
+	c := dialT(t, tb)
+	// Hand-write a malformed frame: unknown op 99.
+	if err := writeFrame(c.w, []byte{99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := readFrame(c.r, DefaultMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &kv.Dec{Buf: buf}
+	if Status(d.U8()) != StatusErr {
+		t.Fatalf("malformed request answered %v, want error", Status(buf[0]))
+	}
+	// Connection still works.
+	if _, ok, err := c.Get(tkey(3)); err != nil || !ok {
+		t.Fatalf("connection dead after protocol error: %v %v", ok, err)
+	}
+	if tb.srv.metrics.protoErrs.Load() == 0 {
+		t.Fatal("protocol error not counted")
+	}
+}

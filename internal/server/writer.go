@@ -1,0 +1,129 @@
+// The write path: all mutations from all connections funnel through one
+// writer goroutine (the engine's single-writer rule made structural), which
+// drains the queue in batches and commits each batch with ONE WAL flush —
+// group commit across connections, via engine.ApplyBatch. Durability is
+// batch-scoped: a reply is only sent after the batch's WAL commit, so an
+// acknowledged write is on the log.
+//
+// The queue is bounded; a full queue refuses the write with StatusBusy
+// (admission control, same contract as the read scheduler).
+package server
+
+import (
+	"encoding/binary"
+
+	"iomodels/internal/engine"
+	"iomodels/internal/kv"
+)
+
+// writeResult is the writer's reply to one request.
+type writeResult struct {
+	accepted bool // Delete's report (true for Put/Upsert)
+	err      error
+}
+
+// writeReq is one queued mutation.
+type writeReq struct {
+	op    Op // OpPut, OpDelete, OpUpsert
+	key   []byte
+	value []byte
+	delta int64
+	done  chan writeResult
+}
+
+// writerLoop drains the write queue: each iteration takes everything
+// immediately available (up to batchMax), applies it under the state lock,
+// commits the WAL once, and replies to every waiter. Runs until the queue is
+// closed and drained.
+func (s *Server) writerLoop() {
+	defer close(s.writerDone)
+	for {
+		req, ok := <-s.writeCh
+		if !ok {
+			return
+		}
+		batch := append(s.writeScratch[:0], req)
+	fill:
+		for len(batch) < s.cfg.WriteBatch {
+			select {
+			case req, ok := <-s.writeCh:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, req)
+			default:
+				break fill
+			}
+		}
+		s.writeScratch = batch
+		s.applyWrites(batch)
+	}
+}
+
+// applyWrites runs one batch under the state lock and replies.
+func (s *Server) applyWrites(batch []writeReq) {
+	s.stateMu.Lock()
+	start := s.backend.Clock.Now()
+	results := make([]writeResult, len(batch))
+	if d, ok := s.backend.Writer.(*engine.Durable); ok {
+		muts := make([]engine.Mutation, len(batch))
+		for i, req := range batch {
+			muts[i] = toMutation(d, req)
+		}
+		err := s.backend.Eng.ApplyBatch(muts)
+		for i := range results {
+			results[i] = writeResult{accepted: muts[i].Accepted, err: err}
+		}
+	} else {
+		for i, req := range batch {
+			results[i] = s.applyPlain(req)
+		}
+	}
+	s.metrics.writeBatches.Add(1)
+	s.metrics.writeOps.Add(int64(len(batch)))
+	s.metrics.writeSteps.Add(int64(s.backend.Clock.Now() - start))
+	s.stateMu.Unlock()
+	for i, req := range batch {
+		req.done <- results[i]
+	}
+}
+
+// toMutation converts a request into the engine's group-commit form.
+func toMutation(d *engine.Durable, req writeReq) engine.Mutation {
+	switch req.op {
+	case OpPut:
+		return engine.Mutation{Dict: d, Kind: kv.Put, Key: req.key, Value: req.value}
+	case OpDelete:
+		return engine.Mutation{Dict: d, Kind: kv.Tombstone, Key: req.key}
+	case OpUpsert:
+		return engine.Mutation{Dict: d, Kind: kv.Upsert, Key: req.key, Delta: req.delta}
+	default:
+		panic("server: non-write op in write queue")
+	}
+}
+
+// applyPlain applies one mutation to a non-durable backend.
+func (s *Server) applyPlain(req writeReq) writeResult {
+	w := s.backend.Writer
+	switch req.op {
+	case OpPut:
+		w.Put(req.key, req.value)
+		return writeResult{accepted: true}
+	case OpDelete:
+		return writeResult{accepted: w.Delete(req.key)}
+	case OpUpsert:
+		if up, ok := w.(engine.Upserter); ok {
+			up.Upsert(req.key, req.delta)
+			return writeResult{accepted: true}
+		}
+		// Trees without an upsert path get read-modify-write semantics.
+		var cur int64
+		if old, ok := w.Get(req.key); ok && len(old) == 8 {
+			cur = int64(binary.BigEndian.Uint64(old))
+		}
+		w.Put(req.key, kv.UpsertDelta(cur+req.delta))
+		return writeResult{accepted: true}
+	default:
+		panic("server: non-write op in write queue")
+	}
+}

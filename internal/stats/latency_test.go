@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLatencyBucketRoundTrip: every bucket's lower bound maps back to the
+// same bucket, and bucketing is monotone with bounded relative error.
+func TestLatencyBucketRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, 1<<40 + 12345, 1<<62 + 999} {
+		b := latencyBucket(v)
+		low := latencyBucketLow(b)
+		if low > v {
+			t.Fatalf("bucket low %d exceeds sample %d (bucket %d)", low, v, b)
+		}
+		if latencyBucket(low) != b {
+			t.Fatalf("low %d of bucket %d maps to bucket %d", low, b, latencyBucket(low))
+		}
+		// Relative error of the lower bound is at most 2^-latencySubBits.
+		if v >= latencySub && float64(v-low)/float64(v) > 1.0/latencySub {
+			t.Fatalf("sample %d: bucket low %d has relative error %g", v, low, float64(v-low)/float64(v))
+		}
+	}
+	prev := -1
+	for v := int64(0); v < 1<<12; v++ {
+		if b := latencyBucket(v); b < prev {
+			t.Fatalf("bucketing not monotone at %d: %d < %d", v, b, prev)
+		} else {
+			prev = b
+		}
+	}
+}
+
+// TestLatencyHistQuantiles: small exact values report exactly; large values
+// report within a sub-bucket.
+func TestLatencyHistQuantiles(t *testing.T) {
+	h := NewLatencyHist()
+	for v := int64(1); v <= 20; v++ {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 20 {
+		t.Fatalf("Count = %d, want 20", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("min = %d, want 1", got)
+	}
+	if got := h.Quantile(1); got != 20 {
+		t.Fatalf("max quantile = %d, want 20", got)
+	}
+	if got := h.Quantile(0.5); got < 10 || got > 11 {
+		t.Fatalf("p50 = %d, want 10..11", got)
+	}
+	if got := h.Mean(); got != 10.5 {
+		t.Fatalf("Mean = %g, want 10.5", got)
+	}
+
+	// A spread of large values: percentiles must be within one sub-bucket.
+	h2 := NewLatencyHist()
+	const n = 10000
+	for i := int64(0); i < n; i++ {
+		h2.Observe(i * 1000) // 0 .. ~10ms in ns terms
+	}
+	want := int64(0.99 * (n - 1) * 1000)
+	got := h2.Quantile(0.99)
+	if got > want || float64(want-got)/float64(want) > 2.0/latencySub {
+		t.Fatalf("p99 = %d, want within a sub-bucket below %d", got, want)
+	}
+	s := h2.Snapshot()
+	if s.Count != n || s.Max != (n-1)*1000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
+		t.Fatalf("percentiles not ordered: %+v", s)
+	}
+}
+
+// TestLatencyHistMergeConcurrent: per-goroutine histograms merged into one
+// equal a single histogram fed everything (the loadgen aggregation path),
+// and concurrent Observe on one histogram is race-free and lossless.
+func TestLatencyHistMergeConcurrent(t *testing.T) {
+	const workers = 8
+	const each = 5000
+	shared := NewLatencyHist()
+	parts := make([]*LatencyHist, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		parts[w] = NewLatencyHist()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := NewRNG(uint64(w + 1))
+			for i := 0; i < each; i++ {
+				v := rng.Int63n(1 << 30)
+				shared.Observe(v)
+				parts[w].Observe(v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	merged := NewLatencyHist()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != workers*each || shared.Count() != workers*each {
+		t.Fatalf("counts: merged %d shared %d, want %d", merged.Count(), shared.Count(), workers*each)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a, b := merged.Quantile(q), shared.Quantile(q); a != b {
+			t.Fatalf("q%.2f: merged %d != shared %d", q, a, b)
+		}
+	}
+	if merged.Mean() != shared.Mean() {
+		t.Fatalf("means differ: %g vs %g", merged.Mean(), shared.Mean())
+	}
+}

@@ -205,6 +205,18 @@ func (t *Trace) Len() int {
 	return len(t.records)
 }
 
+// Cap returns the trace's record bound (0 = unbounded). Long-running owners
+// (the network server) use it to detect and cap unbounded traces before
+// attaching them to a device.
+func (t *Trace) Cap() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cap
+}
+
 // Dropped returns how many records the cap has discarded.
 func (t *Trace) Dropped() int64 {
 	if t == nil {
@@ -299,13 +311,23 @@ func (s *Store) ResetCounters() {
 	s.mu.Unlock()
 }
 
-// ensure grows the byte store to cover [0, end). Caller holds mu.
+// ensure grows the byte store to cover [0, end). Caller holds mu. Growth is
+// geometric (25% headroom, clamped to capacity) so extending the store block
+// by block — e.g. tree writes landing just past a large durability region —
+// costs amortized O(1) copies instead of one full copy per block.
 func (s *Store) ensure(end int64) {
 	if end > s.dev.Capacity() {
 		panic(fmt.Sprintf("storage: access beyond device capacity: %d > %d", end, s.dev.Capacity()))
 	}
 	if int64(len(s.data)) < end {
-		grown := make([]byte, end)
+		target := int64(len(s.data)) + int64(len(s.data))/4
+		if target < end {
+			target = end
+		}
+		if cap := s.dev.Capacity(); target > cap {
+			target = cap
+		}
+		grown := make([]byte, target)
 		copy(grown, s.data)
 		s.data = grown
 	}

@@ -81,6 +81,10 @@ const (
 	OpDelete
 	OpScan
 	OpUpsert
+	// OpRMW is a read-modify-write: Get the key, then Put a value derived
+	// from what was read (YCSB workload F's operation). Unlike OpUpsert it
+	// is not blind — the read IO is on the critical path.
+	OpRMW
 )
 
 func (k OpKind) String() string {
@@ -95,6 +99,8 @@ func (k OpKind) String() string {
 		return "scan"
 	case OpUpsert:
 		return "upsert"
+	case OpRMW:
+		return "rmw"
 	default:
 		return fmt.Sprintf("op(%d)", int(k))
 	}
@@ -116,6 +122,7 @@ type Mix struct {
 	Deletes int
 	Scans   int
 	Upserts int
+	RMWs    int
 	ScanLen int
 }
 
@@ -135,7 +142,7 @@ func NewStream(spec KeySpec, seed uint64, keyPop int64, mix Mix, theta float64) 
 	if keyPop <= 0 {
 		panic("workload: empty key population")
 	}
-	w := mix.Puts + mix.Gets + mix.Deletes + mix.Scans + mix.Upserts
+	w := mix.Puts + mix.Gets + mix.Deletes + mix.Scans + mix.Upserts + mix.RMWs
 	if w <= 0 {
 		panic("workload: empty mix")
 	}
@@ -169,8 +176,10 @@ func (s *Stream) Next() Op {
 			n = 100
 		}
 		return Op{Kind: OpScan, ID: id, Len: n}
-	default:
+	case r < m.Puts+m.Gets+m.Deletes+m.Scans+m.Upserts:
 		return Op{Kind: OpUpsert, ID: id}
+	default:
+		return Op{Kind: OpRMW, ID: id}
 	}
 }
 
@@ -185,7 +194,22 @@ type Dictionary interface {
 	Scan(lo, hi []byte, fn func(key, value []byte) bool)
 }
 
+// Deleter is the optional delete extension of Dictionary.
+type Deleter interface {
+	Delete(key []byte) bool
+}
+
+// Upserter is the optional blind-delta extension of Dictionary (the Bε-tree's
+// message path).
+type Upserter interface {
+	Upsert(key []byte, delta int64)
+}
+
 // Apply runs op against d using spec to materialize keys and values.
+// OpDelete requires d to implement Deleter. OpUpsert uses Upserter when d
+// has it, and otherwise simulates the delta with a read-modify-write (so
+// uniform sweeps across trees stay possible, at the cost of the read).
+// OpRMW is always Get-then-Put: the dependent read is the point.
 func Apply(d Dictionary, spec KeySpec, op Op) {
 	switch op.Kind {
 	case OpPut:
@@ -198,8 +222,38 @@ func Apply(d Dictionary, spec KeySpec, op Op) {
 			count++
 			return count < op.Len
 		})
+	case OpDelete:
+		del, ok := d.(Deleter)
+		if !ok {
+			panic(fmt.Sprintf("workload: %T does not support deletes", d))
+		}
+		del.Delete(spec.Key(op.ID))
+	case OpUpsert:
+		key := spec.Key(op.ID)
+		if up, ok := d.(Upserter); ok {
+			up.Upsert(key, 1)
+			return
+		}
+		var cur uint64
+		if old, ok := d.Get(key); ok && len(old) == 8 {
+			cur = binary.BigEndian.Uint64(old)
+		}
+		var v [8]byte
+		binary.BigEndian.PutUint64(v[:], cur+1)
+		d.Put(key, v[:])
+	case OpRMW:
+		key := spec.Key(op.ID)
+		old, ok := d.Get(key)
+		next := spec.Value(op.ID)
+		if ok && len(old) > 0 && len(next) > 0 {
+			// Derive the written value from the read one so the data
+			// dependency is real, not just a timing artifact.
+			next = append([]byte(nil), next...)
+			next[0] ^= old[0]
+		}
+		d.Put(key, next)
 	default:
-		panic(fmt.Sprintf("workload: Apply does not handle %v (deletes/upserts are tree-specific)", op.Kind))
+		panic(fmt.Sprintf("workload: Apply does not handle %v", op.Kind))
 	}
 }
 

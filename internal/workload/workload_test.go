@@ -186,6 +186,172 @@ func TestApplyPanicsOnDelete(t *testing.T) {
 	Apply(&mapDict{m: map[string][]byte{}}, DefaultSpec(), Op{Kind: OpDelete})
 }
 
+// delMapDict extends mapDict with Delete and records upsert calls.
+type delMapDict struct {
+	mapDict
+	deletes int
+	upserts int
+}
+
+func (d *delMapDict) Delete(k []byte) bool {
+	_, ok := d.m[string(k)]
+	delete(d.m, string(k))
+	d.deletes++
+	return ok
+}
+
+func (d *delMapDict) Upsert(k []byte, delta int64) {
+	d.upserts++
+	var cur uint64
+	if old, ok := d.m[string(k)]; ok && len(old) == 8 {
+		cur = bigEndianU64(old)
+	}
+	v := make([]byte, 8)
+	putBigEndianU64(v, cur+uint64(delta))
+	d.m[string(k)] = v
+}
+
+func bigEndianU64(b []byte) uint64 {
+	var v uint64
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}
+
+func putBigEndianU64(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+func TestApplyDeleteUpsertRMW(t *testing.T) {
+	spec := DefaultSpec()
+	d := &delMapDict{mapDict: mapDict{m: map[string][]byte{}}}
+
+	// Delete routes through the Deleter extension.
+	Apply(&d.mapDict, spec, Op{Kind: OpPut, ID: 1})
+	Apply(d, spec, Op{Kind: OpDelete, ID: 1})
+	if d.deletes != 1 {
+		t.Fatal("delete not routed through Deleter")
+	}
+	if _, ok := d.Get(spec.Key(1)); ok {
+		t.Fatal("key survived delete")
+	}
+
+	// Upsert uses the Upserter extension when present: three +1 deltas.
+	for i := 0; i < 3; i++ {
+		Apply(d, spec, Op{Kind: OpUpsert, ID: 2})
+	}
+	if d.upserts != 3 {
+		t.Fatalf("upserts routed %d times, want 3", d.upserts)
+	}
+	if v, ok := d.Get(spec.Key(2)); !ok || bigEndianU64(v) != 3 {
+		t.Fatalf("upsert counter = %v, want 3", v)
+	}
+
+	// Without Upserter, the same ops fall back to read-modify-write and
+	// reach the same counter value.
+	plain := &mapDict{m: map[string][]byte{}}
+	for i := 0; i < 3; i++ {
+		Apply(plain, spec, Op{Kind: OpUpsert, ID: 2})
+	}
+	if v, ok := plain.Get(spec.Key(2)); !ok || bigEndianU64(v) != 3 {
+		t.Fatalf("fallback upsert counter = %v, want 3", v)
+	}
+
+	// RMW writes a value derived from the read one: the first RMW XORs the
+	// stored first byte into the fresh value (changing it, since the stored
+	// value IS the fresh value), and a second RMW flips it back.
+	Apply(plain, spec, Op{Kind: OpPut, ID: 5})
+	Apply(plain, spec, Op{Kind: OpRMW, ID: 5})
+	after1, _ := plain.Get(spec.Key(5))
+	first := append([]byte(nil), after1...)
+	if spec.Value(5)[0] != 0 && bytes.Equal(first, spec.Value(5)) {
+		t.Fatal("RMW wrote the plain value; derivation did not use the read")
+	}
+	Apply(plain, spec, Op{Kind: OpRMW, ID: 5})
+	after2, _ := plain.Get(spec.Key(5))
+	if !bytes.Equal(after2, spec.Value(5)) {
+		t.Fatalf("second RMW did not round-trip the derivation: %x", after2[:4])
+	}
+	if _, ok := plain.Get(spec.Key(6)); ok {
+		t.Fatal("stray key")
+	}
+	Apply(plain, spec, Op{Kind: OpRMW, ID: 6}) // RMW of absent key = plain insert
+	if v, ok := plain.Get(spec.Key(6)); !ok || !bytes.Equal(v, spec.Value(6)) {
+		t.Fatal("RMW of absent key should insert the plain value")
+	}
+}
+
+func TestStreamRMWMix(t *testing.T) {
+	mix := Mix{Gets: 5, RMWs: 5}
+	s := NewStream(DefaultSpec(), 11, 1000, mix, 0)
+	counts := map[OpKind]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[s.Next().Kind]++
+	}
+	if frac := float64(counts[OpRMW]) / n; frac < 0.45 || frac > 0.55 {
+		t.Fatalf("rmw fraction %v, want ~0.5", frac)
+	}
+	if counts[OpGet]+counts[OpRMW] != n {
+		t.Fatalf("unexpected op kinds: %v", counts)
+	}
+}
+
+// TestStreamZipfShape checks the distribution's shape, not just "rank 0 is
+// hot": frequencies decay with rank roughly like rank^-theta (we check the
+// ratio between rank bands), and the head's share grows with theta.
+func TestStreamZipfShape(t *testing.T) {
+	const pop = 10000
+	const draws = 200000
+	sample := func(theta float64) []int {
+		s := NewStream(DefaultSpec(), 17, pop, Mix{Gets: 1}, theta)
+		counts := make([]int, pop)
+		for i := 0; i < draws; i++ {
+			counts[s.Next().ID]++
+		}
+		return counts
+	}
+	headShare := func(counts []int, k int) float64 {
+		head := 0
+		for _, c := range counts[:k] {
+			head += c
+		}
+		return float64(head) / draws
+	}
+
+	skewed := sample(0.99)
+	// Monotone-ish decay: each decade of ranks outweighs the next.
+	band := func(counts []int, lo, hi int) int {
+		s := 0
+		for _, c := range counts[lo:hi] {
+			s += c
+		}
+		return s
+	}
+	if !(band(skewed, 0, 10) > band(skewed, 10, 100) && band(skewed, 10, 100) > band(skewed, 1000, 1090)) {
+		t.Fatalf("zipf bands not decaying: first10=%d next90=%d band@1000=%d",
+			band(skewed, 0, 10), band(skewed, 10, 100), band(skewed, 1000, 1090))
+	}
+	// With theta=0.99 over 10k keys the top 1% of ranks draws the majority
+	// of accesses (classic YCSB hotspot); uniform draws give it ~1%.
+	if share := headShare(skewed, pop/100); share < 0.3 {
+		t.Fatalf("theta=0.99 head share %.3f, want >= 0.3", share)
+	}
+	mild := sample(0.5)
+	uniform := sample(0)
+	if !(headShare(skewed, pop/100) > headShare(mild, pop/100) && headShare(mild, pop/100) > headShare(uniform, pop/100)) {
+		t.Fatalf("head share not increasing with theta: %.3f / %.3f / %.3f",
+			headShare(uniform, pop/100), headShare(mild, pop/100), headShare(skewed, pop/100))
+	}
+	if share := headShare(uniform, pop/100); share > 0.03 {
+		t.Fatalf("uniform head share %.3f, want ~0.01", share)
+	}
+}
+
 func TestMixIsBijection(t *testing.T) {
 	f := func(a, b uint64) bool {
 		return (a == b) == (mix(a) == mix(b))
