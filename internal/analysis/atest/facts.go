@@ -1,0 +1,85 @@
+// In-memory fact storage. The unitchecker gob-encodes facts between
+// packages; inside one atest run the packages share a store, which gives
+// the same visibility (facts about a dependency's objects are readable when
+// analyzing an importer) without serialization.
+
+package atest
+
+import (
+	"go/types"
+	"reflect"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+type factStore struct {
+	object  map[types.Object][]analysis.Fact
+	pkg     map[*types.Package][]analysis.Fact
+	current *types.Package
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		object: map[types.Object][]analysis.Fact{},
+		pkg:    map[*types.Package][]analysis.Fact{},
+	}
+}
+
+// set replaces any fact of the same concrete type, mirroring
+// ExportObjectFact semantics.
+func set(list []analysis.Fact, f analysis.Fact) []analysis.Fact {
+	for i, old := range list {
+		if reflect.TypeOf(old) == reflect.TypeOf(f) {
+			list[i] = f
+			return list
+		}
+	}
+	return append(list, f)
+}
+
+// get copies the stored fact of ptr's type into ptr.
+func get(list []analysis.Fact, ptr analysis.Fact) bool {
+	for _, old := range list {
+		if reflect.TypeOf(old) == reflect.TypeOf(ptr) {
+			reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(old).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+func (s *factStore) exportObject(obj types.Object, f analysis.Fact) {
+	s.object[obj] = set(s.object[obj], f)
+}
+
+func (s *factStore) importObject(obj types.Object, f analysis.Fact) bool {
+	return get(s.object[obj], f)
+}
+
+func (s *factStore) exportPackage(pkg *types.Package, f analysis.Fact) {
+	s.pkg[pkg] = set(s.pkg[pkg], f)
+}
+
+func (s *factStore) importPackage(pkg *types.Package, f analysis.Fact) bool {
+	return get(s.pkg[pkg], f)
+}
+
+func (s *factStore) allObjects() []analysis.ObjectFact {
+	var out []analysis.ObjectFact
+	for obj, list := range s.object {
+		for _, f := range list {
+			out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+		}
+	}
+	return out
+}
+
+func (s *factStore) allPackages() []analysis.PackageFact {
+	var out []analysis.PackageFact
+	for pkg, list := range s.pkg {
+		for _, f := range list {
+			out = append(out, analysis.PackageFact{Package: pkg, Fact: f})
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+// `// want` comment parsing: the analysistest convention of trailing
+// comments carrying Go-quoted regular expressions that the diagnostics on
+// that line must match.
+
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type posKey struct {
+	file string // base name
+	line int
+}
+
+type wantExp struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// parseWants collects the expectations of every file in the package, keyed
+// by (file, line) of the comment.
+func parseWants(fset *token.FileSet, files []*ast.File) (map[posKey][]*wantExp, error) {
+	wants := map[posKey][]*wantExp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // a /* */ block; not supported as a want carrier
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := posKey{filepath.Base(pos.Filename), pos.Line}
+				exps, err := parseWantExprs(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				wants[key] = append(wants[key], exps...)
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parseWantExprs parses a space-separated sequence of quoted regexps:
+//
+//	want "a.*b" `c d`
+func parseWantExprs(s string) ([]*wantExp, error) {
+	var out []*wantExp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		var quoted string
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q in want comment", s)
+			}
+			quoted = s[:end+1]
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q in want comment", s)
+			}
+			quoted = s[:end+2]
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("want comment: expected quoted regexp, got %q", s)
+		}
+		unq, err := strconv.Unquote(quoted)
+		if err != nil {
+			return nil, fmt.Errorf("want comment %s: %v", quoted, err)
+		}
+		re, err := regexp.Compile(unq)
+		if err != nil {
+			return nil, fmt.Errorf("want comment %s: %v", quoted, err)
+		}
+		out = append(out, &wantExp{re: re})
+	}
+}

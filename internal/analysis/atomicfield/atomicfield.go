@@ -1,0 +1,119 @@
+// Package atomicfield defines an analyzer catching mixed atomic/plain access
+// to struct fields: once any code touches a field through sync/atomic
+// (atomic.AddInt64(&s.n, 1), atomic.LoadInt64(&s.n)), every access to that
+// field must be atomic — a single plain load or store is a data race the
+// race detector only catches if a test happens to interleave it. The
+// server's metrics counters and internal/stats histograms are shared with
+// the metrics endpoints, which is exactly the pattern this protects (PR 3).
+//
+// Fields whose atomic use the analyzer observes are exported as object
+// facts, so a plain access in a *downstream* package (server reading a
+// stats counter directly) is caught too, not just same-package mixes.
+//
+// Fields reached through sync/atomic only element-wise (&h.counts[i]) are
+// not recorded: the slice header itself is read plainly and legitimately by
+// indexing and range.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"iomodels/internal/analysis/lintutil"
+)
+
+const doc = `flag plain access to struct fields that are accessed atomically elsewhere
+
+A field passed to sync/atomic anywhere must be accessed through sync/atomic
+everywhere (or become an atomic.Int64-style typed atomic). Mixed access is a
+data race on the server's metrics counters.`
+
+// atomicallyAccessed marks a struct field as accessed via sync/atomic
+// somewhere in its defining package (or a package already analyzed).
+type atomicallyAccessed struct{}
+
+func (*atomicallyAccessed) AFact()         {}
+func (*atomicallyAccessed) String() string { return "atomicallyAccessed" }
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "atomicfield",
+	Doc:       doc,
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{new(atomicallyAccessed)},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Pass 1: find fields whose address feeds a sync/atomic call, and
+	// remember those exact selector nodes (they are the sanctioned
+	// accesses). Element addresses (&s.f[i]) sanction nothing: the atomic
+	// object is the element, and the field read needed to reach it is plain
+	// and fine.
+	atomicFields := map[*types.Var]bool{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn := lintutil.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return
+		}
+		for _, arg := range call.Args {
+			u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				continue
+			}
+			switch x := ast.Unparen(u.X).(type) {
+			case *ast.SelectorExpr:
+				if f := fieldOf(pass.TypesInfo, x); f != nil {
+					atomicFields[f] = true
+					sanctioned[x] = true
+					if f.Pkg() == pass.Pkg {
+						pass.ExportObjectFact(f, new(atomicallyAccessed))
+					}
+				}
+			case *ast.IndexExpr:
+				if sel, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok {
+					sanctioned[sel] = true // the field read inside &s.f[i]
+				}
+			}
+		}
+	})
+
+	// Pass 2: every other access to one of those fields is a race. Fields
+	// marked atomic by an already-analyzed package arrive as facts.
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		if sanctioned[sel] {
+			return
+		}
+		f := fieldOf(pass.TypesInfo, sel)
+		if f == nil {
+			return
+		}
+		if !atomicFields[f] && !pass.ImportObjectFact(f, new(atomicallyAccessed)) {
+			return
+		}
+		if lintutil.IsTestFile(pass.Fset, sel.Pos()) {
+			return
+		}
+		pass.Reportf(sel.Pos(), "plain access to field %s, which is accessed atomically elsewhere; use sync/atomic here too", f.Name())
+	})
+	return nil, nil
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

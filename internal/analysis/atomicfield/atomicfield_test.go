@@ -1,0 +1,25 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"iomodels/internal/analysis/atest"
+	"iomodels/internal/analysis/atomicfield"
+)
+
+// TestMixedAccess: same-package atomic/plain mixes, the element-wise
+// exemption, and all-atomic fields staying quiet.
+func TestMixedAccess(t *testing.T) {
+	atest.Run(t, "../testdata", atomicfield.Analyzer, "atomicdata")
+}
+
+// TestCrossPackageFact: counter marks C.N atomic in its own package; the
+// fact makes counteruse's plain read a diagnostic.
+func TestCrossPackageFact(t *testing.T) {
+	atest.Run(t, "../testdata", atomicfield.Analyzer, "counteruse")
+}
+
+// TestOwningPackageClean: the fact-exporting package itself is clean.
+func TestOwningPackageClean(t *testing.T) {
+	atest.RunExpectClean(t, "../testdata", atomicfield.Analyzer, "counter")
+}

@@ -1,0 +1,106 @@
+// Package enginebypass defines an analyzer that keeps the PR-1 layering
+// honest: the storage byte stores and the device simulators are owned by the
+// engine, and everything above it — trees, server, experiment harnesses —
+// reaches bytes only through engine.Client (ReadAt/WriteAt/Meter on the
+// shared pager). A direct storage.Store.ReadAt or Device.Access call from a
+// tree would bypass the cache, the per-client clocks, and the IO accounting
+// that every experiment's numbers depend on.
+//
+// The analyzer bans a configurable set of method names on a configurable
+// set of IO-layer packages, from everywhere except a configurable allow
+// list (the engine layer itself) and _test.go files.
+package enginebypass
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"iomodels/internal/analysis/lintutil"
+)
+
+const doc = `forbid direct storage/device IO outside the engine layer
+
+Trees, the server, and experiment harnesses must reach the device through
+engine.Client so that caching, per-client clocks and IO accounting stay
+correct. Configure with -enginebypass.device, -enginebypass.methods and
+-enginebypass.allow.`
+
+// Defaults encode the repo's layering.
+const (
+	// DefaultDevice lists the IO-layer packages whose raw IO entry points
+	// are restricted.
+	DefaultDevice = "internal/storage,internal/hdd,internal/ssd,internal/pdamdev"
+	// DefaultMethods lists the restricted entry points: byte IO and the raw
+	// device timing call. Store.Meter stays open — it moves no bytes and is
+	// the sanctioned probe for device-model validation experiments.
+	DefaultMethods = "ReadAt,WriteAt,Access"
+	// DefaultAllow lists the packages that form the engine layer: the
+	// engine itself, the storage package (Store wraps Device), the WAL
+	// (driven by the engine through a sanctioned device handle), and the
+	// device simulators.
+	DefaultAllow = "internal/engine,internal/storage,internal/wal,internal/hdd,internal/ssd,internal/pdamdev"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "enginebypass",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var (
+	deviceFlag  string
+	methodsFlag string
+	allowFlag   string
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&deviceFlag, "device", DefaultDevice,
+		"comma-separated package patterns of the restricted IO layer")
+	Analyzer.Flags.StringVar(&methodsFlag, "methods", DefaultMethods,
+		"comma-separated method names that constitute raw IO")
+	Analyzer.Flags.StringVar(&allowFlag, "allow", DefaultAllow,
+		"comma-separated package patterns allowed to perform raw IO")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	device := lintutil.ParseScope(deviceFlag)
+	allow := lintutil.ParseScope(allowFlag)
+	if allow.ContainsPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	methods := map[string]bool{}
+	for _, m := range strings.Split(methodsFlag, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			methods[m] = true
+		}
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn := lintutil.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || !methods[fn.Name()] {
+			return
+		}
+		if !device.ContainsPkg(fn.Pkg().Path()) {
+			return
+		}
+		if lintutil.IsTestFile(pass.Fset, call.Pos()) {
+			return
+		}
+		recv := ""
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			recv = strings.TrimPrefix(sig.Recv().Type().String(), "*") + "."
+			if i := strings.LastIndexByte(recv, '/'); i >= 0 {
+				recv = recv[i+1:]
+			}
+		}
+		pass.Reportf(call.Pos(), "direct device IO %s%s bypasses the engine layer; go through engine.Client", recv, fn.Name())
+	})
+	return nil, nil
+}

@@ -1,0 +1,27 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"iomodels/internal/analysis/atest"
+	"iomodels/internal/analysis/nopanic"
+)
+
+func TestNoPanic(t *testing.T) {
+	if err := nopanic.Analyzer.Flags.Set("scope", "nopanicdata,nopanicfile:durability.go"); err != nil {
+		t.Fatal(err)
+	}
+	defer nopanic.Analyzer.Flags.Set("scope", nopanic.DefaultScope)
+	atest.Run(t, "../testdata", nopanic.Analyzer, "nopanicdata", "nopanicfile")
+}
+
+// TestOutOfScope: a package off the durability path is never diagnosed,
+// even though it panics — rescoping the analyzer to internal/wal must turn
+// every nopanicfile diagnostic (including durability.go's) off.
+func TestOutOfScope(t *testing.T) {
+	if err := nopanic.Analyzer.Flags.Set("scope", "internal/wal"); err != nil {
+		t.Fatal(err)
+	}
+	defer nopanic.Analyzer.Flags.Set("scope", nopanic.DefaultScope)
+	atest.RunExpectClean(t, "../testdata", nopanic.Analyzer, "nopanicfile")
+}

@@ -1,0 +1,46 @@
+// Package atomicdata mixes atomic and plain access to the same fields —
+// the data race the atomicfield analyzer exists to catch — alongside
+// all-atomic and element-wise patterns that must stay quiet.
+package atomicdata
+
+import "sync/atomic"
+
+// Metrics models a server counter block.
+type Metrics struct {
+	ops     int64
+	errs    int64
+	buckets []int64
+}
+
+// Record is the hot path: everything atomic.
+func (m *Metrics) Record(bucket int) {
+	atomic.AddInt64(&m.ops, 1)
+	atomic.AddInt64(&m.buckets[bucket], 1)
+}
+
+// Fail records an error atomically.
+func (m *Metrics) Fail() {
+	atomic.AddInt64(&m.errs, 1)
+}
+
+// Snapshot reads ops plainly — a race against Record.
+func (m *Metrics) Snapshot() (int64, int64) {
+	total := m.ops // want `plain access to field ops, which is accessed atomically elsewhere`
+	return total, atomic.LoadInt64(&m.errs)
+}
+
+// Reset writes ops plainly — also a race.
+func (m *Metrics) Reset() {
+	m.ops = 0 // want `plain access to field ops, which is accessed atomically elsewhere`
+	atomic.StoreInt64(&m.errs, 0)
+}
+
+// Sum ranges the bucket slice: the element ops were atomic, but reading the
+// slice header plainly is fine — only elements are contended.
+func (m *Metrics) Sum() int64 {
+	var n int64
+	for i := range m.buckets {
+		n += atomic.LoadInt64(&m.buckets[i])
+	}
+	return n
+}

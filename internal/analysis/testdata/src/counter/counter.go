@@ -1,0 +1,15 @@
+// Package counter exports a struct whose field its own code accesses
+// atomically; the fact travels to importing packages.
+package counter
+
+import "sync/atomic"
+
+// C is a shared counter.
+type C struct {
+	N int64
+}
+
+// Inc is the owning package's atomic access.
+func (c *C) Inc() {
+	atomic.AddInt64(&c.N, 1)
+}

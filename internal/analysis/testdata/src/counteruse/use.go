@@ -1,0 +1,10 @@
+// Package counteruse reads counter.C.N plainly: the mixed access is
+// cross-package, visible only through the exported object fact.
+package counteruse
+
+import "counter"
+
+// Total races against counter.(*C).Inc.
+func Total(c *counter.C) int64 {
+	return c.N // want `plain access to field N, which is accessed atomically elsewhere`
+}

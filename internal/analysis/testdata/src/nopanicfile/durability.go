@@ -1,0 +1,8 @@
+// Package nopanicfile is scoped file-by-file: only durability.go is on the
+// durability path; other.go panics freely.
+package nopanicfile
+
+// Flush is in the scoped file.
+func Flush() {
+	panic("flush failed") // want `panic on the durability path`
+}

@@ -1,0 +1,31 @@
+// Package vtimedata models a simulator package: wall-clock time is
+// forbidden; virtual time only.
+package vtimedata
+
+import "time"
+
+// Tick models a simulator step.
+func Tick() int64 {
+	start := time.Now()           // want `wall-clock time.Now in simulation/model code`
+	_ = time.Since(start)         // want `wall-clock time.Since in simulation/model code`
+	time.Sleep(time.Millisecond)  // want `wall-clock time.Sleep in simulation/model code`
+	return int64(time.Nanosecond) // a constant, not a clock: fine
+}
+
+// Stamp converts an externally supplied wall time; construction is fine,
+// only reading the host clock is banned.
+func Stamp(sec int64) time.Time {
+	return time.Unix(sec, 0)
+}
+
+// Grace documents a deliberate real-time exception.
+func Grace() time.Time {
+	//lint:allowrealtime boot banner timestamp, outside any measurement
+	return time.Now()
+}
+
+// Bare directive without a reason is itself diagnosed.
+func Bad() time.Time {
+	//lint:allowrealtime
+	return time.Now() // want `//lint:allowrealtime needs a reason`
+}

@@ -1,0 +1,28 @@
+// Package walerrdata models the WAL/engine durable-write API and every way
+// of discarding its errors.
+package walerrdata
+
+import "errors"
+
+// Log models wal.Log.
+type Log struct{ full bool }
+
+// Append returns (seq, error).
+func (l *Log) Append(p []byte) (uint64, error) {
+	if l.full {
+		return 0, errors.New("log full")
+	}
+	return 1, nil
+}
+
+// Commit returns the durability error.
+func (l *Log) Commit() error { return nil }
+
+// Eng models engine.Engine.
+type Eng struct{}
+
+// Sync flushes the group commit.
+func (e *Eng) Sync() error { return nil }
+
+// Checkpoint writes a recovery point.
+func (e *Eng) Checkpoint() error { return nil }

@@ -1,0 +1,26 @@
+package virtualtime_test
+
+import (
+	"testing"
+
+	"iomodels/internal/analysis/atest"
+	"iomodels/internal/analysis/virtualtime"
+)
+
+func TestVirtualTime(t *testing.T) {
+	if err := virtualtime.Analyzer.Flags.Set("scope", "vtimedata"); err != nil {
+		t.Fatal(err)
+	}
+	defer virtualtime.Analyzer.Flags.Set("scope", virtualtime.DefaultScope)
+	atest.Run(t, "../testdata", virtualtime.Analyzer, "vtimedata")
+}
+
+// TestOutOfScope: the same package is silent when not scoped — the server's
+// real-time code is simply never in the scope list.
+func TestOutOfScope(t *testing.T) {
+	if err := virtualtime.Analyzer.Flags.Set("scope", "internal/sim"); err != nil {
+		t.Fatal(err)
+	}
+	defer virtualtime.Analyzer.Flags.Set("scope", virtualtime.DefaultScope)
+	atest.RunExpectClean(t, "../testdata", virtualtime.Analyzer, "vtimedata")
+}

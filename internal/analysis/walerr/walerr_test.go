@@ -1,0 +1,17 @@
+package walerr_test
+
+import (
+	"testing"
+
+	"iomodels/internal/analysis/atest"
+	"iomodels/internal/analysis/walerr"
+)
+
+func TestWalErr(t *testing.T) {
+	funcs := "walerrdata.Log.Append,walerrdata.Log.Commit,walerrdata.Eng.Sync"
+	if err := walerr.Analyzer.Flags.Set("funcs", funcs); err != nil {
+		t.Fatal(err)
+	}
+	defer walerr.Analyzer.Flags.Set("funcs", walerr.DefaultFuncs)
+	atest.Run(t, "../testdata", walerr.Analyzer, "walerrdata")
+}

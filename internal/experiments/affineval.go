@@ -58,7 +58,7 @@ type Table2Row struct {
 func Table2(cfg AffineConfig) ([]Table2Row, error) {
 	var rows []Table2Row
 	for _, prof := range hdd.Profiles() {
-		d := hdd.New(prof, cfg.Seed)
+		st := storage.NewStore(hdd.New(prof, cfg.Seed))
 		rng := stats.NewRNG(cfg.Seed + 77)
 		var now sim.Time
 		var xs, ys []float64
@@ -67,7 +67,7 @@ func Table2(cfg AffineConfig) ([]Table2Row, error) {
 			start := now
 			for i := 0; i < cfg.Rounds; i++ {
 				off := rng.Int63n((prof.Capacity()-size)/4096) * 4096
-				now = d.Access(now, storage.Read, off, size)
+				now = st.Meter(now, storage.Read, off, size)
 			}
 			xs = append(xs, float64(blocks))
 			ys = append(ys, (now-start).Seconds()/float64(cfg.Rounds))

@@ -56,7 +56,7 @@ func writeSeries(prof ssd.Profile, cfg PDAMConfig) Figure1Series {
 	s := Figure1Series{Device: prof.Name}
 	for _, p := range cfg.Threads {
 		eng := sim.New()
-		dev := ssd.New(prof)
+		st := storage.NewStore(ssd.New(prof))
 		root := stats.NewRNG(cfg.Seed + uint64(p)*7777777)
 		var last sim.Time
 		for i := 0; i < p; i++ {
@@ -64,7 +64,7 @@ func writeSeries(prof ssd.Profile, cfg PDAMConfig) Figure1Series {
 			eng.Go(func(pr *sim.Proc) {
 				for j := 0; j < cfg.PerThreadIOs; j++ {
 					off := rng.Int63n((prof.Capacity()-cfg.IOBytes)/cfg.IOBytes) * cfg.IOBytes
-					done := dev.Access(pr.Now(), storage.Write, off, cfg.IOBytes)
+					done := st.Meter(pr.Now(), storage.Write, off, cfg.IOBytes)
 					pr.SleepUntil(done)
 				}
 				if pr.Now() > last {

@@ -69,7 +69,7 @@ func Figure1(cfg PDAMConfig) []Figure1Series {
 // the slowest thread in virtual seconds.
 func runThreadRound(prof ssd.Profile, p int, cfg PDAMConfig) float64 {
 	eng := sim.New()
-	dev := ssd.New(prof)
+	st := storage.NewStore(ssd.New(prof))
 	root := stats.NewRNG(cfg.Seed + uint64(p)*1000003)
 	var last sim.Time
 	for i := 0; i < p; i++ {
@@ -77,7 +77,7 @@ func runThreadRound(prof ssd.Profile, p int, cfg PDAMConfig) float64 {
 		eng.Go(func(pr *sim.Proc) {
 			for j := 0; j < cfg.PerThreadIOs; j++ {
 				off := rng.Int63n((prof.Capacity()-cfg.IOBytes)/cfg.IOBytes) * cfg.IOBytes
-				done := dev.Access(pr.Now(), storage.Read, off, cfg.IOBytes)
+				done := st.Meter(pr.Now(), storage.Read, off, cfg.IOBytes)
 				pr.SleepUntil(done)
 			}
 			if pr.Now() > last {
