@@ -84,6 +84,22 @@ wait "$kvpid" || {
 }
 kvpid=""
 
+# iotrace smoke: the end-to-end tracing pipeline as a CLI — load a B-tree
+# on the simulated disk, trace queries under the span tracer, and require
+# (a) the live residual table renders and (b) the affine refinement beats
+# the DAM on read residuals (-assert exits non-zero otherwise): the paper's
+# §4.2 prediction-error ordering, recomputed on every CI run.
+go run ./cmd/iotrace -tree b -device hdd -items 30000 -cache 1048576 -ops 150 -assert >"$smoke/iotrace.log" 2>&1 || {
+	echo "iotrace smoke failed:" >&2
+	cat "$smoke/iotrace.log" >&2
+	exit 1
+}
+grep -q "model residuals" "$smoke/iotrace.log" || {
+	echo "iotrace printed no residual table:" >&2
+	cat "$smoke/iotrace.log" >&2
+	exit 1
+}
+
 # Fuzz smoke (not run here — fuzzing is open-ended and CI is budgeted; the
 # seed corpora run as ordinary tests in the go test pass above). To shake the
 # decoders locally:
@@ -100,6 +116,11 @@ go test -race -run 'Crash|Fault|Replay|Durab|Recover|Torn|LogFull|NoSteal|Stats'
 # batch scheduler, and the group-commit writer are the most goroutine-dense
 # code in the repo, so it gets an explicit pass a future -short cannot drop.
 go test -race ./internal/server
+
+# The span tracer's and trace ring's concurrency regressions, named
+# explicitly for the same reason (the full -race pass below also covers the
+# end-to-end residual tests).
+go test -race -run 'TracerConcurrent|TraceConcurrentSetCap' ./internal/obs ./internal/storage
 
 go test -race -timeout 20m ./...
 echo "all checks passed"

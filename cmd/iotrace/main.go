@@ -1,19 +1,43 @@
-// Command iotrace runs a small dictionary workload with IO tracing enabled
-// and prints what the device actually saw: IO counts and bytes by
-// direction, sequentiality, IO-size distribution and latency summaries.
-// It makes the models tangible — the affine model's s and t are visible as
-// the latency gap between the random and sequential rows.
+// Command iotrace runs a small dictionary workload with end-to-end IO-path
+// tracing and prints three views of it:
+//
+//   - the raw device trace of the load phase (IO counts, bytes,
+//     sequentiality, latency) — the affine model's s and t visible as the
+//     latency gap between random and sequential rows;
+//   - a flamegraph-style per-layer breakdown of the query phase's device
+//     time (tree / pager / WAL / checkpoint), from the span tracer;
+//   - the live model-residual table: for every traced query, the cost the
+//     DAM, affine, and PDAM models predict from the device's calibrated
+//     parameters vs. the measured virtual-time cost — the paper's §4
+//     prediction-error experiments as a one-command report.
 //
 // Usage:
 //
-//	iotrace [-tree b|be|lsm] [-items N] [-node BYTES] [-ops N]
+//	iotrace [-tree b|be|lsm] [-device hdd|ssd|pdam] [-items N] [-ops N]
+//	        [-clients K] [-node BYTES] [-cache BYTES] [-sample N]
+//	        [-chrome FILE] [-assert]
+//
+// -clients runs the query phase as K concurrent simulated processes, so on
+// a parallel device the PDAM's step-sharing is visible (and the DAM's
+// serial prediction measurably wrong). -assert exits non-zero unless the
+// refined model beats the DAM on read residuals (the CI smoke check).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"time"
 
-	"iomodels"
+	"iomodels/internal/betree"
+	"iomodels/internal/btree"
+	"iomodels/internal/engine"
+	"iomodels/internal/hdd"
+	"iomodels/internal/lsm"
+	"iomodels/internal/obs"
+	"iomodels/internal/pdamdev"
+	"iomodels/internal/sim"
+	"iomodels/internal/ssd"
 	"iomodels/internal/stats"
 	"iomodels/internal/storage"
 	"iomodels/internal/workload"
@@ -21,59 +45,141 @@ import (
 
 func main() {
 	tree := flag.String("tree", "be", "structure: b, be, or lsm")
+	device := flag.String("device", "hdd", "device model: hdd, ssd, or pdam")
 	items := flag.Int64("items", 100_000, "pairs to load")
 	node := flag.Int("node", 256<<10, "node size (trees)")
+	cache := flag.Int64("cache", 4<<20, "engine cache bytes")
 	ops := flag.Int("ops", 200, "measured queries after the load")
+	clients := flag.Int("clients", 1, "concurrent query clients (sim processes)")
+	sample := flag.Int("sample", 1, "trace 1 in N queries")
+	chromeOut := flag.String("chrome", "", "write a Chrome trace_event JSON of the query phase here")
+	assert := flag.Bool("assert", false, "exit 1 unless the refined model beats the DAM on read residuals")
 	flag.Parse()
 
-	clk := iomodels.NewClock()
-	prof := iomodels.HDDProfiles()[2]
-	disk := iomodels.NewHDD(prof, 77, clk)
-	eng := iomodels.NewEngine(iomodels.EngineConfig{CacheBytes: 4 << 20}, disk)
+	var dev storage.Device
+	switch *device {
+	case "hdd":
+		// Deterministic rotation: the calibrated models predict expected
+		// cost, so the measured side uses the mean-rotation disk.
+		dev = hdd.NewDeterministic(hdd.DefaultProfile())
+	case "ssd":
+		dev = ssd.New(ssd.DefaultProfile())
+	case "pdam":
+		dev = pdamdev.New(16, 4<<10, sim.Time(time.Millisecond)).Storage(4 << 30)
+	default:
+		fatalf("unknown device %q (want hdd, ssd, or pdam)", *device)
+	}
+
+	eng := engine.New(engine.Config{CacheBytes: *cache}, dev, sim.New())
 	spec := workload.DefaultSpec()
 
-	var d workload.Dictionary
-	var flush func()
+	var (
+		d       engine.Dictionary
+		session func(*engine.Client) engine.Dictionary
+		flush   func()
+	)
 	switch *tree {
 	case "b":
-		t, err := iomodels.NewBTree(iomodels.BTreeConfig{
+		t, err := btree.New(btree.Config{
 			NodeBytes: *node, MaxKeyBytes: spec.KeyBytes, MaxValueBytes: spec.ValueBytes,
 		}, eng)
 		must(err)
 		d, flush = t, t.Flush
+		session = func(c *engine.Client) engine.Dictionary { return t.Session(c) }
 	case "be":
-		t, err := iomodels.NewBeTree(iomodels.BeTreeConfig{
+		t, err := betree.New(betree.Config{
 			NodeBytes: *node, MaxFanout: 16, MaxKeyBytes: spec.KeyBytes,
 			MaxValueBytes: spec.ValueBytes,
 		}.Optimized(), eng)
 		must(err)
 		d, flush = t, t.Flush
+		session = func(c *engine.Client) engine.Dictionary { return t.Session(c) }
 	case "lsm":
-		t, err := iomodels.NewLSMTree(iomodels.LSMConfig{
-			MemtableBytes: 1 << 20, SSTableBytes: 2 << 20, GrowthFactor: 10,
-			Level0Runs: 4, BlockBytes: 4 << 10,
-		}, eng)
+		t, err := lsm.New(lsm.DefaultConfig(), eng)
 		must(err)
 		d, flush = t, t.Flush
+		session = func(c *engine.Client) engine.Dictionary { return t.Session(c) }
 	default:
-		panic("unknown -tree")
+		fatalf("unknown -tree %q (want b, be, or lsm)", *tree)
 	}
 
+	// Load phase: raw device trace, as before.
 	tr := &storage.Trace{}
-	disk.SetTrace(tr)
+	eng.SetTrace(tr)
 	workload.Load(d, spec, *items)
 	flush()
-	fmt.Printf("=== load phase: %d pairs on %s ===\n", *items, prof.Name)
+	fmt.Printf("=== load phase: %d pairs on %s ===\n", *items, eng.Device().Name())
 	report(tr)
+	eng.SetTrace(nil)
 
-	tr.Reset()
-	for i := 0; i < *ops; i++ {
-		id := uint64(i*2654435761) % uint64(*items)
-		d.Get(spec.Key(id))
+	// Query phase: span tracing with the model-cost accountant, calibrated
+	// against a fresh device built from this device's profile. The sweep is
+	// confined to the engine's allocated region: the hdd's seek cost grows
+	// with distance, so a whole-device sweep would fit an s the workload's
+	// short seeks never pay.
+	cfg := obs.Config{SampleEvery: *sample}
+	models, ok := obs.ModelsFor(dev, obs.CalibrationConfig{
+		BlockBytes:  int64(*node),
+		RegionBytes: eng.HighWater(),
+	})
+	if ok {
+		cfg.Models = &models
 	}
-	fmt.Printf("=== query phase: %d random gets ===\n", *ops)
-	report(tr)
-	disk.SetTrace(nil)
+	tracer := obs.NewTracer(cfg)
+	eng.SetTracer(tracer)
+
+	perClient := *ops / *clients
+	if perClient < 1 {
+		perClient = 1
+	}
+	for i := 0; i < *clients; i++ {
+		i := i
+		eng.Clock().Go(func(pr *sim.Proc) {
+			c := eng.Process(pr)
+			sess := session(c)
+			for j := 0; j < perClient; j++ {
+				id := uint64((i*perClient+j)*2654435761) % uint64(*items)
+				sp := c.StartSpan("get")
+				sess.Get(spec.Key(id))
+				c.FinishSpan(sp)
+			}
+		})
+	}
+	eng.Clock().Run()
+	eng.SetTracer(nil)
+
+	fmt.Printf("=== query phase: %d random gets, %d clients ===\n", *clients*perClient, *clients)
+	sum := tracer.Summary()
+	fmt.Print(obs.RenderBreakdown(sum))
+	fmt.Print(obs.RenderResiduals(sum))
+
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		must(err)
+		must(tracer.WriteChromeTrace(f))
+		must(f.Close())
+		fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or Perfetto)\n", *chromeOut)
+	}
+
+	if *assert {
+		// The refined model for the device family: affine on the serial hdd
+		// (§2), PDAM on parallel devices (§8).
+		refined := obs.ModelPDAM
+		if sum.Models != nil && sum.Models.Serial {
+			refined = obs.ModelAffine
+		}
+		ref, ok1 := sum.Residual(refined, "read")
+		dam, ok2 := sum.Residual(obs.ModelDAM, "read")
+		if !ok1 || !ok2 {
+			fatalf("assert: no read residuals recorded (models missing or no IO traced)")
+		}
+		if ref.P50 >= dam.P50 {
+			fatalf("assert: %s p50 residual %.1f%% not below dam %.1f%%",
+				refined, 100*ref.P50, 100*dam.P50)
+		}
+		fmt.Printf("assert ok: %s p50 residual %.1f%% < dam %.1f%%\n",
+			refined, 100*ref.P50, 100*dam.P50)
+	}
 }
 
 func report(tr *storage.Trace) {
@@ -139,4 +245,9 @@ func must(err error) {
 	if err != nil {
 		panic(err)
 	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "iotrace: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,6 +32,7 @@ import (
 	"iomodels/internal/btree"
 	"iomodels/internal/engine"
 	"iomodels/internal/lsm"
+	"iomodels/internal/obs"
 	"iomodels/internal/pdamdev"
 	"iomodels/internal/server"
 	"iomodels/internal/sim"
@@ -58,6 +60,10 @@ func main() {
 	writeq := flag.Int("writeq", 0, "write queue bound (0: default 1024)")
 	writeBatch := flag.Int("writebatch", 0, "mutations per group commit (0: default 64)")
 	traceCap := flag.Int("trace", 0, "retain an IO trace of this many records (0: off)")
+	obsOn := flag.Bool("obs", false, "attach the span tracer: per-layer IO attribution and live model residuals on /stats and /metrics")
+	obsSample := flag.Int("obs-sample", 16, "trace 1 in N operations (with -obs)")
+	chromeOut := flag.String("chrome", "", "write a Chrome trace_event JSON of retained spans here at shutdown (implies -obs)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics listener")
 	flag.Parse()
 
 	var dev storage.Device
@@ -137,6 +143,24 @@ func main() {
 		trace = storage.NewBoundedTrace(*traceCap)
 	}
 
+	var tracer *obs.Tracer
+	if *obsOn || *chromeOut != "" {
+		tcfg := obs.Config{SampleEvery: *obsSample}
+		// Calibrate at the workload's locality: the preloaded region when
+		// there is one (seek cost on the hdd model grows with distance), the
+		// whole device otherwise.
+		ccfg := obs.CalibrationConfig{BlockBytes: int64(*node), RegionBytes: eng.HighWater()}
+		if models, ok := obs.ModelsFor(dev, ccfg); ok {
+			tcfg.Models = &models
+			fmt.Printf("kvserve: calibrated %s: affine s=%.3gs t=%.3gs/B, pdam P=%d step=%.3gs\n",
+				models.Device, models.Affine.Setup, models.Affine.PerByte,
+				models.PDAM.P, models.PDAM.StepSeconds)
+		} else {
+			fmt.Printf("kvserve: device %s has no calibration; tracing without cost models\n", dev.Name())
+		}
+		tracer = obs.NewTracer(tcfg)
+	}
+
 	clock := engine.NewSharedClock()
 	eng.AdoptSharedClock(clock)
 	srv, err := server.New(server.Config{
@@ -147,6 +171,7 @@ func main() {
 		WriteQueue: *writeq,
 		WriteBatch: *writeBatch,
 		Trace:      trace,
+		Tracer:     tracer,
 	}, server.Backend{Eng: eng, Clock: clock, NewSession: session, Writer: writer})
 	if err != nil {
 		fatalf("server: %v", err)
@@ -165,8 +190,22 @@ func main() {
 		if err != nil {
 			fatalf("metrics listen: %v", err)
 		}
+		handler := srv.MetricsHandler()
+		if *pprofOn {
+			// The metrics handler is a bare ServeMux, not http.DefaultServeMux,
+			// so pprof's handlers are registered explicitly.
+			mux := http.NewServeMux()
+			mux.Handle("/", handler)
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			handler = mux
+			fmt.Printf("kvserve: pprof on http://%s/debug/pprof/\n", mln.Addr())
+		}
 		fmt.Printf("kvserve: metrics on http://%s/stats and /metrics\n", mln.Addr())
-		go func() { _ = http.Serve(mln, srv.MetricsHandler()) }()
+		go func() { _ = http.Serve(mln, handler) }()
 	}
 
 	sigs := make(chan os.Signal, 1)
@@ -180,6 +219,26 @@ func main() {
 	fmt.Printf("kvserve: served %d conns, %d gets, %d puts, %d read batches, %d group commits, %s virtual\n",
 		snap.ConnsTotal, snap.Ops["get"].Count, snap.Ops["put"].Count,
 		snap.ReadBatches, snap.WriteBatches, sim.Time(snap.VClock))
+	if tracer != nil {
+		sum := tracer.Summary()
+		fmt.Print(obs.RenderBreakdown(sum))
+		if sum.Models != nil {
+			fmt.Print(obs.RenderResiduals(sum))
+		}
+	}
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			fatalf("chrome trace: %v", err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			fatalf("chrome trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("chrome trace: %v", err)
+		}
+		fmt.Printf("kvserve: wrote Chrome trace to %s (open in chrome://tracing or Perfetto)\n", *chromeOut)
+	}
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"iomodels/internal/kv"
+	"iomodels/internal/obs"
 	"iomodels/internal/storage"
 	"iomodels/internal/wal"
 )
@@ -272,6 +273,11 @@ func (e *Engine) logMutation(id uint8, kind kv.Kind, key, value []byte) {
 		}
 	}
 	rec := wal.Record{Kind: kind, Dict: id, Key: key, Value: value}
+	// The log's device is e.owner (see EnableDurability), so a group that
+	// fills inside Append issues its commit IO through the owner client:
+	// attribute it — and annotate the owner's open span, if the mutation is
+	// being traced — to the WAL layer.
+	prev := e.owner.pushLayer(obs.LayerWAL)
 	_, err := d.log.Append(rec)
 	if errors.Is(err, wal.ErrLogFull) {
 		// The group (this record included) no longer fits. Checkpoint to
@@ -280,9 +286,14 @@ func (e *Engine) logMutation(id uint8, kind kv.Kind, key, value []byte) {
 		// checkpoint covers only LastSeq-1 — then re-append it under a
 		// fresh sequence number into the truncated log.
 		if cerr := e.checkpointAt(d.log.LastSeq() - 1); cerr != nil {
+			e.owner.popLayer(prev)
 			return
 		}
 		_, err = d.log.Append(rec)
+	}
+	e.owner.popLayer(prev)
+	if sp := e.owner.span; sp != nil {
+		sp.WALAppend(int64(len(key)+len(value)), e.owner.ctx.Now())
 	}
 	if err != nil {
 		d.err = fmt.Errorf("engine: wal append: %w", err)
@@ -301,7 +312,14 @@ func (e *Engine) Sync() error {
 	if d.err != nil {
 		return d.err
 	}
-	if err := d.log.Commit(); err != nil {
+	start := e.owner.ctx.Now()
+	prev := e.owner.pushLayer(obs.LayerWAL)
+	err := d.log.Commit()
+	e.owner.popLayer(prev)
+	if sp := e.owner.span; sp != nil {
+		sp.WALCommit(start, e.owner.ctx.Now()-start)
+	}
+	if err != nil {
 		if errors.Is(err, wal.ErrLogFull) {
 			if cerr := e.checkpointLocked(); cerr != nil {
 				return cerr
@@ -342,6 +360,12 @@ func (e *Engine) checkpointAt(lastLSN uint64) error {
 	if d.err != nil {
 		return d.err
 	}
+	// Every device IO below (journal seal, in-place installs, WAL header
+	// rewrite) runs through the owner client: attribute it to the
+	// checkpoint layer. The capture client diverts the Flush writes to
+	// memory, so they emit no IO events at all.
+	prevLayer := e.owner.pushLayer(obs.LayerCheckpoint)
+	defer e.owner.popLayer(prevLayer)
 
 	// 1. Dictionary checkpoints: push volatile state into the engine (the
 	// LSM's memtable turns into SSTables at fresh extents — safe before the

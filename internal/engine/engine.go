@@ -15,7 +15,9 @@ package engine
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"iomodels/internal/obs"
 	"iomodels/internal/sim"
 	"iomodels/internal/storage"
 )
@@ -51,6 +53,13 @@ type Engine struct {
 
 	dur *durability
 
+	// tracer, when set, receives a span per client operation (see
+	// Client.StartSpan) annotated by the pager, WAL, and IO path. The hot
+	// path only ever pays a client-local nil check for it.
+	tracer atomic.Pointer[obs.Tracer]
+	// clientIDs hands each client a stable id (the trace export's row key).
+	clientIDs atomic.Int64
+
 	owner *Client
 }
 
@@ -79,7 +88,7 @@ func FromStore(cfg Config, store storage.ByteStore, clk *sim.Engine) *Engine {
 		alloc: storage.NewAllocator(store.Device().Capacity()),
 		pager: newPager(cfg),
 	}
-	e.owner = &Client{eng: e, ctx: clockCtx{clk}}
+	e.owner = &Client{eng: e, ctx: clockCtx{clk}, id: e.clientIDs.Add(1)}
 	return e
 }
 
@@ -106,7 +115,7 @@ func (e *Engine) Owner() *Client { return e.owner }
 // the device completes it, so IOs from different processes overlap on the
 // device model.
 func (e *Engine) Process(pr *sim.Proc) *Client {
-	return &Client{eng: e, ctx: procCtx{pr}}
+	return &Client{eng: e, ctx: procCtx{pr}, id: e.clientIDs.Add(1)}
 }
 
 // Detached returns a client with a private time cursor that never touches
@@ -114,7 +123,7 @@ func (e *Engine) Process(pr *sim.Proc) *Client {
 // goroutines hammering the pager under -race); virtual times measured
 // through it are per-client, not globally ordered.
 func (e *Engine) Detached() *Client {
-	return &Client{eng: e, ctx: &detachedCtx{}}
+	return &Client{eng: e, ctx: &detachedCtx{}, id: e.clientIDs.Add(1)}
 }
 
 // Alloc reserves an extent of the given size (safe for concurrent use).
@@ -152,6 +161,15 @@ func (e *Engine) ResetCounters() { e.store.ResetCounters() }
 
 // SetTrace attaches an IO trace to the store (nil detaches).
 func (e *Engine) SetTrace(t *storage.Trace) { e.store.SetTrace(t) }
+
+// SetTracer attaches a span tracer (nil detaches). Spans only open on
+// clients whose callers use StartSpan/FinishSpan; with no tracer attached
+// the whole span path is a nil check, the same overhead contract as
+// storage.Trace.
+func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer.Store(t) }
+
+// Tracer returns the attached span tracer (nil when tracing is off).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer.Load() }
 
 // ioCtx is a client's notion of time: where IOs are issued from and how the
 // client waits for their completion.
@@ -191,11 +209,18 @@ func (c *detachedCtx) WaitUntil(t sim.Time) {
 type Client struct {
 	eng      *Engine
 	ctx      ioCtx
+	id       int64
 	counters storage.Counters
 	// capture, when non-nil, diverts WriteAt into a buffer instead of the
 	// device. The checkpoint uses it to collect the pager's dirty pages
 	// into the journal without issuing in-place IO.
 	capture *[]pageWrite
+	// span is the client's open tracing span (nil while tracing is off or
+	// the op was sampled out); layer attributes its IOs to the stack layer
+	// currently driving the client (pager load, WAL, checkpoint). Both are
+	// client-local: a client is single-goroutine, so no synchronization.
+	span  *obs.Span
+	layer obs.Layer
 }
 
 // pageWrite is one captured write.
@@ -218,6 +243,9 @@ func (c *Client) ReadAt(p []byte, off int64) {
 	now := c.ctx.Now()
 	done := c.eng.store.ReadAt(now, p, off)
 	c.counters.Add(storage.Counters{Reads: 1, BytesRead: int64(len(p)), ReadTime: done - now})
+	if c.span != nil {
+		c.span.IO(c.layer, storage.Read, off, int64(len(p)), now, done-now)
+	}
 	c.ctx.WaitUntil(done)
 }
 
@@ -233,6 +261,9 @@ func (c *Client) WriteAt(p []byte, off int64) {
 	now := c.ctx.Now()
 	done := c.eng.store.WriteAt(now, p, off)
 	c.counters.Add(storage.Counters{Writes: 1, BytesWritten: int64(len(p)), WriteTime: done - now})
+	if c.span != nil {
+		c.span.IO(c.layer, storage.Write, off, int64(len(p)), now, done-now)
+	}
 	c.ctx.WaitUntil(done)
 }
 
@@ -249,8 +280,56 @@ func (c *Client) Meter(op storage.Op, off, size int64) {
 	} else {
 		c.counters.Add(storage.Counters{Writes: 1, BytesWritten: size, WriteTime: done - now})
 	}
+	if c.span != nil {
+		c.span.IO(c.layer, op, off, size, now, done-now)
+	}
 	c.ctx.WaitUntil(done)
 }
+
+// StartSpan opens a tracing span for one logical operation (a query, an
+// insert, a batch commit) on this client. Returns nil — and costs only two
+// loads — when no tracer is attached, when the tracer samples this op out,
+// or when a span is already open (spans do not nest; the outermost op owns
+// the trace). Pass the result to FinishSpan when the operation completes.
+func (c *Client) StartSpan(op string) *obs.Span {
+	if c.span != nil {
+		return nil
+	}
+	tr := c.eng.tracer.Load()
+	if tr == nil {
+		return nil
+	}
+	sp := tr.Begin(op, c.id, c.ctx.Now())
+	c.span = sp
+	return sp
+}
+
+// FinishSpan closes a span opened by StartSpan. Nil-safe, and a no-op for
+// spans this client does not own, so callers may defer it unconditionally.
+func (c *Client) FinishSpan(sp *obs.Span) {
+	if sp == nil || c.span != sp {
+		return
+	}
+	c.span = nil
+	if tr := c.eng.tracer.Load(); tr != nil {
+		tr.Finish(sp, c.ctx.Now())
+	}
+}
+
+// Span returns the client's open span (nil when not tracing). The pager and
+// WAL use it to annotate the trace with cache and commit events.
+func (c *Client) Span() *obs.Span { return c.span }
+
+// pushLayer switches IO attribution to l and returns the previous layer for
+// the caller to restore (plain field writes: a client is single-goroutine).
+func (c *Client) pushLayer(l obs.Layer) obs.Layer {
+	prev := c.layer
+	c.layer = l
+	return prev
+}
+
+// popLayer restores attribution saved by pushLayer.
+func (c *Client) popLayer(l obs.Layer) { c.layer = l }
 
 // Counters returns this client's accumulated IO statistics.
 func (c *Client) Counters() storage.Counters { return c.counters }

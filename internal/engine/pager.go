@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+
+	"iomodels/internal/obs"
 )
 
 // PageID identifies a cached object. Trees use the object's disk offset,
@@ -250,6 +252,9 @@ func (p *Pager) Get(c *Client, loader Loader, id PageID) interface{} {
 			sh.stats.Hits++
 			sh.pin(it)
 			sh.mu.Unlock()
+			if c.span != nil {
+				c.span.CacheHit(c.ctx.Now())
+			}
 			p.evictToBudget(c, sh)
 			return it.obj
 		}
@@ -260,7 +265,12 @@ func (p *Pager) Get(c *Client, loader Loader, id PageID) interface{} {
 		sh.items[id] = it
 		sh.mu.Unlock()
 
+		if c.span != nil {
+			c.span.CacheMiss(c.ctx.Now())
+		}
+		prev := c.pushLayer(obs.LayerPager)
 		obj, size := loader.Load(c, id)
+		c.popLayer(prev)
 
 		sh.mu.Lock()
 		it.obj, it.size = obj, size
@@ -315,6 +325,9 @@ func (p *Pager) PutClean(c *Client, loader Loader, id PageID, obj interface{}, s
 			sh.stats.Hits++
 			sh.pin(it)
 			sh.mu.Unlock()
+			if c.span != nil {
+				c.span.CacheHit(c.ctx.Now())
+			}
 			p.evictToBudget(c, sh)
 			return it.obj
 		}
@@ -323,6 +336,9 @@ func (p *Pager) PutClean(c *Client, loader Loader, id PageID, obj interface{}, s
 		sh.items[id] = it
 		sh.used += size
 		sh.mu.Unlock()
+		if c.span != nil {
+			c.span.CacheMiss(c.ctx.Now())
+		}
 		p.evictToBudget(c, sh)
 		return obj
 	}
@@ -354,6 +370,9 @@ func (p *Pager) TryGet(c *Client, id PageID) (interface{}, bool) {
 		sh.stats.Hits++
 		sh.pin(it)
 		sh.mu.Unlock()
+		if c.span != nil {
+			c.span.CacheHit(c.ctx.Now())
+		}
 		return it.obj, true
 	}
 }
@@ -490,7 +509,9 @@ func (p *Pager) Flush(c *Client) {
 			sh.stats.Writebacks++
 			sh.mu.Unlock()
 
+			prev := c.pushLayer(obs.LayerPager)
 			victim.loader.Store(c, victim.id, victim.obj)
+			c.popLayer(prev)
 
 			sh.mu.Lock()
 			sh.dirtyBytes -= victim.enc
@@ -559,8 +580,13 @@ func (p *Pager) evictOne(c *Client, sh *shard) bool {
 	}
 	sh.mu.Unlock()
 
+	if c.span != nil {
+		c.span.Evict(dirty, c.ctx.Now())
+	}
 	if dirty {
+		prev := c.pushLayer(obs.LayerPager)
 		it.loader.Store(c, it.id, it.obj)
+		c.popLayer(prev)
 	}
 
 	sh.mu.Lock()

@@ -78,7 +78,7 @@ func (c *sharedCtx) alignTo(t sim.Time) {
 // clock's current mark. Distinct shared clients are safe concurrently; each
 // individual client is single-goroutine, as always.
 func (e *Engine) SharedClient(sc *SharedClock) *Client {
-	return &Client{eng: e, ctx: &sharedCtx{clock: sc, now: sc.Now()}}
+	return &Client{eng: e, ctx: &sharedCtx{clock: sc, now: sc.Now()}, id: e.clientIDs.Add(1)}
 }
 
 // AdoptSharedClock rebinds the engine's owner client — and with it every

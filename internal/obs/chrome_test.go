@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"iomodels/internal/sim"
+	"iomodels/internal/storage"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSpans is a hand-built span set covering every event kind, two
+// client rows, and out-of-order insertion (the exporter sorts by start).
+func goldenSpans() []*Span {
+	return []*Span{
+		{
+			ID: 2, TID: 7, Op: "get",
+			Start: 2_500, End: 12_000,
+			Events: []Event{
+				{Kind: EvCacheMiss, Layer: LayerPager, At: 2_600},
+				{Kind: EvIO, Layer: LayerPager, Op: storage.Read, Off: 8192, Size: 4096, At: 3_000, Latency: 8_000},
+				{Kind: EvEvict, Layer: LayerPager, Op: storage.Write, At: 11_500},
+			},
+		},
+		{
+			ID: 1, TID: 3, Op: "commit",
+			Start: 1_000, End: 40_000,
+			Events: []Event{
+				{Kind: EvCacheHit, Layer: LayerPager, At: 1_100},
+				{Kind: EvWALAppend, Layer: LayerWAL, Size: 48, At: 1_200},
+				{Kind: EvIO, Layer: LayerWAL, Op: storage.Write, Off: 0, Size: 4096, At: 2_000, Latency: 10_500},
+				{Kind: EvWALCommit, Layer: LayerWAL, At: 2_000, Latency: 10_500},
+				{Kind: EvIO, Layer: LayerCheckpoint, Op: storage.Write, Off: 65536, Size: 16384, At: 15_000, Latency: 20_000},
+			},
+		},
+	}
+}
+
+// TestChromeTraceGolden pins the exporter's exact output. Run with -update
+// to regenerate testdata/chrome.golden after an intentional format change.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeChromeSpans(&buf, goldenSpans()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrome.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden:\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceWellFormed checks the structural contract any consumer
+// relies on: valid JSON, the trace-event envelope, spans sorted by start,
+// and one "X" event per span plus one per device IO.
+func TestChromeTraceWellFormed(t *testing.T) {
+	tr := NewTracer(Config{})
+	for i := 3; i > 0; i-- { // finish out of start order
+		sp := tr.Begin("get", int64(i), sim.Time(i)*sim.Millisecond)
+		sp.IO(LayerTree, storage.Read, int64(i)*4096, 4096, sim.Time(i)*sim.Millisecond, sim.Millisecond)
+		tr.Finish(sp, sim.Time(i+1)*sim.Millisecond)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Tid  int64   `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter wrote invalid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 6 { // 3 spans + 3 IOs
+		t.Fatalf("%d events, want 6", len(doc.TraceEvents))
+	}
+	var lastSpanTs float64 = -1
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %+v: ph = %q, want X", ev, ev.Ph)
+		}
+		if ev.Name == "get" {
+			if ev.Ts < lastSpanTs {
+				t.Fatalf("spans not sorted by start: %g after %g", ev.Ts, lastSpanTs)
+			}
+			lastSpanTs = ev.Ts
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Text rendering for cmd/iotrace and the CI smoke check: a flamegraph-style
+// per-layer breakdown of where device time went, and the live residual
+// table — the paper's Table 1 / Table 2 prediction-error comparison
+// recomputed from the traced workload.
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderBreakdown formats the per-layer device-time attribution as an
+// indented bar chart.
+func RenderBreakdown(s Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spans: %d traced of %d ops (1 in %d)", s.Spans, s.Ops, s.SampleEvery)
+	if s.AvgConcurrency > 0 {
+		fmt.Fprintf(&b, "  avg device concurrency %.2f", s.AvgConcurrency)
+	}
+	b.WriteString("\n")
+	c := s.Counts
+	fmt.Fprintf(&b, "pager: %d hits / %d misses, %d evictions (%d writebacks)  wal: %d appends, %d commits\n",
+		c.Hits, c.Misses, c.Evictions, c.Writebacks, c.WALAppends, c.WALCommits)
+	var total float64
+	for _, l := range s.Layers {
+		total += l.TimeSeconds
+	}
+	if total == 0 {
+		b.WriteString("  (no device IO traced)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "device time by layer (%.3fs virtual total):\n", total)
+	for _, l := range s.Layers {
+		frac := l.TimeSeconds / total
+		fmt.Fprintf(&b, "  %-10s %s %5.1f%%  %6d IOs  %8.1f MiB  %8.3fs\n",
+			l.Layer, bar(frac, 20), 100*frac, l.IOs, float64(l.Bytes)/(1<<20), l.TimeSeconds)
+	}
+	return b.String()
+}
+
+// bar renders a width-character unicode bar for frac in [0, 1].
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	full := int(frac*float64(width) + 0.5)
+	return strings.Repeat("█", full) + strings.Repeat("░", width-full)
+}
+
+// RenderResiduals formats the live residual table: per model and op class,
+// the distribution of |predicted − measured| / measured across traced
+// operations. Includes the fitted parameters so the table reads like the
+// paper's Table 1 + Table 2.
+func RenderResiduals(s Summary) string {
+	if s.Models == nil {
+		return "(no cost models attached)\n"
+	}
+	var b strings.Builder
+	m := s.Models
+	fmt.Fprintf(&b, "fitted models for %s:\n", m.Device)
+	fmt.Fprintf(&b, "  affine  s=%.6fs t=%.3gs/B (R²=%.4f)\n", m.Affine.Setup, m.Affine.PerByte, m.AffineR2)
+	fmt.Fprintf(&b, "  dam     block=%.0fB unit=%.6fs\n", m.DAM.BlockBytes, m.DAM.UnitCost)
+	fmt.Fprintf(&b, "  pdam    P=%d B=%.0fB step=%.6fs ∝PB=%.1fMB/s (R²=%.4f)\n",
+		m.PDAM.P, m.PDAM.BlockBytes, m.PDAM.StepSeconds, m.SatBytesPerSec/1e6, m.PDAMR2)
+	b.WriteString("model residuals (|predicted-measured|/measured):\n")
+	b.WriteString("  model   class   count     p50      p90     mean      max\n")
+	for _, r := range s.Residuals {
+		fmt.Fprintf(&b, "  %-7s %-6s %6d  %6.1f%%  %6.1f%%  %6.1f%%  %6.1f%%\n",
+			r.Model, r.Class, r.Count, 100*r.P50, 100*r.P90, 100*r.Mean, 100*r.Max)
+	}
+	return b.String()
+}
+
+// Residual returns the residual summary for (model, class), if present.
+func (s Summary) Residual(model Model, class string) (ResidualSummary, bool) {
+	for _, r := range s.Residuals {
+		if r.Model == model.String() && r.Class == class {
+			return r, true
+		}
+	}
+	return ResidualSummary{}, false
+}

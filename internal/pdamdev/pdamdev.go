@@ -122,6 +122,13 @@ func (s *Storage) Name() string {
 // from this).
 func (s *Storage) ParallelismHint() int { return s.dev.P }
 
+// Params exposes the exact model parameters (P, B, step). The observability
+// layer's cost accountant reads them directly instead of fitting — this
+// device IS the PDAM of Definition 1.
+func (s *Storage) Params() (p int, blockBytes int64, step sim.Time) {
+	return s.dev.P, s.dev.BlockBytes, s.dev.StepTime
+}
+
 // prune drops bookkeeping for steps that can never be used again.
 func (d *Device) prune(current int64) {
 	if current-d.pruneBelow < 4096 || len(d.usage) < 4096 {

@@ -6,11 +6,13 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync/atomic"
 	"time"
 
+	"iomodels/internal/obs"
 	"iomodels/internal/stats"
 )
 
@@ -105,6 +107,21 @@ type StatsSnapshot struct {
 	TraceLen     int   `json:"trace_len"`
 	TraceCap     int   `json:"trace_cap"`
 	TraceDropped int64 `json:"trace_dropped"`
+
+	// Pager and write-path detail (PR-5 additions; existing fields above are
+	// protocol surface and keep their meaning).
+	PagerEvictions  int64   `json:"pager_evictions"`
+	PagerWritebacks int64   `json:"pager_writebacks"`
+	PagerDirtyMB    float64 `json:"pager_dirty_mb"`
+	WriteQueueDepth int     `json:"write_queue_depth"`
+	WriteBatchAvg   float64 `json:"write_batch_avg"`
+	JournalMB       float64 `json:"journal_mb"`
+	RedoMB          float64 `json:"redo_mb"`
+	PendingFree     int     `json:"pending_free"`
+
+	// Obs is the span tracer's summary (per-layer IO attribution and live
+	// model residuals); present only when a tracer is attached.
+	Obs *obs.Summary `json:"obs,omitempty"`
 }
 
 // Snapshot assembles the current stats document.
@@ -142,6 +159,12 @@ func (s *Server) Snapshot() StatsSnapshot {
 	}
 	ps := s.backend.Eng.Pager().Stats()
 	out.PagerHits, out.PagerMisses, out.PagerHit = ps.Hits, ps.Misses, ps.HitRatio()
+	out.PagerEvictions, out.PagerWritebacks = ps.Evictions, ps.Writebacks
+	out.PagerDirtyMB = float64(s.backend.Eng.Pager().DirtyBytes()) / (1 << 20)
+	out.WriteQueueDepth = len(s.writeCh)
+	if out.WriteBatches > 0 {
+		out.WriteBatchAvg = float64(out.WriteOps) / float64(out.WriteBatches)
+	}
 	io := s.backend.Eng.Counters()
 	out.DevReads, out.DevWrites = io.Reads, io.Writes
 	out.DevReadMB = float64(io.BytesRead) / (1 << 20)
@@ -150,12 +173,19 @@ func (s *Server) Snapshot() StatsSnapshot {
 		out.DurableEnabled = true
 		out.WALRecords, out.WALCommits, out.WALBytes = ds.LogRecords, ds.LogCommits, ds.LogBytes
 		out.Checkpoints = ds.Checkpoints
+		out.JournalMB = float64(ds.JournalBytes) / (1 << 20)
+		out.RedoMB = float64(ds.RedoBytes) / (1 << 20)
+		out.PendingFree = ds.PendingFree
 		if ds.Err != nil {
 			out.DurabilityErr = ds.Err.Error()
 		}
 	}
 	if t := s.cfg.Trace; t != nil {
 		out.TraceLen, out.TraceCap, out.TraceDropped = t.Len(), t.Cap(), t.Dropped()
+	}
+	if tr := s.cfg.Tracer; tr != nil {
+		sum := tr.Summary()
+		out.Obs = &sum
 	}
 	return out
 }
@@ -177,44 +207,138 @@ func (s *Server) MetricsHandler() http.Handler {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		writeProm(w, s.Snapshot())
+		s.writeProm(w)
 	})
 	return mux
 }
 
-// writeProm renders the snapshot in Prometheus exposition format.
-func writeProm(w http.ResponseWriter, snap StatsSnapshot) {
-	g := func(name string, v interface{}) { fmt.Fprintf(w, "kvserve_%s %v\n", name, v) }
-	g("uptime_seconds", snap.UptimeSeconds)
-	g("batch_ios", snap.BatchIOs)
-	g("conns", snap.Conns)
-	g("conns_total", snap.ConnsTotal)
-	g("in_flight", snap.InFlight)
-	g("read_queued", snap.ReadQueued)
-	g("proto_errors_total", snap.ProtoErrs)
-	g("busy_total", snap.Busy)
-	g("not_found_total", snap.NotFound)
-	g("read_batches_total", snap.ReadBatches)
-	g("write_batches_total", snap.WriteBatches)
-	g("write_ops_total", snap.WriteOps)
-	g("vclock_ns", snap.VClock)
-	g("pager_hits_total", snap.PagerHits)
-	g("pager_misses_total", snap.PagerMisses)
-	g("device_reads_total", snap.DevReads)
-	g("device_writes_total", snap.DevWrites)
-	g("wal_records_total", snap.WALRecords)
-	g("wal_commits_total", snap.WALCommits)
-	g("checkpoints_total", snap.Checkpoints)
-	names := make([]string, 0, len(snap.Ops))
-	for name := range snap.Ops {
-		names = append(names, name)
+// latencyBoundsNs are the op-latency histogram's bucket upper bounds:
+// 1µs·4^k for k = 0..11 (1µs to ~4.2s), in nanoseconds to match the
+// histograms' unit. Fixed bounds keep the exposition's bucket set stable
+// across scrapes, as Prometheus requires.
+var latencyBoundsNs = func() []int64 {
+	b := make([]int64, 12)
+	v := int64(1000)
+	for i := range b {
+		b[i] = v
+		v *= 4
+	}
+	return b
+}()
+
+// promFamily writes one metric family's # HELP / # TYPE preamble.
+func promFamily(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// writeProm renders the server's state in Prometheus exposition format:
+// every family carries # HELP / # TYPE, and op latencies are exported as a
+// real cumulative histogram (_bucket/_sum/_count) straight from the
+// lock-free stats.LatencyHist.
+func (s *Server) writeProm(w io.Writer) {
+	snap := s.Snapshot()
+	scalar := func(name, typ, help string, v interface{}) {
+		full := "kvserve_" + name
+		promFamily(w, full, typ, help)
+		fmt.Fprintf(w, "%s %v\n", full, v)
+	}
+	scalar("uptime_seconds", "gauge", "Seconds since the server started.", snap.UptimeSeconds)
+	scalar("batch_ios", "gauge", "Read scheduler batch size (the device's parallelism P).", snap.BatchIOs)
+	scalar("conns", "gauge", "Open client connections.", snap.Conns)
+	scalar("conns_total", "counter", "Connections accepted since start.", snap.ConnsTotal)
+	scalar("in_flight", "gauge", "Requests currently being served.", snap.InFlight)
+	scalar("read_queued", "gauge", "Reads queued or running in the batch scheduler.", snap.ReadQueued)
+	scalar("proto_errors_total", "counter", "Malformed or oversized requests.", snap.ProtoErrs)
+	scalar("busy_total", "counter", "Requests shed by admission control.", snap.Busy)
+	scalar("not_found_total", "counter", "Gets for absent keys.", snap.NotFound)
+	scalar("read_batches_total", "counter", "Read batches launched by the scheduler.", snap.ReadBatches)
+	scalar("write_batches_total", "counter", "Group-commit batches applied.", snap.WriteBatches)
+	scalar("write_ops_total", "counter", "Mutations applied across all batches.", snap.WriteOps)
+	scalar("write_queue_depth", "gauge", "Mutations waiting in the write queue.", snap.WriteQueueDepth)
+	scalar("write_batch_avg", "gauge", "Mean mutations per group-commit batch.", snap.WriteBatchAvg)
+	scalar("vclock_ns", "gauge", "Shared virtual clock (device-model time), ns.", snap.VClock)
+	scalar("pager_hits_total", "counter", "Buffer-pool hits.", snap.PagerHits)
+	scalar("pager_misses_total", "counter", "Buffer-pool misses.", snap.PagerMisses)
+	scalar("pager_hit_ratio", "gauge", "Buffer-pool hit ratio.", snap.PagerHit)
+	scalar("pager_evictions_total", "counter", "Buffer-pool evictions.", snap.PagerEvictions)
+	scalar("pager_writebacks_total", "counter", "Dirty-page write-backs.", snap.PagerWritebacks)
+	scalar("pager_dirty_bytes", "gauge", "Encoded size of the dirty page set.", int64(snap.PagerDirtyMB*(1<<20)))
+	scalar("device_reads_total", "counter", "Device read IOs.", snap.DevReads)
+	scalar("device_writes_total", "counter", "Device write IOs.", snap.DevWrites)
+	scalar("wal_records_total", "counter", "WAL records appended.", snap.WALRecords)
+	scalar("wal_commits_total", "counter", "WAL group commits.", snap.WALCommits)
+	scalar("wal_bytes_total", "counter", "WAL bytes written (frames and headers).", snap.WALBytes)
+	scalar("checkpoints_total", "counter", "Durability checkpoints sealed.", snap.Checkpoints)
+
+	promFamily(w, "kvserve_op_total", "counter", "Completed operations by op.")
+	names := make([]string, 0, len(s.metrics.ops))
+	for op := range s.metrics.ops {
+		names = append(names, op.String())
 	}
 	sort.Strings(names)
+	byName := make(map[string]*opMetrics, len(s.metrics.ops))
+	for op, om := range s.metrics.ops {
+		byName[op.String()] = om
+	}
 	for _, name := range names {
-		op := snap.Ops[name]
-		fmt.Fprintf(w, "kvserve_op_count{op=%q} %d\n", name, op.Count)
-		fmt.Fprintf(w, "kvserve_op_latency_us{op=%q,q=\"0.5\"} %g\n", name, op.P50Us)
-		fmt.Fprintf(w, "kvserve_op_latency_us{op=%q,q=\"0.95\"} %g\n", name, op.P95Us)
-		fmt.Fprintf(w, "kvserve_op_latency_us{op=%q,q=\"0.99\"} %g\n", name, op.P99Us)
+		fmt.Fprintf(w, "kvserve_op_total{op=%q} %d\n", name, byName[name].count.Load())
+	}
+
+	promFamily(w, "kvserve_op_latency_seconds", "histogram", "Wall-clock operation latency.")
+	for _, name := range names {
+		om := byName[name]
+		counts, total, sum := om.lat.Cumulative(latencyBoundsNs)
+		for i, b := range latencyBoundsNs {
+			fmt.Fprintf(w, "kvserve_op_latency_seconds_bucket{op=%q,le=\"%g\"} %d\n",
+				name, float64(b)/1e9, counts[i])
+		}
+		fmt.Fprintf(w, "kvserve_op_latency_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", name, total)
+		fmt.Fprintf(w, "kvserve_op_latency_seconds_sum{op=%q} %g\n", name, float64(sum)/1e9)
+		fmt.Fprintf(w, "kvserve_op_latency_seconds_count{op=%q} %d\n", name, total)
+	}
+
+	if snap.Obs != nil {
+		s.writePromObs(w, snap.Obs)
+	}
+}
+
+// writePromObs renders the span tracer's families: per-layer device-time
+// attribution and the live model-residual quantiles.
+func (s *Server) writePromObs(w io.Writer, o *obs.Summary) {
+	scalar := func(name, typ, help string, v interface{}) {
+		full := "kvserve_obs_" + name
+		promFamily(w, full, typ, help)
+		fmt.Fprintf(w, "%s %v\n", full, v)
+	}
+	scalar("spans_total", "counter", "Finished sampled spans.", o.Spans)
+	scalar("ops_total", "counter", "Operations offered to the tracer (incl. sampled out).", o.Ops)
+	scalar("avg_concurrency", "gauge", "Estimated device concurrency (Little's law over recent IOs).", o.AvgConcurrency)
+
+	promFamily(w, "kvserve_obs_layer_io_seconds", "counter", "Virtual device time attributed to each stack layer.")
+	for _, l := range o.Layers {
+		fmt.Fprintf(w, "kvserve_obs_layer_io_seconds{layer=%q} %g\n", l.Layer, l.TimeSeconds)
+	}
+	promFamily(w, "kvserve_obs_layer_io_total", "counter", "Device IOs attributed to each stack layer.")
+	for _, l := range o.Layers {
+		fmt.Fprintf(w, "kvserve_obs_layer_io_total{layer=%q} %d\n", l.Layer, l.IOs)
+	}
+
+	if len(o.Residuals) == 0 {
+		return
+	}
+	promFamily(w, "kvserve_model_residual_ratio", "gauge",
+		"Quantiles of |predicted-measured|/measured per cost model and op class.")
+	for _, r := range o.Residuals {
+		for _, q := range []struct {
+			q string
+			v float64
+		}{{"0.5", r.P50}, {"0.9", r.P90}} {
+			fmt.Fprintf(w, "kvserve_model_residual_ratio{model=%q,class=%q,quantile=%q} %g\n",
+				r.Model, r.Class, q.q, q.v)
+		}
+	}
+	promFamily(w, "kvserve_model_residual_count", "counter", "Operations accounted per cost model and op class.")
+	for _, r := range o.Residuals {
+		fmt.Fprintf(w, "kvserve_model_residual_count{model=%q,class=%q} %d\n", r.Model, r.Class, r.Count)
 	}
 }

@@ -22,6 +22,7 @@ import (
 
 	"iomodels/internal/engine"
 	"iomodels/internal/kv"
+	"iomodels/internal/obs"
 	"iomodels/internal/storage"
 )
 
@@ -56,6 +57,10 @@ type Config struct {
 	// Trace, if set, is attached to the engine's store. Unbounded traces
 	// are capped to DefaultTraceCap first.
 	Trace *storage.Trace
+	// Tracer, if set, is attached to the engine: reads and commits open
+	// spans, the pager/WAL/checkpoint layers annotate them, and /stats and
+	// /metrics expose the per-layer breakdown and live model residuals.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults(dev storage.Device) Config {
@@ -143,6 +148,9 @@ func New(cfg Config, backend Backend) (*Server, error) {
 			cfg.Trace.SetCap(DefaultTraceCap)
 		}
 		backend.Eng.SetTrace(cfg.Trace)
+	}
+	if cfg.Tracer != nil {
+		backend.Eng.SetTracer(cfg.Tracer)
 	}
 	s := &Server{
 		cfg:        cfg,
@@ -310,6 +318,10 @@ func (s *Server) serveRead(client *engine.Client, session engine.Dictionary, req
 	}
 	<-b.launched
 	client.AlignTo(b.start)
+	// The span opens at the batch's common virtual instant, so its duration
+	// is the request's virtual service time (queue wait is wall-clock and
+	// deliberately excluded — virtual time is the models' currency).
+	sp := client.StartSpan(req.op.String())
 
 	s.stateMu.RLock()
 	var reply []byte
@@ -350,6 +362,7 @@ func (s *Server) serveRead(client *engine.Client, session engine.Dictionary, req
 		reply = e.Buf
 	}
 	s.stateMu.RUnlock()
+	client.FinishSpan(sp)
 	s.readSched.done(b, client.Now())
 	return reply
 }

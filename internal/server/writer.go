@@ -64,6 +64,11 @@ func (s *Server) writerLoop() {
 func (s *Server) applyWrites(batch []writeReq) {
 	s.stateMu.Lock()
 	start := s.backend.Clock.Now()
+	// One span per group commit, on the owner client: the trees' mutation
+	// path, the WAL appends, the group-commit flush, and any checkpoint all
+	// run through the owner while the state lock is held.
+	owner := s.backend.Eng.Owner()
+	sp := owner.StartSpan("commit")
 	results := make([]writeResult, len(batch))
 	if d, ok := s.backend.Writer.(*engine.Durable); ok {
 		muts := make([]engine.Mutation, len(batch))
@@ -79,6 +84,7 @@ func (s *Server) applyWrites(batch []writeReq) {
 			results[i] = s.applyPlain(req)
 		}
 	}
+	owner.FinishSpan(sp)
 	s.metrics.writeBatches.Add(1)
 	s.metrics.writeOps.Add(int64(len(batch)))
 	s.metrics.writeSteps.Add(int64(s.backend.Clock.Now() - start))

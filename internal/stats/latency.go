@@ -137,6 +137,35 @@ func (h *LatencyHist) Quantile(q float64) int64 {
 	return atomic.LoadInt64(&h.max)
 }
 
+// Cumulative re-buckets the histogram onto the given ascending inclusive
+// upper bounds, returning the cumulative count at or below each bound plus
+// the total count and the exact running sum — the shape a Prometheus
+// histogram exposition needs (`_bucket{le=...}`, `_count`, `_sum`; samples
+// above the last bound appear only in the +Inf/total count). Each recorded
+// sample is represented by its bucket's lower bound, consistent with
+// Quantile's conservative never-over-reporting contract.
+func (h *LatencyHist) Cumulative(bounds []int64) (counts []int64, total, sum int64) {
+	counts = make([]int64, len(bounds))
+	for i := range h.counts {
+		c := atomic.LoadInt64(&h.counts[i])
+		if c == 0 {
+			continue
+		}
+		total += c
+		v := latencyBucketLow(i)
+		for j, b := range bounds {
+			if v <= b {
+				counts[j] += c
+				break
+			}
+		}
+	}
+	for j := 1; j < len(counts); j++ {
+		counts[j] += counts[j-1]
+	}
+	return counts, total, atomic.LoadInt64(&h.sum)
+}
+
 // LatencySnapshot is a point-in-time summary of a LatencyHist.
 type LatencySnapshot struct {
 	Count int64

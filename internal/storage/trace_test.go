@@ -1,0 +1,76 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"iomodels/internal/sim"
+)
+
+// TestTraceConcurrentSetCap is a race regression for the trace ring:
+// writers add records while another goroutine re-caps, snapshots, and reads
+// the drop counter. The conservation invariant must hold throughout — every
+// added record is either retained or counted as dropped (by the ring
+// overwrite or by a shrinking SetCap), never lost or double-counted.
+func TestTraceConcurrentSetCap(t *testing.T) {
+	const writers, perWriter = 8, 500
+	tr := NewBoundedTrace(256)
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		caps := []int{64, 256, 128}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr.SetCap(caps[i%len(caps)])
+			if n := tr.Len(); n > 256 {
+				t.Errorf("Len() = %d exceeds the largest cap", n)
+				return
+			}
+			if got := len(tr.Snapshot()); got > 256 {
+				t.Errorf("Snapshot() returned %d records, cap 256", got)
+				return
+			}
+			_ = tr.Dropped()
+			_ = tr.Cap()
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr.add(TraceRecord{
+					At: sim.Time(w*perWriter + i), Op: Read,
+					Off: int64(i) * 4096, Size: 4096, Latency: sim.Millisecond,
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+
+	tr.SetCap(64)
+	total := int64(writers * perWriter)
+	if got := tr.Len(); got != 64 {
+		t.Fatalf("Len() after SetCap(64) = %d, want 64", got)
+	}
+	if got := int64(tr.Len()) + tr.Dropped(); got != total {
+		t.Fatalf("Len()+Dropped() = %d, want %d (records lost or double-counted)", got, total)
+	}
+	if got := len(tr.Snapshot()); got != tr.Len() {
+		t.Fatalf("Snapshot() length %d != Len() %d", got, tr.Len())
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatalf("Reset left Len=%d Dropped=%d", tr.Len(), tr.Dropped())
+	}
+}
