@@ -5,7 +5,8 @@
 #   go vet     stock static analysis
 #   iolint     the repo's own go/analysis suite (cmd/iolint): no panic on
 #              the durability path, no engine bypass, consistent atomics,
-#              virtual time in sim code, no discarded durable-write errors
+#              virtual time in sim code, no discarded durable-write errors,
+#              no leaked MVCC snapshots
 #   go build   everything compiles, including cmd/ and examples/
 #   go test    tier-1 correctness
 #   smoke      kvserve + loadgen end to end: boot the server binary, drive
@@ -35,8 +36,8 @@ go vet ./...
 # iolint: the custom analyzer suite (see DESIGN.md "Static analysis"). It
 # subsumes the old grep-based panic lint — nopanic understands scope and the
 # //lint:allowpanic escape hatch instead of pattern-matching source text —
-# and adds the engine-bypass, atomic-field, virtual-time, and wal-error
-# checks. Exits non-zero on any diagnostic.
+# and adds the engine-bypass, atomic-field, virtual-time, wal-error, and
+# snapshot-release checks. Exits non-zero on any diagnostic.
 go run ./cmd/iolint ./...
 
 go build ./...
@@ -76,6 +77,19 @@ grep -q "ops/s" "$smoke/loadgen.log" || {
 	cat "$smoke/loadgen.log" >&2
 	exit 1
 }
+# MVCC smoke on the same live server: open a snapshot, write past it, and
+# require the pinned read to return the pre-write value (loadgen -snapcheck
+# prints "snapcheck: ok" only if the stale read came back byte-identical).
+"$smoke/loadgen" -addr "$addr" -snapcheck >"$smoke/snapcheck.log" 2>&1 || {
+	echo "snapcheck failed:" >&2
+	cat "$smoke/snapcheck.log" >&2
+	exit 1
+}
+grep -q "snapcheck: ok" "$smoke/snapcheck.log" || {
+	echo "snapcheck printed no verdict:" >&2
+	cat "$smoke/snapcheck.log" >&2
+	exit 1
+}
 kill -INT "$kvpid"
 wait "$kvpid" || {
 	echo "kvserve did not shut down cleanly:" >&2
@@ -107,14 +121,17 @@ grep -q "model residuals" "$smoke/iotrace.log" || {
 #   go test ./internal/kv  -run '^$' -fuzz=FuzzDec    -fuzztime=30s
 #   go test ./internal/wal -run '^$' -fuzz=FuzzReplay -fuzztime=30s
 
-# The crash-consistency suite under the race detector, named explicitly so a
-# future -short or skip in the full pass cannot silently drop it.
-go test -race -run 'Crash|Fault|Replay|Durab|Recover|Torn|LogFull|NoSteal|Stats' \
+# The crash-consistency and MVCC snapshot suites under the race detector,
+# named explicitly so a future -short or skip in the full pass cannot
+# silently drop them (the snapshot tests race concurrent pinned readers
+# against the mutation bracket).
+go test -race -run 'Crash|Fault|Replay|Durab|Recover|Torn|LogFull|NoSteal|Stats|Snapshot|MVCC' \
 	./internal/wal ./internal/storage ./internal/engine
 
 # The server package entire under the race detector: real TCP handlers, the
-# batch scheduler, and the group-commit writer are the most goroutine-dense
-# code in the repo, so it gets an explicit pass a future -short cannot drop.
+# batch scheduler, the group-commit writer, and the snapshot read path are
+# the most goroutine-dense code in the repo, so it gets an explicit pass a
+# future -short cannot drop.
 go test -race ./internal/server
 
 # The span tracer's and trace ring's concurrency regressions, named

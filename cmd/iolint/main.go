@@ -1,7 +1,7 @@
-// iolint is the repo's static-analysis gate: the five custom analyzers that
-// encode the IO-model and durability invariants (see DESIGN.md "Static
-// analysis"), plus the stock vet passes whose bugs bite this codebase
-// hardest (atomic, copylocks, lostcancel), in one command:
+// iolint is the repo's static-analysis gate: the six custom analyzers that
+// encode the IO-model, durability, and MVCC invariants (see DESIGN.md
+// "Static analysis"), plus the stock vet passes whose bugs bite this
+// codebase hardest (atomic, copylocks, lostcancel), in one command:
 //
 //	go run ./cmd/iolint ./...
 //
@@ -30,6 +30,7 @@ import (
 	"iomodels/internal/analysis/atomicfield"
 	"iomodels/internal/analysis/enginebypass"
 	"iomodels/internal/analysis/nopanic"
+	"iomodels/internal/analysis/snapshotrelease"
 	"iomodels/internal/analysis/virtualtime"
 	"iomodels/internal/analysis/walerr"
 )
@@ -42,6 +43,7 @@ var suite = []*analysis.Analyzer{
 	atomicfield.Analyzer,
 	virtualtime.Analyzer,
 	walerr.Analyzer,
+	snapshotrelease.Analyzer,
 	// Stock passes for go vet parity: mixed atomic arithmetic, copied
 	// locks (incl. atomic.Int64 values), and leaked context cancels.
 	atomic.Analyzer,

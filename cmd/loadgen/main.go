@@ -7,10 +7,21 @@
 //
 //	loadgen -addr HOST:PORT [-clients K] [-ops N] [-ycsb a|b|c|f]
 //	        [-mix get=95,put=5,...] [-theta 0.99] [-keys N] [-seed S]
+//	        [-scanners K] [-snapcheck]
 //
 // It reports aggregate throughput, wall-clock latency percentiles (merged
 // from per-client histograms), busy (shed) counts, and — with -stats — the
 // server's own snapshot afterwards.
+//
+// -scanners K runs the scan-beside-OLTP mix: K extra connections page
+// through the whole keyspace with long MVCC snapshot scans while the
+// closed-loop point clients run, and scan latency is reported separately
+// from point latency — the workload that motivates LSN-pinned reads (a
+// long analytical scan must neither block nor be torn by concurrent
+// writes).
+//
+// -snapcheck is a smoke probe for CI: open a snapshot, write past it, and
+// verify the pinned read still returns the old value.
 package main
 
 import (
@@ -40,7 +51,17 @@ func main() {
 	scanLen := flag.Int("scanlen", 100, "entries per scan")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	showStats := flag.Bool("stats", false, "print the server's /stats document afterwards")
+	scanners := flag.Int("scanners", 0, "snapshot-scan connections paging the keyspace beside the OLTP clients")
+	snapcheck := flag.Bool("snapcheck", false, "run the snapshot smoke probe and exit")
 	flag.Parse()
+
+	if *snapcheck {
+		if err := runSnapcheck(*addr); err != nil {
+			fatalf("snapcheck: %v", err)
+		}
+		fmt.Println("snapcheck: ok (pinned read unchanged by later write)")
+		return
+	}
 
 	mix, err := parseMix(*ycsb, *mixFlag, *scanLen)
 	if err != nil {
@@ -64,11 +85,40 @@ func main() {
 				*ops, hist, &shed, &misses, counts, &countsMu)
 		}(c)
 	}
-	wg.Wait()
+
+	// Scan-beside-OLTP: the scanners run until the point clients finish.
+	scanHist := stats.NewLatencyHist()
+	var scans, scanned int64
+	var scanErrs []error
+	if *scanners > 0 {
+		oltpDone := make(chan struct{})
+		var swg sync.WaitGroup
+		scanErrs = make([]error, *scanners)
+		for i := 0; i < *scanners; i++ {
+			swg.Add(1)
+			go func(i int) {
+				defer swg.Done()
+				n, entries, err := runScanner(*addr, *scanLen, scanHist, oltpDone)
+				atomic.AddInt64(&scans, n)
+				atomic.AddInt64(&scanned, entries)
+				scanErrs[i] = err
+			}(i)
+		}
+		wg.Wait()
+		close(oltpDone)
+		swg.Wait()
+	} else {
+		wg.Wait()
+	}
 	close(errs)
 	for err := range errs {
 		if err != nil {
 			fatalf("%v", err)
+		}
+	}
+	for _, err := range scanErrs {
+		if err != nil {
+			fatalf("scanner: %v", err)
 		}
 	}
 	elapsed := time.Since(start)
@@ -89,6 +139,13 @@ func main() {
 	}
 	countsMu.Unlock()
 	fmt.Printf("ops: %s; busy(shed)=%d not_found=%d\n", strings.Join(parts, " "), shed.Load(), misses.Load())
+	if *scanners > 0 {
+		ss := scanHist.Snapshot()
+		fmt.Printf("snapshot scans: %d scanners, %d scans (%d entries)\n", *scanners, scans, scanned)
+		fmt.Printf("scan latency µs: mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%.0f\n",
+			ss.Mean/1e3, float64(ss.P50)/1e3, float64(ss.P95)/1e3,
+			float64(ss.P99)/1e3, float64(ss.Max)/1e3)
+	}
 
 	if *showStats {
 		cl, err := server.Dial(*addr)
@@ -139,6 +196,99 @@ func runClient(addr string, spec workload.KeySpec, stream *workload.Stream, ops 
 	}
 	countsMu.Unlock()
 	return nil
+}
+
+// runScanner is one snapshot-scan connection: open a snapshot, page through
+// the whole keyspace with SnapScan, release, re-pin, repeat until the OLTP
+// side finishes. An expired snapshot (version chains trimmed under write
+// pressure) is re-opened, not fatal — exactly what an analytical client
+// would do.
+func runScanner(addr string, scanLen int, hist *stats.LatencyHist, done <-chan struct{}) (scans, entries int64, err error) {
+	cl, err := server.Dial(addr)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.Close()
+	local := stats.NewLatencyHist()
+	defer hist.Merge(local)
+
+	id, _, err := cl.SnapOpen()
+	if err != nil {
+		return 0, 0, err
+	}
+	var cursor []byte
+	for {
+		select {
+		case <-done:
+			return scans, entries, cl.SnapRelease(id)
+		default:
+		}
+		t0 := time.Now()
+		page, err := cl.SnapScan(id, cursor, nil, scanLen)
+		if errors.Is(err, server.ErrBusy) {
+			continue
+		}
+		if errors.Is(err, server.ErrSnapExpired) {
+			if id, _, err = cl.SnapOpen(); err != nil {
+				return scans, entries, err
+			}
+			cursor = nil
+			continue
+		}
+		if err != nil {
+			return scans, entries, err
+		}
+		local.Observe(int64(time.Since(t0)))
+		scans++
+		entries += int64(len(page))
+		if len(page) < scanLen {
+			// End of keyspace: one full pass done. Re-pin so the next pass
+			// sees a fresh consistent world (and the old versions can be
+			// reclaimed).
+			if err := cl.SnapRelease(id); err != nil {
+				return scans, entries, err
+			}
+			if id, _, err = cl.SnapOpen(); err != nil {
+				return scans, entries, err
+			}
+			cursor = nil
+			continue
+		}
+		last := page[len(page)-1].Key
+		cursor = append(append([]byte(nil), last...), 0)
+	}
+}
+
+// runSnapcheck is the CI smoke probe: pin, write past the pin, and demand
+// the stale read.
+func runSnapcheck(addr string) error {
+	cl, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	key := []byte("snapcheck-key")
+	if err := cl.Put(key, []byte("before")); err != nil {
+		return fmt.Errorf("seed put: %w", err)
+	}
+	id, lsn, err := cl.SnapOpen()
+	if err != nil {
+		return fmt.Errorf("snap open: %w", err)
+	}
+	if err := cl.Put(key, []byte("after")); err != nil {
+		return fmt.Errorf("post-pin put: %w", err)
+	}
+	v, ok, err := cl.SnapGet(id, key)
+	if err != nil {
+		return fmt.Errorf("snap get: %w", err)
+	}
+	if !ok || string(v) != "before" {
+		return fmt.Errorf("pinned read at lsn %d returned %q (ok=%v), want the pre-image", lsn, v, ok)
+	}
+	if v, ok, err := cl.Get(key); err != nil || !ok || string(v) != "after" {
+		return fmt.Errorf("live read returned %q (ok=%v, err=%v), want the new value", v, ok, err)
+	}
+	return cl.SnapRelease(id)
 }
 
 func execOp(cl *server.Client, spec workload.KeySpec, op workload.Op, key []byte, misses *atomic.Int64) error {

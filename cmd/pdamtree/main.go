@@ -15,10 +15,13 @@
 // stack — real TCP clients against internal/server's batch read scheduler,
 // batch-of-P vs the DAM-style batch-of-1, plus the group-commit table.
 //
+// With -mvcc it runs E22: snapshot point-read latency under saturating
+// write pressure, pinned LSN snapshots vs the shared-world-view read path.
+//
 // Usage:
 //
 //	pdamtree [-items N] [-p P] [-queries Q] [-dynitems N] [-cache BYTES]
-//	         [-serving]
+//	         [-serving] [-mvcc]
 package main
 
 import (
@@ -35,6 +38,7 @@ func main() {
 	dynItems := flag.Int64("dynitems", 120_000, "keys in the dynamic trees")
 	cache := flag.Int64("cache", 1<<20, "engine cache budget for the dynamic trees")
 	serving := flag.Bool("serving", false, "also run E20 (Lemma 13 through the TCP server)")
+	mvcc := flag.Bool("mvcc", false, "also run E22 (snapshot reads under write pressure)")
 	flag.Parse()
 
 	clients := func(p int) []int {
@@ -70,5 +74,15 @@ func main() {
 		}
 		fmt.Println(experiments.RenderServing(rows))
 		fmt.Println(experiments.RenderServingCommit(commits))
+	}
+
+	if *mvcc {
+		mcfg := experiments.DefaultMVCCServeConfig()
+		mcfg.P = *p
+		rows, err := experiments.MVCCServe(mcfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(experiments.RenderMVCCServe(rows))
 	}
 }

@@ -1,0 +1,380 @@
+// Package snapshotrelease defines an analyzer enforcing the MVCC snapshot
+// lifecycle (PR 6): every Snapshot()/SnapshotAt() result must be Released on
+// every control-flow path. A live snapshot pins the engine's version chains
+// — the horizon GC cannot reclaim anything older than the oldest pin — so a
+// leaked snapshot is an unbounded memory leak and a frozen reclamation
+// horizon, not a tidiness issue.
+//
+// The analysis is lostcancel-shaped: find assignments whose RHS is a call to
+// a method named Snapshot or SnapshotAt whose first result has a Release
+// method, then search the function's CFG for a path from the assignment to a
+// return on which the snapshot is neither released nor handed off. Unlike
+// lostcancel, reading THROUGH the snapshot (sn.Get, sn.Scan, sn.LSN, ...) is
+// not a use — that is precisely the mistake this analyzer exists to catch.
+// Handing the value off (passing it as an argument, storing it, returning
+// it) transfers ownership and ends the analysis. Error-guard branches
+// (`if err != nil` on the error assigned beside the snapshot) are pruned:
+// a failed open returns no snapshot to release.
+//
+// A deliberate leak documents itself with `//lint:keepsnapshot <reason>`.
+package snapshotrelease
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	"iomodels/internal/analysis/lintutil"
+)
+
+const doc = `require Release of engine snapshots on every control-flow path
+
+A live snapshot pins version-chain memory and freezes the reclamation
+horizon. Reads through the snapshot do not count as a release; handing the
+snapshot off (argument, store, return) transfers ownership. Deliberate
+leaks use //lint:keepsnapshot <reason>.`
+
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotrelease",
+	Doc:  doc,
+	Requires: []*analysis.Analyzer{
+		inspect.Analyzer,
+		ctrlflow.Analyzer,
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	nodeTypes := []ast.Node{
+		(*ast.FuncDecl)(nil),
+		(*ast.FuncLit)(nil),
+	}
+	ins.Preorder(nodeTypes, func(n ast.Node) {
+		runFunc(pass, n)
+	})
+	return nil, nil
+}
+
+// isSnapshotCall reports whether call opens a snapshot: a method named
+// Snapshot or SnapshotAt whose first result type has a Release method. The
+// shape check (rather than a package allowlist) keeps the analyzer honest
+// about wrappers like Client.Snapshot.
+func isSnapshotCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := lintutil.Callee(info, call)
+	if fn == nil || (fn.Name() != "Snapshot" && fn.Name() != "SnapshotAt") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	res := sig.Results().At(0).Type()
+	ms := types.NewMethodSet(res)
+	for i := 0; i < ms.Len(); i++ {
+		if m := ms.At(i).Obj(); m.Name() == "Release" {
+			return true
+		}
+	}
+	return false
+}
+
+// tracked is one snapshot variable under path analysis.
+type tracked struct {
+	v    *types.Var // the snapshot variable
+	errv *types.Var // the error assigned beside it, if any (prunes err guards)
+	stmt ast.Node   // the defining AssignStmt
+}
+
+func runFunc(pass *analysis.Pass, node ast.Node) {
+	var tracks []tracked
+
+	// report applies the test-file and //lint:keepsnapshot hatches; it
+	// returns whether the diagnostic was actually emitted so follow-up
+	// diagnostics (the leaky return site) can be suppressed together.
+	report := func(rng analysis.Range, format string, args ...interface{}) bool {
+		if lintutil.IsTestFile(pass.Fset, rng.Pos()) {
+			return false
+		}
+		if reason, ok := lintutil.Directive(pass.Fset, pass.Files, rng.Pos(), "keepsnapshot"); ok && reason != "" {
+			return false
+		} else if ok {
+			pass.Reportf(rng.Pos(), "//lint:keepsnapshot needs a reason")
+			return false
+		}
+		pass.ReportRangef(rng, format, args...)
+		return true
+	}
+
+	// Collect snapshot-opening assignments (and bare/blank discards, which
+	// are reportable immediately).
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != node {
+			return false // nested functions get their own runFunc visit
+		}
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok && isSnapshotCall(pass.TypesInfo, call) {
+				report(call, "snapshot discarded; it pins version-chain memory until Release")
+			}
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 || len(st.Lhs) == 0 {
+				return true
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok || !isSnapshotCall(pass.TypesInfo, call) {
+				return true
+			}
+			id, ok := st.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true // stored straight into a field/index: handed off
+			}
+			if id.Name == "_" {
+				report(id, "snapshot assigned to _; it pins version-chain memory until Release")
+				return true
+			}
+			t := tracked{stmt: st}
+			if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+				t.v = v
+			} else if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+				t.v = v
+			}
+			if len(st.Lhs) > 1 {
+				if eid, ok := st.Lhs[1].(*ast.Ident); ok && eid.Name != "_" {
+					if ev, ok := pass.TypesInfo.Defs[eid].(*types.Var); ok {
+						t.errv = ev
+					} else if ev, ok := pass.TypesInfo.Uses[eid].(*types.Var); ok {
+						t.errv = ev
+					}
+				}
+			}
+			if t.v != nil {
+				tracks = append(tracks, t)
+			}
+		}
+		return true
+	})
+
+	if len(tracks) == 0 {
+		return
+	}
+
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	var g *cfg.CFG
+	switch node := node.(type) {
+	case *ast.FuncDecl:
+		g = cfgs.FuncDecl(node)
+	case *ast.FuncLit:
+		g = cfgs.FuncLit(node)
+	}
+	if g == nil {
+		return
+	}
+
+	for _, t := range tracks {
+		if ret := leakPath(pass, g, t); ret != nil {
+			line := pass.Fset.Position(t.stmt.Pos()).Line
+			if !report(t.stmt.(*ast.AssignStmt), "snapshot %s is not released on all paths", t.v.Name()) {
+				continue
+			}
+			pos, end := ret.Pos(), ret.End()
+			if pass.Fset.File(pos) != pass.Fset.File(end) {
+				end = pos
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos:     pos,
+				End:     end,
+				Message: fmt.Sprintf("this return may be reached without releasing the snapshot opened on line %d", line),
+			})
+		}
+	}
+}
+
+// releases reports whether stmts release or hand off t.v. A reference
+// counts when it is: the receiver of a Release call, a call argument, part
+// of a return, the RHS of an assignment, an address-of, or a composite
+// literal element. It does NOT count when it is the receiver of any other
+// method (a read through the snapshot) or a bare nil-comparison operand.
+func releases(pass *analysis.Pass, v *types.Var, stmts []ast.Node) bool {
+	found := false
+	for _, stmt := range stmts {
+		var stack []ast.Node
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if found {
+				return false
+			}
+			stack = append(stack, n)
+			id, ok := n.(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != v {
+				return true
+			}
+			if refIsRelease(pass, v, stack) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// refIsRelease classifies one reference to the snapshot var, given the
+// ancestor stack ending at the *ast.Ident.
+func refIsRelease(pass *analysis.Pass, v *types.Var, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return true // no context: be conservative, treat as handled
+	}
+	parent := stack[len(stack)-2]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// sn.Method — released iff the method is Release and it is called;
+		// a method value (sn.Release passed around) also counts as a
+		// hand-off. Any other selector is a read.
+		called := false
+		if len(stack) >= 3 {
+			if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == p {
+				called = true
+			}
+		}
+		if p.Sel.Name == "Release" {
+			return true
+		}
+		if !called {
+			return true // sn.Get as a method value: escapes
+		}
+		return false
+	case *ast.CallExpr:
+		// sn as an argument: ownership handed off.
+		return true
+	case *ast.ReturnStmt:
+		return true
+	case *ast.AssignStmt:
+		for _, rhs := range p.Rhs {
+			if rhs == stack[len(stack)-1] {
+				return true // copied somewhere: handed off
+			}
+		}
+		return false // LHS: reassignment, not a use of the old value
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	case *ast.CompositeLit, *ast.KeyValueExpr, *ast.IndexExpr, *ast.SendStmt:
+		return true
+	case *ast.BinaryExpr:
+		return false // sn != nil and friends: a look, not a release
+	default:
+		return true // unknown context: assume handled to avoid false positives
+	}
+}
+
+// leakPath finds a CFG path from t's defining statement to a return on
+// which the snapshot is never released or handed off, pruning branches
+// where t's paired error is known non-nil (the open failed; there is
+// nothing to release).
+func leakPath(pass *analysis.Pass, g *cfg.CFG, t tracked) *ast.ReturnStmt {
+	memo := make(map[*cfg.Block]bool)
+	blockReleases := func(b *cfg.Block) bool {
+		res, ok := memo[b]
+		if !ok {
+			res = releases(pass, t.v, b.Nodes)
+			memo[b] = res
+		}
+		return res
+	}
+
+	// succs returns b's successors with error-guard pruning: when b ends in
+	// `errv != nil` (or `errv == nil`), the branch where the error is
+	// non-nil cannot hold a live snapshot.
+	succs := func(b *cfg.Block) []*cfg.Block {
+		if t.errv == nil || len(b.Succs) != 2 || len(b.Nodes) == 0 {
+			return b.Succs
+		}
+		cond, ok := b.Nodes[len(b.Nodes)-1].(*ast.BinaryExpr)
+		if !ok {
+			return b.Succs
+		}
+		var errSide ast.Expr
+		if isVarRef(pass, t.errv, cond.X) && isNil(pass, cond.Y) {
+			errSide = cond.X
+		} else if isVarRef(pass, t.errv, cond.Y) && isNil(pass, cond.X) {
+			errSide = cond.Y
+		}
+		if errSide == nil {
+			return b.Succs
+		}
+		switch cond.Op {
+		case token.NEQ: // err != nil: true branch is the failure path
+			return b.Succs[1:]
+		case token.EQL: // err == nil: false branch is the failure path
+			return b.Succs[:1]
+		}
+		return b.Succs
+	}
+
+	// Find the defining block and the statements after the assignment.
+	var defblock *cfg.Block
+	var rest []ast.Node
+outer:
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n == t.stmt {
+				defblock = b
+				rest = b.Nodes[i+1:]
+				break outer
+			}
+		}
+	}
+	if defblock == nil {
+		return nil // definition unreachable (dead code)
+	}
+	if releases(pass, t.v, rest) {
+		return nil
+	}
+	if ret := defblock.Return(); ret != nil {
+		return ret
+	}
+
+	seen := make(map[*cfg.Block]bool)
+	var search func(blocks []*cfg.Block) *ast.ReturnStmt
+	search = func(blocks []*cfg.Block) *ast.ReturnStmt {
+		for _, b := range blocks {
+			if seen[b] {
+				continue
+			}
+			seen[b] = true
+			if blockReleases(b) {
+				continue
+			}
+			if ret := b.Return(); ret != nil {
+				return ret
+			}
+			if ret := search(succs(b)); ret != nil {
+				return ret
+			}
+		}
+		return nil
+	}
+	return search(succs(defblock))
+}
+
+func isVarRef(pass *analysis.Pass, v *types.Var, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == v
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,12 @@
+package snapshotrelease_test
+
+import (
+	"testing"
+
+	"iomodels/internal/analysis/atest"
+	"iomodels/internal/analysis/snapshotrelease"
+)
+
+func TestSnapshotRelease(t *testing.T) {
+	atest.Run(t, "../testdata", snapshotrelease.Analyzer, "snapdata")
+}

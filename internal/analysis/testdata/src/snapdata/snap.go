@@ -1,0 +1,22 @@
+// Package snapdata models the engine's snapshot surface for the
+// snapshotrelease analyzer: a Snapshot/SnapshotAt pair whose result carries
+// a Release method, plus reads that must NOT count as releases.
+package snapdata
+
+// Snap mirrors engine.Snap's ownership shape.
+type Snap struct{}
+
+func (s *Snap) Release()                             {}
+func (s *Snap) LSN() uint64                          { return 0 }
+func (s *Snap) Get(key []byte) ([]byte, bool, error) { return nil, false, nil }
+
+// Eng mirrors engine.Engine's snapshot constructors.
+type Eng struct{}
+
+func (e *Eng) Snapshot() (*Snap, error)             { return &Snap{}, nil }
+func (e *Eng) SnapshotAt(lsn uint64) (*Snap, error) { return &Snap{}, nil }
+
+// sink is an escape target: a function the snapshot is handed to owns it.
+func sink(s *Snap) {}
+
+var global *Snap

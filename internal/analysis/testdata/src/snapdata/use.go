@@ -1,0 +1,90 @@
+package snapdata
+
+// Discarded exercises the immediate-report shapes.
+func Discarded(e *Eng) {
+	e.Snapshot()           // want `snapshot discarded`
+	_, _ = e.Snapshot()    // want `snapshot assigned to _`
+	_, _ = e.SnapshotAt(7) // want `snapshot assigned to _`
+}
+
+// DeferRelease is the canonical correct shape.
+func DeferRelease(e *Eng) error {
+	sn, err := e.Snapshot()
+	if err != nil {
+		return err
+	}
+	defer sn.Release()
+	_, _, err = sn.Get([]byte("k"))
+	return err
+}
+
+// ReadIsNotRelease reads through the snapshot on every path but never
+// releases it: the exact leak this analyzer exists for.
+func ReadIsNotRelease(e *Eng) error {
+	sn, err := e.Snapshot() // want `snapshot sn is not released on all paths`
+	if err != nil {
+		return err
+	}
+	_, _, err = sn.Get([]byte("k"))
+	_ = sn.LSN()
+	return err // want `this return may be reached without releasing the snapshot`
+}
+
+// BranchMiss releases on one branch only.
+func BranchMiss(e *Eng, cleanup bool) {
+	sn, err := e.SnapshotAt(3) // want `snapshot sn is not released on all paths`
+	if err != nil {
+		return
+	}
+	if cleanup {
+		sn.Release()
+	}
+} // want `this return may be reached without releasing the snapshot`
+
+// ErrGuard returns on the failure path without releasing; the paired error
+// is non-nil there, so no diagnostic.
+func ErrGuard(e *Eng) ([]byte, error) {
+	sn, err := e.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	v, _, err := sn.Get([]byte("k"))
+	sn.Release()
+	return v, err
+}
+
+// HandedOff transfers ownership: argument, store, and return each end the
+// caller's responsibility.
+func HandedOff(e *Eng) *Snap {
+	a, _ := e.Snapshot()
+	sink(a)
+	b, _ := e.Snapshot()
+	global = b
+	c, _ := e.Snapshot()
+	return c
+}
+
+// LoopRelease releases inside a loop body reached on every path.
+func LoopRelease(e *Eng, n int) {
+	for i := 0; i < n; i++ {
+		sn, err := e.Snapshot()
+		if err != nil {
+			return
+		}
+		_, _, _ = sn.Get(nil)
+		sn.Release()
+	}
+}
+
+// Documented keeps a snapshot alive on purpose.
+func Documented(e *Eng) {
+	//lint:keepsnapshot process-lifetime pin for the admin console
+	sn, _ := e.Snapshot()
+	_ = sn.LSN()
+}
+
+// BadDirective has the hatch without a reason.
+func BadDirective(e *Eng) {
+	//lint:keepsnapshot
+	e.Snapshot() // want `//lint:keepsnapshot needs a reason`
+}

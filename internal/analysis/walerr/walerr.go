@@ -36,6 +36,8 @@ const DefaultFuncs = "internal/wal.Log.Append," +
 	"internal/engine.Engine.Checkpoint," +
 	"internal/engine.Engine.EnableDurability," +
 	"internal/engine.Engine.ApplyBatch," +
+	"internal/engine.Engine.ApplyBatchNoSync," +
+	"internal/engine.Engine.CommitPending," +
 	"internal/engine.Recovery.Replay"
 
 var Analyzer = &analysis.Analyzer{

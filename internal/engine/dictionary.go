@@ -26,6 +26,17 @@ type Dictionary interface {
 	Stats() Stats
 }
 
+// SnapshotReader is the snapshot-pinned read extension of Dictionary:
+// every tree session implements it by delegating to Snap's resolve-then-
+// fall-through logic, so callers holding a Snap can read any structure as
+// of the pinned LSN through one interface.
+type SnapshotReader interface {
+	// GetAt reads key as of sn's pinned LSN.
+	GetAt(sn *Snap, key []byte) ([]byte, bool, error)
+	// ScanAt visits [lo, hi) in order as of sn's pinned LSN.
+	ScanAt(sn *Snap, lo, hi []byte, fn func(key, value []byte) bool) error
+}
+
 // Stats is a Dictionary's self-report, uniform across structures.
 type Stats struct {
 	// Items is the number of live keys (approximate for structures that

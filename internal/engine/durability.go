@@ -50,6 +50,10 @@ type DurabilityConfig struct {
 	// it, a checkpoint always fires when the dirty page set reaches half of
 	// JournalBytes, because the sealed frame must hold the whole set.
 	CheckpointEveryBytes int64
+	// MaxVersionsPerKey bounds the MVCC version chain kept per key while
+	// snapshots are live (default 64; negative = unbounded). A snapshot
+	// older than a trimmed chain's floor reads ErrSnapshotTooOld.
+	MaxVersionsPerKey int
 }
 
 func (c DurabilityConfig) withDefaults(cacheBytes int64) DurabilityConfig {
@@ -64,6 +68,9 @@ func (c DurabilityConfig) withDefaults(cacheBytes int64) DurabilityConfig {
 	}
 	if c.CheckpointEveryBytes == 0 {
 		c.CheckpointEveryBytes = c.LogBytes / 2
+	}
+	if c.MaxVersionsPerKey == 0 {
+		c.MaxVersionsPerKey = 64
 	}
 	return c
 }
@@ -148,6 +155,7 @@ func (e *Engine) EnableDurability(cfg DurabilityConfig) error {
 	}
 	d.log = log
 	e.dur = d
+	e.mvcc = newVersionStore(d.cfg.MaxVersionsPerKey)
 	e.pager.noSteal = true
 	// Seal the initial empty checkpoint so a crash before the first real
 	// checkpoint still recovers (to an empty engine plus the WAL suffix).
@@ -218,16 +226,26 @@ func (d *Durable) Scan(lo, hi []byte, fn func(key, value []byte) bool) {
 // Stats passes through.
 func (d *Durable) Stats() Stats { return d.dict.Stats() }
 
-// Put logs the write, then applies it.
+// Put logs the write, records its version, then applies it. The version
+// bracket (mvcc.begin/end) pins the mutation's LSN and holds snapshot opens
+// out of the window between the chain append and the structure apply.
 func (d *Durable) Put(key, value []byte) {
 	d.eng.logMutation(d.id, kv.Put, key, value)
+	v := d.eng.mvcc
+	v.begin(d.eng.LogSeq(), key, value, true, func() ([]byte, bool) { return d.dict.Get(key) })
 	d.dict.Put(key, value)
+	v.end()
 }
 
-// Delete logs a tombstone, then applies it.
+// Delete logs a tombstone, records it as a versioned absence, then applies
+// it.
 func (d *Durable) Delete(key []byte) bool {
 	d.eng.logMutation(d.id, kv.Tombstone, key, nil)
-	return d.dict.Delete(key)
+	v := d.eng.mvcc
+	v.begin(d.eng.LogSeq(), key, nil, false, func() ([]byte, bool) { return d.dict.Get(key) })
+	ok := d.dict.Delete(key)
+	v.end()
+	return ok
 }
 
 // Upsert materializes the post-image — read the current value, apply the
@@ -241,7 +259,10 @@ func (d *Durable) Upsert(key []byte, delta int64) {
 	m := kv.Message{Kind: kv.Upsert, Value: kv.UpsertDelta(delta)}
 	post, _ := m.Apply(old, ok)
 	d.eng.logMutation(d.id, kv.Put, key, post)
+	v := d.eng.mvcc
+	v.begin(d.eng.LogSeq(), key, post, true, func() ([]byte, bool) { return old, ok })
 	d.dict.Put(key, post)
+	v.end()
 }
 
 var _ Dictionary = (*Durable)(nil)

@@ -52,6 +52,9 @@ type Engine struct {
 	pendingFree []extent
 
 	dur *durability
+	// mvcc is the version layer backing Snapshot reads; created together
+	// with dur (the WAL's LSNs are the version stamps), nil otherwise.
+	mvcc *versionStore
 
 	// tracer, when set, receives a span per client operation (see
 	// Client.StartSpan) annotated by the pager, WAL, and IO path. The hot

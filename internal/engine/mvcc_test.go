@@ -1,0 +1,511 @@
+// MVCC snapshot tests: the PR-6 property — a pinned snapshot's reads are
+// byte-identical before and after any number of subsequent commits — plus
+// the horizon GC, the bounded-chain ErrSnapshotTooOld contract, time-travel
+// windows, a -race writer-vs-readers drill, and crash recovery (a snapshot
+// opened after engine.Recover sees exactly the committed prefix).
+//
+// Shares helpers (flatDev, smallDur, key, val, engCfg, runUntilCrash) with
+// durability_test.go — same package.
+
+package engine_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"iomodels/internal/btree"
+	"iomodels/internal/engine"
+	"iomodels/internal/sim"
+	"iomodels/internal/storage"
+)
+
+// newDurableBTree builds the standard test fixture: a durable B-tree on a
+// fault store, MVCC enabled as part of EnableDurability.
+func newDurableBTree(t *testing.T, dcfg engine.DurabilityConfig) (*engine.Engine, *engine.Durable, *storage.FaultStore) {
+	t.Helper()
+	fs := storage.NewFaultStore(flatDev{testCapacity})
+	e := engine.FromStore(engCfg(), fs, sim.New())
+	if err := e.EnableDurability(dcfg); err != nil {
+		t.Fatal(err)
+	}
+	bt, err := btree.New(btreeCfg(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.Durable("bt", bt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, d, fs
+}
+
+// snapView reads the whole keyspace through the snapshot: point gets plus a
+// full scan, for equality comparison across time.
+func snapView(t *testing.T, sn *engine.Snap, d *engine.Durable, keyspace int) (gets map[string][]byte, scan []string) {
+	t.Helper()
+	gets = make(map[string][]byte)
+	for i := 0; i < keyspace; i++ {
+		k := key(i)
+		v, ok, err := sn.Get(d, k)
+		if err != nil {
+			t.Fatalf("snapshot get %q: %v", k, err)
+		}
+		if ok {
+			gets[string(k)] = append([]byte(nil), v...)
+		}
+	}
+	err := sn.Scan(d, nil, nil, func(k, v []byte) bool {
+		scan = append(scan, fmt.Sprintf("%s=%s", k, v))
+		return true
+	})
+	if err != nil {
+		t.Fatalf("snapshot scan: %v", err)
+	}
+	return gets, scan
+}
+
+func viewsEqual(a, b map[string][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || !bytes.Equal(v, w) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSnapshotStableUnderWrites is the deterministic core: pin, mutate
+// (overwrite, delete, insert), and expect the pinned view — gets and scans —
+// unchanged, while a plain read sees the new world.
+func TestSnapshotStableUnderWrites(t *testing.T) {
+	e, d, _ := newDurableBTree(t, smallDur())
+	const n = 64
+	for i := 0; i < n; i++ {
+		d.Put(key(i), val(i))
+	}
+
+	sn, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn.Release()
+	gets0, scan0 := snapView(t, sn, d, n+16)
+
+	// Every mutation class after the pin: overwrite, delete, fresh insert.
+	for i := 0; i < n; i += 2 {
+		d.Put(key(i), val(9000+i))
+	}
+	for i := 1; i < n; i += 4 {
+		d.Delete(key(i))
+	}
+	for i := n; i < n+16; i++ {
+		d.Put(key(i), val(i))
+	}
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	gets1, scan1 := snapView(t, sn, d, n+16)
+	if !viewsEqual(gets0, gets1) {
+		t.Fatalf("snapshot gets drifted: %d keys then, %d now", len(gets0), len(gets1))
+	}
+	if len(scan0) != len(scan1) {
+		t.Fatalf("snapshot scan drifted: %d entries then, %d now", len(scan0), len(scan1))
+	}
+	for i := range scan0 {
+		if scan0[i] != scan1[i] {
+			t.Fatalf("scan entry %d drifted: %q -> %q", i, scan0[i], scan1[i])
+		}
+	}
+
+	// The pinned view is the pre-mutation world exactly.
+	if got := gets1[string(key(0))]; !bytes.Equal(got, val(0)) {
+		t.Fatalf("snapshot key 0 = %q, want pre-image %q", got, val(0))
+	}
+	if _, ok := gets1[string(key(n))]; ok {
+		t.Fatalf("snapshot sees key %d inserted after the pin", n)
+	}
+	if v, ok, err := sn.Get(d, key(1)); err != nil || !ok || !bytes.Equal(v, val(1)) {
+		t.Fatalf("snapshot deleted key: got %q,%v,%v want %q", v, ok, err, val(1))
+	}
+
+	// The live view moved on.
+	if v, ok := d.Get(key(0)); !ok || !bytes.Equal(v, val(9000)) {
+		t.Fatalf("live key 0 = %q,%v, want overwrite visible", v, ok)
+	}
+	if _, ok := d.Get(key(1)); ok {
+		t.Fatal("live view resurrected a deleted key")
+	}
+
+	st := e.MVCCStats()
+	if !st.Enabled || st.ChainHits == 0 || st.LiveSnapshots != 1 {
+		t.Fatalf("stats = %+v, want enabled, chain hits, one live snapshot", st)
+	}
+}
+
+// snapScript is a quick-generated workload with a random pin point.
+type snapScript struct {
+	Seed uint64
+	Ops  uint16
+	Pin  uint16
+}
+
+// TestSnapshotPropertyQuick: for random op scripts and a random pin point,
+// the snapshot's full view equals the model folded over exactly the ops
+// before the pin — checked immediately and again after the remaining ops
+// commit.
+func TestSnapshotPropertyQuick(t *testing.T) {
+	cfg := quick.Config{MaxCount: 30}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	prop := func(c snapScript) bool {
+		rng := rand.New(rand.NewSource(int64(c.Seed)))
+		nOps := 40 + int(c.Ops)%300
+		pin := int(c.Pin) % nOps
+		const keyspace = 40
+
+		e, d, _ := newDurableBTree(t, smallDur())
+		model := make(map[string][]byte)
+		apply := func(i int) {
+			k := key(rng.Intn(keyspace))
+			if rng.Intn(4) == 0 {
+				d.Delete(k)
+				delete(model, string(k))
+			} else {
+				v := val(rng.Intn(1 << 20))
+				d.Put(k, v)
+				model[string(k)] = v
+			}
+		}
+		for i := 0; i < pin; i++ {
+			apply(i)
+		}
+		sn, err := e.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sn.Release()
+		pinned := make(map[string][]byte, len(model))
+		for k, v := range model {
+			pinned[k] = v
+		}
+
+		check := func(when string) {
+			gets, scan := snapView(t, sn, d, keyspace)
+			if !viewsEqual(gets, pinned) {
+				t.Fatalf("%s (seed %d, pin %d/%d): snapshot view != pinned model (%d vs %d keys)",
+					when, c.Seed, pin, nOps, len(gets), len(pinned))
+			}
+			if len(scan) != len(pinned) {
+				t.Fatalf("%s: scan returned %d entries, model has %d", when, len(scan), len(pinned))
+			}
+		}
+		check("at pin")
+		for i := pin; i < nOps; i++ {
+			apply(i)
+		}
+		if err := e.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		check("after remaining commits")
+		return true
+	}
+	if err := quick.Check(prop, &cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotConcurrentReaders drives one writer (the engine's single-writer
+// rule) against many snapshot readers under -race. Readers use TryGet only —
+// chain resolution never touches the tree, so no reader/writer structural
+// races exist by construction, and any hit must return the pinned value.
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	e, d, _ := newDurableBTree(t, smallDur())
+	const keyspace = 32
+	for i := 0; i < keyspace; i++ {
+		d.Put(key(i), val(i))
+	}
+	sn, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 4
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := rng.Intn(keyspace)
+				v, present, hit, err := sn.TryGet(key(i))
+				if err != nil {
+					errCh <- fmt.Errorf("reader: %w", err)
+					return
+				}
+				if hit && (!present || !bytes.Equal(v, val(i))) {
+					errCh <- fmt.Errorf("reader saw post-pin value for key %d: %q (present=%v)", i, v, present)
+					return
+				}
+			}
+		}(int64(r))
+	}
+
+	// The writer overwrites every key several times past the pin.
+	for round := 0; round < 8; round++ {
+		for i := 0; i < keyspace; i++ {
+			d.Put(key(i), val(10000+round*keyspace+i))
+		}
+	}
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	sn.Release()
+	if _, _, _, err := sn.TryGet(key(0)); err != engine.ErrSnapshotReleased {
+		t.Fatalf("read after release: err = %v, want ErrSnapshotReleased", err)
+	}
+	// Last snapshot out clears every chain.
+	if st := e.MVCCStats(); st.Chains != 0 || st.Versions != 0 || st.LiveSnapshots != 0 {
+		t.Fatalf("after release: stats = %+v, want empty chains", st)
+	}
+}
+
+// TestSnapshotTooOld: with a tiny per-key bound, hammering one key trims the
+// chain past the pin and reads fail loudly instead of lying.
+func TestSnapshotTooOld(t *testing.T) {
+	dcfg := smallDur()
+	dcfg.MaxVersionsPerKey = 2
+	e, d, _ := newDurableBTree(t, dcfg)
+	d.Put(key(0), val(0))
+
+	sn, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn.Release()
+	for i := 1; i <= 10; i++ {
+		d.Put(key(0), val(i))
+	}
+	if _, _, _, err := sn.TryGet(key(0)); err != engine.ErrSnapshotTooOld {
+		t.Fatalf("TryGet after trim: err = %v, want ErrSnapshotTooOld", err)
+	}
+	if _, _, err := sn.Get(d, key(0)); err != engine.ErrSnapshotTooOld {
+		t.Fatalf("Get after trim: err = %v, want ErrSnapshotTooOld", err)
+	}
+	if err := sn.Scan(d, nil, nil, func(k, v []byte) bool { return true }); err != engine.ErrSnapshotTooOld {
+		t.Fatalf("Scan after trim: err = %v, want ErrSnapshotTooOld", err)
+	}
+	if st := e.MVCCStats(); st.TooOld == 0 || st.ReclaimedVersions == 0 {
+		t.Fatalf("stats = %+v, want too-old and reclaimed counters", st)
+	}
+}
+
+// TestSnapshotAtWindow: named-LSN pins are valid exactly inside
+// [tide, applied] — the continuously-recorded window — and read the world as
+// of that LSN.
+func TestSnapshotAtWindow(t *testing.T) {
+	e, d, _ := newDurableBTree(t, smallDur())
+	d.Put(key(0), val(0))
+
+	// No snapshot live: only the current LSN is pinnable.
+	if _, err := e.SnapshotAt(e.LogSeq() + 10); err != engine.ErrSnapshotOutOfRange {
+		t.Fatalf("future pin: err = %v, want ErrSnapshotOutOfRange", err)
+	}
+
+	anchor, err := e.Snapshot() // starts recording; tide = current applied
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anchor.Release()
+	tide := anchor.LSN()
+
+	d.Put(key(0), val(1))
+	mid := e.LogSeq()
+	d.Put(key(0), val(2))
+
+	for _, tc := range []struct {
+		lsn  uint64
+		want []byte
+	}{{tide, val(0)}, {mid, val(1)}, {e.LogSeq(), val(2)}} {
+		sn, err := e.SnapshotAt(tc.lsn)
+		if err != nil {
+			t.Fatalf("SnapshotAt(%d): %v", tc.lsn, err)
+		}
+		v, ok, err := sn.Get(d, key(0))
+		if err != nil || !ok || !bytes.Equal(v, tc.want) {
+			t.Fatalf("SnapshotAt(%d): got %q,%v,%v want %q", tc.lsn, v, ok, err, tc.want)
+		}
+		sn.Release()
+	}
+
+	if tide > 0 {
+		if _, err := e.SnapshotAt(tide - 1); err != engine.ErrSnapshotOutOfRange {
+			t.Fatalf("pre-tide pin: err = %v, want ErrSnapshotOutOfRange", err)
+		}
+	}
+	if _, err := e.SnapshotAt(e.LogSeq() + 1); err != engine.ErrSnapshotOutOfRange {
+		t.Fatalf("past-applied pin: err = %v, want ErrSnapshotOutOfRange", err)
+	}
+}
+
+// TestSnapshotHorizonGC: releasing the oldest of two snapshots advances the
+// horizon and reclaims versions only the dead pin could see; releasing the
+// last clears everything.
+func TestSnapshotHorizonGC(t *testing.T) {
+	e, d, _ := newDurableBTree(t, smallDur())
+	const n = 16
+	for i := 0; i < n; i++ {
+		d.Put(key(i), val(i))
+	}
+	old, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		d.Put(key(i), val(100+i)) // chains: base val(i) + this version
+	}
+	young, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		d.Put(key(i), val(200+i))
+	}
+
+	before := e.MVCCStats()
+	old.Release() // horizon moves to young's LSN; base pre-images die
+	after := e.MVCCStats()
+	if after.ReclaimedVersions <= before.ReclaimedVersions {
+		t.Fatalf("horizon GC reclaimed nothing: %+v -> %+v", before, after)
+	}
+	if after.LiveSnapshots != 1 {
+		t.Fatalf("live snapshots = %d, want 1", after.LiveSnapshots)
+	}
+	// The young snapshot still reads its pinned world.
+	if v, _, err := young.Get(d, key(3)); err != nil || !bytes.Equal(v, val(103)) {
+		t.Fatalf("young snapshot after GC: got %q,%v want %q", v, err, val(103))
+	}
+	young.Release()
+	final := e.MVCCStats()
+	if final.Chains != 0 || final.Versions != 0 {
+		t.Fatalf("after last release: %+v, want no chains", final)
+	}
+	if final.SnapshotsReleased != final.SnapshotsOpened {
+		t.Fatalf("opened %d != released %d", final.SnapshotsOpened, final.SnapshotsReleased)
+	}
+}
+
+// TestSnapshotAfterCrashRecovery: crash mid-workload via the FaultStore,
+// recover, and pin a snapshot on the recovered engine — it must see exactly
+// the committed prefix, and keep seeing it while post-recovery writes land.
+func TestSnapshotAfterCrashRecovery(t *testing.T) {
+	const keyspace = 24
+	type op struct {
+		del bool
+		key []byte
+		val []byte
+	}
+	rng := rand.New(rand.NewSource(61))
+	ops := make([]op, 200)
+	for i := range ops {
+		k := key(rng.Intn(keyspace))
+		if rng.Intn(4) == 0 {
+			ops[i] = op{del: true, key: k}
+		} else {
+			ops[i] = op{key: k, val: val(rng.Intn(1 << 20))}
+		}
+	}
+
+	dcfg := smallDur()
+	dcfg.LogBytes = 8 << 20 // never fills: seq == op index + 1
+	e, d, fs := newDurableBTree(t, dcfg)
+	fs.CrashAtWrite(6, 3)
+	crashed := runUntilCrash(func() {
+		for _, o := range ops {
+			if o.del {
+				d.Delete(o.key)
+			} else {
+				d.Put(o.key, o.val)
+			}
+		}
+		_ = e.Sync()
+	})
+	if !crashed {
+		t.Fatal("crash point never fired; retune CrashAtWrite")
+	}
+	fs.ClearFaults()
+
+	e2, r, err := engine.Recover(engCfg(), dcfg, fs, sim.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bt2 *btree.Tree
+	if man, ok := r.Manifest("bt"); ok {
+		bt2, err = btree.Open(btreeCfg(), e2, man)
+	} else {
+		bt2, err = btree.New(btreeCfg(), e2)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := r.Attach("bt", bt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	committed := int(r.CommittedSeq())
+	model := make(map[string][]byte)
+	for _, o := range ops[:committed] {
+		if o.del {
+			delete(model, string(o.key))
+		} else {
+			model[string(o.key)] = o.val
+		}
+	}
+
+	sn, err := e2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn.Release()
+	check := func(when string) {
+		gets, _ := snapView(t, sn, d2, keyspace)
+		if !viewsEqual(gets, model) {
+			t.Fatalf("%s: snapshot view != committed prefix (%d ops): %d vs %d keys",
+				when, committed, len(gets), len(model))
+		}
+	}
+	check("at recovery")
+	for i := 0; i < keyspace; i++ {
+		d2.Put(key(i), val(7000+i))
+	}
+	if err := e2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	check("after post-recovery writes")
+}

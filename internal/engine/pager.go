@@ -75,20 +75,25 @@ func (s PagerStats) String() string {
 		s.Hits, s.Misses, s.HitRatio(), s.Evictions, s.Writebacks, s.Shards)
 }
 
-// item is one cached object. busy latches it during a load or write-back:
+// item is one cached object. busy latches it during a load or an eviction:
 // while busy, only the latching client touches obj, and every other client
-// polls in virtual time. A busy item is never in the LRU and (except for
-// the latching client's own reference) never pinned.
+// polls in virtual time. writing is the weaker write-back latch Flush uses:
+// the object is resident and immutable while its image streams out, so
+// readers may still hit and pin it — snapshot and point reads are never
+// serialized behind the no-steal checkpoint's write-back (they effectively
+// read the pre-image frame the flusher is copying from). Neither latched
+// form is ever in the LRU.
 type item struct {
-	id     PageID
-	obj    interface{}
-	size   int64
-	enc    int64 // while dirty: Store's byte length, counted in shard.dirtyBytes
-	dirty  bool
-	pins   int
-	busy   bool
-	loader Loader
-	elem   *list.Element // position in LRU list; nil while pinned or busy
+	id      PageID
+	obj     interface{}
+	size    int64
+	enc     int64 // while dirty: Store's byte length, counted in shard.dirtyBytes
+	dirty   bool
+	pins    int
+	busy    bool
+	writing bool
+	loader  Loader
+	elem    *list.Element // position in LRU list; nil while pinned or latched
 }
 
 // encSize returns the bytes Store would write for it's current object.
@@ -404,7 +409,7 @@ func (p *Pager) Unpin(c *Client, id PageID) {
 		panic(fmt.Sprintf("engine: Unpin of unpinned page %d", id))
 	}
 	it.pins--
-	if it.pins == 0 && !it.busy {
+	if it.pins == 0 && !it.busy && !it.writing {
 		it.elem = sh.lru.PushFront(it)
 	}
 	sh.mu.Unlock()
@@ -469,7 +474,7 @@ func (p *Pager) Drop(c *Client, id PageID) {
 			sh.mu.Unlock()
 			return
 		}
-		if it.busy {
+		if it.busy || it.writing {
 			sh.mu.Unlock()
 			c.wait()
 			continue
@@ -485,14 +490,19 @@ func (p *Pager) Drop(c *Client, id PageID) {
 }
 
 // Flush writes back every dirty object (pinned or not) without evicting,
-// charging the IO to c.
+// charging the IO to c. Write-backs take the writing latch, not busy:
+// concurrent readers keep hitting and pinning the object mid-flush (it is
+// resident and, by the single-writer rule the caller must hold, immutable
+// while its image streams out) — the snapshot-aware relaxation of the
+// no-steal path, under which checkpoints used to stall every reader that
+// touched a dirty frame.
 func (p *Pager) Flush(c *Client) {
 	for _, sh := range p.shards {
 		for {
 			sh.mu.Lock()
 			var victim *item
 			for _, it := range sh.items {
-				if it.dirty && !it.busy {
+				if it.dirty && !it.busy && !it.writing {
 					victim = it
 					break
 				}
@@ -501,7 +511,7 @@ func (p *Pager) Flush(c *Client) {
 				sh.mu.Unlock()
 				break
 			}
-			victim.busy = true
+			victim.writing = true
 			if victim.elem != nil {
 				sh.lru.Remove(victim.elem)
 				victim.elem = nil
@@ -517,7 +527,7 @@ func (p *Pager) Flush(c *Client) {
 			sh.dirtyBytes -= victim.enc
 			victim.dirty = false
 			victim.enc = 0
-			victim.busy = false
+			victim.writing = false
 			if victim.pins == 0 {
 				victim.elem = sh.lru.PushFront(victim)
 			}

@@ -131,6 +131,12 @@ func Recover(cfg Config, dcfg DurabilityConfig, store storage.ByteStore, clk *si
 	d.lastLSN = lastLSN
 	d.nextSlot = slot ^ 1
 	e.dur = d
+	// The version layer restarts empty at the recovered LSN: snapshots are
+	// volatile, so post-crash reads see exactly the committed prefix — new
+	// snapshots pin log.LastSeq() (== CommittedSeq once Replay has run,
+	// since replay applies records the log already holds without appending).
+	e.mvcc = newVersionStore(d.cfg.MaxVersionsPerKey)
+	e.mvcc.applied = log.LastSeq()
 	e.pager.noSteal = true
 	return e, r, nil
 }

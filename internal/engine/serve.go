@@ -15,12 +15,15 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
 
 	"iomodels/internal/kv"
+	"iomodels/internal/obs"
 	"iomodels/internal/sim"
+	"iomodels/internal/wal"
 )
 
 // SharedClock is a monotone virtual-time high-water mark shared by many real
@@ -124,6 +127,18 @@ type Mutation struct {
 // applied (durability degrades before availability does, as everywhere in
 // this layer).
 func (e *Engine) ApplyBatch(muts []Mutation) error {
+	if err := e.ApplyBatchNoSync(muts); err != nil {
+		return err
+	}
+	return e.Sync()
+}
+
+// ApplyBatchNoSync applies muts in order through their Durable wrappers
+// without the trailing group-commit flush. The MVCC server's writer uses
+// the split form: applies run under the structural lock, the flush
+// (CommitPending) runs outside it, so snapshot and point readers are never
+// serialized behind the log device.
+func (e *Engine) ApplyBatchNoSync(muts []Mutation) error {
 	if e.dur == nil {
 		return errNotEnabled
 	}
@@ -145,5 +160,34 @@ func (e *Engine) ApplyBatch(muts []Mutation) error {
 			return fmt.Errorf("engine: ApplyBatch mutation %d has invalid kind %d", i, m.Kind)
 		}
 	}
-	return e.Sync()
+	return nil
+}
+
+// CommitPending flushes the WAL's pending group like Sync, but when the log
+// is full it returns wal.ErrLogFull instead of checkpointing: a checkpoint
+// restructures engine state (memtable flushes, page installs), which a
+// caller running the flush off the structural lock must re-acquire the lock
+// for. Callers seeing wal.ErrLogFull take their write exclusion and call
+// Checkpoint, which makes every applied record durable via the journal.
+func (e *Engine) CommitPending() error {
+	if e.dur == nil {
+		return errNotEnabled
+	}
+	d := e.dur
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.err != nil {
+		return d.err
+	}
+	start := e.owner.ctx.Now()
+	prev := e.owner.pushLayer(obs.LayerWAL)
+	err := d.log.Commit()
+	e.owner.popLayer(prev)
+	if sp := e.owner.span; sp != nil {
+		sp.WALCommit(start, e.owner.ctx.Now()-start)
+	}
+	if err != nil && !errors.Is(err, wal.ErrLogFull) {
+		d.err = err
+	}
+	return err
 }

@@ -5,8 +5,9 @@ import "iomodels/internal/engine"
 // Tree and Session both implement the engine's common dictionary
 // interface.
 var (
-	_ engine.Dictionary = (*Tree)(nil)
-	_ engine.Dictionary = (*Session)(nil)
+	_ engine.Dictionary     = (*Tree)(nil)
+	_ engine.Dictionary     = (*Session)(nil)
+	_ engine.SnapshotReader = (*Session)(nil)
 )
 
 // Stats implements engine.Dictionary. Items is an upper bound (see Items).
@@ -38,6 +39,19 @@ func (s *Session) Get(key []byte) ([]byte, bool) { return s.t.getKey(s.c, key) }
 // Scan visits [lo, hi) in order, charging IO to the session's client.
 func (s *Session) Scan(lo, hi []byte, fn func(key, value []byte) bool) {
 	s.t.scan(s.c, lo, hi, fn)
+}
+
+// GetAt reads key as of sn's pinned LSN: versions recorded in the engine's
+// chains resolve in memory, unchanged keys fall through to the session's
+// ordinary read path (whose current answer is the snapshot answer).
+func (s *Session) GetAt(sn *engine.Snap, key []byte) ([]byte, bool, error) {
+	return sn.Get(s, key)
+}
+
+// ScanAt visits [lo, hi) in order as of sn's pinned LSN: the session's scan
+// stream merged with the snapshot's version overlay (see engine.Snap.Scan).
+func (s *Session) ScanAt(sn *engine.Snap, lo, hi []byte, fn func(key, value []byte) bool) error {
+	return sn.Scan(s, lo, hi, fn)
 }
 
 // Put delegates to the tree's single-writer path.

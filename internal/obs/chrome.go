@@ -57,7 +57,7 @@ func writeChromeSpans(w io.Writer, spans []*Span) error {
 			case EvWALCommit:
 				emit(`{"name":"wal-commit","ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d,"args":{}}`,
 					us(int64(ev.At)), us(int64(ev.Latency)), sp.TID)
-			case EvCacheHit, EvCacheMiss, EvEvict, EvWALAppend:
+			case EvCacheHit, EvCacheMiss, EvEvict, EvWALAppend, EvMVCCHit, EvMVCCMiss:
 				emit(`{"name":%q,"ph":"i","s":"t","ts":%s,"pid":1,"tid":%d,"args":{"bytes":%d}}`,
 					ev.Kind.String(), us(int64(ev.At)), sp.TID, ev.Size)
 			}

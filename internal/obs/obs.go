@@ -79,6 +79,12 @@ const (
 	// EvWALCommit is a group-commit flush barrier; Latency is the virtual
 	// time the committer waited for the log device.
 	EvWALCommit
+	// EvMVCCHit and EvMVCCMiss are snapshot-read resolutions against the
+	// engine's version chains: a hit was answered from the chain alone (no
+	// structure access, no IO possible), a miss fell through to the
+	// structure's ordinary read path.
+	EvMVCCHit
+	EvMVCCMiss
 )
 
 // String names the event kind.
@@ -96,6 +102,10 @@ func (k EventKind) String() string {
 		return "wal-append"
 	case EvWALCommit:
 		return "wal-commit"
+	case EvMVCCHit:
+		return "mvcc-hit"
+	case EvMVCCMiss:
+		return "mvcc-miss"
 	}
 	return "unknown"
 }
@@ -180,6 +190,19 @@ func (sp *Span) WALCommit(at, latency sim.Time) {
 		return
 	}
 	sp.Events = append(sp.Events, Event{Kind: EvWALCommit, Layer: LayerWAL, At: at, Latency: latency})
+}
+
+// MVCCResolve records a snapshot read's version-chain resolution: hit means
+// the chain alone answered it. Nil-safe.
+func (sp *Span) MVCCResolve(hit bool, at sim.Time) {
+	if sp == nil {
+		return
+	}
+	kind := EvMVCCMiss
+	if hit {
+		kind = EvMVCCHit
+	}
+	sp.Events = append(sp.Events, Event{Kind: kind, Layer: LayerTree, At: at})
 }
 
 // IOTime sums the span's device-IO virtual time.
@@ -267,6 +290,8 @@ type PathCounts struct {
 	Writebacks int64 `json:"writebacks"`
 	WALAppends int64 `json:"wal_appends"`
 	WALCommits int64 `json:"wal_commits"`
+	MVCCHits   int64 `json:"mvcc_hits"`
+	MVCCMisses int64 `json:"mvcc_misses"`
 }
 
 // NewTracer creates a tracer.
@@ -344,6 +369,10 @@ func (t *Tracer) Finish(sp *Span, now sim.Time) {
 			t.counts.WALAppends++
 		case EvWALCommit:
 			t.counts.WALCommits++
+		case EvMVCCHit:
+			t.counts.MVCCHits++
+		case EvMVCCMiss:
+			t.counts.MVCCMisses++
 		}
 	}
 	conc := t.concurrencyLocked()

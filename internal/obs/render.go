@@ -21,6 +21,9 @@ func RenderBreakdown(s Summary) string {
 	c := s.Counts
 	fmt.Fprintf(&b, "pager: %d hits / %d misses, %d evictions (%d writebacks)  wal: %d appends, %d commits\n",
 		c.Hits, c.Misses, c.Evictions, c.Writebacks, c.WALAppends, c.WALCommits)
+	if c.MVCCHits+c.MVCCMisses > 0 {
+		fmt.Fprintf(&b, "mvcc: %d chain hits / %d fall-throughs\n", c.MVCCHits, c.MVCCMisses)
+	}
 	var total float64
 	for _, l := range s.Layers {
 		total += l.TimeSeconds

@@ -17,6 +17,11 @@ import (
 // control. The request was not executed; the caller may retry.
 var ErrBusy = errors.New("server busy")
 
+// ErrSnapExpired is returned for snapshot operations against an id the
+// server no longer holds (never opened, already released, or the version
+// horizon moved past its pin). Open a fresh snapshot and retry.
+var ErrSnapExpired = errors.New("snapshot expired")
+
 // Client is a synchronous protocol client. Not safe for concurrent use; open
 // one per goroutine.
 type Client struct {
@@ -81,6 +86,12 @@ func (c *Client) roundTrip(req request) (Status, *kv.Dec, error) {
 			return status, nil, fmt.Errorf("server: malformed error reply: %w", d.Err)
 		}
 		return status, nil, fmt.Errorf("server: %s", msg)
+	case StatusSnapExpired:
+		msg := d.Bytes()
+		if d.Err != nil {
+			return status, nil, fmt.Errorf("server: malformed snap-expired reply: %w", d.Err)
+		}
+		return status, nil, fmt.Errorf("%w: %s", ErrSnapExpired, msg)
 	default:
 		return status, nil, fmt.Errorf("server: unknown reply status %d", uint8(status))
 	}
@@ -151,6 +162,77 @@ func (c *Client) Scan(lo, hi []byte, limit int) ([]kv.Entry, error) {
 		return nil, fmt.Errorf("server: malformed scan reply: %w", d.Err)
 	}
 	return out, nil
+}
+
+// SnapOpen pins a server-side snapshot at the current applied LSN and
+// returns its connection-local id and the pinned LSN. Snapshots are scoped
+// to this connection and bounded per connection; release them with
+// SnapRelease when done (closing the connection releases all).
+func (c *Client) SnapOpen() (id, lsn uint64, err error) {
+	return c.snapOpen(request{op: OpSnapOpen})
+}
+
+// SnapOpenAt pins a snapshot at a specific LSN (time travel). The LSN must
+// be within the engine's retained window; otherwise ErrSnapExpired.
+func (c *Client) SnapOpenAt(lsn uint64) (id, pinned uint64, err error) {
+	return c.snapOpen(request{op: OpSnapOpen, atLSN: true, lsn: lsn})
+}
+
+func (c *Client) snapOpen(req request) (id, lsn uint64, err error) {
+	_, d, err := c.roundTrip(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	id, lsn = d.U64(), d.U64()
+	if d.Err != nil {
+		return 0, 0, fmt.Errorf("server: malformed snap-open reply: %w", d.Err)
+	}
+	return id, lsn, nil
+}
+
+// SnapGet reads key as of the snapshot id's pinned LSN.
+func (c *Client) SnapGet(id uint64, key []byte) (value []byte, ok bool, err error) {
+	status, d, err := c.roundTrip(request{op: OpSnapGet, snapID: id, key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	if status == StatusNotFound {
+		return nil, false, nil
+	}
+	v := d.Bytes()
+	if d.Err != nil {
+		return nil, false, fmt.Errorf("server: malformed snap-get reply: %w", d.Err)
+	}
+	return v, true, nil
+}
+
+// SnapScan returns up to limit entries in [lo, hi) as of the snapshot id's
+// pinned LSN; empty bounds are unbounded.
+func (c *Client) SnapScan(id uint64, lo, hi []byte, limit int) ([]kv.Entry, error) {
+	_, d, err := c.roundTrip(request{op: OpSnapScan, snapID: id, lo: lo, hi: hi, limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	n := int(d.U32())
+	if d.Err != nil || n < 0 || n > limit {
+		return nil, fmt.Errorf("server: malformed snap-scan reply (n=%d)", n)
+	}
+	out := make([]kv.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.Entry())
+	}
+	if d.Err != nil {
+		return nil, fmt.Errorf("server: malformed snap-scan reply: %w", d.Err)
+	}
+	return out, nil
+}
+
+// SnapRelease releases a snapshot id, letting the engine reclaim versions
+// once no snapshot pins them. Releasing an unknown id is an error
+// (ErrSnapExpired) so leaks are visible.
+func (c *Client) SnapRelease(id uint64) error {
+	_, _, err := c.roundTrip(request{op: OpSnapRelease, snapID: id})
+	return err
 }
 
 // Stats fetches the server's JSON stats snapshot (the same document the

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"iomodels/internal/engine"
 	"iomodels/internal/obs"
 	"iomodels/internal/stats"
 )
@@ -32,6 +33,9 @@ type metrics struct {
 	writeOps     atomic.Int64 // mutations across those batches
 	writeSteps   atomic.Int64 // virtual time spent applying them
 
+	snapChainHits atomic.Int64 // snapshot gets resolved from the version chain (no IO)
+	snapExpired   atomic.Int64 // snapshot ops refused: unknown id or horizon passed
+
 	ops map[Op]*opMetrics // fixed at construction; values are atomic inside
 }
 
@@ -43,7 +47,8 @@ type opMetrics struct {
 
 func newMetrics() *metrics {
 	m := &metrics{started: time.Now(), ops: make(map[Op]*opMetrics)}
-	for _, op := range []Op{OpPing, OpGet, OpPut, OpDelete, OpScan, OpUpsert, OpStats} {
+	for _, op := range []Op{OpPing, OpGet, OpPut, OpDelete, OpScan, OpUpsert, OpStats,
+		OpSnapOpen, OpSnapGet, OpSnapScan, OpSnapRelease} {
 		m.ops[op] = &opMetrics{lat: stats.NewLatencyHist()}
 	}
 	return m
@@ -119,6 +124,26 @@ type StatsSnapshot struct {
 	RedoMB          float64 `json:"redo_mb"`
 	PendingFree     int     `json:"pending_free"`
 
+	// MVCC snapshot-read surface (PR-6). Horizon is the oldest LSN any live
+	// snapshot pins (0 when none); chain hits are snapshot gets answered from
+	// the version layer without touching the tree or the device.
+	MVCCEnabled       bool    `json:"mvcc_enabled"`
+	MVCCAppliedLSN    int64   `json:"mvcc_applied_lsn"`
+	MVCCHorizonLSN    int64   `json:"mvcc_snapshot_horizon_lsn"`
+	MVCCLiveSnapshots int64   `json:"mvcc_live_snapshots"`
+	MVCCChains        int64   `json:"mvcc_chains"`
+	MVCCVersions      int64   `json:"mvcc_versions"`
+	MVCCOpened        int64   `json:"mvcc_snapshots_opened"`
+	MVCCReleased      int64   `json:"mvcc_snapshots_released"`
+	MVCCChainHits     int64   `json:"mvcc_chain_hits"`
+	MVCCChainMisses   int64   `json:"mvcc_chain_misses"`
+	MVCCTooOld        int64   `json:"mvcc_too_old"`
+	MVCCReclVersions  int64   `json:"mvcc_reclaimed_versions"`
+	MVCCReclChains    int64   `json:"mvcc_reclaimed_chains"`
+	MVCCChainLens     []int64 `json:"mvcc_chain_len_hist,omitempty"`
+	SnapChainHits     int64   `json:"snap_chain_hits"`
+	SnapExpired       int64   `json:"snap_expired"`
+
 	// Obs is the span tracer's summary (per-layer IO attribution and live
 	// model residuals); present only when a tracer is attached.
 	Obs *obs.Summary `json:"obs,omitempty"`
@@ -180,6 +205,20 @@ func (s *Server) Snapshot() StatsSnapshot {
 			out.DurabilityErr = ds.Err.Error()
 		}
 	}
+	if ms := s.backend.Eng.MVCCStats(); ms.Enabled {
+		out.MVCCEnabled = true
+		out.MVCCAppliedLSN = int64(ms.AppliedLSN)
+		out.MVCCHorizonLSN = int64(ms.HorizonLSN)
+		out.MVCCLiveSnapshots = int64(ms.LiveSnapshots)
+		out.MVCCChains, out.MVCCVersions = int64(ms.Chains), int64(ms.Versions)
+		out.MVCCOpened, out.MVCCReleased = ms.SnapshotsOpened, ms.SnapshotsReleased
+		out.MVCCChainHits, out.MVCCChainMisses = ms.ChainHits, ms.ChainMisses
+		out.MVCCTooOld = ms.TooOld
+		out.MVCCReclVersions, out.MVCCReclChains = ms.ReclaimedVersions, ms.ReclaimedChains
+		out.MVCCChainLens = ms.ChainLenCounts
+	}
+	out.SnapChainHits = m.snapChainHits.Load()
+	out.SnapExpired = m.snapExpired.Load()
 	if t := s.cfg.Trace; t != nil {
 		out.TraceLen, out.TraceCap, out.TraceDropped = t.Len(), t.Cap(), t.Dropped()
 	}
@@ -269,6 +308,34 @@ func (s *Server) writeProm(w io.Writer) {
 	scalar("wal_commits_total", "counter", "WAL group commits.", snap.WALCommits)
 	scalar("wal_bytes_total", "counter", "WAL bytes written (frames and headers).", snap.WALBytes)
 	scalar("checkpoints_total", "counter", "Durability checkpoints sealed.", snap.Checkpoints)
+
+	if snap.MVCCEnabled {
+		scalar("mvcc_applied_lsn", "gauge", "Newest WAL LSN applied to the trees.", snap.MVCCAppliedLSN)
+		scalar("mvcc_snapshot_horizon_lsn", "gauge", "Oldest LSN pinned by a live snapshot (0 when none).", snap.MVCCHorizonLSN)
+		scalar("mvcc_live_snapshots", "gauge", "Snapshots currently pinned.", snap.MVCCLiveSnapshots)
+		scalar("mvcc_chains", "gauge", "Keys with a recorded version chain.", snap.MVCCChains)
+		scalar("mvcc_versions", "gauge", "Recorded versions across all chains.", snap.MVCCVersions)
+		scalar("mvcc_snapshots_opened_total", "counter", "Snapshots opened since start.", snap.MVCCOpened)
+		scalar("mvcc_snapshots_released_total", "counter", "Snapshots released since start.", snap.MVCCReleased)
+		scalar("mvcc_chain_hits_total", "counter", "Snapshot reads resolved from a version chain.", snap.MVCCChainHits)
+		scalar("mvcc_chain_misses_total", "counter", "Snapshot reads that fell through to the tree.", snap.MVCCChainMisses)
+		scalar("mvcc_too_old_total", "counter", "Snapshot reads refused: the chain was trimmed past the pin.", snap.MVCCTooOld)
+		scalar("mvcc_reclaimed_versions_total", "counter", "Versions reclaimed by horizon GC.", snap.MVCCReclVersions)
+		scalar("mvcc_reclaimed_chains_total", "counter", "Whole chains reclaimed by horizon GC.", snap.MVCCReclChains)
+		scalar("snap_expired_total", "counter", "Snapshot ops refused: unknown id or horizon passed.", snap.SnapExpired)
+		promFamily(w, "kvserve_mvcc_chain_len", "histogram", "Version-chain length distribution (live chains).")
+		var cum int64
+		bounds := engine.ChainLenBounds()
+		for i, c := range snap.MVCCChainLens {
+			cum += c
+			if i < len(bounds) {
+				fmt.Fprintf(w, "kvserve_mvcc_chain_len_bucket{le=\"%d\"} %d\n", bounds[i], cum)
+			}
+		}
+		fmt.Fprintf(w, "kvserve_mvcc_chain_len_bucket{le=\"+Inf\"} %d\n", cum)
+		fmt.Fprintf(w, "kvserve_mvcc_chain_len_sum %d\n", snap.MVCCVersions)
+		fmt.Fprintf(w, "kvserve_mvcc_chain_len_count %d\n", cum)
+	}
 
 	promFamily(w, "kvserve_op_total", "counter", "Completed operations by op.")
 	names := make([]string, 0, len(s.metrics.ops))

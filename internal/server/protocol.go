@@ -14,14 +14,21 @@
 //	Scan   lo hi limit     (empty lo/hi = unbounded; limit u32)
 //	Upsert key delta       (delta u64, two's complement)
 //	Stats
+//	SnapOpen    u8 hasLSN | u64 lsn    (hasLSN=0: pin the current LSN;
+//	            hasLSN=1: time-travel to the named LSN)
+//	SnapGet     u64 id | key
+//	SnapScan    u64 id | lo hi limit
+//	SnapRelease u64 id
 //
 // Replies (server → client):
 //
 //	OK       op-specific: Get → value; Scan → u32 n, n×(key value);
 //	         Delete → u8 accepted; Stats → JSON bytes; others → empty
+//	         SnapOpen → u64 id, u64 lsn; others → empty
 //	NotFound (Get of an absent key)
 //	Busy     message      (admission control shed the request; retry later)
 //	Err      message
+//	SnapExpired message   (snapshot too old, released, or unknown id)
 //
 // The payload is decoded with kv.Dec and must be consumed exactly: trailing
 // bytes are a protocol error, as is any truncation (Dec's sticky Err).
@@ -47,6 +54,10 @@ const (
 	OpScan
 	OpUpsert
 	OpStats
+	OpSnapOpen
+	OpSnapGet
+	OpSnapScan
+	OpSnapRelease
 )
 
 func (o Op) String() string {
@@ -65,6 +76,14 @@ func (o Op) String() string {
 		return "upsert"
 	case OpStats:
 		return "stats"
+	case OpSnapOpen:
+		return "snap-open"
+	case OpSnapGet:
+		return "snap-get"
+	case OpSnapScan:
+		return "snap-scan"
+	case OpSnapRelease:
+		return "snap-release"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -79,6 +98,7 @@ const (
 	StatusNotFound
 	StatusBusy
 	StatusErr
+	StatusSnapExpired
 )
 
 func (s Status) String() string {
@@ -91,6 +111,8 @@ func (s Status) String() string {
 		return "busy"
 	case StatusErr:
 		return "error"
+	case StatusSnapExpired:
+		return "snap-expired"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -147,6 +169,10 @@ type request struct {
 	hi    []byte // scan
 	limit int    // scan
 	delta int64  // upsert
+
+	snapID uint64 // snap-get/scan/release: the connection-local snapshot id
+	atLSN  bool   // snap-open: pin the named LSN instead of the current one
+	lsn    uint64 // snap-open with atLSN
 }
 
 // decodeRequest parses an untrusted request payload. Every error is a
@@ -169,6 +195,19 @@ func decodeRequest(buf []byte, maxScanLimit int) (request, error) {
 		req.lo = d.Bytes()
 		req.hi = d.Bytes()
 		req.limit = int(d.U32())
+	case OpSnapOpen:
+		req.atLSN = d.U8() != 0
+		req.lsn = d.U64()
+	case OpSnapGet:
+		req.snapID = d.U64()
+		req.key = d.Bytes()
+	case OpSnapScan:
+		req.snapID = d.U64()
+		req.lo = d.Bytes()
+		req.hi = d.Bytes()
+		req.limit = int(d.U32())
+	case OpSnapRelease:
+		req.snapID = d.U64()
 	default:
 		return req, fmt.Errorf("server: unknown op %d", uint8(req.op))
 	}
@@ -179,11 +218,11 @@ func decodeRequest(buf []byte, maxScanLimit int) (request, error) {
 		return req, fmt.Errorf("server: %v request has %d trailing bytes", req.op, len(buf)-d.Off)
 	}
 	switch req.op {
-	case OpGet, OpPut, OpDelete, OpUpsert:
+	case OpGet, OpPut, OpDelete, OpUpsert, OpSnapGet:
 		if len(req.key) == 0 {
 			return req, fmt.Errorf("server: %v request with empty key", req.op)
 		}
-	case OpScan:
+	case OpScan, OpSnapScan:
 		if req.limit <= 0 || req.limit > maxScanLimit {
 			return req, fmt.Errorf("server: scan limit %d out of range (1..%d)", req.limit, maxScanLimit)
 		}
@@ -209,6 +248,23 @@ func encodeRequest(req request) []byte {
 		e.Bytes(req.lo)
 		e.Bytes(req.hi)
 		e.U32(uint32(req.limit))
+	case OpSnapOpen:
+		if req.atLSN {
+			e.U8(1)
+		} else {
+			e.U8(0)
+		}
+		e.U64(req.lsn)
+	case OpSnapGet:
+		e.U64(req.snapID)
+		e.Bytes(req.key)
+	case OpSnapScan:
+		e.U64(req.snapID)
+		e.Bytes(req.lo)
+		e.Bytes(req.hi)
+		e.U32(uint32(req.limit))
+	case OpSnapRelease:
+		e.U64(req.snapID)
 	default:
 		panic(fmt.Sprintf("server: encodeRequest of invalid op %d", uint8(req.op)))
 	}
@@ -220,7 +276,7 @@ func encodeRequest(req request) []byte {
 func encodeStatus(s Status, msg string) []byte {
 	var e kv.Enc
 	e.U8(uint8(s))
-	if s == StatusBusy || s == StatusErr {
+	if s == StatusBusy || s == StatusErr || s == StatusSnapExpired {
 		e.Bytes([]byte(msg))
 	}
 	return e.Buf

@@ -247,6 +247,30 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// maxSnapsPerConn bounds the snapshots one connection may hold open: live
+// snapshots pin version-chain memory engine-wide, so a leaky client must
+// not grow it without bound.
+const maxSnapsPerConn = 64
+
+// connState is one connection's serving state: its engine client, its read
+// session, and the snapshots it holds open (ids are connection-local).
+type connState struct {
+	client   *engine.Client
+	session  engine.Dictionary
+	snaps    map[uint64]*engine.Snap
+	nextSnap uint64
+}
+
+// releaseAll retires every snapshot the connection still holds (the
+// disconnect path; the iolint snapshotrelease check enforces the same
+// discipline on library callers).
+func (cs *connState) releaseAll() {
+	for id, sn := range cs.snaps {
+		sn.Release()
+		delete(cs.snaps, id)
+	}
+}
+
 // handleConn serves one connection: its own engine client and read session
 // (per-connection virtual timeline), one request at a time.
 func (s *Server) handleConn(conn net.Conn) {
@@ -258,6 +282,8 @@ func (s *Server) handleConn(conn net.Conn) {
 	s.stateMu.RLock()
 	session := s.backend.NewSession(client)
 	s.stateMu.RUnlock()
+	cs := &connState{client: client, session: session, snaps: make(map[uint64]*engine.Snap)}
+	defer cs.releaseAll()
 
 	c := NewClient(conn) // reuse the framing helpers on the server side
 	for {
@@ -274,7 +300,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			s.metrics.protoErrs.Add(1)
 			reply = encodeStatus(StatusErr, err.Error())
 		} else {
-			reply = s.serveRequest(client, session, req)
+			reply = s.serveRequest(cs, req)
 		}
 		if err := writeFrame(c.w, reply); err != nil {
 			return
@@ -286,7 +312,7 @@ func (s *Server) handleConn(conn net.Conn) {
 }
 
 // serveRequest executes one decoded request and returns the reply payload.
-func (s *Server) serveRequest(client *engine.Client, session engine.Dictionary, req request) []byte {
+func (s *Server) serveRequest(cs *connState, req request) []byte {
 	s.metrics.inFlight.Add(1)
 	start := time.Now()
 	var reply []byte
@@ -296,15 +322,165 @@ func (s *Server) serveRequest(client *engine.Client, session engine.Dictionary, 
 	case OpStats:
 		reply = s.serveStats()
 	case OpGet, OpScan:
-		reply = s.serveRead(client, session, req)
+		reply = s.serveRead(cs.client, cs.session, req)
 	case OpPut, OpDelete, OpUpsert:
 		reply = s.serveWrite(req)
+	case OpSnapOpen:
+		reply = s.serveSnapOpen(cs, req)
+	case OpSnapGet, OpSnapScan:
+		reply = s.serveSnapRead(cs, req)
+	case OpSnapRelease:
+		reply = s.serveSnapRelease(cs, req)
 	default:
 		reply = encodeStatus(StatusErr, fmt.Sprintf("unhandled op %v", req.op))
 	}
 	s.metrics.observe(req.op, time.Since(start))
 	s.metrics.inFlight.Add(-1)
 	return reply
+}
+
+// serveSnapOpen pins a snapshot at the current applied LSN (or a named one
+// — time travel) and hands the connection an id for it.
+func (s *Server) serveSnapOpen(cs *connState, req request) []byte {
+	if len(cs.snaps) >= maxSnapsPerConn {
+		s.metrics.busy.Add(1)
+		return encodeStatus(StatusBusy, "too many open snapshots on this connection")
+	}
+	var sn *engine.Snap
+	var err error
+	if req.atLSN {
+		sn, err = s.backend.Eng.SnapshotAt(req.lsn)
+	} else {
+		sn, err = s.backend.Eng.Snapshot()
+	}
+	if err != nil {
+		if errors.Is(err, engine.ErrSnapshotOutOfRange) {
+			s.metrics.snapExpired.Add(1)
+			return encodeStatus(StatusSnapExpired, err.Error())
+		}
+		return encodeStatus(StatusErr, err.Error())
+	}
+	cs.nextSnap++
+	cs.snaps[cs.nextSnap] = sn
+	var e kv.Enc
+	e.U8(uint8(StatusOK))
+	e.U64(cs.nextSnap)
+	e.U64(sn.LSN())
+	return e.Buf
+}
+
+// serveSnapRead runs a snapshot Get/Scan. The fast path never consults the
+// write queue, the state lock, or the batch scheduler: a point read whose
+// key has a recorded version resolves from the in-memory chain alone. Only
+// chain misses — keys untouched since the snapshot opened, whose current
+// tree value IS the snapshot value — take the ordinary scheduled read path,
+// since they may do device IO.
+func (s *Server) serveSnapRead(cs *connState, req request) []byte {
+	sn, ok := cs.snaps[req.snapID]
+	if !ok {
+		s.metrics.snapExpired.Add(1)
+		return encodeStatus(StatusSnapExpired, fmt.Sprintf("unknown snapshot id %d", req.snapID))
+	}
+	if req.op == OpSnapGet {
+		value, present, hit, err := sn.TryGet(req.key)
+		if err != nil {
+			s.metrics.snapExpired.Add(1)
+			return encodeStatus(StatusSnapExpired, err.Error())
+		}
+		if hit {
+			s.metrics.snapChainHits.Add(1)
+			sp := cs.client.StartSpan(req.op.String())
+			sp.MVCCResolve(true, cs.client.Now())
+			cs.client.FinishSpan(sp)
+			if !present {
+				s.metrics.notFound.Add(1)
+				return encodeStatus(StatusNotFound, "")
+			}
+			var e kv.Enc
+			e.U8(uint8(StatusOK))
+			e.Bytes(value)
+			return e.Buf
+		}
+	}
+	// Chain miss (or a scan, whose tree merge reads the structure): the read
+	// may touch the device, so it joins a batch like any other read — but
+	// never the write queue; the snapshot's visibility does not depend on
+	// in-flight commits.
+	b, ok := s.readSched.admit()
+	if !ok {
+		s.metrics.busy.Add(1)
+		return encodeStatus(StatusBusy, "read queue full")
+	}
+	<-b.launched
+	cs.client.AlignTo(b.start)
+	sp := cs.client.StartSpan(req.op.String())
+	sp.MVCCResolve(false, cs.client.Now())
+
+	s.stateMu.RLock()
+	var reply []byte
+	switch req.op {
+	case OpSnapGet:
+		v, found, err := sn.Get(cs.session, req.key)
+		switch {
+		case err != nil:
+			s.metrics.snapExpired.Add(1)
+			reply = encodeStatus(StatusSnapExpired, err.Error())
+		case found:
+			var e kv.Enc
+			e.U8(uint8(StatusOK))
+			e.Bytes(v)
+			reply = e.Buf
+		default:
+			s.metrics.notFound.Add(1)
+			reply = encodeStatus(StatusNotFound, "")
+		}
+	case OpSnapScan:
+		// Empty bounds decode as non-nil empty slices; the trees read a
+		// non-nil hi as a real bound, so normalize like the plain scan path.
+		var lo, hi []byte
+		if len(req.lo) > 0 {
+			lo = req.lo
+		}
+		if len(req.hi) > 0 {
+			hi = req.hi
+		}
+		var entries []kv.Entry
+		err := sn.Scan(cs.session, lo, hi, func(k, v []byte) bool {
+			entries = append(entries, kv.Entry{
+				Key:   append([]byte(nil), k...),
+				Value: append([]byte(nil), v...),
+			})
+			return len(entries) < req.limit
+		})
+		if err != nil {
+			s.metrics.snapExpired.Add(1)
+			reply = encodeStatus(StatusSnapExpired, err.Error())
+		} else {
+			var e kv.Enc
+			e.U8(uint8(StatusOK))
+			e.U32(uint32(len(entries)))
+			for _, ent := range entries {
+				e.Entry(ent)
+			}
+			reply = e.Buf
+		}
+	}
+	s.stateMu.RUnlock()
+	cs.client.FinishSpan(sp)
+	s.readSched.done(b, cs.client.Now())
+	return reply
+}
+
+// serveSnapRelease retires one snapshot (idempotent per id).
+func (s *Server) serveSnapRelease(cs *connState, req request) []byte {
+	sn, ok := cs.snaps[req.snapID]
+	if !ok {
+		s.metrics.snapExpired.Add(1)
+		return encodeStatus(StatusSnapExpired, fmt.Sprintf("unknown snapshot id %d", req.snapID))
+	}
+	sn.Release()
+	delete(cs.snaps, req.snapID)
+	return encodeStatus(StatusOK, "")
 }
 
 // serveRead runs a Get/Scan through the batch scheduler: join a batch (or

@@ -11,9 +11,11 @@ package server
 
 import (
 	"encoding/binary"
+	"errors"
 
 	"iomodels/internal/engine"
 	"iomodels/internal/kv"
+	"iomodels/internal/wal"
 )
 
 // writeResult is the writer's reply to one request.
@@ -60,13 +62,18 @@ func (s *Server) writerLoop() {
 	}
 }
 
-// applyWrites runs one batch under the state lock and replies.
+// applyWrites runs one batch and replies. The state lock covers only the
+// structural applies (tree mutations + WAL appends); the group-commit flush
+// runs after the lock is dropped, so snapshot and point readers never wait
+// out the log device behind a committing batch. Readers may therefore
+// observe applied-but-not-yet-flushed values — the same read-your-writes
+// view the engine's own sessions have always had — while the waiting
+// writers are only acknowledged after the flush (see DESIGN.md §9).
 func (s *Server) applyWrites(batch []writeReq) {
-	s.stateMu.Lock()
 	start := s.backend.Clock.Now()
 	// One span per group commit, on the owner client: the trees' mutation
 	// path, the WAL appends, the group-commit flush, and any checkpoint all
-	// run through the owner while the state lock is held.
+	// run through the owner (which only this goroutine drives).
 	owner := s.backend.Eng.Owner()
 	sp := owner.StartSpan("commit")
 	results := make([]writeResult, len(batch))
@@ -75,20 +82,35 @@ func (s *Server) applyWrites(batch []writeReq) {
 		for i, req := range batch {
 			muts[i] = toMutation(d, req)
 		}
-		err := s.backend.Eng.ApplyBatch(muts)
+		s.stateMu.Lock()
+		err := s.backend.Eng.ApplyBatchNoSync(muts)
+		s.stateMu.Unlock()
+		if err == nil {
+			err = s.backend.Eng.CommitPending()
+			if errors.Is(err, wal.ErrLogFull) {
+				// The pending group no longer fits: checkpointing makes every
+				// applied record durable via the journal instead, but it
+				// restructures engine state (memtable flushes, page installs),
+				// so it needs the write exclusion back.
+				s.stateMu.Lock()
+				err = s.backend.Eng.Checkpoint()
+				s.stateMu.Unlock()
+			}
+		}
 		for i := range results {
 			results[i] = writeResult{accepted: muts[i].Accepted, err: err}
 		}
 	} else {
+		s.stateMu.Lock()
 		for i, req := range batch {
 			results[i] = s.applyPlain(req)
 		}
+		s.stateMu.Unlock()
 	}
 	owner.FinishSpan(sp)
 	s.metrics.writeBatches.Add(1)
 	s.metrics.writeOps.Add(int64(len(batch)))
 	s.metrics.writeSteps.Add(int64(s.backend.Clock.Now() - start))
-	s.stateMu.Unlock()
 	for i, req := range batch {
 		req.done <- results[i]
 	}
