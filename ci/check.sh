@@ -49,24 +49,31 @@ go test ./...
 # TCP framing, the batch read scheduler, group commit, graceful close —
 # that unit tests only reach in-process.
 smoke=$(mktemp -d)
-trap 'rm -rf "$smoke"; kill "$kvpid" 2>/dev/null || true' EXIT
+trap 'rm -rf "$smoke"; kill $kvpid $clpids 2>/dev/null || true' EXIT
 kvpid=""
+clpids=""
+
+# waitaddr LOGFILE: echo the address a kvserve instance reported, or fail.
+waitaddr() {
+	wa_addr=""
+	wa_i=0
+	while [ $wa_i -lt 100 ]; do
+		wa_addr=$(sed -n 's/^kvserve: listening on //p' "$1" 2>/dev/null | head -n 1)
+		[ -n "$wa_addr" ] && break
+		sleep 0.1
+		wa_i=$((wa_i + 1))
+	done
+	if [ -z "$wa_addr" ]; then
+		echo "kvserve never reported its address:" >&2
+		cat "$1" >&2
+		return 1
+	fi
+	echo "$wa_addr"
+}
 go build -o "$smoke" ./cmd/kvserve ./cmd/loadgen
 "$smoke/kvserve" -addr 127.0.0.1:0 -items 2000 -durable >"$smoke/kvserve.log" 2>&1 &
 kvpid=$!
-addr=""
-i=0
-while [ $i -lt 100 ]; do
-	addr=$(sed -n 's/^kvserve: listening on //p' "$smoke/kvserve.log" 2>/dev/null | head -n 1)
-	[ -n "$addr" ] && break
-	sleep 0.1
-	i=$((i + 1))
-done
-if [ -z "$addr" ]; then
-	echo "kvserve never reported its address:" >&2
-	cat "$smoke/kvserve.log" >&2
-	exit 1
-fi
+addr=$(waitaddr "$smoke/kvserve.log")
 "$smoke/loadgen" -addr "$addr" -clients 4 -ops 200 -ycsb b -keys 2000 >"$smoke/loadgen.log" 2>&1 || {
 	echo "loadgen failed:" >&2
 	cat "$smoke/loadgen.log" >&2
@@ -97,6 +104,45 @@ wait "$kvpid" || {
 	exit 1
 }
 kvpid=""
+
+# Cluster smoke: a 2-shard cluster (shard 0 with a sync-ship primary and a
+# WAL-shipping replica, shard 1 solo) under loadgen's acked-write audit.
+# The shard-0 primary is SIGKILLed mid-run; the router must fail over and
+# promote the replica, and every write the cluster acknowledged — including
+# those acked just before the kill — must read back afterwards. loadgen
+# prints "0 lost acks" only if the audit is clean.
+"$smoke/kvserve" -addr 127.0.0.1:0 -durable -shard 0 -shards 2 -sync-ship >"$smoke/cl-p0.log" 2>&1 &
+clpids=$!
+p0addr=$(waitaddr "$smoke/cl-p0.log")
+"$smoke/kvserve" -addr 127.0.0.1:0 -durable -shard 0 -shards 2 -replica-of "$p0addr" >"$smoke/cl-r0.log" 2>&1 &
+clpids="$clpids $!"
+"$smoke/kvserve" -addr 127.0.0.1:0 -durable -shard 1 -shards 2 >"$smoke/cl-p1.log" 2>&1 &
+clpids="$clpids $!"
+r0addr=$(waitaddr "$smoke/cl-r0.log")
+p1addr=$(waitaddr "$smoke/cl-p1.log")
+"$smoke/loadgen" -cluster "$p0addr/$r0addr;$p1addr" -verify -clients 4 -ops 300 >"$smoke/cl-verify.log" 2>&1 &
+lgpid=$!
+sleep 2
+p0pid=$(echo "$clpids" | cut -d' ' -f1)
+kill -9 "$p0pid" 2>/dev/null || true
+wait "$lgpid" || {
+	echo "cluster failover audit failed:" >&2
+	cat "$smoke/cl-verify.log" >&2
+	echo "--- replica log:" >&2
+	cat "$smoke/cl-r0.log" >&2
+	exit 1
+}
+grep -q "0 lost acks" "$smoke/cl-verify.log" || {
+	echo "cluster audit printed no clean verdict:" >&2
+	cat "$smoke/cl-verify.log" >&2
+	exit 1
+}
+grep -q "acked" "$smoke/cl-verify.log"
+kill $clpids 2>/dev/null || true
+for pid in $clpids; do
+	wait "$pid" 2>/dev/null || true
+done
+clpids=""
 
 # iotrace smoke: the end-to-end tracing pipeline as a CLI — load a B-tree
 # on the simulated disk, trace queries under the span tracer, and require
@@ -133,6 +179,11 @@ go test -race -run 'Crash|Fault|Replay|Durab|Recover|Torn|LogFull|NoSteal|Stats|
 # the most goroutine-dense code in the repo, so it gets an explicit pass a
 # future -short cannot drop.
 go test -race ./internal/server
+
+# The cluster package entire under the race detector: the router's failover
+# path, the WAL shipper, and the kill-primary-mid-load acceptance test all
+# race real goroutines over real TCP, so it too gets a named pass.
+go test -race ./internal/cluster
 
 # The span tracer's and trace ring's concurrency regressions, named
 # explicitly for the same reason (the full -race pass below also covers the

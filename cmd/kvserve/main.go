@@ -12,6 +12,12 @@
 // (vclock_ns vs wall-clock op latencies). -batch 1 degrades the read
 // scheduler to the DAM-style one-IO-at-a-time baseline of experiment E20.
 //
+// Cluster membership: -shard/-shards place this node's keyspace slice in
+// internal/cluster's consistent-hash ring, -replica-of turns the node into
+// a warm replica tailing a primary's WAL ship stream, and -sync-ship makes
+// a primary hold each write's ack until a replica confirms it. Both roles
+// require -durable (shipping is the WAL commit stream).
+//
 // On startup it prints "listening on HOST:PORT" (the CI smoke test greps
 // for it); SIGINT or SIGTERM shuts down cleanly and prints a final stats
 // summary.
@@ -30,6 +36,7 @@ import (
 
 	"iomodels/internal/betree"
 	"iomodels/internal/btree"
+	"iomodels/internal/cluster"
 	"iomodels/internal/engine"
 	"iomodels/internal/lsm"
 	"iomodels/internal/obs"
@@ -64,7 +71,28 @@ func main() {
 	obsSample := flag.Int("obs-sample", 16, "trace 1 in N operations (with -obs)")
 	chromeOut := flag.String("chrome", "", "write a Chrome trace_event JSON of retained spans here at shutdown (implies -obs)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics listener")
+	shard := flag.Int("shard", 0, "this node's shard index in the cluster ring")
+	shards := flag.Int("shards", 1, "total shard count in the cluster ring")
+	replicaOf := flag.String("replica-of", "", "primary address to tail as a warm replica (requires -durable)")
+	syncShip := flag.Bool("sync-ship", false, "ack writes only after a replica confirms them (requires -durable)")
+	shipBuffer := flag.Int("ship-buffer", 0, "ship ring capacity in records (0: engine default)")
 	flag.Parse()
+
+	isReplica := *replicaOf != ""
+	inCluster := isReplica || *shards > 1 || *syncShip
+	if inCluster && !*durable {
+		fatalf("cluster roles ship the WAL commit stream: -replica-of/-shards/-sync-ship require -durable")
+	}
+	if *shard < 0 || *shard >= *shards {
+		fatalf("-shard %d out of range for -shards %d", *shard, *shards)
+	}
+	role := server.RoleSolo
+	switch {
+	case isReplica:
+		role = server.RoleReplica
+	case inCluster:
+		role = server.RolePrimary
+	}
 
 	var dev storage.Device
 	switch *device {
@@ -80,6 +108,11 @@ func main() {
 	if *durable {
 		if err := eng.EnableDurability(engine.DurabilityConfig{}); err != nil {
 			fatalf("durability: %v", err)
+		}
+		// Every durable node publishes its commit stream: a solo node can gain
+		// a replica later, and a promoted replica immediately serves pulls.
+		if err := eng.EnableShipping(*shipBuffer); err != nil {
+			fatalf("shipping: %v", err)
 		}
 	}
 
@@ -163,6 +196,9 @@ func main() {
 
 	clock := engine.NewSharedClock()
 	eng.AdoptSharedClock(clock)
+	// The shipper is built after the server (it feeds the server's replica
+	// apply path), so OnPromote closes over this late-bound pointer.
+	var shipper *cluster.Shipper
 	srv, err := server.New(server.Config{
 		Addr:       *addr,
 		BatchIOs:   *batch,
@@ -172,6 +208,16 @@ func main() {
 		WriteBatch: *writeBatch,
 		Trace:      trace,
 		Tracer:     tracer,
+		ShardID:    *shard,
+		Shards:     *shards,
+		Role:       role,
+		SyncShip:   *syncShip,
+		OnPromote: func() (uint64, error) {
+			if shipper == nil {
+				return 0, fmt.Errorf("no shipper to seal (node is not a replica)")
+			}
+			return shipper.Promote(eng)
+		},
 	}, server.Backend{Eng: eng, Clock: clock, NewSession: session, Writer: writer})
 	if err != nil {
 		fatalf("server: %v", err)
@@ -180,9 +226,22 @@ func main() {
 	if err != nil {
 		fatalf("listen: %v", err)
 	}
+	if isReplica {
+		shipper = cluster.NewShipper(srv, cluster.ShipperConfig{
+			Primary: *replicaOf,
+			Logf: func(format string, args ...interface{}) {
+				fmt.Printf("kvserve: "+format+"\n", args...)
+			},
+		})
+		shipper.Start()
+	}
 	cfg := srv.Config()
 	fmt.Printf("kvserve: %s on %s, batch=%d grace=%v durable=%v\n",
 		*treeKind, eng.Device().Name(), cfg.BatchIOs, cfg.BatchGrace, *durable)
+	if role != server.RoleSolo {
+		fmt.Printf("kvserve: shard %d/%d role=%s replica-of=%q sync-ship=%v\n",
+			*shard, *shards, role, *replicaOf, *syncShip)
+	}
 	fmt.Printf("kvserve: listening on %s\n", bound)
 
 	if *metricsAddr != "" {
@@ -212,6 +271,9 @@ func main() {
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	<-sigs
 	fmt.Println("kvserve: shutting down")
+	if shipper != nil {
+		shipper.Stop() // no shipped apply may race the server teardown
+	}
 	if err := srv.Close(); err != nil {
 		fatalf("close: %v", err)
 	}

@@ -22,12 +22,21 @@
 //
 // -snapcheck is a smoke probe for CI: open a snapshot, write past it, and
 // verify the pinned read still returns the old value.
+//
+// -cluster "p0/r0a/r0b;p1" spreads the load over a sharded cluster through
+// internal/cluster's router (shards ';'-separated, each shard's endpoints
+// '/'-separated with the primary first); every client gets its own router,
+// and a mid-run primary kill is absorbed by failover instead of failing the
+// run. -verify switches to the acked-write audit: each client writes unique
+// keys, records exactly the acknowledged ones, and reads them all back at
+// the end — the run fails unless it can report "0 lost acks".
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
@@ -35,10 +44,51 @@ import (
 	"sync/atomic"
 	"time"
 
+	"iomodels/internal/cluster"
+	"iomodels/internal/kv"
 	"iomodels/internal/server"
 	"iomodels/internal/stats"
 	"iomodels/internal/workload"
 )
+
+// kvConn is the operation surface shared by a direct *server.Client and a
+// *cluster.Router: everything the closed-loop mix needs.
+type kvConn interface {
+	Get(key []byte) ([]byte, bool, error)
+	Put(key, value []byte) error
+	Delete(key []byte) (bool, error)
+	Upsert(key []byte, delta int64) error
+	Scan(lo, hi []byte, limit int) ([]kv.Entry, error)
+}
+
+// dialFn opens one client's connection (a single-node client or a per-client
+// router) and returns it with its closer.
+type dialFn func() (kvConn, func(), error)
+
+// Busy backoff: shed requests retry the same slot, but never in a hot spin —
+// a saturated server answering StatusBusy in microseconds would otherwise
+// burn both sides' CPU on refusals. Capped exponential with jitter.
+const (
+	busyBase = 200 * time.Microsecond
+	busyMax  = 50 * time.Millisecond
+)
+
+// nextBusyDelay advances the per-connection backoff (0 starts it).
+func nextBusyDelay(d time.Duration) time.Duration {
+	if d == 0 {
+		return busyBase
+	}
+	if d *= 2; d > busyMax {
+		d = busyMax
+	}
+	return d
+}
+
+// sleepJittered sleeps a uniform random duration in [d/2, d], decorrelating
+// the retry storms of clients shed by the same full queue.
+func sleepJittered(d time.Duration) {
+	time.Sleep(d/2 + time.Duration(rand.Int63n(int64(d)/2+1)))
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "kvserve address")
@@ -53,7 +103,40 @@ func main() {
 	showStats := flag.Bool("stats", false, "print the server's /stats document afterwards")
 	scanners := flag.Int("scanners", 0, "snapshot-scan connections paging the keyspace beside the OLTP clients")
 	snapcheck := flag.Bool("snapcheck", false, "run the snapshot smoke probe and exit")
+	clusterFlag := flag.String("cluster", "", "shard topology, shards ';'-separated, endpoints '/'-separated, primary first (overrides -addr)")
+	verify := flag.Bool("verify", false, "acked-write audit: unique keys per client, read every acknowledged write back at the end")
 	flag.Parse()
+
+	dial := dialFn(func() (kvConn, func(), error) {
+		cl, err := server.Dial(*addr)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cl, func() { cl.Close() }, nil
+	})
+	if *clusterFlag != "" {
+		if *scanners > 0 || *snapcheck || *showStats {
+			fatalf("-scanners, -snapcheck, and -stats talk to a single node; not supported with -cluster")
+		}
+		specs, err := parseCluster(*clusterFlag)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		dial = func() (kvConn, func(), error) {
+			r, err := cluster.NewRouter(cluster.RouterConfig{Shards: specs})
+			if err != nil {
+				return nil, nil, err
+			}
+			return r, r.Close, nil
+		}
+	}
+
+	if *verify {
+		if err := runVerify(dial, *clients, *ops); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 
 	if *snapcheck {
 		if err := runSnapcheck(*addr); err != nil {
@@ -81,7 +164,7 @@ func main() {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			errs <- runClient(*addr, spec, workload.NewStream(spec, *seed+uint64(c), *keys, mix, *theta),
+			errs <- runClient(dial, spec, workload.NewStream(spec, *seed+uint64(c), *keys, mix, *theta),
 				*ops, hist, &shed, &misses, counts, &countsMu)
 		}(c)
 	}
@@ -162,17 +245,18 @@ func main() {
 }
 
 // runClient is one closed-loop connection: draw an op, execute it, repeat.
-// Shed requests (StatusBusy) are counted and retried immediately — the
-// closed loop itself is the backpressure.
-func runClient(addr string, spec workload.KeySpec, stream *workload.Stream, ops int,
+// Shed requests (StatusBusy) are counted and retried in the same slot after
+// a jittered backoff — the closed loop plus the backoff is the backpressure.
+func runClient(dial dialFn, spec workload.KeySpec, stream *workload.Stream, ops int,
 	hist *stats.LatencyHist, shed, misses *atomic.Int64, counts []int64, countsMu *sync.Mutex) error {
-	cl, err := server.Dial(addr)
+	cl, closeConn, err := dial()
 	if err != nil {
 		return err
 	}
-	defer cl.Close()
+	defer closeConn()
 	local := stats.NewLatencyHist()
 	localCounts := make([]int64, len(counts))
+	var busyDelay time.Duration
 	for i := 0; i < ops; i++ {
 		op := stream.Next()
 		key := spec.Key(op.ID)
@@ -180,12 +264,15 @@ func runClient(addr string, spec workload.KeySpec, stream *workload.Stream, ops 
 		err := execOp(cl, spec, op, key, misses)
 		if errors.Is(err, server.ErrBusy) {
 			shed.Add(1)
+			busyDelay = nextBusyDelay(busyDelay)
+			sleepJittered(busyDelay)
 			i-- // retry the slot; closed-loop offered load stays constant
 			continue
 		}
 		if err != nil {
 			return fmt.Errorf("%v %q: %w", op.Kind, key, err)
 		}
+		busyDelay = 0
 		local.Observe(int64(time.Since(t0)))
 		localCounts[int(op.Kind)]++
 	}
@@ -217,6 +304,7 @@ func runScanner(addr string, scanLen int, hist *stats.LatencyHist, done <-chan s
 		return 0, 0, err
 	}
 	var cursor []byte
+	var busyDelay time.Duration
 	for {
 		select {
 		case <-done:
@@ -226,8 +314,11 @@ func runScanner(addr string, scanLen int, hist *stats.LatencyHist, done <-chan s
 		t0 := time.Now()
 		page, err := cl.SnapScan(id, cursor, nil, scanLen)
 		if errors.Is(err, server.ErrBusy) {
+			busyDelay = nextBusyDelay(busyDelay)
+			sleepJittered(busyDelay)
 			continue
 		}
+		busyDelay = 0
 		if errors.Is(err, server.ErrSnapExpired) {
 			if id, _, err = cl.SnapOpen(); err != nil {
 				return scans, entries, err
@@ -291,7 +382,7 @@ func runSnapcheck(addr string) error {
 	return cl.SnapRelease(id)
 }
 
-func execOp(cl *server.Client, spec workload.KeySpec, op workload.Op, key []byte, misses *atomic.Int64) error {
+func execOp(cl kvConn, spec workload.KeySpec, op workload.Op, key []byte, misses *atomic.Int64) error {
 	switch op.Kind {
 	case workload.OpGet:
 		_, ok, err := cl.Get(key)
@@ -376,6 +467,121 @@ func parseMix(ycsb, mixFlag string, scanLen int) (workload.Mix, error) {
 		}
 	}
 	return mix, nil
+}
+
+// runVerify is the acked-write audit used by the failover smoke test: every
+// client writes its own unique key sequence and records exactly the Puts the
+// server acknowledged. Write errors during the run are tolerated (a failover
+// window rejects a few ops) and counted, but never recorded as acked. At the
+// end, a fresh connection reads every acked key back; one miss is a lost
+// acknowledged write and fails the run.
+func runVerify(dial dialFn, clients, ops int) error {
+	type clientResult struct {
+		acked []int // op indices whose Put was acknowledged
+		err   error // connection-level failure (dial), not per-op
+	}
+	// Keys stay within workload.DefaultSpec's 16-byte key limit.
+	value := func(c, i int) []byte { return []byte(fmt.Sprintf("v-%03d-%08d", c, i)) }
+	key := func(c, i int) []byte { return []byte(fmt.Sprintf("vf-%03d-%08d", c, i)) }
+
+	start := time.Now()
+	results := make([]clientResult, clients)
+	var rejected atomic.Int64
+	var shed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, closeConn, err := dial()
+			if err != nil {
+				results[c].err = err
+				return
+			}
+			defer closeConn()
+			var busyDelay time.Duration
+			for i := 0; i < ops; i++ {
+				err := conn.Put(key(c, i), value(c, i))
+				switch {
+				case err == nil:
+					busyDelay = 0
+					results[c].acked = append(results[c].acked, i)
+				case errors.Is(err, server.ErrBusy):
+					shed.Add(1)
+					busyDelay = nextBusyDelay(busyDelay)
+					sleepJittered(busyDelay)
+					i-- // retry the slot
+				default:
+					// Failover window: the op was NOT acknowledged, so it is
+					// allowed to be lost. Brief pause, move on.
+					rejected.Add(1)
+					sleepJittered(busyMax)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c := range results {
+		if results[c].err != nil {
+			return fmt.Errorf("verify client %d: %v", c, results[c].err)
+		}
+	}
+
+	// Read-back on a fresh connection: acked writes must all be there, no
+	// matter which node now serves the shard.
+	conn, closeConn, err := dial()
+	if err != nil {
+		return fmt.Errorf("verify read-back dial: %v", err)
+	}
+	defer closeConn()
+	acked, lost := 0, 0
+	var busyDelay time.Duration
+	for c := range results {
+		for _, i := range results[c].acked {
+			acked++
+			for {
+				v, ok, err := conn.Get(key(c, i))
+				if errors.Is(err, server.ErrBusy) {
+					busyDelay = nextBusyDelay(busyDelay)
+					sleepJittered(busyDelay)
+					continue
+				}
+				busyDelay = 0
+				if err != nil {
+					return fmt.Errorf("verify read-back %s: %v", key(c, i), err)
+				}
+				if !ok || string(v) != string(value(c, i)) {
+					fmt.Printf("verify: LOST acked write %s (ok=%v, value=%q)\n", key(c, i), ok, v)
+					lost++
+				}
+				break
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("verify: %d clients x %d ops in %.2fs: %d acked, %d rejected, busy(shed)=%d, %d lost acks\n",
+		clients, ops, elapsed.Seconds(), acked, rejected.Load(), shed.Load(), lost)
+	if lost > 0 {
+		return fmt.Errorf("%d acknowledged writes lost", lost)
+	}
+	return nil
+}
+
+// parseCluster parses the -cluster topology: shards separated by ';', each
+// shard's endpoints separated by '/', the primary first.
+func parseCluster(s string) ([]cluster.ShardSpec, error) {
+	var specs []cluster.ShardSpec
+	for _, shard := range strings.Split(s, ";") {
+		eps := strings.Split(strings.TrimSpace(shard), "/")
+		for i := range eps {
+			eps[i] = strings.TrimSpace(eps[i])
+		}
+		if len(eps) == 0 || eps[0] == "" {
+			return nil, fmt.Errorf("loadgen: -cluster shard %d has no primary endpoint", len(specs))
+		}
+		specs = append(specs, cluster.ShardSpec{Primary: eps[0], Replicas: eps[1:]})
+	}
+	return specs, nil
 }
 
 func fatalf(format string, args ...interface{}) {

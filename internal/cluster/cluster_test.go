@@ -1,0 +1,457 @@
+// Cluster tests: ring determinism and balance, multi-shard routing, the
+// replica write fence, WAL shipping end to end over the wire, and the
+// centerpiece — kill the primary mid-load and check that failover promotes
+// the replica with every acknowledged write intact (the sync-ship
+// contract), with all nodes running on storage.FaultStore images.
+
+package cluster_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"iomodels/internal/btree"
+	"iomodels/internal/cluster"
+	"iomodels/internal/engine"
+	"iomodels/internal/kv"
+	"iomodels/internal/server"
+	"iomodels/internal/sim"
+	"iomodels/internal/storage"
+)
+
+// flatDev is a stateless 50µs-per-IO timing device.
+type flatDev struct{ capacity int64 }
+
+func (d flatDev) Access(now sim.Time, _ storage.Op, _, _ int64) sim.Time {
+	return now + 50*sim.Microsecond
+}
+func (d flatDev) Capacity() int64 { return d.capacity }
+func (d flatDev) Name() string    { return "flat" }
+
+// node is one server process: engine, tree, server, and (for replicas) the
+// shipper pulling from its primary.
+type node struct {
+	eng     *engine.Engine
+	srv     *server.Server
+	addr    string
+	shipper *cluster.Shipper
+	closed  bool
+}
+
+func (n *node) close() {
+	if n.closed {
+		return
+	}
+	n.closed = true
+	if n.shipper != nil {
+		n.shipper.Stop()
+	}
+	n.srv.Close()
+}
+
+// clientOpts keeps test round trips snappy: a dead node is detected in
+// 500ms, not the 5s default.
+func clientOpts() server.Options {
+	return server.Options{RequestTimeout: 500 * time.Millisecond, ConnectTimeout: time.Second}
+}
+
+// newNode builds a durable, shipping-enabled B-tree server. A replica node
+// gets its shipper started against primaryAddr and its promote hook wired.
+func newNode(t *testing.T, shardID, shards int, role server.Role, syncShip bool, primaryAddr string) *node {
+	t.Helper()
+	eng := engine.FromStore(engine.Config{CacheBytes: 1 << 20},
+		storage.NewFaultStore(flatDev{256 << 20}), sim.New())
+	if err := eng.EnableDurability(engine.DurabilityConfig{
+		LogBytes:     8 << 20,
+		GroupBytes:   1 << 20,
+		JournalBytes: 4 << 20,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.EnableShipping(0); err != nil {
+		t.Fatal(err)
+	}
+	bt, err := btree.New(btree.Config{NodeBytes: 4 << 10, MaxKeyBytes: 64, MaxValueBytes: 256}, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := eng.Durable("bt", bt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := engine.NewSharedClock()
+	eng.AdoptSharedClock(clock)
+
+	n := &node{eng: eng}
+	cfg := server.Config{
+		Addr:            "127.0.0.1:0",
+		ShardID:         shardID,
+		Shards:          shards,
+		Role:            role,
+		SyncShip:        syncShip,
+		SyncShipTimeout: 5 * time.Second,
+		OnPromote: func() (uint64, error) {
+			if n.shipper == nil {
+				return 0, errors.New("replica has no shipper")
+			}
+			return n.shipper.Promote(n.eng)
+		},
+	}
+	srv, err := server.New(cfg, server.Backend{
+		Eng:   eng,
+		Clock: clock,
+		NewSession: func(c *engine.Client) engine.Dictionary {
+			return bt.Session(c)
+		},
+		Writer: d,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.ListenAndServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.srv, n.addr = srv, addr.String()
+	if role == server.RoleReplica {
+		n.shipper = cluster.NewShipper(srv, cluster.ShipperConfig{
+			Primary:  primaryAddr,
+			Opts:     clientOpts(),
+			Interval: time.Millisecond,
+			Logf:     t.Logf,
+		})
+		n.shipper.Start()
+	}
+	t.Cleanup(n.close)
+	return n
+}
+
+func ckey(i int) []byte { return []byte(fmt.Sprintf("ckey-%06d", i)) }
+func cval(i int) []byte { return []byte(fmt.Sprintf("cval-%08d", i)) }
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	a, b := cluster.NewRing(4, 0), cluster.NewRing(4, 0)
+	counts := make([]int, 4)
+	for i := 0; i < 10000; i++ {
+		k := ckey(i)
+		sa, sb := a.Shard(k), b.Shard(k)
+		if sa != sb {
+			t.Fatalf("ring disagrees with itself on %q: %d vs %d", k, sa, sb)
+		}
+		counts[sa]++
+	}
+	for s, c := range counts {
+		if c < 1000 { // < 10% of a fair 25% share is pathological
+			t.Fatalf("shard %d got %d of 10000 keys: %v", s, c, counts)
+		}
+	}
+}
+
+func TestRouterShardsPointOpsAndMergesScans(t *testing.T) {
+	n0 := newNode(t, 0, 2, server.RolePrimary, false, "")
+	n1 := newNode(t, 1, 2, server.RolePrimary, false, "")
+	r, err := cluster.NewRouter(cluster.RouterConfig{
+		Shards: []cluster.ShardSpec{{Primary: n0.addr}, {Primary: n1.addr}},
+		Opts:   clientOpts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	const n = 200
+	perShard := make([]int, 2)
+	for i := 0; i < n; i++ {
+		if err := r.Put(ckey(i), cval(i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		perShard[r.ShardFor(ckey(i))]++
+	}
+	if perShard[0] == 0 || perShard[1] == 0 {
+		t.Fatalf("keys did not split across shards: %v", perShard)
+	}
+	for i := 0; i < n; i += 17 {
+		v, ok, err := r.Get(ckey(i))
+		if err != nil || !ok || !bytes.Equal(v, cval(i)) {
+			t.Fatalf("get %d: %q,%v,%v", i, v, ok, err)
+		}
+	}
+	// The fan-out scan merges both shards' runs back into one sorted range.
+	entries, err := r.Scan(nil, nil, n+10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != n {
+		t.Fatalf("scan returned %d entries, want %d", len(entries), n)
+	}
+	for i, e := range entries {
+		if !bytes.Equal(e.Key, ckey(i)) {
+			t.Fatalf("scan entry %d is %q, want %q (merge order broken)", i, e.Key, ckey(i))
+		}
+	}
+	// Deletes route like puts.
+	if ok, err := r.Delete(ckey(3)); err != nil || !ok {
+		t.Fatalf("delete: %v,%v", ok, err)
+	}
+	if _, ok, _ := r.Get(ckey(3)); ok {
+		t.Fatal("deleted key still readable")
+	}
+}
+
+func TestReplicaRefusesWritesUntilPromoted(t *testing.T) {
+	p := newNode(t, 0, 1, server.RolePrimary, false, "")
+	rep := newNode(t, 0, 1, server.RoleReplica, false, p.addr)
+
+	c, err := server.DialOpts(rep.addr, clientOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put([]byte("k"), []byte("v")); !errors.Is(err, server.ErrNotPrimary) {
+		t.Fatalf("replica accepted a write: %v", err)
+	}
+	info, err := c.Hello()
+	if err != nil || info.Role != server.RoleReplica || info.ShardID != 0 {
+		t.Fatalf("hello = %+v, %v", info, err)
+	}
+	if _, err := c.Promote(); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if _, err := c.Promote(); err != nil {
+		t.Fatalf("second promote not idempotent: %v", err)
+	}
+	if err := c.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("promoted node refused a write: %v", err)
+	}
+	info, err = c.Hello()
+	if err != nil || info.Role != server.RolePrimary {
+		t.Fatalf("post-promote hello = %+v, %v", info, err)
+	}
+}
+
+func TestWALShippingReplicatesOverTheWire(t *testing.T) {
+	p := newNode(t, 0, 1, server.RolePrimary, false, "")
+	rep := newNode(t, 0, 1, server.RoleReplica, false, p.addr)
+
+	c, err := server.DialOpts(p.addr, clientOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 150
+	for i := 0; i < n; i++ {
+		if err := c.Put(ckey(i), cval(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 10 {
+		if _, err := c.Delete(ckey(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for the shipper to drain the stream.
+	target := p.srv.Snapshot().ShipCommitted
+	deadline := time.Now().Add(10 * time.Second)
+	for int64(rep.shipper.Cursor()) < target {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica stuck at cursor %d of %d (shipper err: %v)",
+				rep.shipper.Cursor(), target, rep.shipper.Err())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Reads on the replica (reads are allowed; only writes are fenced) see
+	// the primary's state.
+	rc, err := server.DialOpts(rep.addr, clientOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	for i := 0; i < n; i++ {
+		v, ok, err := rc.Get(ckey(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 0 {
+			if ok {
+				t.Fatalf("key %d: deleted on primary, alive on replica", i)
+			}
+			continue
+		}
+		if !ok || !bytes.Equal(v, cval(i)) {
+			t.Fatalf("key %d: replica has %q,%v", i, v, ok)
+		}
+	}
+	// The primary's stats surface the stream positions.
+	snap := p.srv.Snapshot()
+	if !snap.ShipEnabled || snap.ShipPulls == 0 || snap.ShipRecords == 0 {
+		t.Fatalf("primary ship stats: %+v", snap)
+	}
+	if snap.ShipAckedLSN == 0 {
+		t.Fatal("replica pulls never acknowledged a position")
+	}
+}
+
+// TestFailoverKeepsEveryAcknowledgedWrite is the acceptance test: a writer
+// streams keys through the router while the shard-0 primary is killed; the
+// router must promote the replica and every write acknowledged BEFORE or
+// AFTER the kill must be readable from the surviving cluster. Sync-ship
+// makes the guarantee exact: a write is only acked once a replica pull
+// covers it.
+func TestFailoverKeepsEveryAcknowledgedWrite(t *testing.T) {
+	p := newNode(t, 0, 2, server.RolePrimary, true, "")
+	rep := newNode(t, 0, 2, server.RoleReplica, false, p.addr)
+	n1 := newNode(t, 1, 2, server.RolePrimary, false, "")
+
+	r, err := cluster.NewRouter(cluster.RouterConfig{
+		Shards: []cluster.ShardSpec{
+			{Primary: p.addr, Replicas: []string{rep.addr}},
+			{Primary: n1.addr},
+		},
+		Opts: clientOpts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	const total = 240
+	const killAt = 80
+	var mu sync.Mutex
+	acked := make(map[int]bool)
+
+	killed := make(chan struct{})
+	go func() {
+		// Kill the shard-0 primary once the writer is known to be mid-load.
+		for {
+			mu.Lock()
+			n := len(acked)
+			mu.Unlock()
+			if n >= killAt {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		p.close()
+		close(killed)
+	}()
+
+	for i := 0; i < total; i++ {
+		if err := r.Put(ckey(i), cval(i)); err != nil {
+			// Un-acked: the failover window may reject a write (e.g. the
+			// primary died after applying but before the replica ack). The
+			// contract is only about acknowledged writes.
+			t.Logf("put %d not acked: %v", i, err)
+			continue
+		}
+		mu.Lock()
+		acked[i] = true
+		mu.Unlock()
+	}
+	<-killed
+
+	if r.Failovers() == 0 {
+		t.Fatal("primary was killed but the router never failed over")
+	}
+	// The replica must now be the shard-0 primary.
+	rc, err := server.DialOpts(rep.addr, clientOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if info, err := rc.Hello(); err != nil || info.Role != server.RolePrimary {
+		t.Fatalf("replica after failover: %+v, %v", info, err)
+	}
+
+	// Every acknowledged write must be readable through the router.
+	lost := 0
+	for i := 0; i < total; i++ {
+		mu.Lock()
+		wasAcked := acked[i]
+		mu.Unlock()
+		if !wasAcked {
+			continue
+		}
+		v, ok, err := r.Get(ckey(i))
+		if err != nil {
+			t.Fatalf("get %d after failover: %v", i, err)
+		}
+		if !ok || !bytes.Equal(v, cval(i)) {
+			t.Errorf("ACKED WRITE LOST: key %d (%q,%v)", i, v, ok)
+			lost++
+		}
+	}
+	if lost > 0 {
+		t.Fatalf("%d acknowledged writes lost across failover", lost)
+	}
+	t.Logf("failover kept all %d acked writes (%d failovers)", len(acked), r.Failovers())
+}
+
+// TestShipperGapForcesRebootstrap: a replica that falls behind a trimmed
+// ring gets a terminal gap error, not silent divergence.
+func TestShipperGapForcesRebootstrap(t *testing.T) {
+	// A tiny ship ring on the primary.
+	eng := engine.FromStore(engine.Config{CacheBytes: 1 << 20},
+		storage.NewFaultStore(flatDev{256 << 20}), sim.New())
+	if err := eng.EnableDurability(engine.DurabilityConfig{
+		LogBytes: 8 << 20, GroupBytes: 1 << 20, JournalBytes: 4 << 20,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.EnableShipping(8); err != nil {
+		t.Fatal(err)
+	}
+	bt, err := btree.New(btree.Config{NodeBytes: 4 << 10, MaxKeyBytes: 64, MaxValueBytes: 256}, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := eng.Durable("bt", bt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := engine.NewSharedClock()
+	eng.AdoptSharedClock(clock)
+	srv, err := server.New(server.Config{Addr: "127.0.0.1:0", ShardID: 0, Shards: 1, Role: server.RolePrimary},
+		server.Backend{Eng: eng, Clock: clock,
+			NewSession: func(c *engine.Client) engine.Dictionary { return bt.Session(c) },
+			Writer:     d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.ListenAndServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	c, err := server.DialOpts(addr.String(), clientOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 50; i++ {
+		if err := c.Put(ckey(i), cval(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Position 0 is far behind an 8-record ring.
+	if _, _, _, err := c.ShipPull(0, 100); !errors.Is(err, server.ErrShipGap) {
+		t.Fatalf("ShipPull(0) = %v, want ErrShipGap", err)
+	}
+	// Pulled records decode with their primary seqs intact.
+	recs, committed, floor, err := c.ShipPull(uint64(50-8), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed == 0 || floor != uint64(50-8) || len(recs) != 8 {
+		t.Fatalf("pull = %d recs, committed %d, floor %d", len(recs), committed, floor)
+	}
+	for _, rec := range recs {
+		if rec.Kind != kv.Put || len(rec.Key) == 0 {
+			t.Fatalf("bad shipped record: %+v", rec)
+		}
+	}
+}

@@ -464,8 +464,10 @@ func (e *Engine) checkpointAt(lastLSN uint64) error {
 	}
 
 	// 6. Truncate the WAL (epoch bump; drops any pending group, whose
-	// applied records the journal now covers).
-	d.log.Checkpoint()
+	// applied records the journal now covers — and, when shipping is on,
+	// hands exactly those covered records to the ship ring; a pending record
+	// past lastLSN was never applied and will be re-appended by the caller).
+	d.log.CheckpointCovering(lastLSN)
 
 	d.epoch = epoch
 	d.lastLSN = lastLSN

@@ -55,6 +55,8 @@ type Engine struct {
 	// mvcc is the version layer backing Snapshot reads; created together
 	// with dur (the WAL's LSNs are the version stamps), nil otherwise.
 	mvcc *versionStore
+	// ship is the log-shipping ring (ship.go); nil until EnableShipping.
+	ship *shipBuffer
 
 	// tracer, when set, receives a span per client operation (see
 	// Client.StartSpan) annotated by the pager, WAL, and IO path. The hot

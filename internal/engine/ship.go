@@ -1,0 +1,173 @@
+// Log shipping: the primary half of WAL-shipping replication.
+//
+// A shipping-enabled engine keeps a bounded in-memory ring of its durable
+// WAL records — fed by the log's commit hook, so a record enters the ring at
+// the exact moment it becomes crash-safe (group commit, or a checkpoint that
+// covers it via the journal). A replica tails the ring through ShipSince,
+// applies the records through its own durable engine in order, and is then a
+// byte-equivalent warm standby: promote = seal its log tail and serve.
+//
+// The ring is bounded (ShipCap records): a replica that falls behind the
+// floor cannot catch up incrementally and gets ErrShipGap — the signal to
+// re-bootstrap from a fresh image. Committed-prefix semantics carry over
+// cluster-wide: only durable records are ever shipped, so a replica's state
+// is always a prefix of the primary's durable history.
+package engine
+
+import (
+	"errors"
+	"sync"
+
+	"iomodels/internal/wal"
+)
+
+// ErrShippingOff is returned by shipping entry points when EnableShipping
+// has not run on this engine.
+var ErrShippingOff = errors.New("engine: log shipping not enabled")
+
+// ErrShipGap is returned by ShipSince when the requested position has been
+// trimmed from the ship ring: the subscriber is too far behind to catch up
+// incrementally and must re-bootstrap.
+var ErrShipGap = errors.New("engine: ship position trimmed from the ring (replica too far behind; re-bootstrap)")
+
+// DefaultShipCap bounds the ship ring when EnableShipping is given 0.
+const DefaultShipCap = 1 << 16
+
+// shipBuffer is the ring of durable records awaiting shipment.
+type shipBuffer struct {
+	mu        sync.Mutex
+	cap       int
+	recs      []wal.Record // durable, seq-ascending
+	floor     uint64       // records with Seq > floor are available
+	committed uint64       // highest durable (shippable) LSN seen
+	shipped   int64        // records handed out by ShipSince
+	pulls     int64        // ShipSince calls
+}
+
+// EnableShipping attaches the ship ring to a durable engine. capRecords
+// bounds the ring (0 selects DefaultShipCap). Call it before the first
+// mutation (right after EnableDurability, or after Recover): records already
+// retired into a checkpoint journal are not shippable, so a later enable
+// starts the stream at the current checkpoint LSN and a from-zero subscriber
+// would see ErrShipGap.
+func (e *Engine) EnableShipping(capRecords int) error {
+	if e.dur == nil {
+		return errNotEnabled
+	}
+	if capRecords <= 0 {
+		capRecords = DefaultShipCap
+	}
+	d := e.dur
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e.ship != nil {
+		return errors.New("engine: shipping already enabled")
+	}
+	s := &shipBuffer{cap: capRecords, floor: d.lastLSN, committed: d.lastLSN}
+	// Backfill what the log still holds on disk (committed records since the
+	// last checkpoint), then let the live commit hook take over.
+	d.log.TailFrom(d.lastLSN, func(r wal.Record) bool {
+		s.append(r)
+		return true
+	})
+	d.log.SetOnCommit(func(recs []wal.Record) {
+		s.mu.Lock()
+		for _, r := range recs {
+			s.append(r)
+		}
+		s.mu.Unlock()
+	})
+	e.ship = s
+	return nil
+}
+
+// append adds one durable record, trimming the ring past cap. Callers hold
+// s.mu except during EnableShipping's backfill, which runs before the buffer
+// is published.
+func (s *shipBuffer) append(r wal.Record) {
+	s.recs = append(s.recs, r)
+	if r.Seq > s.committed {
+		s.committed = r.Seq
+	}
+	if len(s.recs) > s.cap {
+		drop := len(s.recs) - s.cap
+		s.floor = s.recs[drop-1].Seq
+		s.recs = append([]wal.Record(nil), s.recs[drop:]...)
+	}
+}
+
+// ShipSince returns up to max durable records with Seq > after, in append
+// order, plus the stream's current status. A subscriber polls with its
+// applied position: an empty batch means it is caught up to CommittedLSN.
+// ErrShipGap means the position has been trimmed — the subscriber must
+// re-bootstrap from a fresh image.
+func (e *Engine) ShipSince(after uint64, max int) ([]wal.Record, ShipStatus, error) {
+	s := e.ship
+	if s == nil {
+		return nil, ShipStatus{}, ErrShippingOff
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ShipStatus{CommittedLSN: s.committed, FloorLSN: s.floor}
+	if after < s.floor {
+		return nil, st, ErrShipGap
+	}
+	s.pulls++
+	// Binary search for the first record past `after` (seqs ascend).
+	lo, hi := 0, len(s.recs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.recs[mid].Seq <= after {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	n := len(s.recs) - lo
+	if max > 0 && n > max {
+		n = max
+	}
+	if n == 0 {
+		return nil, st, nil
+	}
+	out := make([]wal.Record, n)
+	copy(out, s.recs[lo:lo+n])
+	s.shipped += int64(n)
+	return out, st, nil
+}
+
+// ShipStatus is the stream position a ShipSince reply carries.
+type ShipStatus struct {
+	// CommittedLSN is the highest durable (shippable) LSN.
+	CommittedLSN uint64
+	// FloorLSN is the trim floor: records with Seq > FloorLSN are available.
+	FloorLSN uint64
+}
+
+// ShipStats is the shipping subsystem's counter snapshot.
+type ShipStats struct {
+	Enabled      bool
+	CommittedLSN uint64
+	FloorLSN     uint64
+	Buffered     int   // records currently in the ring
+	Shipped      int64 // records handed to subscribers
+	Pulls        int64 // ShipSince calls served
+}
+
+// ShipStats returns a snapshot (zero value when shipping is off).
+func (e *Engine) ShipStats() ShipStats {
+	s := e.ship
+	if s == nil {
+		return ShipStats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ShipStats{
+		Enabled:      true,
+		CommittedLSN: s.committed,
+		FloorLSN:     s.floor,
+		Buffered:     len(s.recs),
+		Shipped:      s.shipped,
+		Pulls:        s.pulls,
+	}
+}

@@ -1,6 +1,14 @@
 // Client is the Go client for the wire protocol: one TCP connection, one
 // outstanding request at a time (the closed-loop shape the Lemma 13
 // experiment assumes — concurrency comes from many clients, not pipelining).
+//
+// Every round trip runs under per-request read/write deadlines (Options.
+// RequestTimeout), so a hung or partitioned server surfaces as ErrTimeout
+// instead of blocking the caller forever — the property the cluster router's
+// failover depends on. A transport or framing failure leaves the connection
+// mid-frame with the stream position unknown; the client marks itself
+// poisoned and every later call fails fast with ErrPoisoned until the caller
+// reconnects, instead of desynchronizing the protocol.
 package server
 
 import (
@@ -11,6 +19,7 @@ import (
 	"time"
 
 	"iomodels/internal/kv"
+	"iomodels/internal/wal"
 )
 
 // ErrBusy is returned when the server sheds the request under admission
@@ -22,6 +31,59 @@ var ErrBusy = errors.New("server busy")
 // horizon moved past its pin). Open a fresh snapshot and retry.
 var ErrSnapExpired = errors.New("snapshot expired")
 
+// ErrTimeout is returned when a round trip exceeds the request timeout: the
+// server is hung, partitioned, or dead. The connection is poisoned (the
+// reply may still arrive mid-frame later); reconnect to retry. The cluster
+// router treats it as the failover trigger.
+var ErrTimeout = errors.New("client: request timed out")
+
+// ErrPoisoned is returned by every call after a transport or framing error
+// left the connection's stream position unknown. Reconnect; retrying on the
+// same connection would desynchronize the protocol.
+var ErrPoisoned = errors.New("client: connection poisoned by an earlier framing error (reconnect)")
+
+// ErrNotPrimary is returned when a mutation is sent to a replica. The
+// router re-points at the shard's current primary and retries.
+var ErrNotPrimary = errors.New("server: not the primary for this shard")
+
+// ErrShipGap is returned by ShipPull when the requested position has been
+// trimmed from the primary's ship ring: this subscriber must re-bootstrap.
+var ErrShipGap = errors.New("server: ship position trimmed (re-bootstrap the replica)")
+
+// Options tunes a connection. Zero values select defaults.
+type Options struct {
+	// ConnectTimeout bounds Dial's TCP connect (default 10s).
+	ConnectTimeout time.Duration
+	// RequestTimeout bounds each round trip: the write deadline covers the
+	// request frame, the read deadline the reply frame. Default 5s;
+	// negative disables deadlines entirely (tests that deliberately block).
+	RequestTimeout time.Duration
+	// MaxFrame bounds reply frames (default DefaultMaxFrame).
+	MaxFrame int
+}
+
+// DefaultConnectTimeout and DefaultRequestTimeout are the Dial defaults.
+const (
+	DefaultConnectTimeout = 10 * time.Second
+	DefaultRequestTimeout = 5 * time.Second
+)
+
+func (o Options) withDefaults() Options {
+	if o.ConnectTimeout == 0 {
+		o.ConnectTimeout = DefaultConnectTimeout
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = DefaultRequestTimeout
+	}
+	if o.RequestTimeout < 0 {
+		o.RequestTimeout = 0
+	}
+	if o.MaxFrame == 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+	return o
+}
+
 // Client is a synchronous protocol client. Not safe for concurrent use; open
 // one per goroutine.
 type Client struct {
@@ -29,20 +91,32 @@ type Client struct {
 	r        *bufio.Reader
 	w        *bufio.Writer
 	maxFrame int
+	timeout  time.Duration // per-request deadline (0 = none)
+	poisoned error         // sticky transport/framing failure
 	// Busy counts ErrBusy replies seen, a convenience for load generators.
 	Busy int64
 }
 
-// Dial connects to a kvserve address.
+// Dial connects to a kvserve address with default Options.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	return DialOpts(addr, Options{})
+}
+
+// DialOpts connects with explicit timeouts.
+func DialOpts(addr string, o Options) (*Client, error) {
+	o = o.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, o.ConnectTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	c := NewClient(conn)
+	c.timeout = o.RequestTimeout
+	c.maxFrame = o.MaxFrame
+	return c, nil
 }
 
-// NewClient wraps an established connection.
+// NewClient wraps an established connection (no request deadlines; use
+// DialOpts for the timeout-guarded client).
 func NewClient(conn net.Conn) *Client {
 	return &Client{
 		conn:     conn,
@@ -55,18 +129,40 @@ func NewClient(conn net.Conn) *Client {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// Err returns the sticky poison error (nil while the connection is usable).
+func (c *Client) Err() error { return c.poisoned }
+
+// fail poisons the client and maps err for the caller: deadline expiries
+// become ErrTimeout, everything else is a transport error as-is.
+func (c *Client) fail(err error) error {
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		err = fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	c.poisoned = fmt.Errorf("%w: %v", ErrPoisoned, err)
+	return err
+}
+
 // roundTrip sends req and returns the reply payload positioned after the
 // status byte, having mapped Busy/Err statuses to errors.
 func (c *Client) roundTrip(req request) (Status, *kv.Dec, error) {
+	if c.poisoned != nil {
+		return 0, nil, c.poisoned
+	}
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return 0, nil, c.fail(err)
+		}
+	}
 	if err := writeFrame(c.w, encodeRequest(req)); err != nil {
-		return 0, nil, err
+		return 0, nil, c.fail(err)
 	}
 	if err := c.w.Flush(); err != nil {
-		return 0, nil, err
+		return 0, nil, c.fail(err)
 	}
 	buf, err := readFrame(c.r, c.maxFrame)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, c.fail(err)
 	}
 	d := &kv.Dec{Buf: buf}
 	status := Status(d.U8())
@@ -92,6 +188,18 @@ func (c *Client) roundTrip(req request) (Status, *kv.Dec, error) {
 			return status, nil, fmt.Errorf("server: malformed snap-expired reply: %w", d.Err)
 		}
 		return status, nil, fmt.Errorf("%w: %s", ErrSnapExpired, msg)
+	case StatusNotPrimary:
+		msg := d.Bytes()
+		if d.Err != nil {
+			return status, nil, fmt.Errorf("server: malformed not-primary reply: %w", d.Err)
+		}
+		return status, nil, fmt.Errorf("%w: %s", ErrNotPrimary, msg)
+	case StatusShipGap:
+		msg := d.Bytes()
+		if d.Err != nil {
+			return status, nil, fmt.Errorf("server: malformed ship-gap reply: %w", d.Err)
+		}
+		return status, nil, fmt.Errorf("%w: %s", ErrShipGap, msg)
 	default:
 		return status, nil, fmt.Errorf("server: unknown reply status %d", uint8(status))
 	}
@@ -247,4 +355,84 @@ func (c *Client) Stats() ([]byte, error) {
 		return nil, fmt.Errorf("server: malformed stats reply: %w", d.Err)
 	}
 	return js, nil
+}
+
+// NodeInfo is the shard-hello document: who this node is in the cluster and
+// where its replication stream stands.
+type NodeInfo struct {
+	ShardID int
+	Shards  int
+	Role    Role
+	// CommittedLSN is the node's highest durable LSN (the ship stream's
+	// committed position on a primary).
+	CommittedLSN uint64
+	// AppliedLSN is the highest shipped primary LSN this node has applied
+	// (0 unless the node is or was a replica).
+	AppliedLSN uint64
+}
+
+// Hello asks the node who it is: shard identity, role, and replication
+// positions. The router validates topology with it at connect time, and the
+// health probe uses it as a liveness+role check.
+func (c *Client) Hello() (NodeInfo, error) {
+	_, d, err := c.roundTrip(request{op: OpHello})
+	if err != nil {
+		return NodeInfo{}, err
+	}
+	var info NodeInfo
+	info.ShardID = int(d.U32())
+	info.Shards = int(d.U32())
+	info.Role = Role(d.U8())
+	info.CommittedLSN = d.U64()
+	info.AppliedLSN = d.U64()
+	if d.Err != nil {
+		return NodeInfo{}, fmt.Errorf("server: malformed hello reply: %w", d.Err)
+	}
+	return info, nil
+}
+
+// ShipPull tails the node's WAL ship stream: up to max durable records with
+// Seq > after, plus the stream's committed and floor LSNs. Pulling with
+// after = my applied LSN both fetches the next batch and acknowledges
+// everything applied so far (the primary's sync-ship gate releases on it).
+func (c *Client) ShipPull(after uint64, max int) (recs []wal.Record, committed, floor uint64, err error) {
+	_, d, err := c.roundTrip(request{op: OpShipPull, lsn: after, limit: max})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	committed = d.U64()
+	floor = d.U64()
+	n := int(d.U32())
+	if d.Err != nil || n < 0 || n > max {
+		return nil, 0, 0, fmt.Errorf("server: malformed ship reply (n=%d)", n)
+	}
+	recs = make([]wal.Record, 0, n)
+	for i := 0; i < n; i++ {
+		var r wal.Record
+		r.Kind = kv.Kind(d.U8())
+		r.Seq = d.U64()
+		r.Key = d.Bytes()
+		r.Value = d.Bytes()
+		recs = append(recs, r)
+	}
+	if d.Err != nil {
+		return nil, 0, 0, fmt.Errorf("server: malformed ship reply: %w", d.Err)
+	}
+	return recs, committed, floor, nil
+}
+
+// Promote asks a replica to become the shard's primary: it stops applying
+// the ship stream, seals its log tail, and starts accepting writes. Returns
+// the LSN the promoted node serves from. Idempotent on an already-promoted
+// node.
+func (c *Client) Promote() (lsn uint64, err error) {
+	_, d, err := c.roundTrip(request{op: OpPromote})
+	if err != nil {
+		return 0, err
+	}
+	lsn = d.U64()
+	if d.Err != nil {
+		return 0, fmt.Errorf("server: malformed promote reply: %w", d.Err)
+	}
+	return lsn, nil
 }

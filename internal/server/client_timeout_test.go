@@ -1,0 +1,136 @@
+// Regression tests for the client's failure-mode contract: a hung server
+// surfaces as ErrTimeout (never an indefinite block), and any transport or
+// framing failure poisons the connection so callers cannot resume on a
+// desynchronized stream. These are the properties the cluster router's
+// failover is built on.
+
+package server
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// hangListener accepts connections and reads forever without replying —
+// the shape of a partitioned or deadlocked server.
+func hangListener(t *testing.T) net.Addr {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr()
+}
+
+func TestClientTimesOutAgainstHungServer(t *testing.T) {
+	addr := hangListener(t)
+	c, err := DialOpts(addr.String(), Options{RequestTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	err = c.Ping()
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Ping against hung server = %v, want ErrTimeout", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v; the deadline is not being applied", elapsed)
+	}
+	// The reply may still arrive mid-frame later: the connection is poisoned.
+	if err := c.Ping(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Ping after timeout = %v, want ErrPoisoned", err)
+	}
+	if c.Err() == nil {
+		t.Fatal("Err() = nil on a poisoned client")
+	}
+}
+
+// partialFrameListener replies to the first request with a truncated frame
+// (a length prefix promising more bytes than it sends) and closes.
+func partialFrameListener(t *testing.T) net.Addr {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 4096)
+		conn.Read(buf)
+		conn.Write([]byte{0, 0, 0, 100, 1, 2, 3}) // header says 100, body has 3
+		conn.Close()
+	}()
+	return ln.Addr()
+}
+
+func TestClientPoisonedAfterTruncatedFrame(t *testing.T) {
+	addr := partialFrameListener(t)
+	c, err := DialOpts(addr.String(), Options{RequestTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err == nil {
+		t.Fatal("Ping over a truncated frame succeeded")
+	}
+	if _, _, err := c.Get([]byte("k")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Get after framing error = %v, want ErrPoisoned", err)
+	}
+}
+
+func TestProtocolErrorDoesNotPoison(t *testing.T) {
+	tb := newTestServer(t, Config{}, flatDev{64 << 20}, true, 1<<20, 10)
+	c := dialT(t, tb)
+	// A scan with an out-of-range limit is answered StatusErr with the stream
+	// still aligned: the connection must stay usable.
+	if _, err := c.Scan(nil, nil, 1<<30); err == nil {
+		t.Fatal("oversized scan limit was accepted")
+	} else if errors.Is(err, ErrPoisoned) || errors.Is(err, ErrTimeout) {
+		t.Fatalf("protocol-level error mapped to transport error: %v", err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection unusable after a protocol-level error: %v", err)
+	}
+	if c.Err() != nil {
+		t.Fatalf("client poisoned by a protocol-level error: %v", c.Err())
+	}
+}
+
+func TestDialOptsConnectTimeout(t *testing.T) {
+	// A blackholed address (TEST-NET-1) must fail within the connect timeout,
+	// not the OS default of minutes.
+	start := time.Now()
+	_, err := DialOpts("192.0.2.1:4000", Options{ConnectTimeout: 150 * time.Millisecond})
+	if err == nil {
+		t.Skip("unexpectedly connected to TEST-NET-1")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dial took %v; connect timeout not applied", elapsed)
+	}
+}

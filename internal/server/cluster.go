@@ -1,0 +1,227 @@
+// Cluster roles and the replication surface: shard hello, WAL-ship pulls,
+// and promotion. A server is Solo (the single-node default), a Primary
+// (accepts writes, feeds the ship stream), or a Replica (refuses writes with
+// StatusNotPrimary and applies the primary's shipped records through its own
+// durable write path, so it is itself crash-safe).
+//
+// Sync-ship: with Config.SyncShip on, a primary only acknowledges a write
+// after a replica's ShipPull has acknowledged an LSN at or past it — the
+// pull's `after` position doubles as the ack. A write that times out waiting
+// is answered with StatusErr: it is durable locally but unacknowledged by
+// the replica, so a failover may lose it — exactly the contract the client
+// sees.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"iomodels/internal/engine"
+	"iomodels/internal/kv"
+	"iomodels/internal/wal"
+)
+
+// Role is a node's cluster role.
+type Role uint8
+
+// Roles. RoleSolo is the zero value: a single-node server outside any
+// cluster (promotion is refused; writes are accepted).
+const (
+	RoleSolo Role = iota
+	RolePrimary
+	RoleReplica
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleSolo:
+		return "solo"
+	case RolePrimary:
+		return "primary"
+	case RoleReplica:
+		return "replica"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Role returns the node's current role.
+func (s *Server) Role() Role { return Role(s.role.Load()) }
+
+func (s *Server) setRole(r Role) { s.role.Store(int32(r)) }
+
+// ackShip records a subscriber's acknowledged position and wakes sync-ship
+// waiters. Positions only advance.
+func (s *Server) ackShip(lsn uint64) {
+	s.shipMu.Lock()
+	if lsn > s.shipAcked {
+		s.shipAcked = lsn
+		close(s.shipWake)
+		s.shipWake = make(chan struct{})
+	}
+	s.shipMu.Unlock()
+}
+
+// shipAckedLSN reads the highest acknowledged position.
+func (s *Server) shipAckedLSN() uint64 {
+	s.shipMu.Lock()
+	defer s.shipMu.Unlock()
+	return s.shipAcked
+}
+
+// waitShipAck blocks until a subscriber acknowledges lsn or timeout passes.
+func (s *Server) waitShipAck(lsn uint64, timeout time.Duration) bool {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		s.shipMu.Lock()
+		acked, wake := s.shipAcked, s.shipWake
+		s.shipMu.Unlock()
+		if acked >= lsn {
+			return true
+		}
+		select {
+		case <-wake:
+		case <-timer.C:
+			return false
+		}
+	}
+}
+
+// serveHello answers the shard-identity probe: who this node is and where
+// its replication stream stands. The router validates topology with it; the
+// failover path uses it as the liveness + role check.
+func (s *Server) serveHello() []byte {
+	committed := s.backend.Eng.LogSeq()
+	if ss := s.backend.Eng.ShipStats(); ss.Enabled {
+		committed = ss.CommittedLSN
+	}
+	var e kv.Enc
+	e.U8(uint8(StatusOK))
+	e.U32(uint32(s.cfg.ShardID))
+	e.U32(uint32(s.cfg.Shards))
+	e.U8(uint8(s.Role()))
+	e.U64(committed)
+	e.U64(s.shipAppliedLSN.Load())
+	return e.Buf
+}
+
+// serveShipPull serves one ship-stream pull: records past req.lsn, capped by
+// req.limit and by frame size (the replica resumes where the batch ends).
+// The pull position acknowledges everything before it.
+func (s *Server) serveShipPull(req request) []byte {
+	recs, st, err := s.backend.Eng.ShipSince(req.lsn, req.limit)
+	switch {
+	case errors.Is(err, engine.ErrShipGap):
+		return encodeStatus(StatusShipGap, err.Error())
+	case err != nil:
+		return encodeStatus(StatusErr, err.Error())
+	}
+	s.ackShip(req.lsn)
+	s.metrics.shipPulls.Add(1)
+	// Encode the record body first so the batch can be cut at the frame
+	// budget: a half-size budget leaves room for the reply envelope and keeps
+	// any client-side MaxFrame honored.
+	var body kv.Enc
+	n := 0
+	for _, r := range recs {
+		body.U8(uint8(r.Kind))
+		body.U64(r.Seq)
+		body.Bytes(r.Key)
+		body.Bytes(r.Value)
+		n++
+		if len(body.Buf) >= s.cfg.MaxFrameBytes/2 {
+			break
+		}
+	}
+	s.metrics.shipRecords.Add(int64(n))
+	var e kv.Enc
+	e.U8(uint8(StatusOK))
+	e.U64(st.CommittedLSN)
+	e.U64(st.FloorLSN)
+	e.U32(uint32(n))
+	e.Buf = append(e.Buf, body.Buf...)
+	return e.Buf
+}
+
+// servePromote flips a replica to primary. The OnPromote hook runs first —
+// it stops the shipper and seals the log tail (a WAL sync), returning the
+// LSN the node will serve from — and only then does the role flip, so no
+// shipped apply can race a client write. Idempotent on a primary; refused on
+// a solo node.
+func (s *Server) servePromote() []byte {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	switch s.Role() {
+	case RolePrimary:
+		var e kv.Enc
+		e.U8(uint8(StatusOK))
+		e.U64(s.backend.Eng.LogSeq())
+		return e.Buf
+	case RoleSolo:
+		return encodeStatus(StatusErr, "promote: node is not a cluster member")
+	}
+	lsn := s.shipAppliedLSN.Load()
+	if s.cfg.OnPromote != nil {
+		var err error
+		lsn, err = s.cfg.OnPromote()
+		if err != nil {
+			return encodeStatus(StatusErr, fmt.Sprintf("promote: %v", err))
+		}
+	}
+	s.setRole(RolePrimary)
+	s.metrics.promotions.Add(1)
+	var e kv.Enc
+	e.U8(uint8(StatusOK))
+	e.U64(lsn)
+	return e.Buf
+}
+
+// ApplyShipped applies one pulled batch of primary records through the
+// server's write path — trees + this node's own WAL, one group commit — and
+// records the primary-LSN high-water mark. Replica-only: the caller is the
+// shipper goroutine, and the role gate guarantees it never runs concurrently
+// with the writer loop's own applyWrites (client writes are refused with
+// StatusNotPrimary while the node is a replica, and promotion stops the
+// shipper before the role flips).
+//
+// Shipped streams contain only Put and Tombstone records: the primary's
+// durability layer materializes upserts into Puts before logging (see
+// Durable.Upsert), so replay — local or remote — is a pure fold.
+func (s *Server) ApplyShipped(recs []wal.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if s.Role() != RoleReplica {
+		return errors.New("server: ApplyShipped on a non-replica")
+	}
+	batch := make([]writeReq, len(recs))
+	for i, r := range recs {
+		done := make(chan writeResult, 1)
+		switch r.Kind {
+		case kv.Put:
+			batch[i] = writeReq{op: OpPut, key: r.Key, value: r.Value, done: done}
+		case kv.Tombstone:
+			batch[i] = writeReq{op: OpDelete, key: r.Key, done: done}
+		default:
+			return fmt.Errorf("server: shipped record %d has unexpected kind %d", r.Seq, r.Kind)
+		}
+	}
+	s.applyWrites(batch)
+	var firstErr error
+	for i := range batch {
+		if res := <-batch[i].done; res.err != nil && firstErr == nil {
+			firstErr = res.err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	s.shipAppliedLSN.Store(recs[len(recs)-1].Seq)
+	return nil
+}
+
+// ShipAppliedLSN is the highest shipped primary LSN this node has applied
+// (0 unless it is or was a replica).
+func (s *Server) ShipAppliedLSN() uint64 { return s.shipAppliedLSN.Load() }

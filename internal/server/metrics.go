@@ -36,6 +36,12 @@ type metrics struct {
 	snapChainHits atomic.Int64 // snapshot gets resolved from the version chain (no IO)
 	snapExpired   atomic.Int64 // snapshot ops refused: unknown id or horizon passed
 
+	notPrimary      atomic.Int64 // writes refused on a replica
+	shipPulls       atomic.Int64 // ShipPull requests served
+	shipRecords     atomic.Int64 // records shipped to subscribers
+	shipAckTimeouts atomic.Int64 // sync-ship batches that waited out the ack window
+	promotions      atomic.Int64 // replica → primary flips
+
 	ops map[Op]*opMetrics // fixed at construction; values are atomic inside
 }
 
@@ -48,7 +54,7 @@ type opMetrics struct {
 func newMetrics() *metrics {
 	m := &metrics{started: time.Now(), ops: make(map[Op]*opMetrics)}
 	for _, op := range []Op{OpPing, OpGet, OpPut, OpDelete, OpScan, OpUpsert, OpStats,
-		OpSnapOpen, OpSnapGet, OpSnapScan, OpSnapRelease} {
+		OpSnapOpen, OpSnapGet, OpSnapScan, OpSnapRelease, OpHello, OpShipPull, OpPromote} {
 		m.ops[op] = &opMetrics{lat: stats.NewLatencyHist()}
 	}
 	return m
@@ -144,6 +150,25 @@ type StatsSnapshot struct {
 	SnapChainHits     int64   `json:"snap_chain_hits"`
 	SnapExpired       int64   `json:"snap_expired"`
 
+	// Cluster surface (PR-7): the node's shard identity and role, and the
+	// WAL-shipping stream's positions. On a primary, AckedLSN is the highest
+	// LSN a replica pull has acknowledged; on a replica, AppliedLSN is the
+	// highest shipped primary LSN applied locally.
+	Role            string `json:"role"`
+	ShardID         int    `json:"shard_id"`
+	Shards          int    `json:"shards"`
+	ShipEnabled     bool   `json:"ship_enabled"`
+	ShipCommitted   int64  `json:"ship_committed_lsn"`
+	ShipFloor       int64  `json:"ship_floor_lsn"`
+	ShipBuffered    int    `json:"ship_buffered"`
+	ShipRecords     int64  `json:"ship_records_total"`
+	ShipPulls       int64  `json:"ship_pulls_total"`
+	ShipAckedLSN    int64  `json:"ship_acked_lsn"`
+	ShipAppliedLSN  int64  `json:"ship_applied_lsn"`
+	ShipAckTimeouts int64  `json:"ship_ack_timeouts"`
+	NotPrimary      int64  `json:"not_primary_total"`
+	Promotions      int64  `json:"promotions_total"`
+
 	// Obs is the span tracer's summary (per-layer IO attribution and live
 	// model residuals); present only when a tracer is attached.
 	Obs *obs.Summary `json:"obs,omitempty"`
@@ -219,6 +244,21 @@ func (s *Server) Snapshot() StatsSnapshot {
 	}
 	out.SnapChainHits = m.snapChainHits.Load()
 	out.SnapExpired = m.snapExpired.Load()
+	out.Role = s.Role().String()
+	out.ShardID, out.Shards = s.cfg.ShardID, s.cfg.Shards
+	if ss := s.backend.Eng.ShipStats(); ss.Enabled {
+		out.ShipEnabled = true
+		out.ShipCommitted = int64(ss.CommittedLSN)
+		out.ShipFloor = int64(ss.FloorLSN)
+		out.ShipBuffered = ss.Buffered
+	}
+	out.ShipRecords = m.shipRecords.Load()
+	out.ShipPulls = m.shipPulls.Load()
+	out.ShipAckedLSN = int64(s.shipAckedLSN())
+	out.ShipAppliedLSN = int64(s.shipAppliedLSN.Load())
+	out.ShipAckTimeouts = m.shipAckTimeouts.Load()
+	out.NotPrimary = m.notPrimary.Load()
+	out.Promotions = m.promotions.Load()
 	if t := s.cfg.Trace; t != nil {
 		out.TraceLen, out.TraceCap, out.TraceDropped = t.Len(), t.Cap(), t.Dropped()
 	}
@@ -308,6 +348,29 @@ func (s *Server) writeProm(w io.Writer) {
 	scalar("wal_commits_total", "counter", "WAL group commits.", snap.WALCommits)
 	scalar("wal_bytes_total", "counter", "WAL bytes written (frames and headers).", snap.WALBytes)
 	scalar("checkpoints_total", "counter", "Durability checkpoints sealed.", snap.Checkpoints)
+
+	promFamily(w, "kvserve_role", "gauge", "Node role as a one-hot label (solo/primary/replica).")
+	for _, role := range []string{"solo", "primary", "replica"} {
+		v := 0
+		if role == snap.Role {
+			v = 1
+		}
+		fmt.Fprintf(w, "kvserve_role{role=%q} %d\n", role, v)
+	}
+	scalar("shard_id", "gauge", "This node's shard index.", snap.ShardID)
+	scalar("shards", "gauge", "Shards in the cluster.", snap.Shards)
+	if snap.ShipEnabled {
+		scalar("ship_committed_lsn", "gauge", "Highest durable (shippable) LSN.", snap.ShipCommitted)
+		scalar("ship_floor_lsn", "gauge", "Ship ring trim floor.", snap.ShipFloor)
+		scalar("ship_buffered", "gauge", "Records buffered in the ship ring.", snap.ShipBuffered)
+	}
+	scalar("ship_records_total", "counter", "WAL records shipped to subscribers.", snap.ShipRecords)
+	scalar("ship_pulls_total", "counter", "ShipPull requests served.", snap.ShipPulls)
+	scalar("ship_acked_lsn", "gauge", "Highest LSN acknowledged by a replica pull.", snap.ShipAckedLSN)
+	scalar("ship_applied_lsn", "gauge", "Highest shipped primary LSN applied locally (replica).", snap.ShipAppliedLSN)
+	scalar("ship_ack_timeouts_total", "counter", "Sync-ship batches that waited out the ack window.", snap.ShipAckTimeouts)
+	scalar("not_primary_total", "counter", "Writes refused because this node is a replica.", snap.NotPrimary)
+	scalar("promotions_total", "counter", "Replica-to-primary promotions served.", snap.Promotions)
 
 	if snap.MVCCEnabled {
 		scalar("mvcc_applied_lsn", "gauge", "Newest WAL LSN applied to the trees.", snap.MVCCAppliedLSN)

@@ -19,16 +19,25 @@
 //	SnapGet     u64 id | key
 //	SnapScan    u64 id | lo hi limit
 //	SnapRelease u64 id
+//	Hello                              (shard identity + replication positions)
+//	ShipPull    u64 after | u32 max    (tail the WAL ship stream past `after`)
+//	Promote                            (replica → primary; idempotent on a primary)
 //
 // Replies (server → client):
 //
 //	OK       op-specific: Get → value; Scan → u32 n, n×(key value);
 //	         Delete → u8 accepted; Stats → JSON bytes; others → empty
-//	         SnapOpen → u64 id, u64 lsn; others → empty
+//	         SnapOpen → u64 id, u64 lsn
+//	         Hello → u32 shard, u32 shards, u8 role, u64 committed, u64 applied
+//	         ShipPull → u64 committed, u64 floor, u32 n,
+//	                    n×(u8 kind, u64 seq, key value)
+//	         Promote → u64 lsn (the promoted node's serving position)
 //	NotFound (Get of an absent key)
 //	Busy     message      (admission control shed the request; retry later)
 //	Err      message
 //	SnapExpired message   (snapshot too old, released, or unknown id)
+//	NotPrimary message    (mutation sent to a replica; re-route to the primary)
+//	ShipGap message       (ship position trimmed; re-bootstrap the replica)
 //
 // The payload is decoded with kv.Dec and must be consumed exactly: trailing
 // bytes are a protocol error, as is any truncation (Dec's sticky Err).
@@ -58,6 +67,9 @@ const (
 	OpSnapGet
 	OpSnapScan
 	OpSnapRelease
+	OpHello
+	OpShipPull
+	OpPromote
 )
 
 func (o Op) String() string {
@@ -84,6 +96,12 @@ func (o Op) String() string {
 		return "snap-scan"
 	case OpSnapRelease:
 		return "snap-release"
+	case OpHello:
+		return "hello"
+	case OpShipPull:
+		return "ship-pull"
+	case OpPromote:
+		return "promote"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -99,6 +117,8 @@ const (
 	StatusBusy
 	StatusErr
 	StatusSnapExpired
+	StatusNotPrimary
+	StatusShipGap
 )
 
 func (s Status) String() string {
@@ -113,6 +133,10 @@ func (s Status) String() string {
 		return "error"
 	case StatusSnapExpired:
 		return "snap-expired"
+	case StatusNotPrimary:
+		return "not-primary"
+	case StatusShipGap:
+		return "ship-gap"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -172,8 +196,12 @@ type request struct {
 
 	snapID uint64 // snap-get/scan/release: the connection-local snapshot id
 	atLSN  bool   // snap-open: pin the named LSN instead of the current one
-	lsn    uint64 // snap-open with atLSN
+	lsn    uint64 // snap-open with atLSN; ship-pull's `after` position
 }
+
+// maxShipBatch bounds one ShipPull's record count: with kvserve-scale keys
+// and values a full batch stays well inside DefaultMaxFrame.
+const maxShipBatch = 4096
 
 // decodeRequest parses an untrusted request payload. Every error is a
 // protocol error (the connection is answered with StatusErr but kept open).
@@ -208,6 +236,10 @@ func decodeRequest(buf []byte, maxScanLimit int) (request, error) {
 		req.limit = int(d.U32())
 	case OpSnapRelease:
 		req.snapID = d.U64()
+	case OpHello, OpPromote:
+	case OpShipPull:
+		req.lsn = d.U64()
+		req.limit = int(d.U32())
 	default:
 		return req, fmt.Errorf("server: unknown op %d", uint8(req.op))
 	}
@@ -225,6 +257,10 @@ func decodeRequest(buf []byte, maxScanLimit int) (request, error) {
 	case OpScan, OpSnapScan:
 		if req.limit <= 0 || req.limit > maxScanLimit {
 			return req, fmt.Errorf("server: scan limit %d out of range (1..%d)", req.limit, maxScanLimit)
+		}
+	case OpShipPull:
+		if req.limit <= 0 || req.limit > maxShipBatch {
+			return req, fmt.Errorf("server: ship batch %d out of range (1..%d)", req.limit, maxShipBatch)
 		}
 	}
 	return req, nil
@@ -265,6 +301,10 @@ func encodeRequest(req request) []byte {
 		e.U32(uint32(req.limit))
 	case OpSnapRelease:
 		e.U64(req.snapID)
+	case OpHello, OpPromote:
+	case OpShipPull:
+		e.U64(req.lsn)
+		e.U32(uint32(req.limit))
 	default:
 		panic(fmt.Sprintf("server: encodeRequest of invalid op %d", uint8(req.op)))
 	}
@@ -276,7 +316,8 @@ func encodeRequest(req request) []byte {
 func encodeStatus(s Status, msg string) []byte {
 	var e kv.Enc
 	e.U8(uint8(s))
-	if s == StatusBusy || s == StatusErr || s == StatusSnapExpired {
+	if s == StatusBusy || s == StatusErr || s == StatusSnapExpired ||
+		s == StatusNotPrimary || s == StatusShipGap {
 		e.Bytes([]byte(msg))
 	}
 	return e.Buf

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"iomodels/internal/engine"
@@ -61,6 +62,26 @@ type Config struct {
 	// spans, the pager/WAL/checkpoint layers annotate them, and /stats and
 	// /metrics expose the per-layer breakdown and live model residuals.
 	Tracer *obs.Tracer
+
+	// ShardID/Shards place this node in a cluster (defaults 0 of 1). The
+	// Hello op reports them; the router refuses a node whose identity does
+	// not match its topology.
+	ShardID int
+	Shards  int
+	// Role is the node's initial cluster role (RoleSolo outside a cluster).
+	// A replica refuses client writes with StatusNotPrimary until promoted.
+	Role Role
+	// OnPromote, if set, runs inside a replica's Promote handling before the
+	// role flips: stop the shipper, seal the log tail, return the LSN the
+	// node will serve from. Errors refuse the promotion.
+	OnPromote func() (uint64, error)
+	// SyncShip makes a primary acknowledge a write only after a replica's
+	// ShipPull has acknowledged an LSN at or past it (semi-synchronous
+	// replication: an acked write survives failover). Writes that wait
+	// longer than SyncShipTimeout (default 2s) are answered with StatusErr —
+	// durable locally, unacknowledged remotely.
+	SyncShip        bool
+	SyncShipTimeout time.Duration
 }
 
 func (c Config) withDefaults(dev storage.Device) Config {
@@ -91,6 +112,12 @@ func (c Config) withDefaults(dev storage.Device) Config {
 	}
 	if c.MaxScanLimit == 0 {
 		c.MaxScanLimit = 10000
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.SyncShipTimeout == 0 {
+		c.SyncShipTimeout = 2 * time.Second
 	}
 	return c
 }
@@ -127,6 +154,15 @@ type Server struct {
 	// single-writer rule.)
 	stateMu sync.RWMutex
 
+	// Cluster state (cluster.go): the node's role, the sync-ship ack gate,
+	// and the replica's applied high-water mark.
+	role           atomic.Int32
+	promoteMu      sync.Mutex
+	shipMu         sync.Mutex
+	shipAcked      uint64        // highest LSN a subscriber has acknowledged
+	shipWake       chan struct{} // closed+replaced when shipAcked advances
+	shipAppliedLSN atomic.Uint64 // replica: highest shipped primary LSN applied
+
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
@@ -160,7 +196,9 @@ func New(cfg Config, backend Backend) (*Server, error) {
 		writeCh:    make(chan writeReq, cfg.WriteQueue),
 		writerDone: make(chan struct{}),
 		conns:      make(map[net.Conn]struct{}),
+		shipWake:   make(chan struct{}),
 	}
+	s.setRole(cfg.Role)
 	go s.writerLoop()
 	return s, nil
 }
@@ -331,6 +369,12 @@ func (s *Server) serveRequest(cs *connState, req request) []byte {
 		reply = s.serveSnapRead(cs, req)
 	case OpSnapRelease:
 		reply = s.serveSnapRelease(cs, req)
+	case OpHello:
+		reply = s.serveHello()
+	case OpShipPull:
+		reply = s.serveShipPull(req)
+	case OpPromote:
+		reply = s.servePromote()
 	default:
 		reply = encodeStatus(StatusErr, fmt.Sprintf("unhandled op %v", req.op))
 	}
@@ -546,6 +590,10 @@ func (s *Server) serveRead(client *engine.Client, session engine.Dictionary, req
 // serveWrite enqueues the mutation for the writer's next group commit and
 // waits for the batch's WAL flush before acknowledging.
 func (s *Server) serveWrite(req request) []byte {
+	if s.Role() == RoleReplica {
+		s.metrics.notPrimary.Add(1)
+		return encodeStatus(StatusNotPrimary, "replica: writes go to the shard primary")
+	}
 	wr := writeReq{op: req.op, key: req.key, value: req.value, delta: req.delta,
 		done: make(chan writeResult, 1)}
 	select {

@@ -18,6 +18,10 @@ import (
 	"iomodels/internal/wal"
 )
 
+// errSyncShipTimeout is the batch-scoped sync-ship failure: locally durable,
+// remotely unacknowledged.
+var errSyncShipTimeout = errors.New("sync-ship: no replica acknowledged the write in time (durable locally, replication unconfirmed)")
+
 // writeResult is the writer's reply to one request.
 type writeResult struct {
 	accepted bool // Delete's report (true for Put/Upsert)
@@ -84,6 +88,7 @@ func (s *Server) applyWrites(batch []writeReq) {
 		}
 		s.stateMu.Lock()
 		err := s.backend.Eng.ApplyBatchNoSync(muts)
+		target := s.backend.Eng.LogSeq() // the batch's last appended LSN
 		s.stateMu.Unlock()
 		if err == nil {
 			err = s.backend.Eng.CommitPending()
@@ -95,6 +100,16 @@ func (s *Server) applyWrites(batch []writeReq) {
 				s.stateMu.Lock()
 				err = s.backend.Eng.Checkpoint()
 				s.stateMu.Unlock()
+			}
+		}
+		if err == nil && s.cfg.SyncShip && s.Role() == RolePrimary {
+			// Semi-synchronous replication: hold the acks until a replica's
+			// pull acknowledges the batch's last LSN. A timeout degrades that
+			// batch to an error reply — the writes are durable locally but a
+			// failover may lose them, and the client must know.
+			if !s.waitShipAck(target, s.cfg.SyncShipTimeout) {
+				s.metrics.shipAckTimeouts.Add(1)
+				err = errSyncShipTimeout
 			}
 		}
 		for i := range results {

@@ -93,6 +93,13 @@ type Log struct {
 	bufCount uint32 // records in buf
 	bufFirst uint64 // seq of the first record in buf
 
+	// ship holds deep copies of appended-but-not-yet-durable records while a
+	// commit hook is attached (SetOnCommit): the log-shipping tail. Records
+	// move from ship to the hook the moment they become durable — a group
+	// commit, or a checkpoint that covers them via the journal instead.
+	ship     []Record
+	onCommit func([]Record)
+
 	head     int64  // committed frame bytes in the current epoch
 	epoch    uint64 // current epoch; bumped by Checkpoint
 	startSeq uint64 // first seq belonging to the current epoch
@@ -286,6 +293,37 @@ func (l *Log) Epoch() uint64 { return l.epoch }
 // (0 before the first append).
 func (l *Log) LastSeq() uint64 { return l.nextSeq - 1 }
 
+// SetOnCommit attaches the log-shipping hook: fn is called, under the
+// caller's own serialization (the Log is single-threaded by contract), with
+// every record exactly once at the moment it becomes durable — sealed into a
+// committed frame, or covered by a checkpoint's journal (CheckpointCovering).
+// Records appended while a hook is attached are deep-copied into the ship
+// tail, so callers may reuse key/value buffers. nil detaches (and drops any
+// untailed records).
+func (l *Log) SetOnCommit(fn func([]Record)) {
+	l.onCommit = fn
+	if fn == nil {
+		l.ship = nil
+	}
+}
+
+// TailFrom replays the committed records of the current epoch whose sequence
+// number is strictly greater than after, in append order, from the device
+// image. It is the ship-subscriber's backfill: everything the log still
+// holds on disk, before the live OnCommit stream takes over. Returns the
+// number of records visited.
+func (l *Log) TailFrom(after uint64, fn func(Record) bool) int {
+	n := 0
+	l.scan(func(r Record) bool {
+		if r.Seq <= after {
+			return true
+		}
+		n++
+		return fn == nil || fn(r)
+	})
+	return n
+}
+
 // Append adds a record to the current commit group, committing the group
 // when it reaches GroupBytes. It returns the record's assigned sequence
 // number. On ErrLogFull the record stays pending (with its sequence number
@@ -314,6 +352,15 @@ func (l *Log) Append(r Record) (uint64, error) {
 	l.buf = append(l.buf, e.Buf...)
 	l.bufCount++
 	l.Records++
+	if l.onCommit != nil {
+		l.ship = append(l.ship, Record{
+			Seq:   seq,
+			Kind:  r.Kind,
+			Dict:  r.Dict,
+			Key:   append([]byte(nil), r.Key...),
+			Value: append([]byte(nil), r.Value...),
+		})
+	}
 	if len(l.buf) >= l.cfg.GroupBytes {
 		if err := l.Commit(); err != nil {
 			return seq, err
@@ -349,7 +396,26 @@ func (l *Log) Commit() error {
 	l.buf = l.buf[:0]
 	l.bufCount = 0
 	l.Commits++
+	l.shipThrough(l.LastSeq())
 	return nil
+}
+
+// shipThrough hands every tailed record with Seq <= lsn to the commit hook
+// and drops it from the ship tail. No-op without a hook.
+func (l *Log) shipThrough(lsn uint64) {
+	if l.onCommit == nil || len(l.ship) == 0 {
+		return
+	}
+	n := 0
+	for n < len(l.ship) && l.ship[n].Seq <= lsn {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	durable := l.ship[:n:n]
+	l.ship = append([]Record(nil), l.ship[n:]...)
+	l.onCommit(durable)
 }
 
 // Checkpoint declares all logged state durably applied and truncates the
@@ -359,6 +425,19 @@ func (l *Log) Commit() error {
 // dropped — the caller has just made its effects durable by other means; a
 // caller that has not yet applied a pending record must re-append it.
 func (l *Log) Checkpoint() {
+	l.CheckpointCovering(l.LastSeq())
+}
+
+// CheckpointCovering is Checkpoint for a caller whose checkpoint covers only
+// sequences up to lastLSN (the engine's log-full path: the newest appended
+// record burned its sequence number but was never applied, so the journal
+// cannot cover it). Tailed records the checkpoint covers are handed to the
+// commit hook — they are durable now, via the journal — while newer ones are
+// dropped from the tail exactly as they are dropped from the pending group:
+// the caller re-appends them, and the re-append re-tails them.
+func (l *Log) CheckpointCovering(lastLSN uint64) {
+	l.shipThrough(lastLSN)
+	l.ship = nil
 	l.buf = l.buf[:0]
 	l.bufCount = 0
 	l.epoch++
