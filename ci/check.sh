@@ -160,6 +160,20 @@ grep -q "model residuals" "$smoke/iotrace.log" || {
 	exit 1
 }
 
+# The same smoke on the multi-queue device: the residual table must carry
+# the mq model's row (the fourth model, E23) and -assert requires the mq
+# prediction to beat the DAM on read residuals.
+go run ./cmd/iotrace -tree b -device mq -node 4096 -items 30000 -cache 1048576 -ops 300 -clients 32 -assert >"$smoke/iotrace-mq.log" 2>&1 || {
+	echo "iotrace mq smoke failed:" >&2
+	cat "$smoke/iotrace-mq.log" >&2
+	exit 1
+}
+grep -q "^  mq " "$smoke/iotrace-mq.log" || {
+	echo "iotrace mq residual row missing:" >&2
+	cat "$smoke/iotrace-mq.log" >&2
+	exit 1
+}
+
 # Fuzz smoke (not run here — fuzzing is open-ended and CI is budgeted; the
 # seed corpora run as ordinary tests in the go test pass above). To shake the
 # decoders locally:
@@ -184,6 +198,14 @@ go test -race ./internal/server
 # path, the WAL shipper, and the kill-primary-mid-load acceptance test all
 # race real goroutines over real TCP, so it too gets a named pass.
 go test -race ./internal/cluster
+
+# The multi-queue device and the lane scheduler under the race detector,
+# named explicitly: the lane scheduler's per-lane launch/complete path and
+# the E23 serving round are the queue-aware additions (the mqssd package
+# itself is single-goroutine behind the engine, but its tests assert the
+# degeneracy contract the lanes rely on).
+go test -race ./internal/mqssd
+go test -race -run 'Lane|Scheduler|Batch' ./internal/server
 
 # The span tracer's and trace ring's concurrency regressions, named
 # explicitly for the same reason (the full -race pass below also covers the

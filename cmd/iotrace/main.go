@@ -13,7 +13,7 @@
 //
 // Usage:
 //
-//	iotrace [-tree b|be|lsm] [-device hdd|ssd|pdam] [-items N] [-ops N]
+//	iotrace [-tree b|be|lsm] [-device hdd|ssd|pdam|mq] [-items N] [-ops N]
 //	        [-clients K] [-node BYTES] [-cache BYTES] [-sample N]
 //	        [-chrome FILE] [-assert]
 //
@@ -34,6 +34,7 @@ import (
 	"iomodels/internal/engine"
 	"iomodels/internal/hdd"
 	"iomodels/internal/lsm"
+	"iomodels/internal/mqssd"
 	"iomodels/internal/obs"
 	"iomodels/internal/pdamdev"
 	"iomodels/internal/sim"
@@ -45,7 +46,7 @@ import (
 
 func main() {
 	tree := flag.String("tree", "be", "structure: b, be, or lsm")
-	device := flag.String("device", "hdd", "device model: hdd, ssd, or pdam")
+	device := flag.String("device", "hdd", "device model: hdd, ssd, pdam, or mq")
 	items := flag.Int64("items", 100_000, "pairs to load")
 	node := flag.Int("node", 256<<10, "node size (trees)")
 	cache := flag.Int64("cache", 4<<20, "engine cache bytes")
@@ -66,8 +67,10 @@ func main() {
 		dev = ssd.New(ssd.DefaultProfile())
 	case "pdam":
 		dev = pdamdev.New(16, 4<<10, sim.Time(time.Millisecond)).Storage(4 << 30)
+	case "mq":
+		dev = mqssd.New(mqssd.DefaultConfig()).Storage(4 << 30)
 	default:
-		fatalf("unknown device %q (want hdd, ssd, or pdam)", *device)
+		fatalf("unknown device %q (want hdd, ssd, pdam, or mq)", *device)
 	}
 
 	eng := engine.New(engine.Config{CacheBytes: *cache}, dev, sim.New())
@@ -163,10 +166,16 @@ func main() {
 
 	if *assert {
 		// The refined model for the device family: affine on the serial hdd
-		// (§2), PDAM on parallel devices (§8).
+		// (§2), PDAM on parallel devices (§8), the multi-queue model when
+		// the device exposes queue structure (E23).
 		refined := obs.ModelPDAM
-		if sum.Models != nil && sum.Models.Serial {
-			refined = obs.ModelAffine
+		if sum.Models != nil {
+			switch {
+			case sum.Models.Serial:
+				refined = obs.ModelAffine
+			case sum.Models.MQ.Queues > 1:
+				refined = obs.ModelMQ
+			}
 		}
 		ref, ok1 := sum.Residual(refined, "read")
 		dam, ok2 := sum.Residual(obs.ModelDAM, "read")

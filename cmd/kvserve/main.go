@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	kvserve [-addr HOST:PORT] [-metrics HOST:PORT] [-device pdam|ssd]
+//	kvserve [-addr HOST:PORT] [-metrics HOST:PORT] [-device pdam|ssd|mq]
 //	        [-tree btree|betree|lsm] [-items N] [-durable] [-batch N] ...
 //
 // The device is a timing model, so IO cost accrues on a shared virtual
@@ -39,6 +39,7 @@ import (
 	"iomodels/internal/cluster"
 	"iomodels/internal/engine"
 	"iomodels/internal/lsm"
+	"iomodels/internal/mqssd"
 	"iomodels/internal/obs"
 	"iomodels/internal/pdamdev"
 	"iomodels/internal/server"
@@ -51,17 +52,23 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "TCP listen address (:0 picks a free port)")
 	metricsAddr := flag.String("metrics", "", "HTTP listen address for /stats and /metrics (empty: disabled)")
-	device := flag.String("device", "pdam", "device model: pdam or ssd")
+	device := flag.String("device", "pdam", "device model: pdam, ssd, or mq")
 	p := flag.Int("p", 16, "PDAM parallelism P (IO slots per step)")
 	block := flag.Int64("block", 4<<10, "PDAM block bytes B")
 	step := flag.Duration("step", time.Millisecond, "PDAM step length (virtual time)")
 	capacity := flag.Int64("capacity", 4<<30, "pdam device capacity bytes")
+	queues := flag.Int("queues", 0, "mq device: read queue pairs (0: mq default)")
+	qslots := flag.Int("qslots", 0, "mq device: per-queue IOs per step (0: mq default)")
+	qdepth := flag.Int("qdepth", 0, "mq device: per-queue outstanding cap (0: per-queue slots)")
+	beta := flag.Float64("beta", 0.125, "mq device: cross-queue interference β")
+	writeQueue := flag.Bool("wq", true, "mq device: dedicate a write queue pair")
 	treeKind := flag.String("tree", "btree", "dictionary: btree, betree, or lsm")
 	node := flag.Int("node", 4<<10, "tree node bytes (btree/betree)")
 	cache := flag.Int64("cache", 64<<20, "engine cache bytes")
 	items := flag.Int64("items", 0, "preload this many keys before serving")
 	durable := flag.Bool("durable", false, "enable the WAL: group commit and crash recovery")
 	batch := flag.Int("batch", 0, "read batch size (0: ask the device for P; 1: DAM-style)")
+	lanes := flag.Int("lanes", 0, "read batch lanes (0: ask the device for its queue topology)")
 	grace := flag.Duration("grace", 0, "partial-batch launch grace (0: server default)")
 	readq := flag.Int("readq", 0, "read admission bound (0: 4x batch)")
 	writeq := flag.Int("writeq", 0, "write queue bound (0: default 1024)")
@@ -100,8 +107,18 @@ func main() {
 		dev = pdamdev.New(*p, *block, sim.Time(*step)).Storage(*capacity)
 	case "ssd":
 		dev = ssd.New(ssd.DefaultProfile())
+	case "mq":
+		mcfg := mqssd.DefaultConfig()
+		mcfg.Queues = *queues
+		mcfg.PerQueueP = *qslots
+		mcfg.QueueDepth = *qdepth
+		mcfg.Interference = *beta
+		mcfg.WriteQueue = *writeQueue
+		mcfg.BlockBytes = *block
+		mcfg.StepTime = sim.Time(*step)
+		dev = mqssd.New(mcfg).Storage(*capacity)
 	default:
-		fatalf("unknown device %q (want pdam or ssd)", *device)
+		fatalf("unknown device %q (want pdam, ssd, or mq)", *device)
 	}
 
 	eng := engine.New(engine.Config{CacheBytes: *cache}, dev, sim.New())
@@ -202,6 +219,7 @@ func main() {
 	srv, err := server.New(server.Config{
 		Addr:       *addr,
 		BatchIOs:   *batch,
+		ReadLanes:  *lanes,
 		BatchGrace: *grace,
 		ReadQueue:  *readq,
 		WriteQueue: *writeq,
@@ -236,8 +254,8 @@ func main() {
 		shipper.Start()
 	}
 	cfg := srv.Config()
-	fmt.Printf("kvserve: %s on %s, batch=%d grace=%v durable=%v\n",
-		*treeKind, eng.Device().Name(), cfg.BatchIOs, cfg.BatchGrace, *durable)
+	fmt.Printf("kvserve: %s on %s, lanes=%d batch=%d grace=%v durable=%v\n",
+		*treeKind, eng.Device().Name(), cfg.ReadLanes, cfg.BatchIOs, cfg.BatchGrace, *durable)
 	if role != server.RoleSolo {
 		fmt.Printf("kvserve: shard %d/%d role=%s replica-of=%q sync-ship=%v\n",
 			*shard, *shards, role, *replicaOf, *syncShip)

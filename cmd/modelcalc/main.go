@@ -5,11 +5,18 @@
 // geometry (Corollaries 11/12), per-operation cost estimates at a chosen
 // configuration, and write-amplification bounds.
 //
+// With -parallel it also prints the parallel-model comparison: for the
+// multi-queue reference geometry (Queues × PerQueueP slots, depth- and
+// interference-capped), the closed-form time each model predicts for a
+// thread sweep — the DAM (serial), the PDAM at the raw slot count, and the
+// multi-queue model (E23's prediction gap as arithmetic, no simulation).
+//
 // Usage:
 //
 //	modelcalc                        # guidance for every built-in profile
 //	modelcalc -s 0.013 -t 0.000041   # custom drive (t per 4 KiB)
 //	modelcalc -node 1048576 -fanout 16 -items 1e8 -cachemb 4096
+//	modelcalc -parallel [-queues 4] [-qslots 8] [-qdepth 4] [-beta 0.125]
 package main
 
 import (
@@ -29,7 +36,22 @@ func main() {
 	fanout := flag.Int("fanout", 16, "Bε-tree fanout for the cost table")
 	items := flag.Float64("items", 1e8, "N: keys in the dictionary")
 	cachemb := flag.Float64("cachemb", 4096, "M: cache size in MiB")
+	parallel := flag.Bool("parallel", false, "print the DAM/PDAM/multi-queue prediction table")
+	queues := flag.Int("queues", 4, "multi-queue geometry: read queue pairs")
+	qslots := flag.Int("qslots", 8, "multi-queue geometry: per-queue IOs per step")
+	qdepth := flag.Int("qdepth", 4, "multi-queue geometry: per-queue outstanding cap")
+	beta := flag.Float64("beta", 0.125, "multi-queue geometry: cross-queue interference β")
+	stepms := flag.Float64("stepms", 1, "multi-queue geometry: step length in ms")
+	ios := flag.Int("ios", 256, "multi-queue table: per-thread dependent block IOs")
 	flag.Parse()
+
+	if *parallel {
+		reportParallel(core.MQ{
+			Queues: *queues, PerQueueP: *qslots, QueueDepth: *qdepth, Beta: *beta,
+			BlockBytes: 4096, StepSeconds: *stepms / 1000,
+		}, *ios)
+		return
+	}
 
 	if *s > 0 && *t4k > 0 {
 		report(core.Affine{Setup: *s, PerByte: *t4k / 4096}, "custom drive",
@@ -40,6 +62,29 @@ func main() {
 		a := core.Affine{Setup: prof.ExpectedSetup().Seconds(), PerByte: 1 / prof.Bandwidth}
 		report(a, fmt.Sprintf("%s (%d)", prof.Name, prof.Year),
 			*entry, *pivot, *node, *fanout, *items, *cachemb)
+	}
+}
+
+// reportParallel prints the E23 prediction gap as closed-form arithmetic:
+// for p threads of dependent block IOs on the multi-queue geometry, what
+// each model says the round takes. The PDAM reads the raw slot count off
+// the spec sheet (Queues·PerQueueP) — a scalar P has no vocabulary for
+// depth caps or interference — so between the effective and raw
+// parallelism it underpredicts; the DAM overpredicts everywhere past p=1.
+func reportParallel(mq core.MQ, ios int) {
+	pd := core.PDAM{P: mq.RawP(), BlockBytes: mq.BlockBytes, StepSeconds: mq.StepSeconds}
+	fmt.Printf("=== multi-queue geometry: Q=%d Pq=%d D=%d β=%g step=%.3gs ===\n",
+		mq.Queues, mq.PerQueueP, mq.QueueDepth, mq.Beta, mq.StepSeconds)
+	fmt.Printf("raw P = %d, effective parallelism = %d (%.1fx overcommitted by a scalar-P reading)\n",
+		mq.RawP(), mq.EffectiveParallelism(), float64(mq.RawP())/float64(mq.EffectiveParallelism()))
+	fmt.Printf("predicted seconds for p threads × %d dependent block IOs:\n", ios)
+	fmt.Printf("  %7s %10s %10s %10s %12s %12s\n", "threads", "dam", "pdam", "mq", "pdam err", "dam err")
+	for p := 1; p <= 2*mq.RawP(); p *= 2 {
+		dam := pd.DAMReadSeconds(p, float64(ios))
+		pdam := pd.PDAMReadSeconds(p, float64(ios))
+		m := mq.MQReadSeconds(p, float64(ios))
+		fmt.Printf("  %7d %10.3f %10.3f %10.3f %11.1f%% %11.1f%%\n",
+			p, dam, pdam, m, 100*(pdam-m)/m, 100*(dam-m)/m)
 	}
 }
 

@@ -18,10 +18,15 @@
 // With -mvcc it runs E22: snapshot point-read latency under saturating
 // write pressure, pinned LSN snapshots vs the shared-world-view read path.
 //
+// With -mqserving it runs E23: the multi-queue device — the queue-count /
+// depth calibration sweep, the DAM vs PDAM-global vs queue-aware-lanes
+// serving comparison, the live four-model residual table, and the
+// write-queue isolation round.
+//
 // Usage:
 //
 //	pdamtree [-items N] [-p P] [-queries Q] [-dynitems N] [-cache BYTES]
-//	         [-serving] [-mvcc]
+//	         [-serving] [-mvcc] [-mqserving]
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"fmt"
 
 	"iomodels/internal/experiments"
+	"iomodels/internal/obs"
 )
 
 func main() {
@@ -39,6 +45,7 @@ func main() {
 	cache := flag.Int64("cache", 1<<20, "engine cache budget for the dynamic trees")
 	serving := flag.Bool("serving", false, "also run E20 (Lemma 13 through the TCP server)")
 	mvcc := flag.Bool("mvcc", false, "also run E22 (snapshot reads under write pressure)")
+	mqserving := flag.Bool("mqserving", false, "also run E23 (the multi-queue device and queue-aware lanes)")
 	flag.Parse()
 
 	clients := func(p int) []int {
@@ -84,5 +91,22 @@ func main() {
 			panic(err)
 		}
 		fmt.Println(experiments.RenderMVCCServe(rows))
+	}
+
+	if *mqserving {
+		qcfg := experiments.DefaultMQServingConfig()
+		fmt.Println(experiments.RenderMQCalibration(experiments.MQCalibration(qcfg)))
+		rows, err := experiments.MQServing(qcfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(experiments.RenderMQServing(rows))
+		sum, err := experiments.MQResiduals(qcfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Print(obs.RenderResiduals(sum))
+		fmt.Println()
+		fmt.Println(experiments.RenderMQIsolation(experiments.MQWriteIsolation(qcfg)))
 	}
 }

@@ -1,0 +1,14 @@
+// Package mqssd models the real internal/mqssd package's import path: the
+// multi-queue device simulator is in the virtualtime analyzer's DEFAULT
+// scope, so a wall-clock read here is flagged with no extra configuration —
+// the device must be driven in sim.Time only.
+package mqssd
+
+import "time"
+
+// Submit models a device method that sneaks a host-clock read into the
+// schedule.
+func Submit() int64 {
+	start := time.Now() // want `wall-clock time.Now in simulation/model code`
+	return start.UnixNano()
+}

@@ -29,7 +29,7 @@ experiment output host-dependent. Configure with -virtualtime.scope and
 // Defaults: the simulator core, the three device models, the cost-model
 // root package, and the parameter-fitting package.
 const (
-	DefaultScope = "iomodels,internal/sim,internal/pdamdev,internal/hdd,internal/ssd,internal/fit"
+	DefaultScope = "iomodels,internal/sim,internal/pdamdev,internal/hdd,internal/ssd,internal/mqssd,internal/fit"
 	DefaultFuncs = "Now,Since,Sleep"
 )
 

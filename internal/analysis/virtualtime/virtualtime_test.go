@@ -15,6 +15,16 @@ func TestVirtualTime(t *testing.T) {
 	atest.Run(t, "../testdata", virtualtime.Analyzer, "vtimedata")
 }
 
+// TestDefaultScopeCoversMQSSD: the multi-queue device package is in the
+// DEFAULT scope — a wall-clock read in a package whose import path ends in
+// internal/mqssd is flagged with no scope configuration at all.
+func TestDefaultScopeCoversMQSSD(t *testing.T) {
+	if err := virtualtime.Analyzer.Flags.Set("scope", virtualtime.DefaultScope); err != nil {
+		t.Fatal(err)
+	}
+	atest.Run(t, "../testdata", virtualtime.Analyzer, "internal/mqssd")
+}
+
 // TestOutOfScope: the same package is silent when not scoped — the server's
 // real-time code is simply never in the scope list.
 func TestOutOfScope(t *testing.T) {

@@ -395,6 +395,89 @@ func Lemma13Throughput(items, nodeEntries, blockEntries float64, k, P int) float
 }
 
 // ---------------------------------------------------------------------------
+// Multi-queue refinement of the PDAM
+
+// MQ refines the PDAM the way the PDAM refines the DAM: instead of one
+// scalar P, the device exposes Queues submission/completion queue pairs.
+// Each queue can serve up to PerQueueP IOs per time step, capped by its
+// depth (a queue cannot complete more IOs in a step than it can hold
+// outstanding), and diluted by cross-queue interference: with a queues
+// active in the same step, each queue's service rate drops by the factor
+// 1 + Beta·(a−1) (shared dies, channels, and FTL contention — the
+// multi-queue SSD modeling direction of arXiv 2507.06349).
+//
+// With Queues = 1 and QueueDepth ≥ PerQueueP the MQ degenerates exactly to
+// the PDAM with P = PerQueueP: one queue is never interfered with.
+type MQ struct {
+	Queues      int     // submission/completion queue pairs
+	PerQueueP   int     // IOs one uncontended queue serves per step
+	QueueDepth  int     // per-queue outstanding-IO cap (0 = PerQueueP)
+	Beta        float64 // cross-queue interference coefficient
+	BlockBytes  float64 // B
+	StepSeconds float64 // duration of one time step
+}
+
+// QueueSlots returns the IOs one queue serves per step when `active` queues
+// share the device: floor(min(PerQueueP, QueueDepth) / (1 + Beta·(active−1))),
+// never below 1 (a non-empty queue always makes progress).
+func (m MQ) QueueSlots(active int) int {
+	eff := m.PerQueueP
+	if m.QueueDepth > 0 && m.QueueDepth < eff {
+		eff = m.QueueDepth
+	}
+	if active > 1 && m.Beta > 0 {
+		eff = int(float64(eff) / (1 + m.Beta*float64(active-1)))
+	}
+	if eff < 1 {
+		eff = 1
+	}
+	return eff
+}
+
+// EffectiveParallelism is the device's realizable IOs per step with every
+// queue active: Queues · QueueSlots(Queues). This — not the raw slot count
+// Queues·PerQueueP that a PDAM reading of the geometry would use — is the
+// knee of the thread-scaling curve.
+func (m MQ) EffectiveParallelism() int { return m.Queues * m.QueueSlots(m.Queues) }
+
+// RawP is the single-scalar PDAM reading of the queue geometry:
+// Queues·PerQueueP slots per step, ignoring depth caps and interference.
+// A scheduler sized from it overcommits a multi-queue device by
+// RawP/EffectiveParallelism.
+func (m MQ) RawP() int { return m.Queues * m.PerQueueP }
+
+// MQFromPDAM embeds a PDAM as the degenerate single-queue MQ, so every
+// calibration can carry a multi-queue reading even for devices with no
+// queue structure.
+func MQFromPDAM(p PDAM) MQ {
+	return MQ{
+		Queues: 1, PerQueueP: p.P, QueueDepth: p.P,
+		BlockBytes: p.BlockBytes, StepSeconds: p.StepSeconds,
+	}
+}
+
+// MQReadSeconds predicts the Figure 1 thread experiment under the MQ model:
+// p threads of perThreadIOs dependent block reads, spread round-robin over
+// the queues. With at most Queues of them colliding per step, the effective
+// service rate is a·QueueSlots(a) for a = min(p, Queues); beyond it, time
+// grows by p over that rate.
+func (m MQ) MQReadSeconds(p int, perThreadIOs float64) float64 {
+	active := p
+	if active > m.Queues {
+		active = m.Queues
+	}
+	if active < 1 {
+		active = 1
+	}
+	peff := float64(active * m.QueueSlots(active))
+	factor := 1.0
+	if f := float64(p) / peff; f > 1 {
+		factor = f
+	}
+	return perThreadIOs * factor * m.StepSeconds
+}
+
+// ---------------------------------------------------------------------------
 // Prediction-error helpers (§4 claims E7/E8)
 
 // MaxRelError returns max_i |measured_i - predicted_i| / measured_i. It

@@ -856,3 +856,130 @@ func TestE22MVCCServe(t *testing.T) {
 		t.Fatal("render broken")
 	}
 }
+
+// TestE23MQServe: the multi-queue refinement scored the way E21 scored the
+// PDAM. (1) Calibration: across queue geometries, the MQ closed form tracks
+// raw-P thread rounds where the PDAM reading of the same geometry
+// overpredicts service. (2) Live accounting: under the overcommitting
+// PDAM-global scheduler the four-model accountant's read-residual p50s
+// order mq < pdam < dam, with both refinements beating the DAM ≥ 2x.
+// (3) Serving: the queue-aware lane scheduler matches the PDAM-global
+// plateau and both beat the DAM-style scheduler ≥ 2x. (4) The dedicated
+// write queue keeps read throughput under concurrent group commits at least
+// at the shared-queue level.
+func TestE23MQServe(t *testing.T) {
+	skipUnderRace(t)
+	cfg := DefaultMQServingConfig()
+	cfg.Items = 30_000
+	cfg.OpsPerClient = 40
+
+	// (1) Calibration sweep.
+	calib := MQCalibration(cfg)
+	if len(calib) != len(cfg.SweepQueues)*len(cfg.SweepDepths) {
+		t.Fatalf("calibration: %d rows", len(calib))
+	}
+	for _, r := range calib {
+		if r.MeasuredSteps <= 0 {
+			t.Fatalf("degenerate calibration row %+v", r)
+		}
+		// 20%: integer slot counts floor hard at small depths (slots(2) = 1
+		// where the continuous value is ~1.8), so tiny geometries run a bit
+		// ahead of the closed form. The single-scalar models are off by the
+		// whole depth/interference factor, asserted relatively below.
+		if r.MQErr > 0.20 {
+			t.Errorf("Q=%d D=%d: mq closed form off by %.1f%%", r.Queues, r.Depth, 100*r.MQErr)
+		}
+		if r.EffP < r.RawP {
+			// A real multi-queue geometry: the single-scalar readings miss.
+			if r.MQErr >= r.PDAMErr {
+				t.Errorf("Q=%d D=%d: mq err %.3f not below pdam err %.3f",
+					r.Queues, r.Depth, r.MQErr, r.PDAMErr)
+			}
+			if r.DAMErr <= r.PDAMErr {
+				t.Errorf("Q=%d D=%d: dam err %.3f not above pdam err %.3f",
+					r.Queues, r.Depth, r.DAMErr, r.PDAMErr)
+			}
+		}
+	}
+	if !strings.Contains(RenderMQCalibration(calib), "pdam err%") {
+		t.Fatal("calibration render broken")
+	}
+
+	// (2) Live residuals under the PDAM-global scheduler.
+	sum, err := MQResiduals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resid := map[string]float64{}
+	for _, r := range sum.Residuals {
+		if r.Class == "read" && r.Count > 0 {
+			resid[r.Model] = r.P50
+		}
+	}
+	mq, pdam, dam := resid["mq"], resid["pdam"], resid["dam"]
+	t.Logf("read-residual p50: mq=%.4f pdam=%.4f dam=%.4f (spans=%d)", mq, pdam, dam, sum.Spans)
+	if len(resid) < 3 {
+		t.Fatalf("missing read residual families: %+v", sum.Residuals)
+	}
+	if mq >= pdam {
+		t.Errorf("mq read-residual p50 %.4f not below pdam %.4f", mq, pdam)
+	}
+	if dam < 2*pdam {
+		t.Errorf("dam read-residual p50 %.4f not ≥ 2x pdam %.4f", dam, pdam)
+	}
+	if dam < 2*mq {
+		t.Errorf("dam read-residual p50 %.4f not ≥ 2x mq %.4f", dam, mq)
+	}
+
+	// (3) Scheduler comparison.
+	rows, err := MQServing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := map[string][]ServingRow{}
+	for _, r := range rows {
+		if r.Throughput <= 0 || r.Steps <= 0 {
+			t.Fatalf("%s k=%d: degenerate row %+v", r.Mode, r.Clients, r)
+		}
+		byMode[r.Mode] = append(byMode[r.Mode], r)
+	}
+	lastOf := func(mode string) ServingRow {
+		rs := byMode[mode]
+		if len(rs) != len(cfg.Clients) {
+			t.Fatalf("%s: %d rows, want %d", mode, len(rs), len(cfg.Clients))
+		}
+		return rs[len(rs)-1]
+	}
+	damRow, pdamRow, mqRow := lastOf("dam"), lastOf("pdam"), lastOf("mq-lanes")
+	t.Logf("plateau gets/step: dam=%.3f pdam=%.3f mq-lanes=%.3f",
+		damRow.Throughput, pdamRow.Throughput, mqRow.Throughput)
+	if mqRow.Throughput < 2*damRow.Throughput || pdamRow.Throughput < 2*damRow.Throughput {
+		t.Errorf("batched schedulers not ≥ 2x dam: dam=%.3f pdam=%.3f mq=%.3f",
+			damRow.Throughput, pdamRow.Throughput, mqRow.Throughput)
+	}
+	if mqRow.Throughput < 0.85*pdamRow.Throughput {
+		t.Errorf("queue-aware lanes %.3f below 0.85x pdam-global %.3f",
+			mqRow.Throughput, pdamRow.Throughput)
+	}
+	if !strings.Contains(RenderMQServing(rows), "mq-lanes") {
+		t.Fatal("serving render broken")
+	}
+
+	// (4) Write-queue isolation (deterministic device-level round).
+	iso := MQWriteIsolation(cfg)
+	if len(iso) != 2 || !iso[0].WriteQueue || iso[1].WriteQueue {
+		t.Fatalf("isolation rows: %+v", iso)
+	}
+	on, off := iso[0], iso[1]
+	t.Logf("write isolation reads/step: wq-on=%.3f wq-off=%.3f", on.ReadsPerStep, off.ReadsPerStep)
+	if on.ReadsPerStep <= 0 || off.ReadsPerStep <= 0 || on.WriteBlocks == 0 {
+		t.Fatalf("degenerate isolation rows: %+v", iso)
+	}
+	if on.ReadsPerStep < 1.05*off.ReadsPerStep {
+		t.Errorf("dedicated write queue did not protect read throughput: on=%.3f off=%.3f",
+			on.ReadsPerStep, off.ReadsPerStep)
+	}
+	if !strings.Contains(RenderMQIsolation(iso), "write queue") {
+		t.Fatal("isolation render broken")
+	}
+}

@@ -1,0 +1,168 @@
+package mqssd
+
+import (
+	"testing"
+
+	"iomodels/internal/core"
+	"iomodels/internal/pdamdev"
+	"iomodels/internal/sim"
+	"iomodels/internal/stats"
+	"iomodels/internal/storage"
+)
+
+// TestSingleQueueDegeneratesToPDAM is the contract test: with one queue,
+// depth ≥ P, and no write queue, the multi-queue device must produce
+// exactly the PDAM's completion times for any access sequence — the MQ is
+// a refinement, not a different model.
+func TestSingleQueueDegeneratesToPDAM(t *testing.T) {
+	const p, block = 8, int64(4 << 10)
+	step := sim.Millisecond
+	mq := New(Config{
+		Queues: 1, PerQueueP: p, QueueDepth: p, Interference: 0.5, // β must be irrelevant at Q=1
+		BlockBytes: block, StepTime: step,
+	}).Storage(1 << 30)
+	pd := pdamdev.New(p, block, step).Storage(1 << 30)
+
+	rng := stats.NewRNG(42)
+	var now sim.Time
+	for i := 0; i < 2000; i++ {
+		op := storage.Read
+		if rng.Int63n(4) == 0 {
+			op = storage.Write
+		}
+		off := rng.Int63n(1<<20) * block
+		size := (1 + rng.Int63n(6)) * block
+		a := mq.Access(now, op, off, size)
+		b := pd.Access(now, op, off, size)
+		if a != b {
+			t.Fatalf("op %d: mq done %v != pdam done %v (now %v, size %d)", i, a, b, now, size)
+		}
+		// Drive time forward irregularly, sometimes within the same step.
+		if rng.Int63n(3) == 0 {
+			now = a
+		} else {
+			now += sim.Time(rng.Int63n(int64(step)))
+		}
+	}
+	if ph := mq.ParallelismHint(); ph != p {
+		t.Fatalf("ParallelismHint = %d, want %d", ph, p)
+	}
+}
+
+// TestModelDegeneracy: the analytic side of the same contract — core.MQ
+// with one queue predicts exactly what core.PDAM predicts.
+func TestModelDegeneracy(t *testing.T) {
+	pd := core.PDAM{P: 16, BlockBytes: 4096, StepSeconds: 1e-3}
+	mq := core.MQFromPDAM(pd)
+	for p := 1; p <= 64; p *= 2 {
+		got := mq.MQReadSeconds(p, 256)
+		want := pd.PDAMReadSeconds(p, 256)
+		if got != want {
+			t.Fatalf("p=%d: MQReadSeconds %g != PDAMReadSeconds %g", p, got, want)
+		}
+	}
+}
+
+// TestQueueDepthCapsService: a queue of depth D < PerQueueP serves only D
+// IOs per step even when uncontended.
+func TestQueueDepthCapsService(t *testing.T) {
+	d := New(Config{Queues: 1, PerQueueP: 8, QueueDepth: 4, BlockBytes: 4096, StepTime: sim.Millisecond})
+	done := d.Submit(0, 0, 8)
+	if want := 2 * sim.Millisecond; done != want {
+		t.Fatalf("8 IOs at depth 4 done at %v, want %v (2 steps)", done, want)
+	}
+}
+
+// TestCrossQueueInterference: two queues active in one step each serve
+// fewer IOs than one queue alone would.
+func TestCrossQueueInterference(t *testing.T) {
+	cfg := Config{Queues: 2, PerQueueP: 8, QueueDepth: 8, Interference: 1, BlockBytes: 4096, StepTime: sim.Millisecond}
+	// Alone: 8 IOs in one step.
+	alone := New(cfg)
+	if done := alone.Submit(0, 0, 8); done != sim.Millisecond {
+		t.Fatalf("uncontended queue: done %v, want 1 step", done)
+	}
+	// Contended: with both queues active, each gets floor(8/(1+1)) = 4
+	// slots per step, so 8 IOs take 2 steps.
+	both := New(cfg)
+	if done := both.Submit(0, 0, 8); done != sim.Millisecond {
+		t.Fatalf("first queue: done %v, want 1 step", done)
+	}
+	// Queue 0 filled step 0 before queue 1 joined; its schedule stands.
+	// Queue 1 now sees 2 active queues in step 0: 4 slots there, 4 in step 1.
+	if done := both.Submit(1, 0, 8); done != 2*sim.Millisecond {
+		t.Fatalf("second queue: done %v, want 2 steps under interference", done)
+	}
+}
+
+// TestWriteQueueIsolation: with a dedicated write queue, a burst of writes
+// does not delay a read; without one, the read queues behind the writes.
+func TestWriteQueueIsolation(t *testing.T) {
+	base := Config{Queues: 1, PerQueueP: 4, QueueDepth: 4, BlockBytes: 4096, StepTime: sim.Millisecond}
+
+	withWQ := base
+	withWQ.WriteQueue = true
+	s := New(withWQ).Storage(1 << 30)
+	s.Access(0, storage.Write, 0, 16*4096) // 4 steps of write backlog on the write queue
+	if done := s.Access(0, storage.Read, 0, 4096); done != sim.Millisecond {
+		t.Fatalf("read behind isolated writes done at %v, want 1 step", done)
+	}
+
+	s = New(base).Storage(1 << 30) // shared queue
+	s.Access(0, storage.Write, 0, 16*4096)
+	if done := s.Access(0, storage.Read, 0, 4096); done <= 4*sim.Millisecond {
+		t.Fatalf("read sharing the write queue done at %v, want after the 4-step backlog", done)
+	}
+}
+
+// TestReadStriping: reads route to queues by block address, round-robin.
+func TestReadStriping(t *testing.T) {
+	d := New(Config{Queues: 4, PerQueueP: 2, QueueDepth: 2, BlockBytes: 4096, StepTime: sim.Millisecond})
+	for block := int64(0); block < 8; block++ {
+		q := d.QueueFor(storage.Read, block*4096)
+		if want := int(block % 4); q != want {
+			t.Fatalf("block %d routed to queue %d, want %d", block, q, want)
+		}
+	}
+	// Striped reads land in distinct queues and share the step: 4 one-block
+	// reads at consecutive block addresses all finish in step 0.
+	s := New(Config{Queues: 4, PerQueueP: 1, QueueDepth: 1, BlockBytes: 4096, StepTime: sim.Millisecond}).Storage(1 << 30)
+	for i := int64(0); i < 4; i++ {
+		if done := s.Access(0, storage.Read, i*4096, 4096); done != sim.Millisecond {
+			t.Fatalf("striped read %d done at %v, want 1 step", i, done)
+		}
+	}
+}
+
+// TestHints: ParallelismHint is the effective (depth- and
+// interference-capped) parallelism; QueueHint's per-queue outstanding
+// target is the depth (capped by the slot count), bracketed between the
+// effective and raw parallelism.
+func TestHints(t *testing.T) {
+	s := New(DefaultConfig()).Storage(1 << 30)
+	q, per := s.QueueHint()
+	cfgd := s.Params()
+	if wantPer := cfgd.QueueDepth; per != wantPer || q != cfgd.Queues {
+		t.Fatalf("QueueHint = (%d, %d), want (%d, %d)", q, per, cfgd.Queues, wantPer)
+	}
+	if q*per < s.ParallelismHint() {
+		t.Fatalf("QueueHint in-flight %d×%d below ParallelismHint %d", q, per, s.ParallelismHint())
+	}
+	cfg := s.Params()
+	if raw := cfg.Queues * cfg.PerQueueP; s.ParallelismHint() >= raw {
+		t.Fatalf("effective parallelism %d not below raw slot count %d — profile has no headroom to model", s.ParallelismHint(), raw)
+	}
+	if got := cfg.Model().EffectiveParallelism(); got != s.ParallelismHint() {
+		t.Fatalf("model EffectiveParallelism %d != ParallelismHint %d", got, s.ParallelismHint())
+	}
+}
+
+// TestReboot: a power cycle forgets queue backlog.
+func TestReboot(t *testing.T) {
+	s := New(Config{Queues: 1, PerQueueP: 1, QueueDepth: 1, BlockBytes: 4096, StepTime: sim.Millisecond}).Storage(1 << 30)
+	s.Access(0, storage.Read, 0, 8*4096) // 8 steps of backlog
+	s.Reboot()
+	if done := s.Access(0, storage.Read, 0, 4096); done != sim.Millisecond {
+		t.Fatalf("read after reboot done at %v, want 1 step", done)
+	}
+}

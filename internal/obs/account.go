@@ -13,15 +13,16 @@ import (
 	"iomodels/internal/stats"
 )
 
-// Model indexes the three cost models.
+// Model indexes the four cost models.
 type Model int
 
-// The paper's cost models, in increasing order of refinement for parallel
-// devices.
+// The cost models, in increasing order of refinement for parallel devices:
+// the paper's three plus the multi-queue refinement of the PDAM (core.MQ).
 const (
 	ModelDAM Model = iota
 	ModelAffine
 	ModelPDAM
+	ModelMQ
 	numModels
 )
 
@@ -34,6 +35,8 @@ func (m Model) String() string {
 		return "affine"
 	case ModelPDAM:
 		return "pdam"
+	case ModelMQ:
+		return "mq"
 	}
 	return "unknown"
 }
@@ -61,6 +64,13 @@ type Models struct {
 	// time. On a serial device P = 1 and the PDAM collapses to the DAM.
 	PDAM   core.PDAM `json:"pdam"`
 	PDAMR2 float64   `json:"pdam_r2"`
+
+	// MQ is the multi-queue refinement: queue count, per-queue slots, depth
+	// cap, and cross-queue interference. On devices without queue structure
+	// it is the degenerate single-queue reading of the PDAM
+	// (core.MQFromPDAM), so the mq prediction collapses to the pdam one and
+	// the four-model residual table always renders.
+	MQ core.MQ `json:"mq"`
 
 	// SatBytesPerSec is the derived saturation throughput ∝PB (Table 1):
 	// past the knee the PDAM prediction is bandwidth-bound at this rate.
@@ -113,6 +123,39 @@ func (m Models) PredictPDAM(size int64, conc float64) float64 {
 	return lat
 }
 
+// PredictMQ returns the multi-queue cost of one IO of size bytes at average
+// offered concurrency conc. The conc competing IOs spread over at most
+// Queues queues, so the effective service rate is a·QueueSlots(a) for
+// a = min(ceil(conc), Queues) — the depth- and interference-capped
+// parallelism, not the raw slot count the PDAM reading uses. Below that
+// rate the IO is latency-bound at one step per block; above it, it queues
+// by conc over the rate, floored by the effective bandwidth bound. With one
+// queue this is exactly PredictPDAM.
+func (m Models) PredictMQ(size int64, conc float64) float64 {
+	if conc < 1 {
+		conc = 1
+	}
+	active := int(math.Ceil(conc))
+	if active > m.MQ.Queues {
+		active = m.MQ.Queues
+	}
+	if active < 1 {
+		active = 1
+	}
+	peff := float64(active * m.MQ.QueueSlots(active))
+	blocks := ceilDiv(size, m.MQ.BlockBytes)
+	lat := blocks * m.MQ.StepSeconds
+	if f := conc / peff; f > 1 {
+		lat *= f
+	}
+	if sat := peff * m.MQ.BlockBytes / m.MQ.StepSeconds; sat > 0 {
+		if bw := blocks * conc * m.MQ.BlockBytes / sat; bw > lat {
+			return bw
+		}
+	}
+	return lat
+}
+
 // Predict dispatches on the model.
 func (m Models) Predict(model Model, size int64, conc float64) float64 {
 	switch model {
@@ -122,6 +165,8 @@ func (m Models) Predict(model Model, size int64, conc float64) float64 {
 		return m.PredictAffine(size)
 	case ModelPDAM:
 		return m.PredictPDAM(size, conc)
+	case ModelMQ:
+		return m.PredictMQ(size, conc)
 	}
 	return 0
 }

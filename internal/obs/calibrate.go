@@ -16,6 +16,7 @@ import (
 	"iomodels/internal/core"
 	"iomodels/internal/fit"
 	"iomodels/internal/hdd"
+	"iomodels/internal/mqssd"
 	"iomodels/internal/pdamdev"
 	"iomodels/internal/sim"
 	"iomodels/internal/ssd"
@@ -65,6 +66,8 @@ func ModelsFor(dev storage.Device, cfg CalibrationConfig) (Models, bool) {
 		return m, err == nil
 	case *pdamdev.Storage:
 		return ExactPDAM(d), true
+	case *mqssd.Storage:
+		return ExactMQ(d), true
 	}
 	return Models{}, false
 }
@@ -92,6 +95,9 @@ func CalibrateHDD(prof hdd.Profile, cfg CalibrationConfig) (Models, error) {
 			BlockBytes:  dam.BlockBytes,
 			StepSeconds: dam.UnitCost,
 		},
+		MQ: core.MQFromPDAM(core.PDAM{
+			P: 1, BlockBytes: dam.BlockBytes, StepSeconds: dam.UnitCost,
+		}),
 		PDAMR2:         r2,
 		SatBytesPerSec: dam.BlockBytes / dam.UnitCost, // half bandwidth: 1/(2t)
 		Serial:         true,
@@ -145,6 +151,9 @@ func CalibrateSSD(prof ssd.Profile, cfg CalibrationConfig) (Models, error) {
 			BlockBytes:  float64(cfg.BlockBytes),
 			StepSeconds: step,
 		},
+		MQ: core.MQFromPDAM(core.PDAM{
+			P: p, BlockBytes: float64(cfg.BlockBytes), StepSeconds: step,
+		}),
 		PDAMR2:         seg.R2,
 		SatBytesPerSec: sat,
 	}, nil
@@ -157,14 +166,42 @@ func CalibrateSSD(prof ssd.Profile, cfg CalibrationConfig) (Models, error) {
 func ExactPDAM(dev *pdamdev.Storage) Models {
 	p, block, step := dev.Params()
 	secs := step.Seconds()
+	pd := core.PDAM{P: p, BlockBytes: float64(block), StepSeconds: secs}
 	return Models{
 		Device:         dev.Name(),
 		Affine:         core.Affine{Setup: secs, PerByte: secs / (float64(p) * float64(block))},
 		AffineR2:       1,
 		DAM:            core.DAM{BlockBytes: float64(block), UnitCost: secs},
-		PDAM:           core.PDAM{P: p, BlockBytes: float64(block), StepSeconds: secs},
+		PDAM:           pd,
+		MQ:             core.MQFromPDAM(pd),
 		PDAMR2:         1,
 		SatBytesPerSec: float64(p) * float64(block) / secs,
+	}
+}
+
+// ExactMQ reads the multi-queue device's exact parameters — like the PDAM
+// device, it IS its model, so nothing needs fitting. The coarser models get
+// the natural reading of the same geometry at their own fidelity, mirroring
+// how CalibrateSSD hands the DAM the §4.1 one-block-per-step reading: the
+// DAM sees one block per step; the PDAM sees the raw slot count
+// P = Queues·PerQueueP (a scalar-P reading has no vocabulary for depth caps
+// or cross-queue interference, so it overcommits the device — exactly the
+// prediction error E23 measures); the MQ model sees the full queue geometry.
+func ExactMQ(dev *mqssd.Storage) Models {
+	cfg := dev.Params()
+	mq := cfg.Model()
+	secs := mq.StepSeconds
+	block := mq.BlockBytes
+	rawP := mq.RawP()
+	return Models{
+		Device:         dev.Name(),
+		Affine:         core.Affine{Setup: secs, PerByte: secs / (float64(rawP) * block)},
+		AffineR2:       1,
+		DAM:            core.DAM{BlockBytes: block, UnitCost: secs},
+		PDAM:           core.PDAM{P: rawP, BlockBytes: block, StepSeconds: secs},
+		MQ:             mq,
+		PDAMR2:         1,
+		SatBytesPerSec: float64(rawP) * block / secs,
 	}
 }
 

@@ -68,6 +68,9 @@ func RenderResiduals(s Summary) string {
 	fmt.Fprintf(&b, "  dam     block=%.0fB unit=%.6fs\n", m.DAM.BlockBytes, m.DAM.UnitCost)
 	fmt.Fprintf(&b, "  pdam    P=%d B=%.0fB step=%.6fs ∝PB=%.1fMB/s (R²=%.4f)\n",
 		m.PDAM.P, m.PDAM.BlockBytes, m.PDAM.StepSeconds, m.SatBytesPerSec/1e6, m.PDAMR2)
+	fmt.Fprintf(&b, "  mq      Q=%d Pq=%d D=%d β=%g Peff=%d B=%.0fB step=%.6fs\n",
+		m.MQ.Queues, m.MQ.PerQueueP, m.MQ.QueueDepth, m.MQ.Beta,
+		m.MQ.EffectiveParallelism(), m.MQ.BlockBytes, m.MQ.StepSeconds)
 	b.WriteString("model residuals (|predicted-measured|/measured):\n")
 	b.WriteString("  model   class   count     p50      p90     mean      max\n")
 	for _, r := range s.Residuals {

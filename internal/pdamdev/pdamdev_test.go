@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"iomodels/internal/sim"
+	"iomodels/internal/storage"
 )
 
 func TestSubmitWithinOneStep(t *testing.T) {
@@ -115,4 +116,27 @@ func TestInvalidNewPanics(t *testing.T) {
 		}
 	}()
 	New(0, 4096, sim.Millisecond)
+}
+
+// TestParamsRoundTrip: the hints the serving and observability layers read
+// off the device are exactly its configuration — Params echoes (P, B, step),
+// ParallelismHint is P, and a PDAM built from Params predicts the device's
+// own completion times (this device IS the model).
+func TestParamsRoundTrip(t *testing.T) {
+	const wantP, wantB = 6, int64(8 << 10)
+	wantStep := 2 * sim.Millisecond
+	s := New(wantP, wantB, wantStep).Storage(1 << 30)
+	p, block, step := s.Params()
+	if p != wantP || block != wantB || step != wantStep {
+		t.Fatalf("Params = (%d, %d, %v), want (%d, %d, %v)", p, block, step, wantP, wantB, wantStep)
+	}
+	if s.ParallelismHint() != wantP {
+		t.Fatalf("ParallelismHint = %d, want %d", s.ParallelismHint(), wantP)
+	}
+	// 3P blocks from t=0 pack P per step: done at the end of step 2, which
+	// is what the closed form says for one thread issuing 3P blocks.
+	done := s.Access(0, storage.Read, 0, 3*int64(wantP)*wantB)
+	if want := 3 * wantStep; done != want {
+		t.Fatalf("3P blocks done at %v, want %v", done, want)
+	}
 }

@@ -83,7 +83,8 @@ type OpSnapshot struct {
 type StatsSnapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Device        string  `json:"device"`
-	BatchIOs      int     `json:"batch_ios"` // scheduler batch size (the device's P)
+	BatchIOs      int     `json:"batch_ios"`  // scheduler batch size per lane (the device's P or per-queue service)
+	ReadLanes     int     `json:"read_lanes"` // independent read-batch lanes (device queues; 1 = global)
 
 	Conns      int64 `json:"conns"`
 	ConnsTotal int64 `json:"conns_total"`
@@ -182,6 +183,7 @@ func (s *Server) Snapshot() StatsSnapshot {
 		UptimeSeconds: time.Since(m.started).Seconds(),
 		Device:        s.backend.Eng.Device().Name(),
 		BatchIOs:      s.readSched.size,
+		ReadLanes:     s.readSched.laneCount(),
 		Conns:         m.conns.Load(),
 		ConnsTotal:    m.connsTotal.Load(),
 		InFlight:      m.inFlight.Load(),
@@ -322,7 +324,8 @@ func (s *Server) writeProm(w io.Writer) {
 		fmt.Fprintf(w, "%s %v\n", full, v)
 	}
 	scalar("uptime_seconds", "gauge", "Seconds since the server started.", snap.UptimeSeconds)
-	scalar("batch_ios", "gauge", "Read scheduler batch size (the device's parallelism P).", snap.BatchIOs)
+	scalar("batch_ios", "gauge", "Read scheduler batch size per lane (the device's parallelism P or per-queue service).", snap.BatchIOs)
+	scalar("read_lanes", "gauge", "Independent read-batch lanes (device queues; 1 = global scheduler).", snap.ReadLanes)
 	scalar("conns", "gauge", "Open client connections.", snap.Conns)
 	scalar("conns_total", "counter", "Connections accepted since start.", snap.ConnsTotal)
 	scalar("in_flight", "gauge", "Requests currently being served.", snap.InFlight)

@@ -15,29 +15,29 @@ func TestSchedulerAdmissionControl(t *testing.T) {
 	clock := engine.NewSharedClock()
 	s := newReadScheduler(clock, 2, 4, 0)
 
-	b1, ok := s.admit()
+	b1, ok := s.admit(0)
 	if !ok {
 		t.Fatal("first admit refused")
 	}
 	if !launchedOf(b1) {
 		t.Fatal("head batch did not launch (grace 0)")
 	}
-	b2, _ := s.admit()
+	b2, _ := s.admit(0)
 	if b2 == b1 {
 		t.Fatal("joined an already-launched batch")
 	}
 	if launchedOf(b2) {
 		t.Fatal("non-head batch launched early")
 	}
-	b3, _ := s.admit()
+	b3, _ := s.admit(0)
 	if b3 != b2 {
 		t.Fatal("second arrival did not join the open tail batch")
 	}
-	b4, _ := s.admit()
+	b4, _ := s.admit(0)
 	if b4 == b2 {
 		t.Fatal("joined a full batch")
 	}
-	if _, ok := s.admit(); ok {
+	if _, ok := s.admit(0); ok {
 		t.Fatal("admitted beyond maxQueue")
 	}
 
@@ -60,7 +60,7 @@ func TestSchedulerAdmissionControl(t *testing.T) {
 		t.Fatalf("snapshot = (%d queued, %d batches), want (0, 3)", q, batches)
 	}
 	// Capacity is free again.
-	if _, ok := s.admit(); !ok {
+	if _, ok := s.admit(0); !ok {
 		t.Fatal("admit refused after queue drained")
 	}
 }
@@ -72,7 +72,7 @@ func TestSchedulerGraceLaunchesPartialBatch(t *testing.T) {
 	clock := engine.NewSharedClock()
 	clock.Observe(7 * sim.Millisecond)
 	s := newReadScheduler(clock, 8, 32, time.Millisecond)
-	b, ok := s.admit()
+	b, ok := s.admit(0)
 	if !ok {
 		t.Fatal("admit refused")
 	}
@@ -87,5 +87,90 @@ func TestSchedulerGraceLaunchesPartialBatch(t *testing.T) {
 	s.done(b, b.start+sim.Millisecond)
 	if clock.Now() != 8*sim.Millisecond {
 		t.Fatalf("clock = %v after done", clock.Now())
+	}
+}
+
+// TestSchedulerLanesIndependent: lanes batch and launch independently — a
+// full, unfinished batch on one lane must not stop another lane's batch
+// from launching (no cross-queue convoy).
+func TestSchedulerLanesIndependent(t *testing.T) {
+	clock := engine.NewSharedClock()
+	s := newLaneScheduler(clock, 2, 2, 16, 0)
+
+	a1, ok := s.admit(0)
+	if !ok || !launchedOf(a1) {
+		t.Fatal("lane 0 head did not launch")
+	}
+	// Lane 0's next batch queues behind its running head...
+	a2, _ := s.admit(0)
+	if launchedOf(a2) {
+		t.Fatal("lane 0 second batch launched behind a running head")
+	}
+	// ...but lane 1 launches immediately, unaffected by lane 0's backlog.
+	b1, ok := s.admit(1)
+	if !ok || !launchedOf(b1) {
+		t.Fatal("lane 1 head blocked by lane 0")
+	}
+	if a1 == b1 {
+		t.Fatal("lanes shared a batch")
+	}
+
+	// Completing lane 1's head advances the clock and leaves lane 0 alone.
+	s.done(b1, 100)
+	if clock.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", clock.Now())
+	}
+	if launchedOf(a2) {
+		t.Fatal("lane 0 second batch launched by lane 1's completion")
+	}
+	s.done(a1, 250)
+	if !launchedOf(a2) || a2.start != 250 {
+		t.Fatalf("lane 0 next batch launched=%v start=%v, want launched at 250", launchedOf(a2), a2.start)
+	}
+	s.done(a2, 300)
+	if q, batches := s.snapshot(); q != 0 || batches != 3 {
+		t.Fatalf("snapshot = (%d queued, %d batches), want (0, 3)", q, batches)
+	}
+}
+
+// TestSchedulerLaneAffinity: laneOf is deterministic per key and spreads
+// distinct keys across lanes.
+func TestSchedulerLaneAffinity(t *testing.T) {
+	clock := engine.NewSharedClock()
+	s := newLaneScheduler(clock, 4, 2, 32, 0)
+	seen := make(map[int]bool)
+	for i := 0; i < 64; i++ {
+		key := []byte{byte(i), byte(i >> 4), 'k'}
+		lane := s.laneOf(key)
+		if lane < 0 || lane >= 4 {
+			t.Fatalf("lane %d out of range", lane)
+		}
+		if again := s.laneOf(key); again != lane {
+			t.Fatalf("laneOf not deterministic: %d then %d", lane, again)
+		}
+		seen[lane] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("64 keys hit only %d of 4 lanes", len(seen))
+	}
+	// The single-lane scheduler maps every key to lane 0.
+	if one := newLaneScheduler(clock, 1, 2, 8, 0); one.laneOf([]byte("anything")) != 0 {
+		t.Fatal("single-lane scheduler routed off lane 0")
+	}
+}
+
+// TestSchedulerLaneAdmissionShared: maxQueue is a shared bound across
+// lanes.
+func TestSchedulerLaneAdmissionShared(t *testing.T) {
+	clock := engine.NewSharedClock()
+	s := newLaneScheduler(clock, 2, 1, 2, 0)
+	if _, ok := s.admit(0); !ok {
+		t.Fatal("first admit refused")
+	}
+	if _, ok := s.admit(1); !ok {
+		t.Fatal("second admit refused")
+	}
+	if _, ok := s.admit(1); ok {
+		t.Fatal("admitted beyond the shared maxQueue")
 	}
 }

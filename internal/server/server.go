@@ -37,10 +37,20 @@ type Config struct {
 	// Addr is the TCP listen address for ListenAndServe ("127.0.0.1:0"
 	// picks a free port).
 	Addr string
-	// BatchIOs is the read scheduler's batch size. 0 asks the device for
-	// its ParallelismHint (the PDAM's P); devices without one get 16.
-	// 1 gives the DAM-style one-at-a-time scheduler (the E20 baseline).
+	// BatchIOs is the read scheduler's batch size per lane. 0 asks the
+	// device for its ParallelismHint (the PDAM's P) — or, on a multi-queue
+	// device, its per-queue service rate (QueueHint); devices without
+	// either get 16. 1 gives the DAM-style one-at-a-time scheduler (the
+	// E20 baseline).
 	BatchIOs int
+	// ReadLanes is the number of independent read-batch lanes, each with
+	// its own BatchIOs-sized batches; requests are assigned lanes by key
+	// hash. 0 asks the device for its queue topology (QueueHint) and falls
+	// back to 1 — the classic global scheduler — on devices without queue
+	// structure. On a multi-queue device, per-queue lanes keep each batch
+	// sized to what one queue can serve instead of one global batch
+	// overcommitting the device.
+	ReadLanes int
 	// BatchGrace is how long (real time) a partial read batch waits for
 	// stragglers before launching. Default 200µs.
 	BatchGrace time.Duration
@@ -85,6 +95,20 @@ type Config struct {
 }
 
 func (c Config) withDefaults(dev storage.Device) Config {
+	if c.ReadLanes == 0 {
+		if h, ok := dev.(interface{ QueueHint() (int, int) }); ok {
+			queues, perQueue := h.QueueHint()
+			c.ReadLanes = queues
+			if c.BatchIOs == 0 {
+				c.BatchIOs = perQueue
+			}
+		} else {
+			c.ReadLanes = 1
+		}
+	}
+	if c.ReadLanes < 1 {
+		c.ReadLanes = 1
+	}
 	if c.BatchIOs == 0 {
 		if h, ok := dev.(interface{ ParallelismHint() int }); ok {
 			c.BatchIOs = h.ParallelismHint()
@@ -99,7 +123,7 @@ func (c Config) withDefaults(dev storage.Device) Config {
 		c.BatchGrace = 200 * time.Microsecond
 	}
 	if c.ReadQueue == 0 {
-		c.ReadQueue = 4 * c.BatchIOs
+		c.ReadQueue = 4 * c.BatchIOs * c.ReadLanes
 	}
 	if c.WriteQueue == 0 {
 		c.WriteQueue = 1024
@@ -191,7 +215,7 @@ func New(cfg Config, backend Backend) (*Server, error) {
 	s := &Server{
 		cfg:        cfg,
 		backend:    backend,
-		readSched:  newReadScheduler(backend.Clock, cfg.BatchIOs, cfg.ReadQueue, cfg.BatchGrace),
+		readSched:  newLaneScheduler(backend.Clock, cfg.ReadLanes, cfg.BatchIOs, cfg.ReadQueue, cfg.BatchGrace),
 		metrics:    newMetrics(),
 		writeCh:    make(chan writeReq, cfg.WriteQueue),
 		writerDone: make(chan struct{}),
@@ -450,7 +474,11 @@ func (s *Server) serveSnapRead(cs *connState, req request) []byte {
 	// may touch the device, so it joins a batch like any other read — but
 	// never the write queue; the snapshot's visibility does not depend on
 	// in-flight commits.
-	b, ok := s.readSched.admit()
+	affinity := req.key
+	if req.op == OpSnapScan {
+		affinity = req.lo
+	}
+	b, ok := s.readSched.admit(s.readSched.laneOf(affinity))
 	if !ok {
 		s.metrics.busy.Add(1)
 		return encodeStatus(StatusBusy, "read queue full")
@@ -527,11 +555,15 @@ func (s *Server) serveSnapRelease(cs *connState, req request) []byte {
 	return encodeStatus(StatusOK, "")
 }
 
-// serveRead runs a Get/Scan through the batch scheduler: join a batch (or
-// be shed), start at the batch's common virtual instant, read under the
-// state read-lock, report completion.
+// serveRead runs a Get/Scan through the batch scheduler: join a batch on
+// the key's lane (or be shed), start at the batch's common virtual instant,
+// read under the state read-lock, report completion.
 func (s *Server) serveRead(client *engine.Client, session engine.Dictionary, req request) []byte {
-	b, ok := s.readSched.admit()
+	affinity := req.key
+	if req.op == OpScan {
+		affinity = req.lo
+	}
+	b, ok := s.readSched.admit(s.readSched.laneOf(affinity))
 	if !ok {
 		s.metrics.busy.Add(1)
 		return encodeStatus(StatusBusy, "read queue full")

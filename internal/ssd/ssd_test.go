@@ -181,3 +181,19 @@ func TestInvalidProfilePanics(t *testing.T) {
 	}()
 	New(Profile{})
 }
+
+// TestParallelismHintMatchesGeometry: the hint the read scheduler sizes its
+// batches from is the die count — the geometry's parallelism upper bound —
+// for every built-in profile, and tracks a custom geometry exactly.
+func TestParallelismHintMatchesGeometry(t *testing.T) {
+	for _, prof := range Profiles() {
+		if hint, dies := New(prof).ParallelismHint(), prof.Channels*prof.DiesPerChannel; hint != dies {
+			t.Errorf("%s: ParallelismHint = %d, want %d dies", prof.Name, hint, dies)
+		}
+	}
+	prof := DefaultProfile()
+	prof.Channels, prof.DiesPerChannel = 3, 5
+	if hint := New(prof).ParallelismHint(); hint != 15 {
+		t.Errorf("custom geometry: ParallelismHint = %d, want 15", hint)
+	}
+}
