@@ -6,7 +6,9 @@
 #   iolint     the repo's own go/analysis suite (cmd/iolint): no panic on
 #              the durability path, no engine bypass, consistent atomics,
 #              virtual time in sim code, no discarded durable-write errors,
-#              no leaked MVCC snapshots
+#              no leaked MVCC snapshots, lock acquisition in lockrank
+#              order, no blocking under an exclusive lock, goroutine exit
+#              signals, typed protocol-error handling
 #   go build   everything compiles, including cmd/ and examples/
 #   go test    tier-1 correctness
 #   smoke      kvserve + loadgen end to end: boot the server binary, drive
@@ -37,7 +39,12 @@ go vet ./...
 # subsumes the old grep-based panic lint — nopanic understands scope and the
 # //lint:allowpanic escape hatch instead of pattern-matching source text —
 # and adds the engine-bypass, atomic-field, virtual-time, wal-error, and
-# snapshot-release checks. Exits non-zero on any diagnostic.
+# snapshot-release checks, plus the concurrency invariants: lockorder
+# (//lint:lockrank acquisition order, cross-package via facts),
+# blockunderlock (no channel/IO/wait ops under an exclusive mutex),
+# goroutinelife (serving goroutines must have a provable exit signal), and
+# statuscheck (typed protocol sentinels handled via errors.Is, never
+# discarded or text-matched). Exits non-zero on any diagnostic.
 go run ./cmd/iolint ./...
 
 go build ./...
@@ -211,6 +218,13 @@ go test -race -run 'Lane|Scheduler|Batch' ./internal/server
 # explicitly for the same reason (the full -race pass below also covers the
 # end-to-end residual tests).
 go test -race -run 'TracerConcurrent|TraceConcurrentSetCap' ./internal/obs ./internal/storage
+
+# The analyzer suite's own tests under the race detector, plus the iolint
+# roster test: the atest harness type-checks packages concurrently, and the
+# roster test re-runs the full suite over the repo (a regression if a new
+# analyzer is written but never registered, or the tree stops being clean
+# under its own gate).
+go test -race ./internal/analysis/... ./cmd/iolint
 
 go test -race -timeout 20m ./...
 echo "all checks passed"

@@ -1,7 +1,7 @@
-// iolint is the repo's static-analysis gate: the six custom analyzers that
-// encode the IO-model, durability, and MVCC invariants (see DESIGN.md
-// "Static analysis"), plus the stock vet passes whose bugs bite this
-// codebase hardest (atomic, copylocks, lostcancel), in one command:
+// iolint is the repo's static-analysis gate: the ten custom analyzers that
+// encode the IO-model, durability, MVCC, and concurrency invariants (see
+// DESIGN.md "Static analysis"), plus the stock vet passes whose bugs bite
+// this codebase hardest (atomic, copylocks, lostcancel), in one command:
 //
 //	go run ./cmd/iolint ./...
 //
@@ -28,9 +28,13 @@ import (
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	"iomodels/internal/analysis/atomicfield"
+	"iomodels/internal/analysis/blockunderlock"
 	"iomodels/internal/analysis/enginebypass"
+	"iomodels/internal/analysis/goroutinelife"
+	"iomodels/internal/analysis/lockorder"
 	"iomodels/internal/analysis/nopanic"
 	"iomodels/internal/analysis/snapshotrelease"
+	"iomodels/internal/analysis/statuscheck"
 	"iomodels/internal/analysis/virtualtime"
 	"iomodels/internal/analysis/walerr"
 )
@@ -44,6 +48,12 @@ var suite = []*analysis.Analyzer{
 	virtualtime.Analyzer,
 	walerr.Analyzer,
 	snapshotrelease.Analyzer,
+	// Concurrency invariants (PR 9): canonical lock order, no blocking
+	// under an exclusive lock, goroutine lifecycle, typed status handling.
+	lockorder.Analyzer,
+	blockunderlock.Analyzer,
+	goroutinelife.Analyzer,
+	statuscheck.Analyzer,
 	// Stock passes for go vet parity: mixed atomic arithmetic, copied
 	// locks (incl. atomic.Int64 values), and leaked context cancels.
 	atomic.Analyzer,

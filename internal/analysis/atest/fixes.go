@@ -1,0 +1,117 @@
+// SuggestedFix verification: apply every fix an analyzer attaches to its
+// diagnostics and compare the rewritten source against golden files, so an
+// analyzer's auto-fix output is pinned the same way its diagnostics are.
+
+package atest
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// RunFixes analyzes each named package (facts flowing from testdata-local
+// deps first, as in Run), applies the TextEdits of every suggested fix, and
+// compares each edited file against a sibling `<file>.golden`. A file the
+// fixes leave untouched needs no golden; a golden with no edits, a missing
+// golden, or a mismatch fails the test.
+func RunFixes(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(dir, "src"))
+	for _, path := range pkgpaths {
+		pi, err := l.load(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", path, err)
+		}
+		facts := newFactStore()
+		for _, dep := range l.localDepsOf(path) {
+			dpi, err := l.load(dep)
+			if err != nil {
+				t.Fatalf("%s: load dep %s: %v", path, dep, err)
+			}
+			if _, err := runGraph(l, a, dpi, facts, nil); err != nil {
+				t.Fatalf("%s: analyzer on dep %s: %v", path, dep, err)
+			}
+		}
+		var diags []analysis.Diagnostic
+		if _, err := runGraph(l, a, pi, facts, &diags); err != nil {
+			t.Fatalf("%s: analyzer: %v", path, err)
+		}
+
+		type edit struct {
+			lo, hi int
+			text   []byte
+		}
+		edits := map[string][]edit{}
+		for _, d := range diags {
+			for _, fix := range d.SuggestedFixes {
+				for _, te := range fix.TextEdits {
+					tf := l.fset.File(te.Pos)
+					if tf == nil {
+						t.Errorf("%s: fix %q has an edit outside any file", path, fix.Message)
+						continue
+					}
+					end := te.End
+					if !end.IsValid() {
+						end = te.Pos
+					}
+					edits[tf.Name()] = append(edits[tf.Name()], edit{
+						lo:   tf.Offset(te.Pos),
+						hi:   tf.Offset(end),
+						text: te.NewText,
+					})
+				}
+			}
+		}
+
+		// Every file under the package with a golden must have edits, and
+		// vice versa.
+		goldens := map[string]bool{}
+		for _, f := range pi.files {
+			name := l.fset.Position(f.Pos()).Filename
+			if _, err := os.Stat(name + ".golden"); err == nil {
+				goldens[name] = true
+			}
+		}
+
+		for name, es := range edits {
+			orig, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			sort.Slice(es, func(i, j int) bool { return es[i].lo > es[j].lo })
+			out := append([]byte(nil), orig...)
+			prev := len(out) + 1
+			ok := true
+			for _, e := range es {
+				if e.lo < 0 || e.hi > len(orig) || e.lo > e.hi || e.hi > prev {
+					t.Errorf("%s: overlapping or out-of-range fix edits", name)
+					ok = false
+					break
+				}
+				out = append(out[:e.lo], append(append([]byte(nil), e.text...), out[e.hi:]...)...)
+				prev = e.lo
+			}
+			if !ok {
+				continue
+			}
+			want, err := os.ReadFile(name + ".golden")
+			if err != nil {
+				t.Errorf("%s: fixes were produced but no golden file exists: %v", name, err)
+				continue
+			}
+			delete(goldens, name)
+			if !bytes.Equal(out, want) {
+				t.Errorf("%s: fixed output does not match %s.golden\n--- got ---\n%s\n--- want ---\n%s",
+					name, filepath.Base(name), out, want)
+			}
+		}
+		for name := range goldens {
+			t.Errorf("%s: has a golden file but the analyzer produced no fixes for it", name)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package blockunderlock_test
+
+import (
+	"testing"
+
+	"iomodels/internal/analysis/atest"
+	"iomodels/internal/analysis/blockunderlock"
+)
+
+func TestBlockUnderLock(t *testing.T) {
+	funcs := blockunderlock.DefaultFuncs + ",blockdata.Eng.Commit"
+	if err := blockunderlock.Analyzer.Flags.Set("funcs", funcs); err != nil {
+		t.Fatal(err)
+	}
+	defer blockunderlock.Analyzer.Flags.Set("funcs", blockunderlock.DefaultFuncs)
+	atest.Run(t, "../testdata", blockunderlock.Analyzer, "blockdata")
+}
+
+// TestSuggestedFix pins the swap-with-Unlock fix output against golden
+// post-fix text.
+func TestSuggestedFix(t *testing.T) {
+	atest.RunFixes(t, "../testdata", blockunderlock.Analyzer, "blockfixdata")
+}
+
+// TestFixPackageDiagnostics keeps the fix package's want comments honest.
+func TestFixPackageDiagnostics(t *testing.T) {
+	atest.Run(t, "../testdata", blockunderlock.Analyzer, "blockfixdata")
+}

@@ -1,0 +1,22 @@
+package goroutinelife_test
+
+import (
+	"testing"
+
+	"iomodels/internal/analysis/atest"
+	"iomodels/internal/analysis/goroutinelife"
+)
+
+func TestGoroutineLife(t *testing.T) {
+	if err := goroutinelife.Analyzer.Flags.Set("scope", "goroutinedata"); err != nil {
+		t.Fatal(err)
+	}
+	defer goroutinelife.Analyzer.Flags.Set("scope", goroutinelife.DefaultScope)
+	atest.Run(t, "../testdata", goroutinelife.Analyzer, "goroutinedata")
+}
+
+// TestOutOfScope: under the default scope the testdata package is not
+// checked at all — the scope flag is the blast-radius control.
+func TestOutOfScope(t *testing.T) {
+	atest.RunExpectClean(t, "../testdata", goroutinelife.Analyzer, "goroutinedata")
+}

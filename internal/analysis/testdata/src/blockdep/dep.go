@@ -1,0 +1,11 @@
+// Package blockdep models a dependency whose blocking behavior reaches
+// dependents as an object fact.
+package blockdep
+
+type Pool struct {
+	ch chan int
+}
+
+// Drain blocks on a channel receive; dependents calling it under an
+// exclusive lock must be flagged.
+func (p *Pool) Drain() int { return <-p.ch }

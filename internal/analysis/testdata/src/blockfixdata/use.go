@@ -1,0 +1,18 @@
+// The suggested-fix case: the blocking send swaps with the Unlock that
+// immediately follows it.
+package blockfixdata
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+func (s *S) notify() {
+	s.mu.Lock()
+	s.n++
+	s.ch <- 1 // want `blocking channel send while holding mu`
+	s.mu.Unlock()
+}

@@ -1,0 +1,132 @@
+// The goroutinelife cases: leaky loops, every recognized exit signal, and
+// the escape hatch.
+package goroutinedata
+
+import (
+	"net"
+	"sync"
+)
+
+type Server struct {
+	stop    chan struct{}
+	writeCh chan int
+	wg      sync.WaitGroup
+	n       int
+}
+
+func (s *Server) leaky() {
+	go func() { // want `goroutine has no provable exit signal`
+		for {
+			s.n++
+		}
+	}()
+}
+
+// stopped selects on a captured stop channel: the canonical shutdown shape.
+func (s *Server) stopped() {
+	go func() {
+		for {
+			select {
+			case <-s.stop:
+				return
+			case v := <-s.writeCh:
+				s.n += v
+			}
+		}
+	}()
+}
+
+// ranged exits when the external channel closes.
+func (s *Server) ranged() {
+	go func() {
+		for v := range s.writeCh {
+			s.n += v
+		}
+	}()
+}
+
+// tracked is owned by a WaitGroup.
+func (s *Server) tracked() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			if s.n > 10 {
+				break
+			}
+			s.n++
+		}
+	}()
+}
+
+// serve's accept loop exits when the listener is closed; handle's read loop
+// exits when the conn is closed.
+func (s *Server) serve(ln net.Listener) {
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.handle(c)
+		}
+	}()
+}
+
+func (s *Server) handle(c net.Conn) {
+	buf := make([]byte, 16)
+	for {
+		if _, err := c.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// oneshot terminates on its own: no loop, no signal needed.
+func (s *Server) oneshot() {
+	go func() {
+		s.n++
+	}()
+}
+
+// spin is leaky even when spawned as a named method.
+func (s *Server) spin() {
+	for {
+		s.n++
+	}
+}
+
+func (s *Server) spawnSpin() {
+	go s.spin() // want `goroutine has no provable exit signal`
+}
+
+// localOnly: a channel made inside the goroutine is not an exit signal —
+// nothing outside can reach it.
+func (s *Server) localOnly() {
+	go func() { // want `goroutine has no provable exit signal`
+		ch := make(chan int)
+		for {
+			select {
+			case <-ch:
+			}
+		}
+	}()
+}
+
+func (s *Server) excused() {
+	//lint:allowleak metrics pump; process-lifetime by design
+	go func() {
+		for {
+			s.n++
+		}
+	}()
+}
+
+func (s *Server) badExcuse() {
+	//lint:allowleak
+	go func() { // want `//lint:allowleak needs a reason`
+		for {
+			s.n++
+		}
+	}()
+}

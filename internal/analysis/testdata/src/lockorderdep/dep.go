@@ -1,0 +1,18 @@
+// Package lockorderdep models a lower-layer package whose mutex rank and
+// acquisition summaries reach dependents as object facts.
+package lockorderdep
+
+import "sync"
+
+type Store struct {
+	mu sync.Mutex //lint:lockrank 10 storage lock; outermost of all
+	n  int
+}
+
+// Bump acquires the rank-10 lock; dependents calling it while holding a
+// higher rank must be flagged.
+func (s *Store) Bump() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}

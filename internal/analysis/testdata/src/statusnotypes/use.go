@@ -1,0 +1,18 @@
+// With no watched type resolving, discard checks are silent but text
+// dispatch on err.Error() is still wrong.
+package statusnotypes
+
+import "errors"
+
+type thing struct{}
+
+func (t *thing) do() error { return errors.New("boom") }
+
+func discardOK(t *thing) {
+	t.do() // unwatched type: no diagnostic
+}
+
+func textStillBad(t *thing) bool {
+	err := t.do()
+	return err != nil && err.Error() == "boom" // want `dispatching on err.Error\(\) text; use errors.Is`
+}

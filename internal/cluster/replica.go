@@ -39,7 +39,7 @@ type Shipper struct {
 	cfg ShipperConfig
 	srv *server.Server
 
-	mu     sync.Mutex
+	mu     sync.Mutex //lint:lockrank 90
 	c      *server.Client
 	cursor uint64 // last applied primary LSN (the pull/ack position)
 	err    error  // terminal failure (ship gap, apply error)
@@ -172,24 +172,43 @@ func (sh *Shipper) loop() {
 	}
 }
 
-// conn returns the live connection, dialing if needed.
+// conn returns the live connection, dialing if needed. The dial runs with
+// mu released: a dead primary can stall DialOpts for the full dial timeout,
+// and holding mu across it would stall Stop — and therefore Promote, which
+// is the failover critical path. The dialed connection is installed only
+// after re-checking closed under mu.
 func (sh *Shipper) conn() (*server.Client, error) {
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if sh.closed {
+		sh.mu.Unlock()
 		return nil, errors.New("shipper stopped")
 	}
 	if sh.c != nil && sh.c.Err() == nil {
-		return sh.c, nil
+		c := sh.c
+		sh.mu.Unlock()
+		return c, nil
 	}
 	if sh.c != nil {
 		sh.c.Close()
 		sh.c = nil
 	}
+	sh.mu.Unlock()
+
 	c, err := server.DialOpts(sh.cfg.Primary, sh.cfg.Opts)
 	if err != nil {
 		return nil, err
 	}
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		// Stop fired mid-dial; it never saw this connection, so close it
+		// here rather than leak it.
+		c.Close()
+		return nil, errors.New("shipper stopped")
+	}
+	// loop is the only dialer, so nothing else can have installed a
+	// connection while mu was released.
 	sh.c = c
 	return c, nil
 }

@@ -61,7 +61,7 @@ type vchain struct {
 const vshards = 16
 
 type vshard struct {
-	mu     sync.RWMutex
+	mu     sync.RWMutex //lint:lockrank 80
 	chains map[string]*vchain
 }
 
@@ -75,7 +75,7 @@ var chainLenBounds = [...]int{1, 2, 4, 8, 16, 32, 64}
 type versionStore struct {
 	maxVersions int // chain length bound per key; <=0 = unbounded
 
-	mu      sync.Mutex
+	mu      sync.Mutex     //lint:lockrank 70
 	applied uint64         // LSN of the last applied mutation
 	pending uint64         // LSN of the mutation between begin and end
 	tide    uint64         // applied LSN when recording last (re)started
@@ -138,6 +138,7 @@ func (v *versionStore) begin(lsn uint64, key []byte, value []byte, present bool,
 		// structure read runs without the shard lock — only the writer
 		// creates chains, so no one can race the insert.
 		sh.mu.Unlock()
+		//lint:allowblock v.mu is the writer's own open/write bracket, held by the single writer; pre() is a structural pre-image read that must happen before this write becomes visible
 		pv, pok := pre()
 		base := version{lsn: 0, value: copyBytes(pv), present: pok}
 		sh.mu.Lock()

@@ -181,6 +181,7 @@ func (e *Engine) CommitPending() error {
 	}
 	start := e.owner.ctx.Now()
 	prev := e.owner.pushLayer(obs.LayerWAL)
+	//lint:allowblock the group-commit flush must run inside d.mu so the pending group cannot grow mid-flush; callers wanting IO off their own lock drop it before calling (see Server.applyWrites)
 	err := d.log.Commit()
 	e.owner.popLayer(prev)
 	if sp := e.owner.span; sp != nil {

@@ -165,6 +165,7 @@ func (s *Server) servePromote() []byte {
 	lsn := s.shipAppliedLSN.Load()
 	if s.cfg.OnPromote != nil {
 		var err error
+		//lint:allowblock promoteMu must be held across the hook: it stops the shipper and seals the log tail, and a second concurrent promote (or a role read racing the flip) would break the no-shipped-apply-after-flip guarantee
 		lsn, err = s.cfg.OnPromote()
 		if err != nil {
 			return encodeStatus(StatusErr, fmt.Sprintf("promote: %v", err))

@@ -54,7 +54,7 @@ type readScheduler struct {
 	maxQueue int           // admission bound across queued+running requests, all lanes
 	grace    time.Duration // how long a partial batch waits for stragglers
 
-	mu      sync.Mutex
+	mu      sync.Mutex     //lint:lockrank 40
 	lanes   [][]*readBatch // per lane: queue[0] is running or next to launch
 	last    []sim.Time     // per lane: end of the last completed batch
 	queued  int            // total members across all lanes (admission gauge)

@@ -176,18 +176,18 @@ type Server struct {
 	// read side per operation, the writer takes the write side per batch.
 	// (The pager is internally synchronized; this lock is for the trees'
 	// single-writer rule.)
-	stateMu sync.RWMutex
+	stateMu sync.RWMutex //lint:lockrank 10
 
 	// Cluster state (cluster.go): the node's role, the sync-ship ack gate,
 	// and the replica's applied high-water mark.
 	role           atomic.Int32
-	promoteMu      sync.Mutex
-	shipMu         sync.Mutex
+	promoteMu      sync.Mutex    //lint:lockrank 20
+	shipMu         sync.Mutex    //lint:lockrank 30
 	shipAcked      uint64        // highest LSN a subscriber has acknowledged
 	shipWake       chan struct{} // closed+replaced when shipAcked advances
 	shipAppliedLSN atomic.Uint64 // replica: highest shipped primary LSN applied
 
-	mu       sync.Mutex
+	mu       sync.Mutex //lint:lockrank 50
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
