@@ -11,8 +11,9 @@
 #              signals, typed protocol-error handling
 #   go build   everything compiles, including cmd/ and examples/
 #   go test    tier-1 correctness
-#   smoke      kvserve + loadgen end to end: boot the server binary, drive
-#              it over TCP, verify clean SIGINT shutdown
+#   smoke      kvserve + loadgen + kvtop end to end: boot the server binary,
+#              drive it over TCP, poll the live topology with the aggregator,
+#              verify clean SIGINT shutdown
 #   go test -race   the concurrent engine path: k sim processes and
 #                   host-parallel detached clients through the sharded pager,
 #                   plus an explicit pass over the crash/recovery suite
@@ -77,7 +78,7 @@ waitaddr() {
 	fi
 	echo "$wa_addr"
 }
-go build -o "$smoke" ./cmd/kvserve ./cmd/loadgen
+go build -o "$smoke" ./cmd/kvserve ./cmd/loadgen ./cmd/kvtop
 "$smoke/kvserve" -addr 127.0.0.1:0 -items 2000 -durable >"$smoke/kvserve.log" 2>&1 &
 kvpid=$!
 addr=$(waitaddr "$smoke/kvserve.log")
@@ -130,6 +131,31 @@ p1addr=$(waitaddr "$smoke/cl-p1.log")
 "$smoke/loadgen" -cluster "$p0addr/$r0addr;$p1addr" -verify -clients 4 -ops 300 >"$smoke/cl-verify.log" 2>&1 &
 lgpid=$!
 sleep 2
+# kvtop smoke against the live topology, before the primary is killed:
+# -once -json must report every node reachable with the replica's lag
+# estimator populated, and -watch with a generous lag bound must agree the
+# cluster is healthy (exit 0). Both run the real aggregator end to end —
+# topology parsing, the wire Stats op, the alarm evaluation.
+"$smoke/kvtop" -cluster "$p0addr/$r0addr;$p1addr" -once -json >"$smoke/kvtop.json" 2>&1 || {
+	echo "kvtop -once failed:" >&2
+	cat "$smoke/kvtop.json" >&2
+	exit 1
+}
+grep -q '"healthy": true' "$smoke/kvtop.json" || {
+	echo "kvtop reported an unhealthy cluster:" >&2
+	cat "$smoke/kvtop.json" >&2
+	exit 1
+}
+grep -q '"ship_lag"' "$smoke/kvtop.json" || {
+	echo "kvtop document carries no replication-lag block:" >&2
+	cat "$smoke/kvtop.json" >&2
+	exit 1
+}
+"$smoke/kvtop" -cluster "$p0addr/$r0addr;$p1addr" -watch -max-lag-seconds 30 >"$smoke/kvtop-watch.log" 2>&1 || {
+	echo "kvtop -watch alarmed on a healthy cluster:" >&2
+	cat "$smoke/kvtop-watch.log" >&2
+	exit 1
+}
 p0pid=$(echo "$clpids" | cut -d' ' -f1)
 kill -9 "$p0pid" 2>/dev/null || true
 wait "$lgpid" || {
@@ -218,6 +244,16 @@ go test -race -run 'Lane|Scheduler|Batch' ./internal/server
 # explicitly for the same reason (the full -race pass below also covers the
 # end-to-end residual tests).
 go test -race -run 'TracerConcurrent|TraceConcurrentSetCap' ./internal/obs ./internal/storage
+
+# The cluster-observability chain under the race detector, named explicitly:
+# the merged-trace test races a traced client against the primary's writer
+# and the replica's shipper while asserting the cross-process span links;
+# the interop and ext-decode tests pin the wire trace-context contract; and
+# E24's sync round holds real acks on the shipper's pull position while the
+# lag estimator and gate histogram are read from another goroutine.
+go test -race -run 'MergedTraceSpans|Interop|Ext|TraceContext' \
+	./internal/cluster ./internal/server ./internal/kv
+go test -race -run 'E24ShipLag' ./internal/experiments
 
 # The analyzer suite's own tests under the race detector, plus the iolint
 # roster test: the atest harness type-checks packages concurrently, and the

@@ -16,17 +16,30 @@
 //	iotrace [-tree b|be|lsm] [-device hdd|ssd|pdam|mq] [-items N] [-ops N]
 //	        [-clients K] [-node BYTES] [-cache BYTES] [-sample N]
 //	        [-chrome FILE] [-assert]
+//	iotrace -merge [-o FILE] name=spans.json [name=spans.json ...]
 //
 // -clients runs the query phase as K concurrent simulated processes, so on
 // a parallel device the PDAM's step-sharing is visible (and the DAM's
 // serial prediction measurably wrong). -assert exits non-zero unless the
 // refined model beats the DAM on read residuals (the CI smoke check).
+//
+// -merge is a different mode entirely: it folds several processes'
+// wall-stamped span dumps (kvserve -spans-out or its /spans endpoint,
+// loadgen -spans-out) into one Chrome trace_event JSON, one pid per dump,
+// with flow arrows along every cross-process span link — a traced cluster
+// write renders as one causally-connected timeline from the client span
+// through the primary's server and commit spans to the replica's apply.
+// Each argument is name=file (the name labels the process row; a bare file
+// uses its basename).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"iomodels/internal/betree"
@@ -55,7 +68,16 @@ func main() {
 	sample := flag.Int("sample", 1, "trace 1 in N queries")
 	chromeOut := flag.String("chrome", "", "write a Chrome trace_event JSON of the query phase here")
 	assert := flag.Bool("assert", false, "exit 1 unless the refined model beats the DAM on read residuals")
+	merge := flag.Bool("merge", false, "merge span dumps (name=file args) into one cross-process Chrome trace and exit")
+	mergeOut := flag.String("o", "", "merged Chrome trace output file (default stdout; with -merge)")
 	flag.Parse()
+
+	if *merge {
+		if err := runMerge(*mergeOut, flag.Args()); err != nil {
+			fatalf("merge: %v", err)
+		}
+		return
+	}
 
 	var dev storage.Device
 	switch *device {
@@ -189,6 +211,54 @@ func main() {
 		fmt.Printf("assert ok: %s p50 residual %.1f%% < dam %.1f%%\n",
 			refined, 100*ref.P50, 100*dam.P50)
 	}
+}
+
+// runMerge reads each name=file span dump ([]obs.SpanJSON, the shape of
+// kvserve's /spans and the -spans-out files) and writes one merged Chrome
+// trace. The dumps keep their argument order, so the process rows are
+// stable no matter which file's spans are oldest.
+func runMerge(out string, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("no span dumps (want name=file arguments)")
+	}
+	var procs []obs.ProcSpans
+	for _, arg := range args {
+		name, path := arg, arg
+		if i := strings.IndexByte(arg, '='); i >= 0 {
+			name, path = arg[:i], arg[i+1:]
+		} else {
+			name = strings.TrimSuffix(filepath.Base(path), ".json")
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var spans []obs.SpanJSON
+		if err := json.Unmarshal(data, &spans); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		procs = append(procs, obs.ProcSpans{Name: name, Spans: spans})
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := obs.WriteMergedChromeTrace(w, procs); err != nil {
+		return err
+	}
+	if out != "" {
+		total := 0
+		for _, p := range procs {
+			total += len(p.Spans)
+		}
+		fmt.Printf("merged %d spans from %d processes into %s\n", total, len(procs), out)
+	}
+	return nil
 }
 
 func report(tr *storage.Trace) {

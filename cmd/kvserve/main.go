@@ -26,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -77,6 +78,8 @@ func main() {
 	obsOn := flag.Bool("obs", false, "attach the span tracer: per-layer IO attribution and live model residuals on /stats and /metrics")
 	obsSample := flag.Int("obs-sample", 16, "trace 1 in N operations (with -obs)")
 	chromeOut := flag.String("chrome", "", "write a Chrome trace_event JSON of retained spans here at shutdown (implies -obs)")
+	spansOut := flag.String("spans-out", "", "write the wall-stamped span dump (JSON) here at shutdown for iotrace -merge (implies -obs)")
+	slowOps := flag.Duration("slow-ops", 0, "log one structured line per op slower than this wall-clock threshold (0: off)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics listener")
 	shard := flag.Int("shard", 0, "this node's shard index in the cluster ring")
 	shards := flag.Int("shards", 1, "total shard count in the cluster ring")
@@ -194,8 +197,17 @@ func main() {
 	}
 
 	var tracer *obs.Tracer
-	if *obsOn || *chromeOut != "" {
-		tcfg := obs.Config{SampleEvery: *obsSample}
+	if *obsOn || *chromeOut != "" || *spansOut != "" {
+		// Wall stamps and a per-process wire tag make the spans mergeable
+		// across processes (iotrace -merge): wall time is the only timeline a
+		// client, a primary, and a replica share, and the tag keeps their
+		// wire span ids from colliding. The pid term covers nodes launched
+		// with identical -addr/-shard flags (e.g. :0 picking free ports).
+		tcfg := obs.Config{
+			SampleEvery: *obsSample,
+			WallNow:     func() int64 { return time.Now().UnixNano() },
+			WireTag:     wireTag(*addr, *shard),
+		}
 		// Calibrate at the workload's locality: the preloaded region when
 		// there is one (seek cost on the hdd model grows with distance), the
 		// whole device otherwise.
@@ -217,19 +229,20 @@ func main() {
 	// apply path), so OnPromote closes over this late-bound pointer.
 	var shipper *cluster.Shipper
 	srv, err := server.New(server.Config{
-		Addr:       *addr,
-		BatchIOs:   *batch,
-		ReadLanes:  *lanes,
-		BatchGrace: *grace,
-		ReadQueue:  *readq,
-		WriteQueue: *writeq,
-		WriteBatch: *writeBatch,
-		Trace:      trace,
-		Tracer:     tracer,
-		ShardID:    *shard,
-		Shards:     *shards,
-		Role:       role,
-		SyncShip:   *syncShip,
+		Addr:            *addr,
+		BatchIOs:        *batch,
+		ReadLanes:       *lanes,
+		BatchGrace:      *grace,
+		ReadQueue:       *readq,
+		WriteQueue:      *writeq,
+		WriteBatch:      *writeBatch,
+		Trace:           trace,
+		Tracer:          tracer,
+		ShardID:         *shard,
+		Shards:          *shards,
+		Role:            role,
+		SyncShip:        *syncShip,
+		SlowOpThreshold: *slowOps,
 		OnPromote: func() (uint64, error) {
 			if shipper == nil {
 				return 0, fmt.Errorf("no shipper to seal (node is not a replica)")
@@ -319,6 +332,28 @@ func main() {
 		}
 		fmt.Printf("kvserve: wrote Chrome trace to %s (open in chrome://tracing or Perfetto)\n", *chromeOut)
 	}
+	if *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			fatalf("spans: %v", err)
+		}
+		if err := tracer.WriteSpansJSON(f); err != nil {
+			fatalf("spans: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("spans: %v", err)
+		}
+		fmt.Printf("kvserve: wrote span dump to %s (merge with iotrace -merge)\n", *spansOut)
+	}
+}
+
+// wireTag derives this process's span-id tag from its identity flags plus
+// the pid, so two nodes of the same cluster never mint colliding wire ids
+// even when launched with identical flags.
+func wireTag(addr string, shard int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d#%d", addr, shard, os.Getpid())
+	return h.Sum64()
 }
 
 func fatalf(format string, args ...interface{}) {

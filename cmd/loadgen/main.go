@@ -27,12 +27,25 @@
 // internal/cluster's router (shards ';'-separated, each shard's endpoints
 // '/'-separated with the primary first); every client gets its own router,
 // and a mid-run primary kill is absorbed by failover instead of failing the
-// run. -verify switches to the acked-write audit: each client writes unique
-// keys, records exactly the acknowledged ones, and reads them all back at
-// the end — the run fails unless it can report "0 lost acks".
+// run. In cluster mode the routers' failover counters (failovers, probes,
+// promotes) are reported after the run. -verify switches to the acked-write
+// audit: each client writes unique keys, records exactly the acknowledged
+// ones, and reads them all back at the end — the run fails unless it can
+// report "0 lost acks".
+//
+// -bench-json FILE writes a machine-readable summary of the run: throughput,
+// overall and per-op-class latency percentiles, shed/miss counts, router
+// failover counters, and the -verify audit result.
+//
+// -trace-every N stamps every Nth operation with a fresh trace context
+// (single-node mode only): the server continues the trace with its own
+// spans, and -spans-out FILE dumps loadgen's client-side spans in the same
+// JSON form as the server's /spans endpoint, so iotrace -merge renders the
+// client, primary, and replica halves of each traced op as one timeline.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -46,6 +59,7 @@ import (
 
 	"iomodels/internal/cluster"
 	"iomodels/internal/kv"
+	"iomodels/internal/obs"
 	"iomodels/internal/server"
 	"iomodels/internal/stats"
 	"iomodels/internal/workload"
@@ -64,6 +78,94 @@ type kvConn interface {
 // dialFn opens one client's connection (a single-node client or a per-client
 // router) and returns it with its closer.
 type dialFn func() (kvConn, func(), error)
+
+// traceStarter is the optional tracing surface of a connection: a direct
+// *server.Client implements it (the router does not — cluster tracing would
+// need the routed shard's connection, so -trace-every is single-node only).
+type traceStarter interface {
+	TraceNext() kv.TraceContext
+}
+
+// spanLog collects loadgen's client-side spans for -spans-out: one SpanJSON
+// per traced op, in the same shape as the server's /spans dump, so the
+// merged Chrome trace shows the op's client half with flow arrows into the
+// server spans that carried its trace context.
+type spanLog struct {
+	mu    sync.Mutex
+	spans []obs.SpanJSON
+}
+
+func (sl *spanLog) add(sp obs.SpanJSON) {
+	sl.mu.Lock()
+	sl.spans = append(sl.spans, sp)
+	sl.mu.Unlock()
+}
+
+func (sl *spanLog) write(path string) error {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := json.NewEncoder(f).Encode(sl.spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// opLatency is one latency summary in the -bench-json document (µs).
+type opLatency struct {
+	Count  int64   `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
+	P99Us  float64 `json:"p99_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+func latencyOf(h *stats.LatencyHist) opLatency {
+	s := h.Snapshot()
+	return opLatency{
+		Count:  s.Count,
+		MeanUs: s.Mean / 1e3,
+		P50Us:  float64(s.P50) / 1e3,
+		P95Us:  float64(s.P95) / 1e3,
+		P99Us:  float64(s.P99) / 1e3,
+		MaxUs:  float64(s.Max) / 1e3,
+	}
+}
+
+// benchSummary is the -bench-json document.
+type benchSummary struct {
+	Clients        int                  `json:"clients"`
+	OpsPerClient   int                  `json:"ops_per_client"`
+	ElapsedSeconds float64              `json:"elapsed_seconds"`
+	Throughput     float64              `json:"throughput_ops_per_sec"`
+	Latency        opLatency            `json:"latency"`
+	Classes        map[string]opLatency `json:"classes"`
+	BusyShed       int64                `json:"busy_shed"`
+	NotFound       int64                `json:"not_found"`
+	TracedOps      int64                `json:"traced_ops,omitempty"`
+	ScanLatency    *opLatency           `json:"scan_latency,omitempty"`
+	Router         *cluster.RouterStats `json:"router,omitempty"`
+	Verify         *verifySummary       `json:"verify,omitempty"`
+}
+
+func writeBenchJSON(path string, sum benchSummary) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // Busy backoff: shed requests retry the same slot, but never in a hot spin —
 // a saturated server answering StatusBusy in microseconds would otherwise
@@ -105,6 +207,9 @@ func main() {
 	snapcheck := flag.Bool("snapcheck", false, "run the snapshot smoke probe and exit")
 	clusterFlag := flag.String("cluster", "", "shard topology, shards ';'-separated, endpoints '/'-separated, primary first (overrides -addr)")
 	verify := flag.Bool("verify", false, "acked-write audit: unique keys per client, read every acknowledged write back at the end")
+	benchJSON := flag.String("bench-json", "", "write a machine-readable run summary (JSON) to this file")
+	traceEvery := flag.Int("trace-every", 0, "stamp every Nth op with a trace context the server continues (single-node only; 0: off)")
+	spansOut := flag.String("spans-out", "", "write client-side spans of traced ops here (JSON, for iotrace -merge)")
 	flag.Parse()
 
 	dial := dialFn(func() (kvConn, func(), error) {
@@ -114,9 +219,18 @@ func main() {
 		}
 		return cl, func() { cl.Close() }, nil
 	})
+	// In cluster mode every client builds its own router; keep them all so
+	// the failover counters can be summed after the run.
+	var (
+		routersMu sync.Mutex
+		routers   []*cluster.Router
+	)
 	if *clusterFlag != "" {
 		if *scanners > 0 || *snapcheck || *showStats {
 			fatalf("-scanners, -snapcheck, and -stats talk to a single node; not supported with -cluster")
+		}
+		if *traceEvery > 0 {
+			fatalf("-trace-every stamps a single node's connection; not supported with -cluster")
 		}
 		specs, err := parseCluster(*clusterFlag)
 		if err != nil {
@@ -127,12 +241,46 @@ func main() {
 			if err != nil {
 				return nil, nil, err
 			}
+			routersMu.Lock()
+			routers = append(routers, r)
+			routersMu.Unlock()
 			return r, r.Close, nil
 		}
 	}
+	routerStats := func() *cluster.RouterStats {
+		routersMu.Lock()
+		defer routersMu.Unlock()
+		if len(routers) == 0 {
+			return nil
+		}
+		var sum cluster.RouterStats
+		for _, r := range routers {
+			rs := r.Stats()
+			sum.Failovers += rs.Failovers
+			sum.Probes += rs.Probes
+			sum.Promotes += rs.Promotes
+		}
+		return &sum
+	}
 
 	if *verify {
-		if err := runVerify(dial, *clients, *ops); err != nil {
+		vs, err := runVerify(dial, *clients, *ops)
+		rs := routerStats()
+		if rs != nil {
+			fmt.Printf("router: failovers=%d probes=%d promotes=%d\n", rs.Failovers, rs.Probes, rs.Promotes)
+		}
+		if *benchJSON != "" {
+			sum := benchSummary{
+				Clients: *clients, OpsPerClient: *ops,
+				ElapsedSeconds: vs.ElapsedSeconds,
+				Router:         rs,
+				Verify:         &vs,
+			}
+			if jerr := writeBenchJSON(*benchJSON, sum); jerr != nil {
+				fatalf("bench-json: %v", jerr)
+			}
+		}
+		if err != nil {
 			fatalf("%v", err)
 		}
 		return
@@ -153,9 +301,12 @@ func main() {
 
 	spec := workload.DefaultSpec()
 	hist := stats.NewLatencyHist()
-	var shed, misses atomic.Int64
-	counts := make([]int64, int(workload.OpRMW)+1)
-	var countsMu sync.Mutex
+	var shed, misses, traced atomic.Int64
+	classHists := make([]*stats.LatencyHist, int(workload.OpRMW)+1)
+	for i := range classHists {
+		classHists[i] = stats.NewLatencyHist()
+	}
+	spans := &spanLog{}
 
 	start := time.Now()
 	errs := make(chan error, *clients)
@@ -164,8 +315,8 @@ func main() {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			errs <- runClient(dial, spec, workload.NewStream(spec, *seed+uint64(c), *keys, mix, *theta),
-				*ops, hist, &shed, &misses, counts, &countsMu)
+			errs <- runClient(c, dial, spec, workload.NewStream(spec, *seed+uint64(c), *keys, mix, *theta),
+				*ops, hist, classHists, &shed, &misses, *traceEvery, &traced, spans)
 		}(c)
 	}
 
@@ -213,21 +364,56 @@ func main() {
 	fmt.Printf("latency µs: mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%.0f\n",
 		snap.Mean/1e3, float64(snap.P50)/1e3, float64(snap.P95)/1e3,
 		float64(snap.P99)/1e3, float64(snap.Max)/1e3)
-	countsMu.Lock()
+	classes := make(map[string]opLatency)
 	var parts []string
-	for k, n := range counts {
-		if n > 0 {
-			parts = append(parts, fmt.Sprintf("%s=%d", workload.OpKind(k), n))
+	for k, h := range classHists {
+		if l := latencyOf(h); l.Count > 0 {
+			classes[workload.OpKind(k).String()] = l
+			parts = append(parts, fmt.Sprintf("%s=%d", workload.OpKind(k), l.Count))
 		}
 	}
-	countsMu.Unlock()
 	fmt.Printf("ops: %s; busy(shed)=%d not_found=%d\n", strings.Join(parts, " "), shed.Load(), misses.Load())
+	if *traceEvery > 0 {
+		fmt.Printf("traced: %d ops carried a trace context (every %d)\n", traced.Load(), *traceEvery)
+	}
+	var scanLat *opLatency
 	if *scanners > 0 {
 		ss := scanHist.Snapshot()
 		fmt.Printf("snapshot scans: %d scanners, %d scans (%d entries)\n", *scanners, scans, scanned)
 		fmt.Printf("scan latency µs: mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%.0f\n",
 			ss.Mean/1e3, float64(ss.P50)/1e3, float64(ss.P95)/1e3,
 			float64(ss.P99)/1e3, float64(ss.Max)/1e3)
+		l := latencyOf(scanHist)
+		scanLat = &l
+	}
+	rs := routerStats()
+	if rs != nil {
+		fmt.Printf("router: failovers=%d probes=%d promotes=%d\n", rs.Failovers, rs.Probes, rs.Promotes)
+	}
+	if *benchJSON != "" {
+		sum := benchSummary{
+			Clients:        *clients,
+			OpsPerClient:   *ops,
+			ElapsedSeconds: elapsed.Seconds(),
+			Throughput:     float64(total) / elapsed.Seconds(),
+			Latency:        latencyOf(hist),
+			Classes:        classes,
+			BusyShed:       shed.Load(),
+			NotFound:       misses.Load(),
+			TracedOps:      traced.Load(),
+			ScanLatency:    scanLat,
+			Router:         rs,
+		}
+		if err := writeBenchJSON(*benchJSON, sum); err != nil {
+			fatalf("bench-json: %v", err)
+		}
+		fmt.Printf("loadgen: wrote bench summary to %s\n", *benchJSON)
+	}
+	if *spansOut != "" {
+		if err := spans.write(*spansOut); err != nil {
+			fatalf("spans: %v", err)
+		}
+		fmt.Printf("loadgen: wrote %d client spans to %s (merge with iotrace -merge)\n", len(spans.spans), *spansOut)
 	}
 
 	if *showStats {
@@ -247,19 +433,32 @@ func main() {
 // runClient is one closed-loop connection: draw an op, execute it, repeat.
 // Shed requests (StatusBusy) are counted and retried in the same slot after
 // a jittered backoff — the closed loop plus the backoff is the backpressure.
-func runClient(dial dialFn, spec workload.KeySpec, stream *workload.Stream, ops int,
-	hist *stats.LatencyHist, shed, misses *atomic.Int64, counts []int64, countsMu *sync.Mutex) error {
+// With traceEvery > 0 and a connection that can start traces, every Nth op
+// carries a fresh trace context and its client-side wall span is logged (a
+// retried busy slot mints a fresh context — the shed attempt consumed the
+// previous one).
+func runClient(id int, dial dialFn, spec workload.KeySpec, stream *workload.Stream, ops int,
+	hist *stats.LatencyHist, classHists []*stats.LatencyHist,
+	shed, misses *atomic.Int64, traceEvery int, traced *atomic.Int64, spans *spanLog) error {
 	cl, closeConn, err := dial()
 	if err != nil {
 		return err
 	}
 	defer closeConn()
 	local := stats.NewLatencyHist()
-	localCounts := make([]int64, len(counts))
+	localClass := make([]*stats.LatencyHist, len(classHists))
+	for i := range localClass {
+		localClass[i] = stats.NewLatencyHist()
+	}
+	ts, _ := cl.(traceStarter)
 	var busyDelay time.Duration
 	for i := 0; i < ops; i++ {
 		op := stream.Next()
 		key := spec.Key(op.ID)
+		var tc kv.TraceContext
+		if ts != nil && traceEvery > 0 && i%traceEvery == 0 {
+			tc = ts.TraceNext()
+		}
 		t0 := time.Now()
 		err := execOp(cl, spec, op, key, misses)
 		if errors.Is(err, server.ErrBusy) {
@@ -273,15 +472,28 @@ func runClient(dial dialFn, spec workload.KeySpec, stream *workload.Stream, ops 
 			return fmt.Errorf("%v %q: %w", op.Kind, key, err)
 		}
 		busyDelay = 0
-		local.Observe(int64(time.Since(t0)))
-		localCounts[int(op.Kind)]++
+		wall := time.Since(t0)
+		local.Observe(int64(wall))
+		localClass[int(op.Kind)].Observe(int64(wall))
+		if tc.Valid() {
+			traced.Add(1)
+			// The context's SpanID names this client-side span on the wire:
+			// the server's span links to it, so the merged trace draws the
+			// arrow from this span to the server's.
+			spans.add(obs.SpanJSON{
+				Op:          "client:" + op.Kind.String(),
+				Wire:        tc.SpanID,
+				TraceID:     tc.TraceID,
+				TID:         int64(id),
+				WallStartNs: t0.UnixNano(),
+				WallEndNs:   t0.Add(wall).UnixNano(),
+			})
+		}
 	}
 	hist.Merge(local)
-	countsMu.Lock()
-	for i, n := range localCounts {
-		counts[i] += n
+	for i := range localClass {
+		classHists[i].Merge(localClass[i])
 	}
-	countsMu.Unlock()
 	return nil
 }
 
@@ -469,13 +681,24 @@ func parseMix(ycsb, mixFlag string, scanLen int) (workload.Mix, error) {
 	return mix, nil
 }
 
+// verifySummary is the acked-write audit's result, printed and exported via
+// -bench-json.
+type verifySummary struct {
+	Acked          int     `json:"acked"`
+	Rejected       int64   `json:"rejected"`
+	BusyShed       int64   `json:"busy_shed"`
+	LostAcks       int     `json:"lost_acks"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	OK             bool    `json:"ok"`
+}
+
 // runVerify is the acked-write audit used by the failover smoke test: every
 // client writes its own unique key sequence and records exactly the Puts the
 // server acknowledged. Write errors during the run are tolerated (a failover
 // window rejects a few ops) and counted, but never recorded as acked. At the
 // end, a fresh connection reads every acked key back; one miss is a lost
 // acknowledged write and fails the run.
-func runVerify(dial dialFn, clients, ops int) error {
+func runVerify(dial dialFn, clients, ops int) (verifySummary, error) {
 	type clientResult struct {
 		acked []int // op indices whose Put was acknowledged
 		err   error // connection-level failure (dial), not per-op
@@ -523,7 +746,7 @@ func runVerify(dial dialFn, clients, ops int) error {
 	wg.Wait()
 	for c := range results {
 		if results[c].err != nil {
-			return fmt.Errorf("verify client %d: %v", c, results[c].err)
+			return verifySummary{}, fmt.Errorf("verify client %d: %v", c, results[c].err)
 		}
 	}
 
@@ -531,7 +754,7 @@ func runVerify(dial dialFn, clients, ops int) error {
 	// matter which node now serves the shard.
 	conn, closeConn, err := dial()
 	if err != nil {
-		return fmt.Errorf("verify read-back dial: %v", err)
+		return verifySummary{}, fmt.Errorf("verify read-back dial: %v", err)
 	}
 	defer closeConn()
 	acked, lost := 0, 0
@@ -548,7 +771,7 @@ func runVerify(dial dialFn, clients, ops int) error {
 				}
 				busyDelay = 0
 				if err != nil {
-					return fmt.Errorf("verify read-back %s: %v", key(c, i), err)
+					return verifySummary{}, fmt.Errorf("verify read-back %s: %v", key(c, i), err)
 				}
 				if !ok || string(v) != string(value(c, i)) {
 					fmt.Printf("verify: LOST acked write %s (ok=%v, value=%q)\n", key(c, i), ok, v)
@@ -561,10 +784,18 @@ func runVerify(dial dialFn, clients, ops int) error {
 	elapsed := time.Since(start)
 	fmt.Printf("verify: %d clients x %d ops in %.2fs: %d acked, %d rejected, busy(shed)=%d, %d lost acks\n",
 		clients, ops, elapsed.Seconds(), acked, rejected.Load(), shed.Load(), lost)
-	if lost > 0 {
-		return fmt.Errorf("%d acknowledged writes lost", lost)
+	sum := verifySummary{
+		Acked:          acked,
+		Rejected:       rejected.Load(),
+		BusyShed:       shed.Load(),
+		LostAcks:       lost,
+		ElapsedSeconds: elapsed.Seconds(),
+		OK:             lost == 0,
 	}
-	return nil
+	if lost > 0 {
+		return sum, fmt.Errorf("%d acknowledged writes lost", lost)
+	}
+	return sum, nil
 }
 
 // parseCluster parses the -cluster topology: shards separated by ';', each

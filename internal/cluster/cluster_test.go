@@ -8,9 +8,11 @@ package cluster_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,6 +20,7 @@ import (
 	"iomodels/internal/cluster"
 	"iomodels/internal/engine"
 	"iomodels/internal/kv"
+	"iomodels/internal/obs"
 	"iomodels/internal/server"
 	"iomodels/internal/sim"
 	"iomodels/internal/storage"
@@ -63,6 +66,13 @@ func clientOpts() server.Options {
 // gets its shipper started against primaryAddr and its promote hook wired.
 func newNode(t *testing.T, shardID, shards int, role server.Role, syncShip bool, primaryAddr string) *node {
 	t.Helper()
+	return newTracedNode(t, shardID, shards, role, syncShip, primaryAddr, nil)
+}
+
+// newTracedNode is newNode with a span tracer attached to the server (nil
+// for none) — the merged-trace test wants per-node tracers it can export.
+func newTracedNode(t *testing.T, shardID, shards int, role server.Role, syncShip bool, primaryAddr string, tracer *obs.Tracer) *node {
+	t.Helper()
 	eng := engine.FromStore(engine.Config{CacheBytes: 1 << 20},
 		storage.NewFaultStore(flatDev{256 << 20}), sim.New())
 	if err := eng.EnableDurability(engine.DurabilityConfig{
@@ -94,6 +104,7 @@ func newNode(t *testing.T, shardID, shards int, role server.Role, syncShip bool,
 		Role:            role,
 		SyncShip:        syncShip,
 		SyncShipTimeout: 5 * time.Second,
+		Tracer:          tracer,
 		OnPromote: func() (uint64, error) {
 			if n.shipper == nil {
 				return 0, errors.New("replica has no shipper")
@@ -453,5 +464,144 @@ func TestShipperGapForcesRebootstrap(t *testing.T) {
 		if rec.Kind != kv.Put || len(rec.Key) == 0 {
 			t.Fatalf("bad shipped record: %+v", rec)
 		}
+	}
+}
+
+// TestMergedTraceSpansCluster is the observability acceptance test: a
+// traced client write against a shipping primary must render, after
+// merging the client's, primary's, and replica's span dumps, as ONE
+// causally-linked timeline — client span → primary request span →
+// primary group-commit span, and the shipped record's stamp continuing
+// the same trace onto the replica's commit span. Wall time is injected
+// (a shared monotonic counter), so the test is deterministic and the
+// export path (which drops unstamped spans) is exercised for real.
+func TestMergedTraceSpansCluster(t *testing.T) {
+	var wall atomic.Int64
+	wall.Store(1_000_000_000) // a nonzero epoch; each read ticks 1µs
+	wallNow := func() int64 { return wall.Add(1000) }
+	tracerFor := func(tag uint64) *obs.Tracer {
+		return obs.NewTracer(obs.Config{SampleEvery: 1, WallNow: wallNow, WireTag: tag})
+	}
+	pTracer := tracerFor(0xA11CE)
+	rTracer := tracerFor(0xB0B)
+	p := newTracedNode(t, 0, 1, server.RolePrimary, false, "", pTracer)
+	rep := newTracedNode(t, 0, 1, server.RoleReplica, false, p.addr, rTracer)
+
+	c, err := server.DialOpts(p.addr, clientOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tc := c.TraceNext()
+	if !tc.Valid() || !tc.Sampled() {
+		t.Fatalf("TraceNext returned %+v", tc)
+	}
+	clientStart := wallNow()
+	if err := c.Put(ckey(1), cval(1)); err != nil {
+		t.Fatal(err)
+	}
+	clientEnd := wallNow()
+
+	// Wait for the shipper to apply the traced write on the replica.
+	target := p.srv.Snapshot().ShipCommitted
+	deadline := time.Now().Add(10 * time.Second)
+	for int64(rep.shipper.Cursor()) < target {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica stuck at cursor %d of %d (shipper err: %v)",
+				rep.shipper.Cursor(), target, rep.shipper.Err())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The client's own span, stamped from the same wall counter, wired with
+	// the span id the trace context named — exactly what loadgen -spans-out
+	// records.
+	clientSpans := []obs.SpanJSON{{
+		Op: "client:put", Wire: tc.SpanID, TraceID: tc.TraceID,
+		TID: 1, WallStartNs: clientStart, WallEndNs: clientEnd,
+	}}
+	pSpans := pTracer.ExportSpans()
+	rSpans := rTracer.ExportSpans()
+	if len(pSpans) == 0 || len(rSpans) == 0 {
+		t.Fatalf("empty span dumps: primary %d, replica %d", len(pSpans), len(rSpans))
+	}
+
+	// Walk the chain in the raw dumps first.
+	find := func(spans []obs.SpanJSON, op string, parent uint64) *obs.SpanJSON {
+		for i := range spans {
+			if spans[i].Op != op || spans[i].TraceID != tc.TraceID {
+				continue
+			}
+			for _, l := range spans[i].Links {
+				if l.SpanID == parent && l.TraceID == tc.TraceID {
+					return &spans[i]
+				}
+			}
+		}
+		return nil
+	}
+	pPut := find(pSpans, "put", tc.SpanID)
+	if pPut == nil {
+		t.Fatalf("primary has no put span linked to the client context %x/%x", tc.TraceID, tc.SpanID)
+	}
+	pCommit := find(pSpans, "commit", pPut.Wire)
+	if pCommit == nil {
+		t.Fatalf("primary has no commit span linked under put span %x", pPut.Wire)
+	}
+	rCommit := find(rSpans, "commit", pPut.Wire)
+	if rCommit == nil {
+		t.Fatalf("replica has no commit span continuing primary span %x (trace %x)", pPut.Wire, tc.TraceID)
+	}
+
+	// Merge the three dumps and check the rendered trace carries the same
+	// story: three named processes and flow arrows crossing both process
+	// boundaries.
+	var buf bytes.Buffer
+	if err := obs.WriteMergedChromeTrace(&buf, []obs.ProcSpans{
+		{Name: "client", Spans: clientSpans},
+		{Name: "primary", Spans: pSpans},
+		{Name: "replica", Spans: rSpans},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			ID   int    `json:"id"`
+			Pid  int    `json:"pid"`
+			Args struct {
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	procs := map[int]string{}
+	flowSrc := map[int]int{} // flow id -> source pid
+	crossings := map[[2]int]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				procs[ev.Pid] = ev.Args.Name
+			}
+		case "s":
+			flowSrc[ev.ID] = ev.Pid
+		case "f":
+			if src, ok := flowSrc[ev.ID]; ok && src != ev.Pid {
+				crossings[[2]int{src, ev.Pid}] = true
+			}
+		}
+	}
+	if procs[1] != "client" || procs[2] != "primary" || procs[3] != "replica" {
+		t.Fatalf("process rows: %v", procs)
+	}
+	if !crossings[[2]int{1, 2}] {
+		t.Error("no flow arrow from the client process into the primary")
+	}
+	if !crossings[[2]int{2, 3}] {
+		t.Error("no flow arrow from the primary process into the replica")
 	}
 }

@@ -6,6 +6,12 @@
 // The pull position doubles as the acknowledgement: pulling with
 // after = <last applied LSN> tells the primary everything at or before it
 // is applied, which is what releases the primary's sync-ship gate.
+//
+// Pulls use the stamped-ship extension: each record carries the wall-clock
+// instant it became durable on the primary plus its trace identity, so the
+// shipper feeds the replica server's replication-lag estimator one sample
+// per pull (seconds from the stamps, LSNs from the stream positions) and a
+// traced write's trace continues onto the replica's apply/commit spans.
 package cluster
 
 import (
@@ -16,6 +22,7 @@ import (
 
 	"iomodels/internal/engine"
 	"iomodels/internal/server"
+	"iomodels/internal/wal"
 )
 
 // ShipperConfig tunes a Shipper.
@@ -134,7 +141,7 @@ func (sh *Shipper) loop() {
 			backoff = min(2*backoff, maxBackoff)
 			continue
 		}
-		recs, _, _, err := c.ShipPull(sh.Cursor(), sh.cfg.Batch)
+		recs, committed, _, err := c.ShipPullStamped(sh.Cursor(), sh.cfg.Batch)
 		if err != nil {
 			if errors.Is(err, server.ErrShipGap) {
 				sh.fail(fmt.Errorf("shipper: %w", err))
@@ -150,6 +157,10 @@ func (sh *Shipper) loop() {
 		}
 		backoff = 10 * time.Millisecond
 		if len(recs) == 0 {
+			// Caught up: positional lag is whatever the primary committed
+			// past the cursor (normally 0), temporal lag is 0 by definition —
+			// there is nothing unapplied to be stale.
+			sh.noteLag(0, committed, sh.Cursor())
 			if !sh.sleep(sh.cfg.Interval) {
 				return
 			}
@@ -162,14 +173,40 @@ func (sh *Shipper) loop() {
 			return
 		default:
 		}
-		if err := sh.srv.ApplyShipped(recs); err != nil {
+		// Strip the ship stamps down to the WAL records ApplyShipped takes.
+		// The trace identities ride the records' transient fields, so the
+		// replica's commit spans link back to the primary's; the commit
+		// wall-times feed the lag estimator below and go no further.
+		batch := make([]wal.Record, len(recs))
+		for i := range recs {
+			batch[i] = recs[i].Record
+		}
+		if err := sh.srv.ApplyShipped(batch); err != nil {
 			sh.fail(fmt.Errorf("shipper: apply: %w", err))
 			return
 		}
+		applied := recs[len(recs)-1].Seq
 		sh.mu.Lock()
-		sh.cursor = recs[len(recs)-1].Seq
+		sh.cursor = applied
 		sh.mu.Unlock()
+		sh.noteLag(recs[len(recs)-1].CommitWallNs, committed, applied)
 	}
+}
+
+// noteLag feeds one replication-lag sample to the replica server: how long
+// ago the newest just-applied record committed on the primary (0 when the
+// pull was empty — caught up), and how many committed LSNs remain
+// unapplied. Negative skew clamps in the estimator.
+func (sh *Shipper) noteLag(commitWallNs int64, committed, applied uint64) {
+	var lagSec float64
+	if commitWallNs > 0 {
+		lagSec = time.Duration(time.Now().UnixNano() - commitWallNs).Seconds()
+	}
+	var lagLSNs int64
+	if committed > applied {
+		lagLSNs = int64(committed - applied)
+	}
+	sh.srv.NoteShipLag(lagSec, lagLSNs)
 }
 
 // conn returns the live connection, dialing if needed. The dial runs with

@@ -66,7 +66,9 @@ type shardConn struct {
 	noPromote bool
 	active    string // endpoint currently treated as primary
 	c         *server.Client
-	failovers int
+	failovers int // completed re-points
+	probes    int // endpoints probed with Hello during failovers
+	promotes  int // replicas this router promoted to primary
 }
 
 // NewRouter builds a router over the shard topology. Connections are dialed
@@ -109,13 +111,29 @@ func (r *Router) Close() {
 // Failovers counts completed failovers across all shards (observability for
 // tests and loadgen).
 func (r *Router) Failovers() int {
-	n := 0
+	return r.Stats().Failovers
+}
+
+// RouterStats is the router's failover-path counter snapshot, summed across
+// shards: how many times it re-pointed, how many endpoints it probed with
+// Hello along the way, and how many replicas it promoted itself.
+type RouterStats struct {
+	Failovers int `json:"failovers"`
+	Probes    int `json:"probes"`
+	Promotes  int `json:"promotes"`
+}
+
+// Stats snapshots the router's failover counters.
+func (r *Router) Stats() RouterStats {
+	var out RouterStats
 	for _, sc := range r.shards {
 		sc.mu.Lock()
-		n += sc.failovers
+		out.Failovers += sc.failovers
+		out.Probes += sc.probes
+		out.Promotes += sc.promotes
 		sc.mu.Unlock()
 	}
-	return n
+	return out
 }
 
 // Get fetches key from its shard.
@@ -261,6 +279,7 @@ func (sc *shardConn) failoverLocked() error {
 	var probeErrs []error
 	for k := 0; k < len(eps); k++ {
 		ep := eps[(start+k)%len(eps)]
+		sc.probes++
 		c, err := server.DialOpts(ep, sc.opts)
 		if err != nil {
 			probeErrs = append(probeErrs, fmt.Errorf("%s: %w", ep, err))
@@ -289,6 +308,7 @@ func (sc *shardConn) failoverLocked() error {
 				probeErrs = append(probeErrs, fmt.Errorf("%s: promote: %w", ep, err))
 				continue
 			}
+			sc.promotes++
 		case server.RolePrimary, server.RoleSolo:
 			// already serving
 		}

@@ -117,6 +117,14 @@ type durability struct {
 	journalBytes int64
 	redoBytes    int64
 
+	// nextTraceID/nextSpanID stamp the next logged record with the traced
+	// request that caused it (ApplyBatchNoSync sets them per mutation,
+	// logMutation consumes and clears them). They are deliberately NOT
+	// guarded by mu: both sides run on the engine's single writer
+	// goroutine, whose program order sequences the write before the read.
+	nextTraceID uint64
+	nextSpanID  uint64
+
 	err error // sticky: durability lost, availability kept
 }
 
@@ -293,7 +301,11 @@ func (e *Engine) logMutation(id uint8, kind kv.Kind, key, value []byte) {
 			return
 		}
 	}
-	rec := wal.Record{Kind: kind, Dict: id, Key: key, Value: value}
+	rec := wal.Record{
+		Kind: kind, Dict: id, Key: key, Value: value,
+		TraceID: d.nextTraceID, SpanID: d.nextSpanID,
+	}
+	d.nextTraceID, d.nextSpanID = 0, 0
 	// The log's device is e.owner (see EnableDurability), so a group that
 	// fills inside Append issues its commit IO through the owner client:
 	// attribute it — and annotate the owner's open span, if the mutation is

@@ -309,6 +309,24 @@ func (c *Client) StartSpan(op string) *obs.Span {
 	return sp
 }
 
+// StartSpanLinked opens a span continuing a carried trace context (a
+// request that arrived over the wire already traced): sampling does not
+// apply, and the span is linked to the remote parent. A zero context
+// behaves exactly like StartSpan. Nil when a span is already open or no
+// tracer is attached.
+func (c *Client) StartSpanLinked(op string, tc obs.TraceContext) *obs.Span {
+	if c.span != nil {
+		return nil
+	}
+	tr := c.eng.tracer.Load()
+	if tr == nil {
+		return nil
+	}
+	sp := tr.BeginLinked(op, c.id, c.ctx.Now(), tc)
+	c.span = sp
+	return sp
+}
+
 // FinishSpan closes a span opened by StartSpan. Nil-safe, and a no-op for
 // spans this client does not own, so callers may defer it unconditionally.
 func (c *Client) FinishSpan(sp *obs.Span) {

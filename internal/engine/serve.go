@@ -117,6 +117,11 @@ type Mutation struct {
 	Value    []byte // Put: the value; ignored otherwise
 	Delta    int64  // Upsert: the counter delta
 	Accepted bool
+	// TraceID/SpanID, when nonzero, stamp the mutation's WAL record with
+	// the traced request that caused it, so the trace can continue on a
+	// replica's apply path (the stamps ride the ship stream, not the disk).
+	TraceID uint64
+	SpanID  uint64
 }
 
 // ApplyBatch applies muts in order through their Durable wrappers, then
@@ -147,6 +152,9 @@ func (e *Engine) ApplyBatchNoSync(muts []Mutation) error {
 		if m.Dict == nil {
 			return fmt.Errorf("engine: ApplyBatch mutation %d has no dictionary", i)
 		}
+		// Hand the mutation's trace identity to logMutation (same
+		// goroutine: the apply below logs before returning).
+		e.dur.nextTraceID, e.dur.nextSpanID = m.TraceID, m.SpanID
 		switch m.Kind {
 		case kv.Put:
 			m.Dict.Put(m.Key, m.Value)
@@ -160,6 +168,9 @@ func (e *Engine) ApplyBatchNoSync(muts []Mutation) error {
 			return fmt.Errorf("engine: ApplyBatch mutation %d has invalid kind %d", i, m.Kind)
 		}
 	}
+	// Don't let the last mutation's stamps leak onto a later direct
+	// Durable mutation (logMutation clears them only when it runs).
+	e.dur.nextTraceID, e.dur.nextSpanID = 0, 0
 	return nil
 }
 

@@ -17,6 +17,7 @@ package engine
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"iomodels/internal/wal"
 )
@@ -33,11 +34,23 @@ var ErrShipGap = errors.New("engine: ship position trimmed from the ring (replic
 // DefaultShipCap bounds the ship ring when EnableShipping is given 0.
 const DefaultShipCap = 1 << 16
 
+// ShipRecord is one durable record as the ship ring holds it: the WAL
+// record plus the wall-clock instant it became durable on this node.
+// Replicas subtract CommitWallNs from their own clock to measure
+// replication lag in seconds (the positional lag is the LSN delta). The
+// stamp is wall time, not virtual time: lag spans two processes with
+// independent virtual clocks, and the wall clock is the only timeline they
+// share.
+type ShipRecord struct {
+	wal.Record
+	CommitWallNs int64
+}
+
 // shipBuffer is the ring of durable records awaiting shipment.
 type shipBuffer struct {
 	mu        sync.Mutex
 	cap       int
-	recs      []wal.Record // durable, seq-ascending
+	recs      []ShipRecord // durable, seq-ascending
 	floor     uint64       // records with Seq > floor are available
 	committed uint64       // highest durable (shippable) LSN seen
 	shipped   int64        // records handed out by ShipSince
@@ -65,16 +78,21 @@ func (e *Engine) EnableShipping(capRecords int) error {
 	}
 	s := &shipBuffer{cap: capRecords, floor: d.lastLSN, committed: d.lastLSN}
 	// Backfill what the log still holds on disk (committed records since the
-	// last checkpoint), then let the live commit hook take over.
+	// last checkpoint), then let the live commit hook take over. Backfilled
+	// records are stamped with the enable instant — their true commit time
+	// is unknowable (possibly a prior process lifetime), and "now" errs
+	// toward under-reporting lag rather than inventing stale clock readings.
+	now := time.Now().UnixNano()
 	//lint:allowblock one-time enable path: the backfill must complete under d.mu so no commit can slip between the tail scan and the OnCommit hook installation (a record missed there is a permanent ship gap)
 	d.log.TailFrom(d.lastLSN, func(r wal.Record) bool {
-		s.append(r)
+		s.append(r, now)
 		return true
 	})
 	d.log.SetOnCommit(func(recs []wal.Record) {
+		now := time.Now().UnixNano()
 		s.mu.Lock()
 		for _, r := range recs {
-			s.append(r)
+			s.append(r, now)
 		}
 		s.mu.Unlock()
 	})
@@ -82,18 +100,18 @@ func (e *Engine) EnableShipping(capRecords int) error {
 	return nil
 }
 
-// append adds one durable record, trimming the ring past cap. Callers hold
-// s.mu except during EnableShipping's backfill, which runs before the buffer
-// is published.
-func (s *shipBuffer) append(r wal.Record) {
-	s.recs = append(s.recs, r)
+// append adds one durable record stamped with its commit wall time,
+// trimming the ring past cap. Callers hold s.mu except during
+// EnableShipping's backfill, which runs before the buffer is published.
+func (s *shipBuffer) append(r wal.Record, wallNs int64) {
+	s.recs = append(s.recs, ShipRecord{Record: r, CommitWallNs: wallNs})
 	if r.Seq > s.committed {
 		s.committed = r.Seq
 	}
 	if len(s.recs) > s.cap {
 		drop := len(s.recs) - s.cap
 		s.floor = s.recs[drop-1].Seq
-		s.recs = append([]wal.Record(nil), s.recs[drop:]...)
+		s.recs = append([]ShipRecord(nil), s.recs[drop:]...)
 	}
 }
 
@@ -102,7 +120,7 @@ func (s *shipBuffer) append(r wal.Record) {
 // applied position: an empty batch means it is caught up to CommittedLSN.
 // ErrShipGap means the position has been trimmed — the subscriber must
 // re-bootstrap from a fresh image.
-func (e *Engine) ShipSince(after uint64, max int) ([]wal.Record, ShipStatus, error) {
+func (e *Engine) ShipSince(after uint64, max int) ([]ShipRecord, ShipStatus, error) {
 	s := e.ship
 	if s == nil {
 		return nil, ShipStatus{}, ErrShippingOff
@@ -131,7 +149,7 @@ func (e *Engine) ShipSince(after uint64, max int) ([]wal.Record, ShipStatus, err
 	if n == 0 {
 		return nil, st, nil
 	}
-	out := make([]wal.Record, n)
+	out := make([]ShipRecord, n)
 	copy(out, s.recs[lo:lo+n])
 	s.shipped += int64(n)
 	return out, st, nil

@@ -115,7 +115,7 @@ func TestShipSinceGapAndPaging(t *testing.T) {
 	}
 	// From the floor, page through the remainder in small pulls.
 	cursor := st.FloorLSN
-	var got []wal.Record
+	var got []engine.ShipRecord
 	for {
 		recs, _, err := e.ShipSince(cursor, 7)
 		if err != nil {
@@ -212,7 +212,7 @@ func TestReplicaAppliesShippedStream(t *testing.T) {
 			break
 		}
 		for _, r := range recs {
-			if err := applyShipped(rd, r); err != nil {
+			if err := applyShipped(rd, r.Record); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -281,7 +281,7 @@ func TestReplicaCrashMidShipRecoversCommittedPrefix(t *testing.T) {
 					}
 				}()
 				for _, r := range stream {
-					if err := applyShipped(rd, r); err != nil {
+					if err := applyShipped(rd, r.Record); err != nil {
 						t.Error(err)
 						return
 					}

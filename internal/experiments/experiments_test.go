@@ -857,6 +857,63 @@ func TestE22MVCCServe(t *testing.T) {
 	}
 }
 
+// TestE24ShipLag runs the replication-lag experiment at reduced scale and
+// asserts the trade-off direction: the sync-ship gate shows up as gate
+// waits and dearer writes, and buys acked==committed at the end; the async
+// round pays no gate but the replica's lag estimator records real lag. The
+// round is all goroutines-over-TCP, so it stays in the race pass.
+func TestE24ShipLag(t *testing.T) {
+	cfg := DefaultShipLagConfig()
+	cfg.Writers = 6
+	cfg.WritesPerWriter = 60
+	rows, err := ShipLag(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Mode != "async" || rows[1].Mode != "sync" {
+		t.Fatalf("rows: %+v", rows)
+	}
+	async, syncRow := rows[0], rows[1]
+	for _, r := range rows {
+		if r.Writes != int64(cfg.Writers*cfg.WritesPerWriter) || r.P50Us <= 0 {
+			t.Fatalf("%s: degenerate row %+v", r.Mode, r)
+		}
+		// Both rounds drain fully, so the final LSNs must line up and the
+		// estimator must have seen the stream (one sample per pull).
+		if r.LagSamples == 0 {
+			t.Errorf("%s: lag estimator saw no pulls", r.Mode)
+		}
+		if r.FinalLSN == 0 {
+			t.Errorf("%s: no committed LSN", r.Mode)
+		}
+	}
+	t.Logf("put p50 µs: async=%.0f sync=%.0f; gate waits: async=%d sync=%d (p99 %.0fµs); lag max: async=%dlsn/%.2fms sync=%dlsn/%.2fms",
+		async.P50Us, syncRow.P50Us, async.GateWaits, syncRow.GateWaits, syncRow.GateP99Us,
+		async.LagMaxLSNs, async.LagMaxMs, syncRow.LagMaxLSNs, syncRow.LagMaxMs)
+	// The gate exists only in the sync round.
+	if async.GateWaits != 0 {
+		t.Errorf("async round recorded %d gate waits", async.GateWaits)
+	}
+	if syncRow.GateWaits == 0 || syncRow.GateP99Us <= 0 {
+		t.Errorf("sync round recorded no gate waits: %+v", syncRow)
+	}
+	// The guarantee the gate buys: nothing acknowledged is unreplicated.
+	if syncRow.AckedLSN != syncRow.FinalLSN {
+		t.Errorf("sync: acked LSN %d != committed %d", syncRow.AckedLSN, syncRow.FinalLSN)
+	}
+	// The price: the gated write path is slower than the async one.
+	if syncRow.P50Us <= async.P50Us {
+		t.Errorf("sync put p50 %.0fµs not above async %.0fµs", syncRow.P50Us, async.P50Us)
+	}
+	// The async replica really applied stale records (lag seconds > 0).
+	if async.LagMaxMs <= 0 {
+		t.Errorf("async round recorded no temporal lag: %+v", async)
+	}
+	if !strings.Contains(RenderShipLag(rows), "gate waits") {
+		t.Fatal("render broken")
+	}
+}
+
 // TestE23MQServe: the multi-queue refinement scored the way E21 scored the
 // PDAM. (1) Calibration: across queue geometries, the MQ closed form tracks
 // raw-P thread rounds where the PDAM reading of the same geometry

@@ -1,0 +1,305 @@
+// E24 (replication lag vs write latency): the cost and the payoff of the
+// sync-ship gate, measured through the full cluster stack. A durable
+// primary and a WAL-shipping replica run as two in-process servers joined
+// by a real TCP shipper; closed-loop writer connections hammer the primary
+// while the replica's lag estimator (the same one kvtop reads off /stats)
+// accounts how far behind it runs, in LSNs and in seconds.
+//
+// Two rounds on fresh nodes each:
+//
+//	async  the primary acknowledges at local WAL commit; the replica tails
+//	       the ship stream at its own pace. Writes are cheap, lag is
+//	       whatever the pull loop leaves unapplied.
+//	sync   the primary's ack gate holds every write until the replica has
+//	       pulled and applied it. Each acknowledged write has provably
+//	       reached the replica (acked LSN == committed LSN), and the gate's
+//	       wall-wait histogram prices that guarantee per operation.
+//
+// The experiment's claim is the trade-off direction, not absolute numbers:
+// the sync round must show gate waits and a higher write latency than the
+// async round, and in exchange must finish with nothing acknowledged left
+// unreplicated.
+
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"iomodels/internal/btree"
+	"iomodels/internal/cluster"
+	"iomodels/internal/engine"
+	"iomodels/internal/server"
+	"iomodels/internal/sim"
+	"iomodels/internal/stats"
+	"iomodels/internal/storage"
+	"iomodels/internal/workload"
+)
+
+// ShipLagConfig parameterizes E24.
+type ShipLagConfig struct {
+	Writers         int // concurrent closed-loop writer connections
+	WritesPerWriter int
+	IOTime          sim.Time      // per-IO device latency on both nodes
+	CacheBytes      int64         // engine budget per node
+	PullInterval    time.Duration // shipper poll delay while caught up
+	CatchUp         time.Duration // max wait for the replica to drain after load
+	Spec            workload.KeySpec
+	Seed            uint64
+}
+
+// DefaultShipLagConfig is laptop-scale: enough writers that commits overlap
+// pulls (so the async round accrues visible lag) and enough writes that the
+// lag estimator sees a real sample stream.
+func DefaultShipLagConfig() ShipLagConfig {
+	return ShipLagConfig{
+		Writers:         8,
+		WritesPerWriter: 150,
+		IOTime:          50 * sim.Microsecond,
+		CacheBytes:      1 << 20,
+		PullInterval:    2 * time.Millisecond,
+		CatchUp:         10 * time.Second,
+		Spec:            workload.DefaultSpec(),
+		Seed:            24,
+	}
+}
+
+// ShipLagRow is one round's measurement. The latency percentiles are the
+// writers' wall-clock put latency on the primary; GateWaits/GateP99Us are
+// the primary's sync-ship ack-gate histogram (zero in the async round); the
+// Lag* fields are the replica's lag-estimator snapshot after the run.
+type ShipLagRow struct {
+	Mode       string // "async" or "sync"
+	Writers    int
+	Writes     int64
+	P50Us      float64
+	P99Us      float64
+	GateWaits  int64
+	GateP99Us  float64
+	LagSamples int64
+	LagMaxMs   float64 // peak per-pull staleness of applied records
+	LagMaxLSNs int64   // peak committed-but-unapplied backlog seen by a pull
+	AckedLSN   int64   // primary: highest replica-acknowledged LSN at the end
+	FinalLSN   int64   // primary: committed LSN at the end
+}
+
+// shipFlatDev is a stateless fixed-latency timing device: E24 measures the
+// replication protocol, not device geometry, so every IO costs the same.
+type shipFlatDev struct {
+	capacity int64
+	ioTime   sim.Time
+}
+
+func (d shipFlatDev) Access(now sim.Time, _ storage.Op, _, _ int64) sim.Time {
+	return now + d.ioTime
+}
+func (d shipFlatDev) Capacity() int64 { return d.capacity }
+func (d shipFlatDev) Name() string    { return "flat" }
+
+// shipNode is one cluster node: engine, tree server, and (replica) shipper.
+type shipNode struct {
+	eng     *engine.Engine
+	srv     *server.Server
+	addr    string
+	shipper *cluster.Shipper
+}
+
+func (n *shipNode) close() {
+	if n.shipper != nil {
+		n.shipper.Stop()
+	}
+	n.srv.Close()
+}
+
+// startShipNode boots a durable, shipping-enabled B-tree server in the given
+// role. A replica gets its shipper started against primaryAddr.
+func startShipNode(cfg ShipLagConfig, role server.Role, syncShip bool, primaryAddr string) (*shipNode, error) {
+	eng := engine.FromStore(engine.Config{CacheBytes: cfg.CacheBytes},
+		storage.NewFaultStore(shipFlatDev{capacity: 256 << 20, ioTime: cfg.IOTime}), sim.New())
+	if err := eng.EnableDurability(engine.DurabilityConfig{
+		LogBytes:     8 << 20,
+		GroupBytes:   1 << 20,
+		JournalBytes: 4 << 20,
+	}); err != nil {
+		return nil, err
+	}
+	if err := eng.EnableShipping(0); err != nil {
+		return nil, err
+	}
+	bt, err := btree.New(btree.Config{
+		NodeBytes:     4 << 10,
+		MaxKeyBytes:   cfg.Spec.KeyBytes,
+		MaxValueBytes: cfg.Spec.ValueBytes,
+	}, eng)
+	if err != nil {
+		return nil, err
+	}
+	d, err := eng.Durable("bt", bt)
+	if err != nil {
+		return nil, err
+	}
+	clock := engine.NewSharedClock()
+	eng.AdoptSharedClock(clock)
+
+	n := &shipNode{eng: eng}
+	srv, err := server.New(server.Config{
+		Addr:            "127.0.0.1:0",
+		Shards:          1,
+		Role:            role,
+		SyncShip:        syncShip,
+		SyncShipTimeout: 5 * time.Second,
+		OnPromote: func() (uint64, error) {
+			if n.shipper == nil {
+				return 0, errors.New("no shipper")
+			}
+			return n.shipper.Promote(n.eng)
+		},
+	}, server.Backend{
+		Eng:   eng,
+		Clock: clock,
+		NewSession: func(c *engine.Client) engine.Dictionary {
+			return bt.Session(c)
+		},
+		Writer: d,
+	})
+	if err != nil {
+		return nil, err
+	}
+	addr, err := srv.ListenAndServe()
+	if err != nil {
+		return nil, err
+	}
+	n.srv, n.addr = srv, addr.String()
+	if role == server.RoleReplica {
+		n.shipper = cluster.NewShipper(srv, cluster.ShipperConfig{
+			Primary:  primaryAddr,
+			Opts:     server.Options{RequestTimeout: time.Second, ConnectTimeout: time.Second},
+			Interval: cfg.PullInterval,
+		})
+		n.shipper.Start()
+	}
+	return n, nil
+}
+
+// ShipLag runs E24: the async round first, then the sync round.
+func ShipLag(cfg ShipLagConfig) ([]ShipLagRow, error) {
+	var rows []ShipLagRow
+	for _, mode := range []struct {
+		name string
+		sync bool
+	}{{"async", false}, {"sync", true}} {
+		row, err := shipLagRound(cfg, mode.name, mode.sync)
+		if err != nil {
+			return nil, fmt.Errorf("E24 %s: %w", mode.name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// shipLagRound boots a fresh primary+replica pair, runs the closed-loop
+// write load, waits for the replica to drain, and snapshots both sides.
+func shipLagRound(cfg ShipLagConfig, mode string, syncShip bool) (ShipLagRow, error) {
+	primary, err := startShipNode(cfg, server.RolePrimary, syncShip, "")
+	if err != nil {
+		return ShipLagRow{}, err
+	}
+	defer primary.close()
+	replica, err := startShipNode(cfg, server.RoleReplica, false, primary.addr)
+	if err != nil {
+		return ShipLagRow{}, err
+	}
+	defer replica.close()
+
+	hist := stats.NewLatencyHist()
+	root := stats.NewRNG(cfg.Seed)
+	errs := make(chan error, cfg.Writers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		rng := root.Split(uint64(w))
+		go func(w int) {
+			defer wg.Done()
+			cl, err := server.Dial(primary.addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			local := stats.NewLatencyHist()
+			for i := 0; i < cfg.WritesPerWriter; i++ {
+				// Disjoint key ranges per writer, shuffled within the range so
+				// tree paths differ between consecutive puts.
+				id := uint64(w*cfg.WritesPerWriter) + uint64(rng.Int63n(int64(cfg.WritesPerWriter)))
+				t0 := time.Now()
+				if err := cl.Put(cfg.Spec.Key(id), cfg.Spec.Value(id)); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+				local.Observe(int64(time.Since(t0)))
+			}
+			hist.Merge(local)
+			errs <- nil
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return ShipLagRow{}, err
+		}
+	}
+
+	// Drain: the async round can finish the load with records still in
+	// flight; the row's Acked/Final comparison is only meaningful once the
+	// replica has caught up (or demonstrably cannot).
+	committed := primary.eng.ShipStats().CommittedLSN
+	deadline := time.Now().Add(cfg.CatchUp)
+	for replica.srv.ShipAppliedLSN() < committed {
+		if err := replica.shipper.Err(); err != nil {
+			return ShipLagRow{}, err
+		}
+		if time.Now().After(deadline) {
+			return ShipLagRow{}, fmt.Errorf("replica stuck at LSN %d of %d",
+				replica.srv.ShipAppliedLSN(), committed)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	psnap := primary.srv.Snapshot()
+	rsnap := replica.srv.Snapshot()
+	snap := hist.Snapshot()
+	return ShipLagRow{
+		Mode:       mode,
+		Writers:    cfg.Writers,
+		Writes:     int64(cfg.Writers * cfg.WritesPerWriter),
+		P50Us:      float64(snap.P50) / 1e3,
+		P99Us:      float64(snap.P99) / 1e3,
+		GateWaits:  psnap.GateWait.Count,
+		GateP99Us:  psnap.GateWait.P99Us,
+		LagSamples: rsnap.ShipLag.Samples,
+		LagMaxMs:   rsnap.ShipLag.MaxSeconds * 1e3,
+		LagMaxLSNs: rsnap.ShipLag.MaxLSNs,
+		AckedLSN:   psnap.ShipAckedLSN,
+		FinalLSN:   int64(committed),
+	}, nil
+}
+
+// RenderShipLag formats E24, one row per round.
+func RenderShipLag(rows []ShipLagRow) string {
+	headers := []string{"mode", "writers", "writes", "p50 µs", "p99 µs",
+		"gate waits", "gate p99 µs", "lag samples", "lag max ms", "lag max lsns"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Mode, intStr(r.Writers), intStr(int(r.Writes)),
+			fmt0(r.P50Us), fmt0(r.P99Us),
+			intStr(int(r.GateWaits)), fmt0(r.GateP99Us),
+			intStr(int(r.LagSamples)), f3(r.LagMaxMs), intStr(int(r.LagMaxLSNs)),
+		})
+	}
+	return RenderTable("E24 (ship lag): sync-ship write-latency cost vs replication-lag guarantee",
+		headers, cells)
+}

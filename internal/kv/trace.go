@@ -1,0 +1,136 @@
+// Wire trace-context: a tiny self-describing extension block that rides in
+// front of a request payload so a trace started in one process (a client)
+// can continue in another (a primary, then its replica).
+//
+// The block is optional and interops with peers that predate it:
+//
+//	ext-frame := u8 ExtMagic | u8 count | count × (u8 kind, u32 len, len bytes) | request
+//
+// ExtMagic (0xE7) is not a valid op byte, so an old decoder rejects an
+// extended frame loudly (unknown op) rather than misparsing it — which is
+// why extensions are opt-in per connection: a new client only emits the
+// block after learning the server understands it (or when the caller asked
+// for tracing explicitly). A new decoder skips unknown kinds by length, so
+// the block can grow without another version dance.
+package kv
+
+import "fmt"
+
+// ExtMagic introduces an extension block in front of a request's op byte.
+// It must never collide with a live op code; ops are small iota values, so
+// a high byte is safe forever.
+const ExtMagic = 0xE7
+
+// Extension kinds.
+const (
+	// ExtTrace carries a trace context: u64 trace id, u64 span id, u8 flags.
+	ExtTrace = 1
+	// ExtStampedShip asks a ShipPull to answer with stamped records
+	// (commit wall time + trace ids per record). Empty payload.
+	ExtStampedShip = 2
+)
+
+// TraceFlagSampled marks a context whose originator is recording spans; a
+// server should open (and export) a span for the request even if its own
+// sampler would have skipped it.
+const TraceFlagSampled = 0x1
+
+// TraceContext identifies the trace a request belongs to and the span that
+// caused it. A zero TraceID means "no context".
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+	Flags   uint8
+}
+
+// Valid reports whether tc carries a usable context.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+// Sampled reports whether the originator is recording this trace.
+func (tc TraceContext) Sampled() bool { return tc.Flags&TraceFlagSampled != 0 }
+
+// Ext is the decoded extension block of a request frame.
+type Ext struct {
+	Trace       TraceContext
+	StampedShip bool
+}
+
+// maxExtEntries bounds a block: the set of kinds is tiny, and a hostile
+// count must not force a long parse loop.
+const maxExtEntries = 16
+
+// AppendExt appends an extension block (magic, count, entries) to e.
+// Callers emit it before the op byte. Entries with nothing to say are
+// omitted; an Ext with nothing set appends nothing at all, keeping
+// un-extended frames byte-identical to the legacy encoding.
+func (e *Enc) AppendExt(x Ext) {
+	n := 0
+	if x.Trace.Valid() {
+		n++
+	}
+	if x.StampedShip {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	e.U8(ExtMagic)
+	e.U8(uint8(n))
+	if x.Trace.Valid() {
+		e.U8(ExtTrace)
+		e.U32(8 + 8 + 1)
+		e.U64(x.Trace.TraceID)
+		e.U64(x.Trace.SpanID)
+		e.U8(x.Trace.Flags)
+	}
+	if x.StampedShip {
+		e.U8(ExtStampedShip)
+		e.U32(0)
+	}
+}
+
+// DecodeExt parses an extension block if one leads the buffer. The decoder
+// must be positioned at the frame start; on return it is positioned at the
+// op byte (or wherever it started, if no magic). Unknown kinds are skipped
+// by length. A malformed block sets d.Err.
+func DecodeExt(d *Dec) Ext {
+	var x Ext
+	if d.Err != nil || d.Off >= len(d.Buf) || d.Buf[d.Off] != ExtMagic {
+		return x
+	}
+	d.Off++ // consume magic
+	n := int(d.U8())
+	if n > maxExtEntries {
+		if d.Err == nil {
+			d.Err = fmt.Errorf("kv: extension block with %d entries (max %d)", n, maxExtEntries)
+		}
+		return x
+	}
+	for i := 0; i < n && d.Err == nil; i++ {
+		kind := d.U8()
+		payload := d.Bytes()
+		if d.Err != nil {
+			return x
+		}
+		switch kind {
+		case ExtTrace:
+			if len(payload) != 8+8+1 {
+				d.Err = fmt.Errorf("kv: trace extension payload is %d bytes, want 17", len(payload))
+				return x
+			}
+			p := &Dec{Buf: payload}
+			x.Trace.TraceID = p.U64()
+			x.Trace.SpanID = p.U64()
+			x.Trace.Flags = p.U8()
+		case ExtStampedShip:
+			if len(payload) != 0 {
+				d.Err = fmt.Errorf("kv: stamped-ship extension payload is %d bytes, want 0", len(payload))
+				return x
+			}
+			x.StampedShip = true
+		default:
+			// Unknown kind: payload already consumed by length, skip it.
+		}
+	}
+	return x
+}

@@ -1,0 +1,162 @@
+// Extension-block codec tests: round trips, interop with peers that
+// predate the block, unknown-kind skipping, and hostile inputs.
+
+package kv
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestExtRoundtrip(t *testing.T) {
+	for _, x := range []Ext{
+		{Trace: TraceContext{TraceID: 1, SpanID: 2, Flags: TraceFlagSampled}},
+		{StampedShip: true},
+		{Trace: TraceContext{TraceID: 1 << 63, SpanID: 42}, StampedShip: true},
+	} {
+		var e Enc
+		e.AppendExt(x)
+		e.U8(7) // a fake op byte following the block
+		d := &Dec{Buf: e.Buf}
+		got := DecodeExt(d)
+		if d.Err != nil {
+			t.Fatalf("ext %+v: decode error %v", x, d.Err)
+		}
+		if got != x {
+			t.Fatalf("ext round trip: got %+v want %+v", got, x)
+		}
+		if op := d.U8(); op != 7 || d.Err != nil {
+			t.Fatalf("ext %+v: op byte after block = %d err=%v", x, op, d.Err)
+		}
+		if d.Off != len(d.Buf) {
+			t.Fatalf("ext %+v: %d trailing bytes", x, len(d.Buf)-d.Off)
+		}
+	}
+}
+
+// TestExtEmptyAppendsNothing: an Ext with nothing set must keep the frame
+// byte-identical to the legacy encoding — that is the whole interop story
+// for new-client → old-server.
+func TestExtEmptyAppendsNothing(t *testing.T) {
+	var e Enc
+	e.AppendExt(Ext{})
+	e.AppendExt(Ext{Trace: TraceContext{SpanID: 9}}) // TraceID 0 = no context
+	if len(e.Buf) != 0 {
+		t.Fatalf("empty ext appended %d bytes: %x", len(e.Buf), e.Buf)
+	}
+}
+
+// TestExtAbsent: a buffer not starting with the magic decodes to a zero Ext
+// with the decoder unmoved.
+func TestExtAbsent(t *testing.T) {
+	buf := []byte{3, 'k', 'e', 'y'}
+	d := &Dec{Buf: buf}
+	x := DecodeExt(d)
+	if x != (Ext{}) || d.Off != 0 || d.Err != nil {
+		t.Fatalf("absent ext: got %+v off=%d err=%v", x, d.Off, d.Err)
+	}
+	var empty Dec
+	if x := DecodeExt(&empty); x != (Ext{}) || empty.Err != nil {
+		t.Fatalf("ext on empty buffer: %+v err=%v", x, empty.Err)
+	}
+}
+
+// TestExtUnknownKindSkipped: a block with an unrecognized kind must be
+// skipped by length, leaving known entries intact — forward compatibility
+// with extensions this binary does not know.
+func TestExtUnknownKindSkipped(t *testing.T) {
+	var e Enc
+	e.U8(ExtMagic)
+	e.U8(3)
+	e.U8(200) // unknown kind
+	e.Bytes([]byte("future payload"))
+	e.U8(ExtTrace)
+	e.U32(17)
+	e.U64(11)
+	e.U64(22)
+	e.U8(TraceFlagSampled)
+	e.U8(201) // another unknown
+	e.Bytes(nil)
+	e.U8(5) // op byte
+	d := &Dec{Buf: e.Buf}
+	x := DecodeExt(d)
+	if d.Err != nil {
+		t.Fatalf("decode: %v", d.Err)
+	}
+	want := TraceContext{TraceID: 11, SpanID: 22, Flags: TraceFlagSampled}
+	if x.Trace != want || x.StampedShip {
+		t.Fatalf("got %+v", x)
+	}
+	if op := d.U8(); op != 5 {
+		t.Fatalf("op after block = %d", op)
+	}
+}
+
+// TestExtMalformed: truncated or mis-sized blocks must set Err, not panic
+// or mis-decode.
+func TestExtMalformed(t *testing.T) {
+	cases := [][]byte{
+		{ExtMagic},                       // magic, nothing else
+		{ExtMagic, 1},                    // count without entry
+		{ExtMagic, 1, ExtTrace},          // kind without length
+		{ExtMagic, 1, ExtTrace, 0, 0, 0}, // truncated length
+		{ExtMagic, 1, ExtTrace, 0, 0, 0, 4, 1, 2, 3, 4}, // wrong trace size
+		{ExtMagic, 1, ExtStampedShip, 0, 0, 0, 1, 0},    // stamped-ship with payload
+		{ExtMagic, 255},                     // count beyond maxExtEntries
+		{ExtMagic, 2, ExtTrace, 0, 0, 0, 0}, // second entry missing
+	}
+	for _, buf := range cases {
+		d := &Dec{Buf: buf}
+		DecodeExt(d)
+		if d.Err == nil {
+			t.Fatalf("malformed block %x decoded without error", buf)
+		}
+	}
+}
+
+func TestTraceContextPredicates(t *testing.T) {
+	if (TraceContext{}).Valid() {
+		t.Fatal("zero context is valid")
+	}
+	tc := TraceContext{TraceID: 1, Flags: TraceFlagSampled}
+	if !tc.Valid() || !tc.Sampled() {
+		t.Fatalf("context %+v: valid=%v sampled=%v", tc, tc.Valid(), tc.Sampled())
+	}
+	if (TraceContext{TraceID: 1}).Sampled() {
+		t.Fatal("unsampled context reports sampled")
+	}
+}
+
+// FuzzTraceExt: arbitrary bytes through the extension decoder must never
+// panic, and on a clean decode the re-encoding of what was understood must
+// itself decode to the same Ext.
+func FuzzTraceExt(f *testing.F) {
+	var seed Enc
+	seed.AppendExt(Ext{Trace: TraceContext{TraceID: 3, SpanID: 4, Flags: 1}, StampedShip: true})
+	seed.U8(2)
+	f.Add(append([]byte(nil), seed.Buf...))
+	f.Add([]byte{ExtMagic})
+	f.Add([]byte{ExtMagic, 1, 99, 0, 0, 0, 2, 'h', 'i', 5})
+	f.Add([]byte{ExtMagic, 16})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		d := &Dec{Buf: buf}
+		x := DecodeExt(d)
+		if d.Err != nil {
+			return
+		}
+		var e Enc
+		e.AppendExt(x)
+		d2 := &Dec{Buf: e.Buf}
+		x2 := DecodeExt(d2)
+		if d2.Err != nil {
+			t.Fatalf("re-encoding of %+v failed to decode: %v", x, d2.Err)
+		}
+		if x2 != x {
+			t.Fatalf("re-encode round trip: %+v -> %+v", x, x2)
+		}
+		if !bytes.Equal(d2.Buf[d2.Off:], nil) && d2.Off != len(d2.Buf) {
+			t.Fatalf("re-encode left %d trailing bytes", len(d2.Buf)-d2.Off)
+		}
+	})
+}

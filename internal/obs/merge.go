@@ -1,0 +1,153 @@
+// Cross-process trace merging: each process exports its wall-stamped spans
+// as JSON (the server's /spans endpoint, loadgen's -spans-out), and
+// WriteMergedChromeTrace folds several such dumps into one Chrome trace —
+// one pid per process, wall-clock timestamps as the shared timeline, and
+// Chrome flow events ("s"/"f" pairs) drawn along every span link, so a
+// traced cluster write renders as one causally-connected arc from the
+// client span through the primary's server and commit spans to the
+// replica's apply span.
+//
+// The single-process exporter (chrome.go) is untouched: it renders virtual
+// time, which is the right timeline inside one simulated process and
+// meaningless across processes.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SpanJSON is the portable form of a finished span: enough to place it on
+// a wall-clock timeline and connect it to its causal parents. Virtual
+// instants are omitted — they do not compare across processes.
+type SpanJSON struct {
+	Op          string `json:"op"`
+	Wire        uint64 `json:"wire"`
+	TraceID     uint64 `json:"trace_id,omitempty"`
+	Links       []Link `json:"links,omitempty"`
+	TID         int64  `json:"tid"`
+	WallStartNs int64  `json:"wall_start_ns"`
+	WallEndNs   int64  `json:"wall_end_ns"`
+	Events      int    `json:"events"`
+	IOUs        int64  `json:"io_us"` // virtual device-IO time, for the args box
+}
+
+// ExportSpans returns the retained wall-stamped spans in portable form,
+// oldest first. Spans without wall timestamps (tracer built without
+// WallNow) are skipped — they cannot be placed on a shared timeline.
+// Nil-safe.
+func (t *Tracer) ExportSpans() []SpanJSON {
+	spans := t.Spans()
+	out := make([]SpanJSON, 0, len(spans))
+	for _, sp := range spans {
+		if sp.WallStart == 0 || sp.WallEnd == 0 {
+			continue
+		}
+		out = append(out, SpanJSON{
+			Op:          sp.Op,
+			Wire:        sp.Wire,
+			TraceID:     sp.TraceID,
+			Links:       sp.Links,
+			TID:         sp.TID,
+			WallStartNs: sp.WallStart,
+			WallEndNs:   sp.WallEnd,
+			Events:      len(sp.Events),
+			IOUs:        int64(sp.IOTime()) / 1000,
+		})
+	}
+	return out
+}
+
+// WriteSpansJSON writes ExportSpans as a JSON array.
+func (t *Tracer) WriteSpansJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t.ExportSpans())
+}
+
+// ProcSpans is one process's span dump, named for the merged trace's
+// process row.
+type ProcSpans struct {
+	Name  string     `json:"name"`
+	Spans []SpanJSON `json:"spans"`
+}
+
+// WriteMergedChromeTrace renders several processes' span dumps as one
+// Chrome trace. Timestamps are wall-clock microseconds rebased to the
+// earliest span so the trace starts near zero; each process is a pid with
+// a process_name metadata row; every span link whose source span appears
+// in any dump becomes a flow arrow. Output is deterministic for a given
+// input.
+func WriteMergedChromeTrace(w io.Writer, procs []ProcSpans) error {
+	// Rebase to the earliest wall instant across all dumps.
+	var base int64
+	for _, p := range procs {
+		for _, sp := range p.Spans {
+			if base == 0 || sp.WallStartNs < base {
+				base = sp.WallStartNs
+			}
+		}
+	}
+	// Index every span's location by wire id for flow-event sources.
+	type loc struct {
+		pid     int
+		tid     int64
+		startNs int64
+		endNs   int64
+	}
+	byWire := make(map[uint64]loc)
+	for pi, p := range procs {
+		for _, sp := range p.Spans {
+			byWire[sp.Wire] = loc{pid: pi + 1, tid: sp.TID, startNs: sp.WallStartNs, endNs: sp.WallEndNs}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...interface{}) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	flowID := 0
+	for pi, p := range procs {
+		pid := pi + 1
+		emit(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":%q}}`, pid, p.Name)
+		spans := make([]SpanJSON, len(p.Spans))
+		copy(spans, p.Spans)
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].WallStartNs != spans[j].WallStartNs {
+				return spans[i].WallStartNs < spans[j].WallStartNs
+			}
+			return spans[i].Wire < spans[j].Wire
+		})
+		for _, sp := range spans {
+			emit(`{"name":%q,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":{"wire":"%x","trace":"%x","events":%d,"io_us":%d}}`,
+				sp.Op, us(sp.WallStartNs-base), us(sp.WallEndNs-sp.WallStartNs),
+				pid, sp.TID, sp.Wire, sp.TraceID, sp.Events, sp.IOUs)
+			for _, l := range sp.Links {
+				src, ok := byWire[l.SpanID]
+				if !ok {
+					continue // parent span not in any dump (sampled out, foreign)
+				}
+				flowID++
+				// Anchor the arrow tail at the parent's start and the head at
+				// this span's start: "the parent caused this span".
+				emit(`{"name":"trace","cat":"trace","ph":"s","id":%d,"ts":%s,"pid":%d,"tid":%d}`,
+					flowID, us(src.startNs-base), src.pid, src.tid)
+				emit(`{"name":"trace","cat":"trace","ph":"f","bp":"e","id":%d,"ts":%s,"pid":%d,"tid":%d}`,
+					flowID, us(sp.WallStartNs-base), pid, sp.TID)
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

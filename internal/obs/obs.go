@@ -13,7 +13,11 @@
 // *Tracer (and a nil *Span) records nothing, and every annotation hook in
 // the engine is a plain pointer nil-check when tracing is off, so the
 // disabled path adds no measurable overhead to the IO hot path. All times
-// are virtual (sim.Time); the tracer never consults the wall clock.
+// are virtual (sim.Time); the tracer never consults the wall clock on its
+// own. The one exception is opt-in: Config.WallNow injects a wall-clock
+// source so spans can additionally carry wall timestamps — the only common
+// timeline different processes share, which the merged cross-process
+// Chrome export (merge.go) needs.
 package obs
 
 import (
@@ -121,18 +125,75 @@ type Event struct {
 	Latency sim.Time // duration (EvIO, EvWALCommit); 0 for instants
 }
 
+// Link names a span (possibly in another process) that caused this one:
+// the client span that issued the request a server span answers, or the
+// per-request write spans a group-commit span flushed together.
+type Link struct {
+	TraceID uint64 `json:"trace_id"`
+	SpanID  uint64 `json:"span_id"` // the parent's Wire id
+}
+
 // Span is one traced operation: its name, virtual start/end instants, and
 // the events the stack annotated it with. A span is owned by a single
 // engine client — a client is single-goroutine by contract, so span
 // methods take no lock; the tracer only touches a span after Finish hands
 // it over.
+//
+// Cross-process identity: ID is process-local and dense; Wire is the id a
+// span is known by on the wire (splitmix64 of the tracer's WireTag and
+// ID), unique across processes with distinct tags. TraceID groups the
+// spans of one distributed request; Links point at the spans that caused
+// this one. WallStart/WallEnd are unix nanoseconds when the tracer has a
+// WallNow source, zero otherwise.
 type Span struct {
-	ID     uint64
-	TID    int64 // owning client's id; Chrome export groups rows by it
-	Op     string
-	Start  sim.Time
-	End    sim.Time
-	Events []Event
+	ID        uint64
+	Wire      uint64
+	TraceID   uint64
+	Links     []Link
+	TID       int64 // owning client's id; Chrome export groups rows by it
+	Op        string
+	Start     sim.Time
+	End       sim.Time
+	WallStart int64
+	WallEnd   int64
+	Events    []Event
+}
+
+// AddLink records an extra causal parent (multi-parent spans: a group
+// commit flushing several traced writes). Nil-safe.
+func (sp *Span) AddLink(traceID, spanID uint64) {
+	if sp == nil || traceID == 0 {
+		return
+	}
+	if sp.TraceID == 0 {
+		sp.TraceID = traceID
+	}
+	sp.Links = append(sp.Links, Link{TraceID: traceID, SpanID: spanID})
+}
+
+// Context returns the trace context downstream work should carry to
+// continue this span's trace. Nil-safe (zero context).
+func (sp *Span) Context() (tc TraceContext) {
+	if sp == nil {
+		return tc
+	}
+	tc.TraceID = sp.TraceID
+	if tc.TraceID == 0 {
+		// A root span anchors its own trace by its wire id.
+		tc.TraceID = sp.Wire
+	}
+	tc.SpanID = sp.Wire
+	tc.Sampled = true
+	return tc
+}
+
+// TraceContext is the obs-side view of a propagated trace context (the
+// wire codec lives in internal/kv; this mirror keeps obs free of protocol
+// imports).
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+	Sampled bool
 }
 
 // IO records one device IO. Nil-safe.
@@ -240,6 +301,14 @@ type Config struct {
 	// predictions and the residual recorded. Nil disables accounting but
 	// keeps per-layer attribution.
 	Models *Models
+	// WallNow, when set, stamps spans with wall-clock start/end
+	// nanoseconds from this source (time.Now().UnixNano in production;
+	// a fake in tests). Nil keeps the tracer wall-clock-free.
+	WallNow func() int64
+	// WireTag makes this process's wire span ids distinct from other
+	// processes': a span's Wire id is splitmix64(WireTag ^ ID). Zero is a
+	// valid tag (a single-process deployment needs no distinction).
+	WireTag uint64
 }
 
 // concWindow is how many recent device-IO intervals the tracer keeps to
@@ -256,8 +325,10 @@ type ioInterval struct {
 // lock-free; Finish takes one mutex per sampled span. A nil *Tracer is a
 // no-op on both.
 type Tracer struct {
-	sample int64
-	acct   *accountant // nil without Models
+	sample  int64
+	acct    *accountant // nil without Models
+	wallNow func() int64
+	wireTag uint64
 
 	ctr    atomic.Int64 // ops offered to Begin
 	nextID atomic.Uint64
@@ -303,8 +374,10 @@ func NewTracer(cfg Config) *Tracer {
 		cfg.Retain = 4096
 	}
 	t := &Tracer{
-		sample: int64(cfg.SampleEvery),
-		ring:   make([]*Span, 0, cfg.Retain),
+		sample:  int64(cfg.SampleEvery),
+		wallNow: cfg.WallNow,
+		wireTag: cfg.WireTag,
+		ring:    make([]*Span, 0, cfg.Retain),
 	}
 	if cfg.Models != nil {
 		t.acct = newAccountant(*cfg.Models)
@@ -330,7 +403,44 @@ func (t *Tracer) Begin(op string, tid int64, now sim.Time) *Span {
 	if n := t.ctr.Add(1); t.sample > 1 && n%t.sample != 0 {
 		return nil
 	}
-	return &Span{ID: t.nextID.Add(1), TID: tid, Op: op, Start: now}
+	return t.newSpan(op, tid, now)
+}
+
+// BeginLinked opens a span continuing a carried trace context: the caller
+// received a request that is already part of a trace, so sampling does not
+// apply — the originator explicitly asked for this operation to be traced.
+// A zero context falls back to ordinary sampled Begin. Nil-safe.
+func (t *Tracer) BeginLinked(op string, tid int64, now sim.Time, tc TraceContext) *Span {
+	if t == nil {
+		return nil
+	}
+	if tc.TraceID == 0 {
+		return t.Begin(op, tid, now)
+	}
+	t.ctr.Add(1)
+	sp := t.newSpan(op, tid, now)
+	sp.TraceID = tc.TraceID
+	sp.Links = append(sp.Links, Link{TraceID: tc.TraceID, SpanID: tc.SpanID})
+	return sp
+}
+
+func (t *Tracer) newSpan(op string, tid int64, now sim.Time) *Span {
+	id := t.nextID.Add(1)
+	sp := &Span{ID: id, Wire: splitmix64(t.wireTag ^ id), TID: tid, Op: op, Start: now}
+	if t.wallNow != nil {
+		sp.WallStart = t.wallNow()
+	}
+	return sp
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap bijective mixer that
+// spreads (tag ^ dense-id) over the full 64-bit space, so two processes
+// with distinct tags cannot collide on small span ids.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // Finish closes sp at virtual instant now: the span's events are folded
@@ -341,6 +451,9 @@ func (t *Tracer) Finish(sp *Span, now sim.Time) {
 		return
 	}
 	sp.End = now
+	if t.wallNow != nil {
+		sp.WallEnd = t.wallNow()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.finished++

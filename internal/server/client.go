@@ -18,6 +18,7 @@ import (
 	"net"
 	"time"
 
+	"iomodels/internal/engine"
 	"iomodels/internal/kv"
 	"iomodels/internal/wal"
 )
@@ -95,6 +96,11 @@ type Client struct {
 	poisoned error         // sticky transport/framing failure
 	// Busy counts ErrBusy replies seen, a convenience for load generators.
 	Busy int64
+	// Traced counts requests sent with a trace context attached (TraceNext).
+	Traced int64
+
+	nextTC    kv.TraceContext // armed by TraceNext, consumed by roundTrip
+	traceSeed uint64          // splitmix state for trace/span id generation
 }
 
 // Dial connects to a kvserve address with default Options.
@@ -143,11 +149,40 @@ func (c *Client) fail(err error) error {
 	return err
 }
 
+// TraceNext arms the next request with a fresh sampled trace context and
+// returns it: the request's frame carries the context, the server opens a
+// linked span for it (bypassing sampling), and a traced write's identity
+// rides the ship stream onto the replica. The returned SpanID names the
+// caller's own client-side span — a load generator that records wall
+// timestamps around the traced call can export a span under that id and
+// the merged Chrome trace will draw the client→server arrow. Ids come from
+// a per-client splitmix sequence seeded from the wall clock at first use,
+// so concurrent clients and processes do not collide in practice.
+func (c *Client) TraceNext() kv.TraceContext {
+	if c.traceSeed == 0 {
+		c.traceSeed = uint64(time.Now().UnixNano()) | 1
+	}
+	next := func() uint64 {
+		c.traceSeed += 0x9e3779b97f4a7c15
+		x := c.traceSeed
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		return x ^ (x >> 31)
+	}
+	c.nextTC = kv.TraceContext{TraceID: next(), SpanID: next(), Flags: kv.TraceFlagSampled}
+	return c.nextTC
+}
+
 // roundTrip sends req and returns the reply payload positioned after the
 // status byte, having mapped Busy/Err statuses to errors.
 func (c *Client) roundTrip(req request) (Status, *kv.Dec, error) {
 	if c.poisoned != nil {
 		return 0, nil, c.poisoned
+	}
+	if c.nextTC.Valid() {
+		req.tc = c.nextTC
+		c.nextTC = kv.TraceContext{}
+		c.Traced++
 	}
 	if c.timeout > 0 {
 		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
@@ -413,6 +448,42 @@ func (c *Client) ShipPull(after uint64, max int) (recs []wal.Record, committed, 
 		r.Seq = d.U64()
 		r.Key = d.Bytes()
 		r.Value = d.Bytes()
+		recs = append(recs, r)
+	}
+	if d.Err != nil {
+		return nil, 0, 0, fmt.Errorf("server: malformed ship reply: %w", d.Err)
+	}
+	return recs, committed, floor, nil
+}
+
+// ShipPullStamped is ShipPull with the stamped-ship extension: each record
+// additionally carries the wall-clock instant it became durable on the
+// primary and its trace identity, so the replica can measure replication
+// lag in seconds and continue carried traces on its apply path. Requires a
+// server that understands the extension block — an old server answers the
+// extended frame with a protocol error; same-version deployments (the
+// cluster shipper) use this, mixed ones fall back to plain ShipPull.
+func (c *Client) ShipPullStamped(after uint64, max int) (recs []engine.ShipRecord, committed, floor uint64, err error) {
+	_, d, err := c.roundTrip(request{op: OpShipPull, lsn: after, limit: max, stamps: true})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	committed = d.U64()
+	floor = d.U64()
+	n := int(d.U32())
+	if d.Err != nil || n < 0 || n > max {
+		return nil, 0, 0, fmt.Errorf("server: malformed ship reply (n=%d)", n)
+	}
+	recs = make([]engine.ShipRecord, 0, n)
+	for i := 0; i < n; i++ {
+		var r engine.ShipRecord
+		r.Kind = kv.Kind(d.U8())
+		r.Seq = d.U64()
+		r.Key = d.Bytes()
+		r.Value = d.Bytes()
+		r.CommitWallNs = int64(d.U64())
+		r.TraceID = d.U64()
+		r.SpanID = d.U64()
 		recs = append(recs, r)
 	}
 	if d.Err != nil {

@@ -19,6 +19,7 @@ import (
 
 	"iomodels/internal/engine"
 	"iomodels/internal/kv"
+	"iomodels/internal/obs"
 	"iomodels/internal/wal"
 )
 
@@ -109,7 +110,10 @@ func (s *Server) serveHello() []byte {
 
 // serveShipPull serves one ship-stream pull: records past req.lsn, capped by
 // req.limit and by frame size (the replica resumes where the batch ends).
-// The pull position acknowledges everything before it.
+// The pull position acknowledges everything before it. A pull carrying the
+// stamped-ship extension gets each record suffixed with its commit wall
+// time and trace identity — the replica's lag and trace-continuation
+// inputs; a legacy pull gets the original encoding byte for byte.
 func (s *Server) serveShipPull(req request) []byte {
 	recs, st, err := s.backend.Eng.ShipSince(req.lsn, req.limit)
 	switch {
@@ -130,6 +134,11 @@ func (s *Server) serveShipPull(req request) []byte {
 		body.U64(r.Seq)
 		body.Bytes(r.Key)
 		body.Bytes(r.Value)
+		if req.stamps {
+			body.U64(uint64(r.CommitWallNs))
+			body.U64(r.TraceID)
+			body.U64(r.SpanID)
+		}
 		n++
 		if len(body.Buf) >= s.cfg.MaxFrameBytes/2 {
 			break
@@ -200,11 +209,18 @@ func (s *Server) ApplyShipped(recs []wal.Record) error {
 	batch := make([]writeReq, len(recs))
 	for i, r := range recs {
 		done := make(chan writeResult, 1)
+		// A stamped record's trace identity continues the primary's trace on
+		// this node: the replica's commit span links back to the primary-side
+		// span that logged the record.
+		var tc obs.TraceContext
+		if r.TraceID != 0 {
+			tc = obs.TraceContext{TraceID: r.TraceID, SpanID: r.SpanID, Sampled: true}
+		}
 		switch r.Kind {
 		case kv.Put:
-			batch[i] = writeReq{op: OpPut, key: r.Key, value: r.Value, done: done}
+			batch[i] = writeReq{op: OpPut, key: r.Key, value: r.Value, tc: tc, done: done}
 		case kv.Tombstone:
-			batch[i] = writeReq{op: OpDelete, key: r.Key, done: done}
+			batch[i] = writeReq{op: OpDelete, key: r.Key, tc: tc, done: done}
 		default:
 			return fmt.Errorf("server: shipped record %d has unexpected kind %d", r.Seq, r.Kind)
 		}

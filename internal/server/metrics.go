@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,10 @@ type metrics struct {
 	shipAckTimeouts atomic.Int64 // sync-ship batches that waited out the ack window
 	promotions      atomic.Int64 // replica → primary flips
 
+	// gateWait is the wall-clock time group commits spend waiting at the
+	// sync-ship ack gate (ns) — the replication latency tax per batch.
+	gateWait *stats.LatencyHist
+
 	ops map[Op]*opMetrics // fixed at construction; values are atomic inside
 }
 
@@ -52,7 +57,8 @@ type opMetrics struct {
 }
 
 func newMetrics() *metrics {
-	m := &metrics{started: time.Now(), ops: make(map[Op]*opMetrics)}
+	m := &metrics{started: time.Now(), ops: make(map[Op]*opMetrics),
+		gateWait: stats.NewLatencyHist()}
 	for _, op := range []Op{OpPing, OpGet, OpPut, OpDelete, OpScan, OpUpsert, OpStats,
 		OpSnapOpen, OpSnapGet, OpSnapScan, OpSnapRelease, OpHello, OpShipPull, OpPromote} {
 		m.ops[op] = &opMetrics{lat: stats.NewLatencyHist()}
@@ -82,9 +88,14 @@ type OpSnapshot struct {
 // protocol surface (loadgen and the CI smoke test parse them).
 type StatsSnapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
-	Device        string  `json:"device"`
-	BatchIOs      int     `json:"batch_ios"`  // scheduler batch size per lane (the device's P or per-queue service)
-	ReadLanes     int     `json:"read_lanes"` // independent read-batch lanes (device queues; 1 = global)
+	// Node identity (PR-10): the bound listen address ("" before Serve) and
+	// the Go toolchain the binary was built with, so kvtop (and a human at
+	// /stats) can tell nodes apart without out-of-band configuration.
+	ListenAddr string `json:"listen_addr"`
+	GoVersion  string `json:"go_version"`
+	Device     string `json:"device"`
+	BatchIOs   int    `json:"batch_ios"`  // scheduler batch size per lane (the device's P or per-queue service)
+	ReadLanes  int    `json:"read_lanes"` // independent read-batch lanes (device queues; 1 = global)
 
 	Conns      int64 `json:"conns"`
 	ConnsTotal int64 `json:"conns_total"`
@@ -170,6 +181,12 @@ type StatsSnapshot struct {
 	NotPrimary      int64  `json:"not_primary_total"`
 	Promotions      int64  `json:"promotions_total"`
 
+	// Replication-lag accounting (PR-10). ShipLag is always present (zero
+	// until the cluster shipper feeds NoteShipLag on a replica); GateWait is
+	// the sync-ship ack gate's wall-wait histogram summary on a primary.
+	ShipLag  obs.LagSnapshot `json:"ship_lag"`
+	GateWait OpSnapshot      `json:"sync_gate_wait"`
+
 	// Obs is the span tracer's summary (per-layer IO attribution and live
 	// model residuals); present only when a tracer is attached.
 	Obs *obs.Summary `json:"obs,omitempty"`
@@ -181,6 +198,8 @@ func (s *Server) Snapshot() StatsSnapshot {
 	queued, readBatches := s.readSched.snapshot()
 	out := StatsSnapshot{
 		UptimeSeconds: time.Since(m.started).Seconds(),
+		ListenAddr:    s.ListenAddr(),
+		GoVersion:     runtime.Version(),
 		Device:        s.backend.Eng.Device().Name(),
 		BatchIOs:      s.readSched.size,
 		ReadLanes:     s.readSched.laneCount(),
@@ -261,6 +280,16 @@ func (s *Server) Snapshot() StatsSnapshot {
 	out.ShipAckTimeouts = m.shipAckTimeouts.Load()
 	out.NotPrimary = m.notPrimary.Load()
 	out.Promotions = m.promotions.Load()
+	out.ShipLag = s.lag.Snapshot()
+	gw := m.gateWait.Snapshot()
+	out.GateWait = OpSnapshot{
+		Count:  gw.Count,
+		MeanUs: gw.Mean / 1e3,
+		P50Us:  float64(gw.P50) / 1e3,
+		P95Us:  float64(gw.P95) / 1e3,
+		P99Us:  float64(gw.P99) / 1e3,
+		MaxUs:  float64(gw.Max) / 1e3,
+	}
 	if t := s.cfg.Trace; t != nil {
 		out.TraceLen, out.TraceCap, out.TraceDropped = t.Len(), t.Cap(), t.Dropped()
 	}
@@ -289,6 +318,14 @@ func (s *Server) MetricsHandler() http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		s.writeProm(w)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if tr := s.cfg.Tracer; tr != nil {
+			_ = tr.WriteSpansJSON(w)
+			return
+		}
+		_, _ = w.Write([]byte("[]\n"))
 	})
 	return mux
 }
@@ -374,6 +411,32 @@ func (s *Server) writeProm(w io.Writer) {
 	scalar("ship_ack_timeouts_total", "counter", "Sync-ship batches that waited out the ack window.", snap.ShipAckTimeouts)
 	scalar("not_primary_total", "counter", "Writes refused because this node is a replica.", snap.NotPrimary)
 	scalar("promotions_total", "counter", "Replica-to-primary promotions served.", snap.Promotions)
+
+	promFamily(w, "kvserve_ship_lag_seconds", "gauge",
+		"Replication lag behind the primary in seconds (stat: last, ewma, max over the sample window).")
+	fmt.Fprintf(w, "kvserve_ship_lag_seconds{stat=\"last\"} %g\n", snap.ShipLag.LastSeconds)
+	fmt.Fprintf(w, "kvserve_ship_lag_seconds{stat=\"ewma\"} %g\n", snap.ShipLag.EWMASeconds)
+	fmt.Fprintf(w, "kvserve_ship_lag_seconds{stat=\"max\"} %g\n", snap.ShipLag.MaxSeconds)
+	promFamily(w, "kvserve_ship_lag_lsns", "gauge",
+		"Replication lag behind the primary in LSNs (stat: last, ewma, max over the sample window).")
+	fmt.Fprintf(w, "kvserve_ship_lag_lsns{stat=\"last\"} %d\n", snap.ShipLag.LastLSNs)
+	fmt.Fprintf(w, "kvserve_ship_lag_lsns{stat=\"ewma\"} %g\n", snap.ShipLag.EWMALSNs)
+	fmt.Fprintf(w, "kvserve_ship_lag_lsns{stat=\"max\"} %d\n", snap.ShipLag.MaxLSNs)
+	scalar("ship_lag_samples_total", "counter", "Replication-lag samples observed.", snap.ShipLag.Samples)
+
+	promFamily(w, "kvserve_sync_gate_wait_seconds", "histogram",
+		"Wall-clock wait at the sync-ship ack gate per group commit.")
+	gwCounts, gwTotal, gwSum := s.metrics.gateWait.Cumulative(latencyBoundsNs)
+	for i, b := range latencyBoundsNs {
+		fmt.Fprintf(w, "kvserve_sync_gate_wait_seconds_bucket{le=\"%g\"} %d\n", float64(b)/1e9, gwCounts[i])
+	}
+	fmt.Fprintf(w, "kvserve_sync_gate_wait_seconds_bucket{le=\"+Inf\"} %d\n", gwTotal)
+	fmt.Fprintf(w, "kvserve_sync_gate_wait_seconds_sum %g\n", float64(gwSum)/1e9)
+	fmt.Fprintf(w, "kvserve_sync_gate_wait_seconds_count %d\n", gwTotal)
+
+	promFamily(w, "kvserve_node_info", "gauge",
+		"Node identity as labels (listen address, Go toolchain); value is always 1.")
+	fmt.Fprintf(w, "kvserve_node_info{addr=%q,go=%q} 1\n", snap.ListenAddr, snap.GoVersion)
 
 	if snap.MVCCEnabled {
 		scalar("mvcc_applied_lsn", "gauge", "Newest WAL LSN applied to the trees.", snap.MVCCAppliedLSN)

@@ -1,0 +1,318 @@
+// Prometheus exposition contract: /metrics output is parsed line by line
+// and checked against the format rules a real scraper enforces — every
+// sample belongs to a family declared with # HELP and # TYPE ahead of it,
+// family names are unique and well-formed, histogram families carry a
+// consistent _bucket/_sum/_count triple with cumulative buckets and a +Inf
+// bound, and every sample value is a number. The test drives real ops first
+// so the op and gate histograms are populated, not degenerate.
+
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"iomodels/internal/obs"
+)
+
+// promNameRE is the contract's family-name shape: kvserve_-prefixed
+// lowercase words. (Prometheus itself allows more; this repo's exposition
+// deliberately does not.)
+var promNameRE = regexp.MustCompile(`^kvserve_[a-z_]+$`)
+
+// promSample is one parsed sample line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// parseProm splits exposition text into family declarations and samples,
+// failing the test on any line that is neither.
+func parseProm(t *testing.T, text string) (helps, types map[string]string, samples []promSample) {
+	t.Helper()
+	helps = make(map[string]string)
+	types = make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			rest := line[len("# HELP "):]
+			name, doc, ok := strings.Cut(rest, " ")
+			if !ok || doc == "" {
+				t.Fatalf("line %d: declaration without text: %q", lineNo, line)
+			}
+			m := helps
+			if strings.HasPrefix(line, "# TYPE ") {
+				m = types
+				switch doc {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					t.Fatalf("line %d: unknown metric type %q", lineNo, doc)
+				}
+			}
+			if _, dup := m[name]; dup {
+				t.Fatalf("line %d: family %s declared twice", lineNo, name)
+			}
+			m[name] = doc
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unrecognized comment %q", lineNo, line)
+		}
+		s := promSample{labels: map[string]string{}, line: lineNo}
+		rest := line
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			s.name = rest[:i]
+			rest = rest[i+1:]
+			j := strings.IndexByte(rest, '}')
+			if j < 0 {
+				t.Fatalf("line %d: unterminated label set: %q", lineNo, line)
+			}
+			for _, pair := range splitLabels(rest[:j]) {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok {
+					t.Fatalf("line %d: bad label %q", lineNo, pair)
+				}
+				uq, err := strconv.Unquote(v)
+				if err != nil {
+					t.Fatalf("line %d: label %s value not quoted: %q (%v)", lineNo, k, v, err)
+				}
+				s.labels[k] = uq
+			}
+			rest = strings.TrimPrefix(rest[j+1:], " ")
+		} else {
+			var ok bool
+			s.name, rest, ok = strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: no value: %q", lineNo, line)
+			}
+		}
+		rest = strings.TrimSpace(rest)
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			t.Fatalf("line %d: value %q not a number: %v", lineNo, rest, err)
+		}
+		s.value = v
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return helps, types, samples
+}
+
+// splitLabels splits `k1="v1",k2="v2"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// familyOf maps a sample name to its declared family: histogram series
+// <fam>_bucket/_sum/_count belong to <fam>; everything else is its own.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base := strings.TrimSuffix(name, suf); base != name {
+			if types[base] == "histogram" || types[base] == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func TestPromExpositionContract(t *testing.T) {
+	tb := newTestServer(t, Config{
+		Role:     RolePrimary,
+		Shards:   1,
+		Tracer:   obs.NewTracer(obs.Config{SampleEvery: 1}),
+		SyncShip: false,
+	}, flatDev{64 << 20}, true, 1<<20, 64)
+	c := dialT(t, tb)
+	// Populate the op counters and latency histograms with real traffic.
+	for i := 0; i < 16; i++ {
+		if _, _, err := c.Get(tkey(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Put(tkey(i), tval(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb.srv.NoteShipLag(0.012, 3) // populate the lag family like a shipper would
+
+	var buf bytes.Buffer
+	tb.srv.writeProm(&buf)
+	text := buf.String()
+	helps, types, samples := parseProm(t, text)
+
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	// Rule 1: every declared family has BOTH # HELP and # TYPE, and a
+	// well-formed name.
+	for name := range helps {
+		if _, ok := types[name]; !ok {
+			t.Errorf("family %s has HELP but no TYPE", name)
+		}
+	}
+	for name := range types {
+		if _, ok := helps[name]; !ok {
+			t.Errorf("family %s has TYPE but no HELP", name)
+		}
+		if !promNameRE.MatchString(name) {
+			t.Errorf("family name %q outside the kvserve_[a-z_]+ contract", name)
+		}
+	}
+	// Rule 2: every sample belongs to a declared family, and its labels
+	// have well-formed names.
+	seenFams := map[string]bool{}
+	for _, s := range samples {
+		fam := familyOf(s.name, types)
+		if _, ok := types[fam]; !ok {
+			t.Errorf("line %d: sample %s has no declared family", s.line, s.name)
+			continue
+		}
+		seenFams[fam] = true
+		for k := range s.labels {
+			if matched, _ := regexp.MatchString(`^[a-z_]+$`, k); !matched {
+				t.Errorf("line %d: label name %q", s.line, k)
+			}
+		}
+	}
+	// Rule 3: no family is declared and then never emitted.
+	for name := range types {
+		if !seenFams[name] {
+			t.Errorf("family %s declared but has no samples", name)
+		}
+	}
+	// Rule 4: histogram families carry a consistent triple. Group bucket
+	// series by their non-le label set.
+	for fam, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		type series struct {
+			buckets []promSample
+			sum     *promSample
+			count   *promSample
+		}
+		bySeries := map[string]*series{}
+		key := func(labels map[string]string) string {
+			var parts []string
+			for k, v := range labels {
+				if k != "le" {
+					parts = append(parts, k+"="+v)
+				}
+			}
+			// Orders of a map range differ; normalize.
+			for i := 0; i < len(parts); i++ {
+				for j := i + 1; j < len(parts); j++ {
+					if parts[j] < parts[i] {
+						parts[i], parts[j] = parts[j], parts[i]
+					}
+				}
+			}
+			return strings.Join(parts, ",")
+		}
+		get := func(labels map[string]string) *series {
+			k := key(labels)
+			if bySeries[k] == nil {
+				bySeries[k] = &series{}
+			}
+			return bySeries[k]
+		}
+		for i := range samples {
+			s := samples[i]
+			switch s.name {
+			case fam + "_bucket":
+				get(s.labels).buckets = append(get(s.labels).buckets, s)
+			case fam + "_sum":
+				get(s.labels).sum = &samples[i]
+			case fam + "_count":
+				get(s.labels).count = &samples[i]
+			case fam:
+				t.Errorf("line %d: histogram %s emitted a bare sample", s.line, fam)
+			}
+		}
+		if len(bySeries) == 0 {
+			t.Errorf("histogram %s has no series", fam)
+		}
+		for k, se := range bySeries {
+			if se.sum == nil || se.count == nil {
+				t.Errorf("%s{%s}: missing _sum or _count", fam, k)
+				continue
+			}
+			if len(se.buckets) == 0 {
+				t.Errorf("%s{%s}: no buckets", fam, k)
+				continue
+			}
+			last := se.buckets[len(se.buckets)-1]
+			if last.labels["le"] != "+Inf" {
+				t.Errorf("%s{%s}: last bucket le=%q, want +Inf", fam, k, last.labels["le"])
+			}
+			if last.value != se.count.value {
+				t.Errorf("%s{%s}: +Inf bucket %g != count %g", fam, k, last.value, se.count.value)
+			}
+			prev := -1.0
+			for _, b := range se.buckets {
+				if b.value < prev {
+					t.Errorf("%s{%s}: bucket counts not cumulative at le=%s (%g < %g)",
+						fam, k, b.labels["le"], b.value, prev)
+				}
+				prev = b.value
+			}
+		}
+	}
+	// Spot-check the families this PR's tooling depends on.
+	for _, fam := range []string{
+		"kvserve_ship_lag_seconds", "kvserve_ship_lag_lsns",
+		"kvserve_sync_gate_wait_seconds", "kvserve_node_info",
+		"kvserve_op_latency_seconds", "kvserve_role",
+	} {
+		if !seenFams[fam] {
+			t.Errorf("required family %s missing from exposition", fam)
+		}
+	}
+	// The injected lag sample must surface with its stat labels.
+	if !strings.Contains(text, `kvserve_ship_lag_seconds{stat="ewma"}`) {
+		t.Error("ship-lag ewma series missing")
+	}
+	// Op histograms must be populated by the traffic above.
+	var opCount float64
+	for _, s := range samples {
+		if s.name == "kvserve_op_latency_seconds_count" && s.labels["op"] == "get" {
+			opCount = s.value
+		}
+	}
+	if opCount < 16 {
+		t.Errorf("get latency histogram count %g, want >= 16", opCount)
+	}
+}

@@ -2,8 +2,15 @@
 // repo's kv codec (big-endian integers, u32-length-prefixed byte strings).
 //
 //	frame   := u32 length | payload (length bytes)
-//	request := u8 op | op-specific fields
+//	request := [ext-block] u8 op | op-specific fields
 //	reply   := u8 status | status/op-specific fields
+//
+// The optional extension block (kv.ExtMagic, see internal/kv/trace.go)
+// carries a trace context (trace id, parent span id, flags) and/or the
+// stamped-ship-pull flag in front of the op byte. It is opt-in per
+// request: an un-extended frame is byte-identical to the legacy encoding,
+// and an old server answers an extended frame with a loud protocol error
+// (ExtMagic is no valid op) rather than misparsing it.
 //
 // Requests (client → server):
 //
@@ -31,6 +38,8 @@
 //	         Hello → u32 shard, u32 shards, u8 role, u64 committed, u64 applied
 //	         ShipPull → u64 committed, u64 floor, u32 n,
 //	                    n×(u8 kind, u64 seq, key value)
+//	         ShipPull (stamped-ship extension): each record additionally
+//	                    carries u64 commitWallNs, u64 traceID, u64 spanID
 //	         Promote → u64 lsn (the promoted node's serving position)
 //	NotFound (Get of an absent key)
 //	Busy     message      (admission control shed the request; retry later)
@@ -197,6 +206,9 @@ type request struct {
 	snapID uint64 // snap-get/scan/release: the connection-local snapshot id
 	atLSN  bool   // snap-open: pin the named LSN instead of the current one
 	lsn    uint64 // snap-open with atLSN; ship-pull's `after` position
+
+	tc     kv.TraceContext // carried trace context (zero when absent)
+	stamps bool            // ship-pull: answer with stamped records
 }
 
 // maxShipBatch bounds one ShipPull's record count: with kvserve-scale keys
@@ -208,6 +220,12 @@ const maxShipBatch = 4096
 func decodeRequest(buf []byte, maxScanLimit int) (request, error) {
 	d := &kv.Dec{Buf: buf}
 	var req request
+	ext := kv.DecodeExt(d)
+	if d.Err != nil {
+		return req, fmt.Errorf("server: malformed extension block: %w", d.Err)
+	}
+	req.tc = ext.Trace
+	req.stamps = ext.StampedShip
 	req.op = Op(d.U8())
 	switch req.op {
 	case OpPing, OpStats:
@@ -269,6 +287,7 @@ func decodeRequest(buf []byte, maxScanLimit int) (request, error) {
 // encodeRequest builds a request payload (the client side of decodeRequest).
 func encodeRequest(req request) []byte {
 	var e kv.Enc
+	e.AppendExt(kv.Ext{Trace: req.tc, StampedShip: req.stamps})
 	e.U8(uint8(req.op))
 	switch req.op {
 	case OpPing, OpStats:

@@ -14,9 +14,12 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -92,6 +95,15 @@ type Config struct {
 	// durable locally, unacknowledged remotely.
 	SyncShip        bool
 	SyncShipTimeout time.Duration
+
+	// SlowOpThreshold, when > 0, makes every request whose wall-clock
+	// service time reaches it emit one structured (JSON) log line on
+	// SlowOpLog: the op, its latency, its trace identity, and — when a
+	// tracer is attached — the request span's per-layer breakdown (device
+	// IOs, bytes, and virtual IO time per stack layer, pager hits/misses,
+	// group-commit wait). SlowOpLog defaults to os.Stderr.
+	SlowOpThreshold time.Duration
+	SlowOpLog       io.Writer
 }
 
 func (c Config) withDefaults(dev storage.Device) Config {
@@ -143,6 +155,9 @@ func (c Config) withDefaults(dev storage.Device) Config {
 	if c.SyncShipTimeout == 0 {
 		c.SyncShipTimeout = 2 * time.Second
 	}
+	if c.SlowOpThreshold > 0 && c.SlowOpLog == nil {
+		c.SlowOpLog = os.Stderr
+	}
 	return c
 }
 
@@ -187,6 +202,12 @@ type Server struct {
 	shipWake       chan struct{} // closed+replaced when shipAcked advances
 	shipAppliedLSN atomic.Uint64 // replica: highest shipped primary LSN applied
 
+	// lag is the replication-lag estimator the cluster shipper feeds via
+	// NoteShipLag (one sample per ship pull, on a replica).
+	lag *obs.LagEstimator
+
+	listenAddr atomic.Value // string: bound listen address, set by Serve
+
 	mu       sync.Mutex //lint:lockrank 50
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
@@ -221,6 +242,7 @@ func New(cfg Config, backend Backend) (*Server, error) {
 		writerDone: make(chan struct{}),
 		conns:      make(map[net.Conn]struct{}),
 		shipWake:   make(chan struct{}),
+		lag:        obs.NewLagEstimator(0),
 	}
 	s.setRole(cfg.Role)
 	go s.writerLoop()
@@ -244,6 +266,7 @@ func (s *Server) ListenAndServe() (net.Addr, error) {
 
 // Serve accepts connections from ln in the background until Close.
 func (s *Server) Serve(ln net.Listener) {
+	s.listenAddr.Store(ln.Addr().String())
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
@@ -285,6 +308,24 @@ func (s *Server) untrack(conn net.Conn) {
 	s.metrics.conns.Add(-1)
 }
 
+// ListenAddr returns the bound listen address ("" before Serve). It is the
+// node's identity on /stats and /metrics — the address kvtop keys its rows
+// by.
+func (s *Server) ListenAddr() string {
+	if v := s.listenAddr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// NoteShipLag records one replication-lag observation: how far this node's
+// applied position trails the primary's durable position, in seconds (from
+// the commit wall-time stamped on shipped records) and LSNs. The cluster
+// shipper calls it once per pull; /stats and /metrics expose the estimator.
+func (s *Server) NoteShipLag(lagSeconds float64, lagLSNs int64) {
+	s.lag.Observe(lagSeconds, lagLSNs)
+}
+
 // Close shuts the server down: stop accepting, sever connections, wait for
 // handlers, then drain and stop the writer. Safe to call once.
 func (s *Server) Close() error {
@@ -321,6 +362,10 @@ type connState struct {
 	session  engine.Dictionary
 	snaps    map[uint64]*engine.Snap
 	nextSnap uint64
+	// lastSpan is the span the most recent read/write on this connection
+	// finished with (nil when sampled out or untraced); the slow-op log
+	// reads its per-layer events after the fact.
+	lastSpan *obs.Span
 }
 
 // releaseAll retires every snapshot the connection still holds (the
@@ -384,9 +429,9 @@ func (s *Server) serveRequest(cs *connState, req request) []byte {
 	case OpStats:
 		reply = s.serveStats()
 	case OpGet, OpScan:
-		reply = s.serveRead(cs.client, cs.session, req)
+		reply = s.serveRead(cs, req)
 	case OpPut, OpDelete, OpUpsert:
-		reply = s.serveWrite(req)
+		reply = s.serveWrite(cs, req)
 	case OpSnapOpen:
 		reply = s.serveSnapOpen(cs, req)
 	case OpSnapGet, OpSnapScan:
@@ -402,9 +447,99 @@ func (s *Server) serveRequest(cs *connState, req request) []byte {
 	default:
 		reply = encodeStatus(StatusErr, fmt.Sprintf("unhandled op %v", req.op))
 	}
-	s.metrics.observe(req.op, time.Since(start))
+	wall := time.Since(start)
+	s.metrics.observe(req.op, wall)
 	s.metrics.inFlight.Add(-1)
+	if thr := s.cfg.SlowOpThreshold; thr > 0 && wall >= thr {
+		s.logSlowOp(cs, req, wall)
+	}
+	cs.lastSpan = nil
 	return reply
+}
+
+// obsTC converts a wire trace context into the tracer's mirror form.
+func obsTC(tc kv.TraceContext) obs.TraceContext {
+	return obs.TraceContext{TraceID: tc.TraceID, SpanID: tc.SpanID, Sampled: tc.Sampled()}
+}
+
+// slowOpLayer is one stack layer's share in a slow-op log line.
+type slowOpLayer struct {
+	Layer string  `json:"layer"`
+	IOs   int64   `json:"ios"`
+	Bytes int64   `json:"bytes"`
+	IOUs  float64 `json:"io_us"` // virtual device time, µs
+}
+
+// slowOpLine is the slow-op structured log record: one JSON object per line
+// on Config.SlowOpLog for every request at or past SlowOpThreshold.
+type slowOpLine struct {
+	Event       string        `json:"event"` // always "slow_op"
+	Op          string        `json:"op"`
+	WallUs      float64       `json:"wall_us"`
+	ThresholdUs float64       `json:"threshold_us"`
+	Role        string        `json:"role"`
+	Shard       int           `json:"shard"`
+	TraceID     string        `json:"trace_id,omitempty"` // hex
+	SpanWire    string        `json:"span,omitempty"`     // hex wire id
+	VirtualUs   float64       `json:"virtual_us,omitempty"`
+	Layers      []slowOpLayer `json:"layers,omitempty"`
+	PagerHits   int64         `json:"pager_hits,omitempty"`
+	PagerMisses int64         `json:"pager_misses,omitempty"`
+	WALCommitUs float64       `json:"wal_commit_us,omitempty"`
+}
+
+// logSlowOp emits one structured line for a slow request. The span (when
+// the op was traced) supplies the per-layer breakdown; an untraced slow op
+// still logs its identity and latency. The line is built first and written
+// with a single Write so concurrent handlers' lines do not interleave.
+func (s *Server) logSlowOp(cs *connState, req request, wall time.Duration) {
+	line := slowOpLine{
+		Event:       "slow_op",
+		Op:          req.op.String(),
+		WallUs:      float64(wall) / float64(time.Microsecond),
+		ThresholdUs: float64(s.cfg.SlowOpThreshold) / float64(time.Microsecond),
+		Role:        s.Role().String(),
+		Shard:       s.cfg.ShardID,
+	}
+	if req.tc.Valid() {
+		line.TraceID = fmt.Sprintf("%016x", req.tc.TraceID)
+	}
+	if sp := cs.lastSpan; sp != nil {
+		if sp.TraceID != 0 {
+			line.TraceID = fmt.Sprintf("%016x", sp.TraceID)
+		}
+		line.SpanWire = fmt.Sprintf("%016x", sp.Wire)
+		line.VirtualUs = float64(sp.End-sp.Start) / 1e3
+		var layers [4]slowOpLayer
+		for _, ev := range sp.Events {
+			switch ev.Kind {
+			case obs.EvIO:
+				l := &layers[int(ev.Layer)%len(layers)]
+				l.IOs++
+				l.Bytes += ev.Size
+				l.IOUs += float64(ev.Latency) / 1e3
+			case obs.EvCacheHit:
+				line.PagerHits++
+			case obs.EvCacheMiss:
+				line.PagerMisses++
+			case obs.EvWALCommit:
+				line.WALCommitUs += float64(ev.Latency) / 1e3
+			}
+		}
+		for i, l := range layers {
+			if l.IOs == 0 {
+				continue
+			}
+			l.Layer = obs.Layer(i).String()
+			line.Layers = append(line.Layers, l)
+		}
+	}
+	buf, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	_, _ = s.cfg.SlowOpLog.Write(buf)
 }
 
 // serveSnapOpen pins a snapshot at the current applied LSN (or a named one
@@ -457,7 +592,7 @@ func (s *Server) serveSnapRead(cs *connState, req request) []byte {
 		}
 		if hit {
 			s.metrics.snapChainHits.Add(1)
-			sp := cs.client.StartSpan(req.op.String())
+			sp := cs.client.StartSpanLinked(req.op.String(), obsTC(req.tc))
 			sp.MVCCResolve(true, cs.client.Now())
 			cs.client.FinishSpan(sp)
 			if !present {
@@ -485,7 +620,7 @@ func (s *Server) serveSnapRead(cs *connState, req request) []byte {
 	}
 	<-b.launched
 	cs.client.AlignTo(b.start)
-	sp := cs.client.StartSpan(req.op.String())
+	sp := cs.client.StartSpanLinked(req.op.String(), obsTC(req.tc))
 	sp.MVCCResolve(false, cs.client.Now())
 
 	s.stateMu.RLock()
@@ -539,6 +674,7 @@ func (s *Server) serveSnapRead(cs *connState, req request) []byte {
 	}
 	s.stateMu.RUnlock()
 	cs.client.FinishSpan(sp)
+	cs.lastSpan = sp
 	s.readSched.done(b, cs.client.Now())
 	return reply
 }
@@ -558,7 +694,8 @@ func (s *Server) serveSnapRelease(cs *connState, req request) []byte {
 // serveRead runs a Get/Scan through the batch scheduler: join a batch on
 // the key's lane (or be shed), start at the batch's common virtual instant,
 // read under the state read-lock, report completion.
-func (s *Server) serveRead(client *engine.Client, session engine.Dictionary, req request) []byte {
+func (s *Server) serveRead(cs *connState, req request) []byte {
+	client, session := cs.client, cs.session
 	affinity := req.key
 	if req.op == OpScan {
 		affinity = req.lo
@@ -572,8 +709,10 @@ func (s *Server) serveRead(client *engine.Client, session engine.Dictionary, req
 	client.AlignTo(b.start)
 	// The span opens at the batch's common virtual instant, so its duration
 	// is the request's virtual service time (queue wait is wall-clock and
-	// deliberately excluded — virtual time is the models' currency).
-	sp := client.StartSpan(req.op.String())
+	// deliberately excluded — virtual time is the models' currency). A
+	// carried trace context links the span under the client's trace and
+	// bypasses sampling; a zero context is the ordinary sampled StartSpan.
+	sp := client.StartSpanLinked(req.op.String(), obsTC(req.tc))
 
 	s.stateMu.RLock()
 	var reply []byte
@@ -615,26 +754,40 @@ func (s *Server) serveRead(client *engine.Client, session engine.Dictionary, req
 	}
 	s.stateMu.RUnlock()
 	client.FinishSpan(sp)
+	cs.lastSpan = sp
 	s.readSched.done(b, client.Now())
 	return reply
 }
 
 // serveWrite enqueues the mutation for the writer's next group commit and
 // waits for the batch's WAL flush before acknowledging.
-func (s *Server) serveWrite(req request) []byte {
+func (s *Server) serveWrite(cs *connState, req request) []byte {
 	if s.Role() == RoleReplica {
 		s.metrics.notPrimary.Add(1)
 		return encodeStatus(StatusNotPrimary, "replica: writes go to the shard primary")
 	}
+	// The server-side span for this write: linked under the client's carried
+	// trace when one arrived. Its own context rides the writeReq so the
+	// group-commit span — and, through the stamped ship stream, a replica's
+	// apply — links back to this request.
+	sp := cs.client.StartSpanLinked(req.op.String(), obsTC(req.tc))
+	tc := obsTC(req.tc)
+	if sp != nil {
+		tc = sp.Context()
+	}
 	wr := writeReq{op: req.op, key: req.key, value: req.value, delta: req.delta,
-		done: make(chan writeResult, 1)}
+		tc: tc, done: make(chan writeResult, 1)}
 	select {
 	case s.writeCh <- wr:
 	default:
+		cs.client.FinishSpan(sp)
+		cs.lastSpan = sp
 		s.metrics.busy.Add(1)
 		return encodeStatus(StatusBusy, "write queue full")
 	}
 	res := <-wr.done
+	cs.client.FinishSpan(sp)
+	cs.lastSpan = sp
 	if res.err != nil {
 		// Durability degraded (sticky WAL error): the mutation applied but
 		// is not durable — surface that instead of a silent OK.

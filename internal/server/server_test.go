@@ -269,7 +269,8 @@ func TestServerGroupCommit(t *testing.T) {
 		go func(i int) {
 			defer done.Done()
 			release.Wait()
-			reply := s.serveWrite(request{op: OpPut, key: tkey(i), value: tval(i)})
+			cs := &connState{client: s.backend.Eng.SharedClient(s.backend.Clock)}
+			reply := s.serveWrite(cs, request{op: OpPut, key: tkey(i), value: tval(i)})
 			if st := Status(reply[0]); st != StatusOK {
 				t.Errorf("writer %d: status %v", i, st)
 			}
@@ -311,8 +312,9 @@ func TestServerBusyWrite(t *testing.T) {
 	replies := make(chan Status, 2)
 	for i := 0; i < 2; i++ {
 		go func(i int) {
+			cs := &connState{client: s.backend.Eng.SharedClient(s.backend.Clock)}
 			for {
-				reply := s.serveWrite(request{op: OpPut, key: tkey(i), value: tval(i)})
+				reply := s.serveWrite(cs, request{op: OpPut, key: tkey(i), value: tval(i)})
 				if st := Status(reply[0]); st != StatusBusy {
 					replies <- st
 					return
@@ -339,7 +341,8 @@ func TestServerBusyWrite(t *testing.T) {
 		case <-time.After(time.Millisecond):
 		}
 	}
-	reply := s.serveWrite(request{op: OpPut, key: []byte("extra"), value: []byte("x")})
+	extraCS := &connState{client: s.backend.Eng.SharedClient(s.backend.Clock)}
+	reply := s.serveWrite(extraCS, request{op: OpPut, key: []byte("extra"), value: []byte("x")})
 	if st := Status(reply[0]); st != StatusBusy {
 		s.stateMu.Unlock()
 		t.Fatalf("over-capacity write got %v, want busy", st)

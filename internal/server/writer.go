@@ -12,9 +12,11 @@ package server
 import (
 	"encoding/binary"
 	"errors"
+	"time"
 
 	"iomodels/internal/engine"
 	"iomodels/internal/kv"
+	"iomodels/internal/obs"
 	"iomodels/internal/wal"
 )
 
@@ -34,7 +36,12 @@ type writeReq struct {
 	key   []byte
 	value []byte
 	delta int64
-	done  chan writeResult
+	// tc is the request's trace context (zero when untraced): the server
+	// span that enqueued the mutation, or the client's carried context when
+	// no tracer is attached. It links the group-commit span and stamps the
+	// mutation's WAL record for the ship stream.
+	tc   obs.TraceContext
+	done chan writeResult
 }
 
 // writerLoop drains the write queue: each iteration takes everything
@@ -79,7 +86,27 @@ func (s *Server) applyWrites(batch []writeReq) {
 	// path, the WAL appends, the group-commit flush, and any checkpoint all
 	// run through the owner (which only this goroutine drives).
 	owner := s.backend.Eng.Owner()
-	sp := owner.StartSpan("commit")
+	// Link the group-commit span under every traced request in the batch:
+	// the first carried context parents it (bypassing sampling), the rest
+	// attach as extra links — one flush serves N traced writes.
+	firstTraced := -1
+	for i := range batch {
+		if batch[i].tc.TraceID != 0 {
+			firstTraced = i
+			break
+		}
+	}
+	var sp *obs.Span
+	if firstTraced >= 0 {
+		sp = owner.StartSpanLinked("commit", batch[firstTraced].tc)
+		for _, req := range batch[firstTraced+1:] {
+			if req.tc.TraceID != 0 {
+				sp.AddLink(req.tc.TraceID, req.tc.SpanID)
+			}
+		}
+	} else {
+		sp = owner.StartSpan("commit")
+	}
 	results := make([]writeResult, len(batch))
 	if d, ok := s.backend.Writer.(*engine.Durable); ok {
 		muts := make([]engine.Mutation, len(batch))
@@ -108,8 +135,13 @@ func (s *Server) applyWrites(batch []writeReq) {
 			// Semi-synchronous replication: hold the acks until a replica's
 			// pull acknowledges the batch's last LSN. A timeout degrades that
 			// batch to an error reply — the writes are durable locally but a
-			// failover may lose them, and the client must know.
-			if !s.waitShipAck(target, s.cfg.SyncShipTimeout) {
+			// failover may lose them, and the client must know. The wall time
+			// spent at the gate is the sync-ship latency tax; the histogram
+			// is what E24 and kvtop read.
+			gateStart := time.Now()
+			acked := s.waitShipAck(target, s.cfg.SyncShipTimeout)
+			s.metrics.gateWait.Observe(int64(time.Since(gateStart)))
+			if !acked {
 				s.metrics.shipAckTimeouts.Add(1)
 				err = errSyncShipTimeout
 			}
@@ -133,18 +165,22 @@ func (s *Server) applyWrites(batch []writeReq) {
 	}
 }
 
-// toMutation converts a request into the engine's group-commit form.
+// toMutation converts a request into the engine's group-commit form,
+// carrying the request's trace identity onto the mutation so the WAL record
+// (and through it the ship stream) is stamped.
 func toMutation(d *engine.Durable, req writeReq) engine.Mutation {
+	m := engine.Mutation{Dict: d, TraceID: req.tc.TraceID, SpanID: req.tc.SpanID}
 	switch req.op {
 	case OpPut:
-		return engine.Mutation{Dict: d, Kind: kv.Put, Key: req.key, Value: req.value}
+		m.Kind, m.Key, m.Value = kv.Put, req.key, req.value
 	case OpDelete:
-		return engine.Mutation{Dict: d, Kind: kv.Tombstone, Key: req.key}
+		m.Kind, m.Key = kv.Tombstone, req.key
 	case OpUpsert:
-		return engine.Mutation{Dict: d, Kind: kv.Upsert, Key: req.key, Delta: req.delta}
+		m.Kind, m.Key, m.Delta = kv.Upsert, req.key, req.delta
 	default:
 		panic("server: non-write op in write queue")
 	}
+	return m
 }
 
 // applyPlain applies one mutation to a non-durable backend.

@@ -63,12 +63,19 @@ func DefaultConfig(offset int64) Config {
 // Record is one logged operation. Dict routes the record to a dictionary
 // when one log serves several (the engine's durability layer assigns IDs
 // in registration order); Seq is assigned by Append.
+//
+// TraceID/SpanID are transient trace annotations: they identify the traced
+// request that caused the record, ride the in-memory ship tail to
+// replication subscribers, and are NOT persisted — a record replayed from
+// the device image carries zeros.
 type Record struct {
-	Seq   uint64
-	Kind  kv.Kind // Put / Tombstone / Upsert, as in the trees
-	Dict  uint8
-	Key   []byte
-	Value []byte
+	Seq     uint64
+	Kind    kv.Kind // Put / Tombstone / Upsert, as in the trees
+	Dict    uint8
+	Key     []byte
+	Value   []byte
+	TraceID uint64
+	SpanID  uint64
 }
 
 // ErrLogFull reports that committing the pending group would overflow the
@@ -354,11 +361,13 @@ func (l *Log) Append(r Record) (uint64, error) {
 	l.Records++
 	if l.onCommit != nil {
 		l.ship = append(l.ship, Record{
-			Seq:   seq,
-			Kind:  r.Kind,
-			Dict:  r.Dict,
-			Key:   append([]byte(nil), r.Key...),
-			Value: append([]byte(nil), r.Value...),
+			Seq:     seq,
+			Kind:    r.Kind,
+			Dict:    r.Dict,
+			Key:     append([]byte(nil), r.Key...),
+			Value:   append([]byte(nil), r.Value...),
+			TraceID: r.TraceID,
+			SpanID:  r.SpanID,
 		})
 	}
 	if len(l.buf) >= l.cfg.GroupBytes {
